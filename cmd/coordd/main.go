@@ -1,0 +1,53 @@
+// Command coordd runs the heavy-hitter tracking coordinator as a TCP daemon
+// (package remote): site agents (cmd/sited) connect to it and the daemon
+// periodically prints the tracked heavy hitters.
+//
+// Usage:
+//
+//	coordd [-listen :7070] [-k 4] [-eps 0.05] [-phi 0.1] [-interval 2s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"disttrack/internal/remote"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "listen address")
+	k := flag.Int("k", 4, "number of sites")
+	eps := flag.Float64("eps", 0.05, "approximation error")
+	phi := flag.Float64("phi", 0.1, "heavy-hitter threshold")
+	interval := flag.Duration("interval", 2*time.Second, "reporting interval")
+	flag.Parse()
+
+	coord, err := remote.NewCoordinator(*listen, remote.CoordConfig{K: *k, Eps: *eps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+	log.Printf("coordinator listening on %s (k=%d eps=%g phi=%g)", coord.Addr(), *k, *eps, *phi)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			log.Printf("shutting down")
+			return
+		case <-tick.C:
+			hh := coord.HeavyHitters(*phi)
+			c := coord.Meter().Total()
+			fmt.Printf("[%s] sites=%d est_total=%d rounds=%d msgs=%d words=%d heavy=%v\n",
+				time.Now().Format("15:04:05"), coord.LiveSites(), coord.EstTotal(),
+				coord.Rounds(), c.Msgs, c.Words, hh)
+		}
+	}
+}

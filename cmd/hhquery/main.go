@@ -1,0 +1,37 @@
+// Command hhquery queries a running coordinator daemon (cmd/coordd) for its
+// current heavy hitters over the TCP client protocol.
+//
+// Usage:
+//
+//	hhquery [-coord 127.0.0.1:7070] [-phi 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"disttrack/internal/remote"
+)
+
+func main() {
+	coord := flag.String("coord", "127.0.0.1:7070", "coordinator address")
+	phi := flag.Float64("phi", 0.1, "heavy-hitter threshold")
+	flag.Parse()
+
+	cl, err := remote.DialClient(*coord)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	rows, total, err := cl.HeavyHitters(*phi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coordinator estimates %d items total; %d items at phi=%g:\n",
+		total, len(rows), *phi)
+	for _, r := range rows {
+		fmt.Printf("  %-16d est freq %-10d (%.2f%%)\n",
+			r.Item, r.Est, 100*float64(r.Est)/float64(total))
+	}
+}

@@ -1,0 +1,119 @@
+// Command hhtrack runs the Theorem 2.1 heavy-hitter tracker over a
+// generated distributed stream and reports the tracked set, its agreement
+// with the exact answer, and the communication spent — next to what naive
+// forwarding would have cost.
+//
+// Usage:
+//
+//	hhtrack [-k 8] [-eps 0.02] [-phi 0.05] [-n 500000] [-dist zipf] [-sketch] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"disttrack/internal/core/hh"
+	"disttrack/internal/oracle"
+	"disttrack/internal/stream"
+)
+
+func main() {
+	k := flag.Int("k", 8, "number of sites")
+	eps := flag.Float64("eps", 0.02, "approximation error")
+	phi := flag.Float64("phi", 0.05, "heavy-hitter threshold")
+	n := flag.Int64("n", 500000, "stream length")
+	dist := flag.String("dist", "zipf", "workload: zipf | uniform | hotset")
+	sketch := flag.Bool("sketch", false, "use Space-Saving sketches at sites (O(1/eps) space)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	record := flag.String("record", "", "write the generated arrival trace to this file")
+	replay := flag.String("replay", "", "replay a recorded arrival trace instead of generating")
+	flag.Parse()
+
+	mode := hh.ModeExact
+	if *sketch {
+		mode = hh.ModeSketch
+	}
+	tr, err := hh.New(hh.Config{K: *k, Eps: *eps, Mode: mode})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var assign stream.Assigner = stream.RoundRobin(*k)
+	var gen stream.Generator
+	switch *dist {
+	case "zipf":
+		gen = stream.Zipf(1_000_000, *n, 1.3, *seed)
+	case "uniform":
+		gen = stream.Uniform(1_000_000, *n, *seed)
+	case "hotset":
+		gen = stream.HotSet(1_000_000, *n, 5, 0.5, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -dist %q\n", *dist)
+		os.Exit(2)
+	}
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evs, err := stream.ReadEvents(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, assign = stream.ReplayEvents(evs)
+		fmt.Printf("replaying %d recorded arrivals from %s\n", len(evs), *replay)
+	}
+	if *record != "" {
+		evs := stream.Events(gen, assign)
+		f, err := os.Create(*record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := stream.WriteEvents(f, evs); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded %d arrivals to %s\n", len(evs), *record)
+		gen, assign = stream.ReplayEvents(evs)
+	}
+
+	o := oracle.New()
+	for i := 0; ; i++ {
+		x, ok := gen.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(assign.Site(i, x), x)
+		o.Add(x)
+	}
+
+	fmt.Printf("tracked %d items across %d sites (eps=%g, phi=%g, %s mode)\n",
+		o.Len(), *k, *eps, *phi, map[bool]string{false: "exact", true: "sketch"}[*sketch])
+	fmt.Printf("\n%-12s %-12s %-12s %s\n", "item", "est freq", "true freq", "status")
+	exact := map[uint64]bool{}
+	for _, x := range o.HeavyHitters(*phi) {
+		exact[x] = true
+	}
+	for _, x := range tr.HeavyHitters(*phi) {
+		status := "extra (within eps band)"
+		if exact[x] {
+			status = "true heavy hitter"
+			delete(exact, x)
+		}
+		fmt.Printf("%-12d %-12d %-12d %s\n", x, tr.EstFrequency(x), o.Count(x), status)
+	}
+	for x := range exact {
+		fmt.Printf("%-12d %-12s %-12d MISSED (contract violation!)\n", x, "-", o.Count(x))
+	}
+
+	c := tr.Meter().Total()
+	fmt.Printf("\ncommunication: %d msgs, %d words (naive forwarding: %d words, %.1fx more)\n",
+		c.Msgs, c.Words, o.Len(), float64(o.Len())/float64(c.Words))
+	fmt.Printf("coordinator count estimate %d vs true %d; %d sync rounds\n",
+		tr.EstTotal(), tr.TrueTotal(), tr.Rounds())
+}

@@ -1,0 +1,124 @@
+// Command quantiletrack runs the Theorem 3.1 single-quantile tracker (or,
+// with -all, the Theorem 4.1 all-quantile tracker) over a generated
+// distributed stream and reports tracked vs exact quantiles and the
+// communication spent.
+//
+// Usage:
+//
+//	quantiletrack [-k 8] [-eps 0.02] [-phi 0.5 | -phis 0.5,0.95,0.99 | -all] [-n 500000] [-sketch] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"disttrack/internal/core/allq"
+	"disttrack/internal/core/quantile"
+	"disttrack/internal/histogram"
+	"disttrack/internal/oracle"
+	"disttrack/internal/stream"
+)
+
+func main() {
+	k := flag.Int("k", 8, "number of sites")
+	eps := flag.Float64("eps", 0.02, "approximation error")
+	phi := flag.Float64("phi", 0.5, "quantile to track (single-quantile mode)")
+	phis := flag.String("phis", "", "comma-separated list of quantiles to track in one tracker (e.g. 0.5,0.95,0.99)")
+	n := flag.Int64("n", 500000, "stream length")
+	all := flag.Bool("all", false, "track all quantiles (Theorem 4.1) instead of one")
+	sketch := flag.Bool("sketch", false, "use GK sketches at sites")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	gen := stream.Perturb(stream.Uniform(1<<30, *n, *seed))
+	assign := stream.RoundRobin(*k)
+	o := oracle.New()
+
+	if *all {
+		mode := allq.ModeExact
+		if *sketch {
+			mode = allq.ModeSketch
+		}
+		tr, err := allq.New(allq.Config{K: *k, Eps: *eps, Mode: mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; ; i++ {
+			x, ok := gen.Next()
+			if !ok {
+				break
+			}
+			tr.Feed(assign.Site(i, x), x)
+			o.Add(x)
+		}
+		fmt.Printf("all-quantile tracking of %d items (k=%d, eps=%g)\n\n", o.Len(), *k, *eps)
+		fmt.Printf("%-6s %-14s %-14s %s\n", "phi", "tracked", "exact", "rank err/|A|")
+		for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			v := tr.Quantile(p)
+			fmt.Printf("%-6.2f %-14d %-14d %.5f\n",
+				p, stream.Unperturb(v), stream.Unperturb(o.Quantile(p)),
+				o.QuantileRankError(v, p))
+		}
+		st := tr.TreeStats()
+		fmt.Printf("\ntree: %d nodes, %d leaves, height %d (cap %d)\n",
+			st.Nodes, st.Leaves, st.Height, st.HeightCap)
+		h := histogram.Build(tr, 10)
+		fmt.Printf("equal-height histogram skew: %.3f\n", h.MaxSkew())
+		c := tr.Meter().Total()
+		fmt.Printf("communication: %d msgs, %d words (naive: %d words)\n", c.Msgs, c.Words, o.Len())
+		return
+	}
+
+	mode := quantile.ModeExact
+	if *sketch {
+		mode = quantile.ModeSketch
+	}
+	cfg := quantile.Config{K: *k, Eps: *eps, Phi: *phi, Mode: mode}
+	if *phis != "" {
+		for _, part := range strings.Split(*phis, ",") {
+			p, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				log.Fatalf("bad -phis entry %q: %v", part, err)
+			}
+			cfg.Phis = append(cfg.Phis, p)
+		}
+	}
+	tr, err := quantile.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		x, ok := gen.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(assign.Site(i, x), x)
+		o.Add(x)
+	}
+	if len(cfg.Phis) > 0 {
+		fmt.Printf("tracking %d quantiles in one tracker (k=%d, eps=%g, |A|=%d)\n\n",
+			len(cfg.Phis), *k, *eps, o.Len())
+		fmt.Printf("%-6s %-14s %-14s %s\n", "phi", "tracked", "exact", "rank err/|A|")
+		for qi, p := range tr.Phis() {
+			v := tr.QuantileAt(qi)
+			fmt.Printf("%-6.2f %-14d %-14d %.5f\n",
+				p, stream.Unperturb(v), stream.Unperturb(o.Quantile(p)),
+				o.QuantileRankError(v, p))
+		}
+		c := tr.Meter().Total()
+		fmt.Printf("\ncommunication: %d msgs, %d words (naive: %d); %d rounds, %d splits, %d relocations\n",
+			c.Msgs, c.Words, o.Len(), tr.Rounds(), tr.Splits(), tr.Relocations())
+		return
+	}
+	v := tr.Quantile()
+	fmt.Printf("phi=%.2f quantile of %d items (k=%d, eps=%g)\n", *phi, o.Len(), *k, *eps)
+	fmt.Printf("tracked %d, exact %d, rank error %.5f of |A| (budget %g)\n",
+		stream.Unperturb(v), stream.Unperturb(o.Quantile(*phi)),
+		o.QuantileRankError(v, *phi), *eps)
+	c := tr.Meter().Total()
+	fmt.Printf("communication: %d msgs, %d words (naive: %d); %d rounds, %d splits, %d relocations\n",
+		c.Msgs, c.Words, o.Len(), tr.Rounds(), tr.Splits(), tr.Relocations())
+}

@@ -1,0 +1,81 @@
+// Command sited runs one remote site agent: it connects to a coordinator
+// daemon (cmd/coordd), generates a local stream, and speaks the §2.1 site
+// protocol.
+//
+// Usage:
+//
+//	sited -site 0 [-coord 127.0.0.1:7070] [-k 4] [-eps 0.05] [-n 1000000] [-rate 10000] [-dist zipf] [-seed 0]
+package main
+
+import (
+	"flag"
+	"log"
+	"time"
+
+	"disttrack/internal/remote"
+	"disttrack/internal/stream"
+)
+
+func main() {
+	coord := flag.String("coord", "127.0.0.1:7070", "coordinator address")
+	site := flag.Int("site", 0, "this site's id in [0,k)")
+	k := flag.Int("k", 4, "number of sites")
+	eps := flag.Float64("eps", 0.05, "approximation error")
+	n := flag.Int64("n", 1_000_000, "arrivals to generate (0 = forever)")
+	rate := flag.Int("rate", 10000, "arrivals per second (0 = line rate with flush pacing)")
+	dist := flag.String("dist", "zipf", "workload: zipf | uniform")
+	seed := flag.Int64("seed", 0, "workload seed (default: site id)")
+	flag.Parse()
+
+	if *seed == 0 {
+		*seed = int64(*site + 1)
+	}
+	agent, err := remote.Dial(*coord, *site, *k, *eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agent.Close()
+	log.Printf("site %d connected to %s", *site, *coord)
+
+	total := *n
+	if total == 0 {
+		total = 1 << 62
+	}
+	var gen stream.Generator
+	switch *dist {
+	case "zipf":
+		gen = stream.Zipf(1_000_000, total, 1.3, *seed)
+	case "uniform":
+		gen = stream.Uniform(1_000_000, total, *seed)
+	default:
+		log.Fatalf("unknown -dist %q", *dist)
+	}
+
+	var pacer *time.Ticker
+	if *rate > 0 {
+		pacer = time.NewTicker(time.Second / time.Duration(*rate))
+		defer pacer.Stop()
+	}
+	for i := int64(0); ; i++ {
+		x, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if err := agent.Observe(x); err != nil {
+			log.Fatalf("site %d: %v", *site, err)
+		}
+		switch {
+		case pacer != nil:
+			<-pacer.C
+		case i%1000 == 999:
+			// Line rate: bound in-flight staleness with a flush fence.
+			if err := agent.Flush(); err != nil {
+				log.Fatalf("site %d: %v", *site, err)
+			}
+		}
+	}
+	if err := agent.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("site %d done: %d arrivals observed", *site, agent.N())
+}

@@ -1,0 +1,27 @@
+// Package disttrack is a from-scratch Go reproduction of
+//
+//	Ke Yi and Qin Zhang. "Optimal Tracking of Distributed Heavy Hitters
+//	and Quantiles." PODS 2009 (arXiv:0812.0209).
+//
+// The library implements the paper's three continuous tracking protocols —
+// φ-heavy hitters (Theorem 2.1), single φ-quantiles (Theorem 3.1), and all
+// quantiles simultaneously (Theorem 4.1) — together with every substrate
+// they stand on (Space-Saving and Greenwald–Khanna sketches,
+// order-statistics stores, distributed counters), the prior-art baselines
+// they are measured against, the lower-bound constructions of Theorems 2.4
+// and 3.2, the §5 extensions (randomized sampling, sliding windows), a
+// concurrent runtime, and a TCP deployment of the heavy-hitter protocol.
+//
+// Entry points:
+//
+//   - internal/core/hh, internal/core/quantile, internal/core/allq — the
+//     paper's protocols (see each package's documentation);
+//   - cmd/hhtrack, cmd/quantiletrack — CLIs over generated streams;
+//   - cmd/experiments — regenerates every experiment table (EXPERIMENTS.md);
+//   - cmd/coordd, cmd/sited — the TCP coordinator and site agents;
+//   - examples/ — quickstart plus network-monitoring, sensor-median and
+//     latency-SLA scenarios.
+//
+// See README.md for an overview and DESIGN.md for the system inventory and
+// paper-to-code map.
+package disttrack

@@ -1,0 +1,83 @@
+// Latency SLA example: continuous p50/p95/p99 across a fleet of frontends.
+//
+// The all-quantile tracker (Theorem 4.1) is what you want when the question
+// is "what does the whole latency distribution look like right now": one
+// structure answers every percentile and yields an equal-height histogram
+// (the paper's §1 observation), at O(k/ε·log²(1/ε)·log n) communication.
+//
+// The run simulates a fleet where one deploy goes bad on a subset of hosts,
+// fattening the tail; the coordinator's percentiles and histogram show it.
+//
+// Run with: go run ./examples/latencysla
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"disttrack/internal/core/allq"
+	"disttrack/internal/histogram"
+)
+
+const (
+	frontends = 10
+	eps       = 0.02
+)
+
+func main() {
+	tr, err := allq.New(allq.Config{K: frontends, Eps: eps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	seq := uint64(0)
+
+	// Latencies in microseconds, log-normal-ish; perturbed to distinct keys.
+	observe := func(host int, baseMs float64) {
+		us := baseMs * 1000 * (0.5 + rng.ExpFloat64())
+		seq++
+		key := uint64(us)<<20 | (seq & 0xFFFFF)
+		tr.Feed(host, key)
+	}
+	feed := func(n int, slowHosts int) {
+		for i := 0; i < n; i++ {
+			h := rng.Intn(frontends)
+			base := 2.0 // healthy: ~2ms
+			if h < slowHosts {
+				base = 18.0 // bad deploy: ~18ms on the affected hosts
+			}
+			observe(h, base)
+		}
+	}
+	pct := func(p float64) float64 { return float64(tr.Quantile(p)>>20) / 1000 }
+	report := func(phase string) {
+		fmt.Printf("%-26s p50=%7.2fms  p95=%7.2fms  p99=%7.2fms  (n=%d)\n",
+			phase, pct(0.50), pct(0.95), pct(0.99), tr.TrueTotal())
+	}
+
+	feed(150_000, 0)
+	report("healthy fleet:")
+	feed(150_000, 3) // bad deploy on 3 of 10 hosts
+	report("bad deploy on 3 hosts:")
+
+	fmt.Println("\nequal-height latency histogram (10 buckets of ~equal mass):")
+	h := histogram.Build(tr, 10)
+	for i, b := range h.Buckets {
+		lo := float64(b.Lo>>20) / 1000
+		hi := float64(b.Hi>>20) / 1000
+		if i == len(h.Buckets)-1 {
+			fmt.Printf("  bucket %2d: %8.2fms+            ~%d requests\n", i, lo, b.Count)
+			continue
+		}
+		fmt.Printf("  bucket %2d: %8.2fms – %8.2fms  ~%d requests\n", i, lo, hi, b.Count)
+	}
+	fmt.Printf("histogram max skew from equal height: %.3f\n", h.MaxSkew())
+
+	c := tr.Meter().Total()
+	fmt.Printf("\ncommunication: %d words for %d requests (%.2f%% of naive forwarding)\n",
+		c.Words, tr.TrueTotal(), 100*float64(c.Words)/float64(tr.TrueTotal()))
+	st := tr.TreeStats()
+	fmt.Printf("coordinator structure: %d nodes, %d leaves, height %d\n",
+		st.Nodes, st.Leaves, st.Height)
+}

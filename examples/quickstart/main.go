@@ -1,0 +1,65 @@
+// Quickstart: the three trackers of Yi & Zhang (PODS 2009) in ~60 lines.
+//
+// A stream of items arrives at k=4 sites; a coordinator continuously tracks
+// (a) the heavy hitters, (b) the median, and (c) all quantiles, each with
+// ε-approximation and O(k/ε·log n)-style communication.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"disttrack/internal/core/allq"
+	"disttrack/internal/core/hh"
+	"disttrack/internal/core/quantile"
+	"disttrack/internal/stream"
+)
+
+func main() {
+	const k, eps = 4, 0.05
+
+	// (a) Heavy hitters (Theorem 2.1).
+	hhTr, err := hh.New(hh.Config{K: k, Eps: eps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// (b) A single quantile — the median (Theorem 3.1).
+	medTr, err := quantile.New(quantile.Config{K: k, Eps: eps, Phi: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// (c) All quantiles at once (Theorem 4.1).
+	allTr, err := allq.New(allq.Config{K: k, Eps: eps})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A skewed stream: item 0 is hot. The quantile trackers assume distinct
+	// items, so feed them symbolically perturbed keys (stream.Perturb).
+	values := stream.Zipf(10_000, 100_000, 1.4, 42)
+	keys := stream.Perturb(stream.Zipf(10_000, 100_000, 1.4, 42))
+	assign := stream.RoundRobin(k)
+	for i := 0; ; i++ {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		key, _ := keys.Next()
+		site := assign.Site(i, v)
+		hhTr.Feed(site, v)    // heavy hitters track raw values
+		medTr.Feed(site, key) // quantiles track perturbed keys
+		allTr.Feed(site, key)
+	}
+
+	fmt.Println("φ=0.1 heavy hitters:", hhTr.HeavyHitters(0.1))
+	fmt.Println("median:", stream.Unperturb(medTr.Quantile()))
+	fmt.Println("p90:   ", stream.Unperturb(allTr.Quantile(0.9)))
+	fmt.Println("p99:   ", stream.Unperturb(allTr.Quantile(0.99)))
+
+	// Costs amortize with stream length (the paper assumes n large); see
+	// cmd/experiments for the scaling tables.
+	fmt.Printf("communication: heavy hitters %d words, median %d, all quantiles %d (stream: 100000 items)\n",
+		hhTr.Meter().Total().Words, medTr.Meter().Total().Words, allTr.Meter().Total().Words)
+}

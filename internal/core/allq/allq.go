@@ -1,0 +1,389 @@
+// Package allq implements the paper's §4 protocol for continuously tracking
+// ALL quantiles simultaneously: the coordinator maintains a structure from
+// which the rank of any x ∈ U can be extracted with additive error at most
+// ε|A| at all times, with total communication O(k/ε · log²(1/ε) · log n)
+// (Theorem 4.1). An ε-approximate φ-quantile for every φ — equivalently an
+// equal-height histogram, and (2ε)-approximate heavy hitters — follows.
+//
+// # Protocol
+//
+// The tracking period is divided into O(log n) rounds (|A| doubles per
+// round; m is |A| at round start). The coordinator holds a binary tree T
+// with Θ(1/ε) leaves (the paper's Figure 1):
+//
+//   - each node u covers an interval I_u of the universe; an internal node
+//     stores a splitting element dividing I_u between its children, chosen
+//     as an approximate median of A ∩ I_u (invariant (5): each child holds
+//     between 3/8 and 5/8 of the parent's items at build time);
+//   - each node carries s_u, an underestimate of |A ∩ I_u| with absolute
+//     error at most θm, where θ = ε/2h and h bounds the tree height
+//     (h = Θ(log 1/ε));
+//   - each leaf covers at most εm/2 items.
+//
+// Sites report per-node arrival counts in batches of θm/k. The coordinator
+// maintains condition (6) — s_v ∈ [s_u/4, 3s_u/4] for every child edge — by
+// partially rebuilding the subtree at the highest violated node, and splits
+// any leaf whose count reaches (ε/2 − θ)m. Rebuild costs are amortized
+// against the Ω(|A ∩ I_u|) arrivals that must occur between rebuilds of the
+// same node, giving the Theorem 4.1 bound.
+//
+// Rank extraction walks the root-to-leaf path of x, summing s of left
+// siblings: ≤ h counts of error θm each plus the partial leaf, ≤ εm total.
+//
+// # Height cap
+//
+// The paper sets h via a chain of loose constants; here h =
+// ⌈1.5·log₂(16/ε)⌉ + 4 and the tests verify the two real contracts
+// directly: tree height stays ≤ h and rank error stays ≤ εm (DESIGN.md,
+// deviation 3).
+//
+// Items are assumed distinct (stream.Perturb); see the package quantile
+// documentation for how ties degrade and are reported.
+package allq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"disttrack/internal/rank"
+	"disttrack/internal/sitestore"
+	"disttrack/internal/wire"
+)
+
+func sortUint64s(xs []uint64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// Mode selects the per-site item store.
+type Mode int
+
+const (
+	// ModeExact keeps all local items at each site.
+	ModeExact Mode = iota
+	// ModeSketch keeps a GK quantile summary at each site.
+	ModeSketch
+)
+
+// gkEpsFraction: in ModeSketch each site's GK summary uses θ/gkEpsFraction
+// as its error so sketch noise stays below the per-node error budget.
+const gkEpsFraction = 4.0
+
+// Config parameterizes a Tracker.
+type Config struct {
+	K    int     // number of sites, >= 1
+	Eps  float64 // approximation error, in (0, 1)
+	Mode Mode    // per-site store; default ModeExact
+	Seed int64   // seed for per-site treaps (ModeExact)
+}
+
+// node is a vertex of the coordinator's tree T. Sites mirror the structure
+// (ids, intervals, splitting elements) but not the counts.
+type node struct {
+	id          int
+	lo, hi      uint64 // interval [lo, hi)
+	split       uint64 // splitting element (internal nodes)
+	left, right *node
+	parent      *node
+	s           int64 // s_u — underestimate of |A ∩ I_u|
+}
+
+func (u *node) isLeaf() bool { return u.left == nil }
+
+// Tracker continuously tracks all quantiles of the union of k site-local
+// streams. Not safe for concurrent use; see the runtime package.
+type Tracker struct {
+	cfg   Config
+	meter wire.Meter
+	sites []*site
+
+	boot       bool
+	bootTarget int64
+	bootTree   *rank.Tree
+	n          int64 // true |A|
+
+	// Round state.
+	m           int64   // |A| at round start
+	h           int     // height cap for this round
+	theta       float64 // θ = ε/2h
+	thrNode     int64   // site batch size per node: θm/k
+	leafSplitAt int64   // leaf split trigger: (ε/2 − θ)m
+	root        *node
+	nextID      int
+
+	// Statistics.
+	rounds      int
+	rebuilds    int
+	leafSplits  int
+	cannotSplit int
+}
+
+type site struct {
+	st    sitestore.Store
+	nj    int64
+	delta map[int]int64 // per-node unreported arrival counts
+}
+
+// New validates cfg and returns a Tracker.
+func New(cfg Config) (*Tracker, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("allq: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.Eps <= 0 || cfg.Eps >= 1 {
+		return nil, fmt.Errorf("allq: Eps must be in (0,1), got %g", cfg.Eps)
+	}
+	t := &Tracker{
+		cfg:        cfg,
+		boot:       true,
+		bootTarget: int64(math.Ceil(float64(cfg.K) / cfg.Eps)),
+		bootTree:   rank.New(cfg.Seed ^ 0xA11),
+	}
+	for j := 0; j < cfg.K; j++ {
+		var st sitestore.Store
+		if cfg.Mode == ModeSketch {
+			// θ depends on the round; ε/(2·h_max)/gkEpsFraction is a safe
+			// static choice since h only shrinks as m grows.
+			theta := cfg.Eps / (2 * float64(heightCap(cfg.Eps)))
+			st = sitestore.NewGK(theta / gkEpsFraction)
+		} else {
+			st = sitestore.NewExact(cfg.Seed + int64(j) + 1)
+		}
+		t.sites = append(t.sites, &site{st: st, delta: make(map[int]int64)})
+	}
+	return t, nil
+}
+
+// heightCap returns the height bound h = ⌈1.5·log₂(16/ε)⌉ + 4.
+func heightCap(eps float64) int {
+	return int(math.Ceil(1.5*math.Log2(16/eps))) + 4
+}
+
+// Feed records one arrival of item x at the given site and runs any
+// communication the protocol triggers.
+func (t *Tracker) Feed(siteID int, x uint64) {
+	if siteID < 0 || siteID >= t.cfg.K {
+		panic(fmt.Sprintf("allq: site %d out of range [0,%d)", siteID, t.cfg.K))
+	}
+	s := t.sites[siteID]
+	s.st.Insert(x)
+	s.nj++
+	t.n++
+
+	if t.boot {
+		t.meter.Up(siteID, "item", 1)
+		t.bootTree.Insert(x)
+		if t.n >= t.bootTarget {
+			t.boot = false
+			t.newRound()
+		}
+		return
+	}
+
+	// Walk the root-to-leaf path of x, batching per-node counts.
+	path := pathOf(t.root, x)
+	for _, u := range path {
+		s.delta[u.id]++
+		if s.delta[u.id] < t.thrNode {
+			continue
+		}
+		t.meter.Up(siteID, "nd", 2)
+		u.s += s.delta[u.id]
+		delete(s.delta, u.id)
+		if t.checkConditions(u) {
+			// The subtree containing the deeper path nodes was rebuilt with
+			// exact counts; stop processing stale nodes.
+			break
+		}
+	}
+
+	// Round change: the root's count doubles. s_root underestimates |A|, so
+	// the trigger never fires early.
+	if t.root.s >= 2*t.m {
+		t.newRound()
+	}
+}
+
+// pathOf returns the root-to-leaf path of x.
+func pathOf(root *node, x uint64) []*node {
+	var path []*node
+	for u := root; ; {
+		path = append(path, u)
+		if u.isLeaf() {
+			return path
+		}
+		if x < u.split {
+			u = u.left
+		} else {
+			u = u.right
+		}
+	}
+}
+
+// Rank returns the coordinator's estimate of the number of items < x.
+// The estimate underestimates by at most ε·max(m, |A|-ish): formally,
+// rank(x) − ε|A| ≤ Rank(x) ≤ rank(x) at all times.
+func (t *Tracker) Rank(x uint64) int64 {
+	if t.boot {
+		return int64(t.bootTree.Rank(x))
+	}
+	var acc int64
+	for u := t.root; !u.isLeaf(); {
+		if x < u.split {
+			u = u.left
+		} else {
+			acc += u.left.s
+			u = u.right
+		}
+	}
+	return acc
+}
+
+// Quantile returns a value whose rank is within ~ε|A| of φ|A| (see the
+// package documentation for the exact constant). It panics before any
+// arrival.
+func (t *Tracker) Quantile(phi float64) uint64 {
+	if phi < 0 || phi > 1 {
+		panic(fmt.Sprintf("allq: phi must be in [0,1], got %g", phi))
+	}
+	if t.boot {
+		if t.n == 0 {
+			panic("allq: Quantile before any arrival")
+		}
+		i := int64(phi * float64(t.n))
+		if i >= t.n {
+			i = t.n - 1
+		}
+		return t.bootTree.Select(int(i))
+	}
+	target := phi * float64(t.root.s)
+	u := t.root
+	for !u.isLeaf() {
+		if ls := float64(u.left.s); target < ls {
+			u = u.left
+		} else {
+			target -= ls
+			u = u.right
+		}
+	}
+	// Returning the left edge of the leaf bounds the rank error by the leaf
+	// load (≤ εm/2) plus the path error (≤ εm/2).
+	return u.lo
+}
+
+// HeavyHittersFromRanks extracts approximate φ-heavy hitters from the rank
+// structure — the paper's §1 observation that an ε-approximate all-quantile
+// structure yields (O(ε))-approximate heavy hitters. Keys must come from
+// stream.Perturb with the given shift; the result contains every value with
+// frequency ≥ φ|A| and nothing below (φ − ~3ε)|A|. Requires phi > eps.
+func (t *Tracker) HeavyHittersFromRanks(phi float64, shift uint) []uint64 {
+	if phi <= t.cfg.Eps || phi > 1 {
+		panic(fmt.Sprintf("allq: phi must be in (eps, 1], got %g", phi))
+	}
+	total := t.EstTotal()
+	if total == 0 {
+		return nil
+	}
+	// Any value with frequency above εm/2 spans more than one leaf, so its
+	// key range contains a leaf boundary: leaf left edges are a complete
+	// candidate set.
+	cand := make(map[uint64]bool)
+	if t.boot {
+		for _, key := range t.bootTree.Items() {
+			cand[key>>shift] = true
+		}
+	} else {
+		for _, u := range collectNodes(t.root) {
+			if u.isLeaf() {
+				cand[u.lo>>shift] = true
+			}
+		}
+	}
+	thresh := (phi - 2*t.cfg.Eps) * float64(total)
+	var out []uint64
+	for v := range cand {
+		freq := t.Rank((v+1)<<shift) - t.Rank(v<<shift)
+		if float64(freq) >= thresh {
+			out = append(out, v)
+		}
+	}
+	sortUint64s(out)
+	return out
+}
+
+// EstTotal returns the coordinator's estimate of |A| (s_root).
+func (t *Tracker) EstTotal() int64 {
+	if t.boot {
+		return t.n
+	}
+	return t.root.s
+}
+
+// TrueTotal returns the exact |A| (not known to the coordinator).
+func (t *Tracker) TrueTotal() int64 { return t.n }
+
+// Meter returns the communication meter.
+func (t *Tracker) Meter() *wire.Meter { return &t.meter }
+
+// K returns the number of sites; Eps the error parameter.
+func (t *Tracker) K() int       { return t.cfg.K }
+func (t *Tracker) Eps() float64 { return t.cfg.Eps }
+
+// Rounds, Rebuilds and LeafSplits return protocol statistics.
+func (t *Tracker) Rounds() int     { return t.rounds }
+func (t *Tracker) Rebuilds() int   { return t.rebuilds }
+func (t *Tracker) LeafSplits() int { return t.leafSplits }
+
+// CannotSplit counts build steps defeated by ties.
+func (t *Tracker) CannotSplit() int { return t.cannotSplit }
+
+// RoundM returns m, the |A| snapshot the current round's thresholds use.
+func (t *Tracker) RoundM() int64 { return t.m }
+
+// HeightBound returns the current round's height cap h.
+func (t *Tracker) HeightBound() int { return t.h }
+
+// SiteSpace returns the number of stored entries at site j (store plus
+// pending per-node deltas).
+func (t *Tracker) SiteSpace(j int) int {
+	return t.sites[j].st.Space() + len(t.sites[j].delta)
+}
+
+// Stats describes the current tree shape — the Figure 1 invariants.
+type Stats struct {
+	Nodes     int
+	Leaves    int
+	Height    int
+	MinLeafS  int64 // smallest leaf count estimate
+	MaxLeafS  int64 // largest leaf count estimate
+	RoundM    int64
+	HeightCap int
+}
+
+// TreeStats reports the current structure statistics (F1 experiment).
+func (t *Tracker) TreeStats() Stats {
+	st := Stats{RoundM: t.m, HeightCap: t.h, MinLeafS: math.MaxInt64}
+	if t.boot || t.root == nil {
+		return Stats{}
+	}
+	var walk func(u *node, d int)
+	walk = func(u *node, d int) {
+		st.Nodes++
+		if d > st.Height {
+			st.Height = d
+		}
+		if u.isLeaf() {
+			st.Leaves++
+			if u.s < st.MinLeafS {
+				st.MinLeafS = u.s
+			}
+			if u.s > st.MaxLeafS {
+				st.MaxLeafS = u.s
+			}
+			return
+		}
+		walk(u.left, d+1)
+		walk(u.right, d+1)
+	}
+	walk(t.root, 0)
+	return st
+}

@@ -1,0 +1,157 @@
+package allq
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Snapshot is a frozen, serializable copy of the coordinator's rank
+// structure: it answers the same Rank and Quantile queries as the live
+// tracker at the moment of capture, and can be shipped to dashboards or
+// checkpointed to disk. The encoding is a stable little-endian format
+// independent of the process.
+type Snapshot struct {
+	nodes []snapNode // preorder; index 0 is the root (empty = bootstrapping)
+	total int64
+}
+
+type snapNode struct {
+	lo, hi, split uint64
+	s             int64
+	left, right   int32 // indices into nodes; -1 for leaves
+}
+
+// Snapshot captures the current structure. During bootstrap it returns a
+// snapshot holding only the exact total (rank queries need the live
+// tracker until the first round starts).
+func (t *Tracker) Snapshot() *Snapshot {
+	sn := &Snapshot{total: t.EstTotal()}
+	if t.boot || t.root == nil {
+		return sn
+	}
+	var walk func(u *node) int32
+	walk = func(u *node) int32 {
+		idx := int32(len(sn.nodes))
+		sn.nodes = append(sn.nodes, snapNode{lo: u.lo, hi: u.hi, split: u.split, s: u.s, left: -1, right: -1})
+		if !u.isLeaf() {
+			l := walk(u.left)
+			r := walk(u.right)
+			sn.nodes[idx].left = l
+			sn.nodes[idx].right = r
+		}
+		return idx
+	}
+	walk(t.root)
+	return sn
+}
+
+// Rank estimates the number of items < x at capture time.
+func (s *Snapshot) Rank(x uint64) int64 {
+	if len(s.nodes) == 0 {
+		return 0
+	}
+	var acc int64
+	i := int32(0)
+	for s.nodes[i].left >= 0 {
+		nd := s.nodes[i]
+		if x < nd.split {
+			i = nd.left
+		} else {
+			acc += s.nodes[nd.left].s
+			i = nd.right
+		}
+	}
+	return acc
+}
+
+// Quantile returns a value whose rank was within ~ε|A| of phi·|A| at
+// capture time. It panics on an empty snapshot.
+func (s *Snapshot) Quantile(phi float64) uint64 {
+	if len(s.nodes) == 0 {
+		panic("allq: Quantile on an empty snapshot")
+	}
+	if phi < 0 || phi > 1 {
+		panic(fmt.Sprintf("allq: phi must be in [0,1], got %g", phi))
+	}
+	target := phi * float64(s.nodes[0].s)
+	i := int32(0)
+	for s.nodes[i].left >= 0 {
+		nd := s.nodes[i]
+		if ls := float64(s.nodes[nd.left].s); target < ls {
+			i = nd.left
+		} else {
+			target -= ls
+			i = nd.right
+		}
+	}
+	return s.nodes[i].lo
+}
+
+// EstTotal returns the capture-time estimate of |A|.
+func (s *Snapshot) EstTotal() int64 { return s.total }
+
+// Nodes returns the number of tree nodes captured.
+func (s *Snapshot) Nodes() int { return len(s.nodes) }
+
+const snapMagic = uint32(0xA11C_0DE5)
+
+// Encode writes the snapshot in a stable binary format.
+func (s *Snapshot) Encode(w io.Writer) error {
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:4], snapMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(s.nodes)))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(s.total))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("allq: encode snapshot: %w", err)
+	}
+	buf := make([]byte, 40)
+	for _, nd := range s.nodes {
+		binary.LittleEndian.PutUint64(buf[0:8], nd.lo)
+		binary.LittleEndian.PutUint64(buf[8:16], nd.hi)
+		binary.LittleEndian.PutUint64(buf[16:24], nd.split)
+		binary.LittleEndian.PutUint64(buf[24:32], uint64(nd.s))
+		binary.LittleEndian.PutUint32(buf[32:36], uint32(nd.left))
+		binary.LittleEndian.PutUint32(buf[36:40], uint32(nd.right))
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("allq: encode snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// DecodeSnapshot reads a snapshot written by Encode.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("allq: decode snapshot: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != snapMagic {
+		return nil, fmt.Errorf("allq: decode snapshot: bad magic")
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > 1<<24 {
+		return nil, fmt.Errorf("allq: decode snapshot: implausible node count %d", n)
+	}
+	s := &Snapshot{
+		total: int64(binary.LittleEndian.Uint64(hdr[8:16])),
+		nodes: make([]snapNode, n),
+	}
+	buf := make([]byte, 40)
+	for i := range s.nodes {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("allq: decode snapshot: %w", err)
+		}
+		nd := &s.nodes[i]
+		nd.lo = binary.LittleEndian.Uint64(buf[0:8])
+		nd.hi = binary.LittleEndian.Uint64(buf[8:16])
+		nd.split = binary.LittleEndian.Uint64(buf[16:24])
+		nd.s = int64(binary.LittleEndian.Uint64(buf[24:32]))
+		nd.left = int32(binary.LittleEndian.Uint32(buf[32:36]))
+		nd.right = int32(binary.LittleEndian.Uint32(buf[36:40]))
+		if nd.left >= int32(n) || nd.right >= int32(n) {
+			return nil, fmt.Errorf("allq: decode snapshot: child index out of range at node %d", i)
+		}
+	}
+	return s, nil
+}

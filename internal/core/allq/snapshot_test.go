@@ -1,0 +1,131 @@
+package allq
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"disttrack/internal/stream"
+)
+
+func buildSnapshotTracker(t *testing.T) *Tracker {
+	t.Helper()
+	tr, err := New(Config{K: 8, Eps: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := distinctUniform(30000, 71)
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(i%8, x)
+	}
+	return tr
+}
+
+func TestSnapshotMatchesLiveTracker(t *testing.T) {
+	tr := buildSnapshotTracker(t)
+	sn := tr.Snapshot()
+	rng := rand.New(rand.NewSource(73))
+	for i := 0; i < 500; i++ {
+		q := rng.Uint64() % (1 << (30 + stream.PerturbBits))
+		if got, want := sn.Rank(q), tr.Rank(q); got != want {
+			t.Fatalf("snapshot Rank(%d)=%d, live=%d", q, got, want)
+		}
+	}
+	for _, phi := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if got, want := sn.Quantile(phi), tr.Quantile(phi); got != want {
+			t.Fatalf("snapshot Quantile(%g)=%d, live=%d", phi, got, want)
+		}
+	}
+	if sn.EstTotal() != tr.EstTotal() {
+		t.Fatalf("snapshot total %d, live %d", sn.EstTotal(), tr.EstTotal())
+	}
+}
+
+func TestSnapshotIsFrozen(t *testing.T) {
+	tr := buildSnapshotTracker(t)
+	sn := tr.Snapshot()
+	before := sn.Rank(1 << 40)
+	// Further arrivals must not affect the captured snapshot.
+	g := distinctUniform(5000, 79)
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(i%8, x)
+	}
+	if sn.Rank(1<<40) != before {
+		t.Fatal("snapshot changed after capture")
+	}
+}
+
+func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
+	tr := buildSnapshotTracker(t)
+	sn := tr.Snapshot()
+	var buf bytes.Buffer
+	if err := sn.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Nodes() != sn.Nodes() || back.EstTotal() != sn.EstTotal() {
+		t.Fatalf("decoded shape mismatch: %d/%d nodes, %d/%d total",
+			back.Nodes(), sn.Nodes(), back.EstTotal(), sn.EstTotal())
+	}
+	rng := rand.New(rand.NewSource(83))
+	for i := 0; i < 300; i++ {
+		q := rng.Uint64()
+		if back.Rank(q) != sn.Rank(q) {
+			t.Fatalf("decoded Rank(%d) differs", q)
+		}
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.99} {
+		if back.Quantile(phi) != sn.Quantile(phi) {
+			t.Fatalf("decoded Quantile(%g) differs", phi)
+		}
+	}
+}
+
+func TestSnapshotDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeSnapshot(bytes.NewReader([]byte("not a snapshot at all!!"))); err == nil {
+		t.Fatal("garbage should not decode")
+	}
+	// Valid magic but truncated body.
+	tr := buildSnapshotTracker(t)
+	var buf bytes.Buffer
+	if err := tr.Snapshot().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := DecodeSnapshot(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated snapshot should not decode")
+	}
+}
+
+func TestSnapshotDuringBootstrap(t *testing.T) {
+	tr, _ := New(Config{K: 4, Eps: 0.1})
+	tr.Feed(0, 5)
+	sn := tr.Snapshot()
+	if sn.Nodes() != 0 {
+		t.Fatalf("bootstrap snapshot should be empty, got %d nodes", sn.Nodes())
+	}
+	if sn.EstTotal() != 1 {
+		t.Fatalf("bootstrap snapshot total %d, want 1", sn.EstTotal())
+	}
+	if sn.Rank(100) != 0 {
+		t.Fatal("empty snapshot Rank should be 0")
+	}
+	var buf bytes.Buffer
+	if err := sn.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if back, err := DecodeSnapshot(&buf); err != nil || back.EstTotal() != 1 {
+		t.Fatalf("empty snapshot round trip: %v", err)
+	}
+}

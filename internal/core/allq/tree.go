@@ -1,0 +1,212 @@
+package allq
+
+import (
+	"math"
+	"sort"
+)
+
+// wsep is a site-provided separator sample with the rank weight it carries.
+type wsep struct {
+	v uint64
+	w int64
+}
+
+// checkConditions enforces the paper's maintenance rules after s_u changed:
+//
+//   - condition (6) on the parent edge (rebuild at the parent — the highest
+//     node a single count change can newly violate),
+//   - condition (6) on u's child edges (rebuild at u),
+//   - the leaf split rule s_v > (ε/2 − θ)m (rebuild at the leaf, which
+//     splits it).
+//
+// It reports whether a rebuild happened.
+func (t *Tracker) checkConditions(u *node) bool {
+	if p := u.parent; p != nil && violated(p, u) {
+		t.rebuild(p)
+		return true
+	}
+	if !u.isLeaf() && (violated(u, u.left) || violated(u, u.right)) {
+		t.rebuild(u)
+		return true
+	}
+	if u.isLeaf() && u.s > t.leafSplitAt {
+		t.rebuild(u)
+		t.leafSplits++
+		return true
+	}
+	return false
+}
+
+// violated reports whether condition (6) fails on edge (p, c):
+// s_c must stay within [s_p/4, 3·s_p/4].
+func violated(p, c *node) bool {
+	return 4*c.s < p.s || 4*c.s > 3*p.s
+}
+
+// newRound starts a fresh round: collect the exact |A|, fix the round
+// parameters, and rebuild the whole tree. Cost O(k/ε).
+func (t *Tracker) newRound() {
+	var total int64
+	for j, s := range t.sites {
+		t.meter.Down(j, "round-req", 1)
+		total += s.nj
+		t.meter.Up(j, "round-resp", 1)
+	}
+	t.m = total
+	t.rounds++
+	t.h = heightCap(t.cfg.Eps)
+	t.theta = t.cfg.Eps / (2 * float64(t.h))
+	t.thrNode = maxi64(1, int64(t.theta*float64(t.m)/float64(t.cfg.K)))
+	t.leafSplitAt = maxi64(1, int64((t.cfg.Eps/2-t.theta)*float64(t.m)))
+
+	t.root = t.buildSubtree(nil, 0, math.MaxUint64)
+	t.gcDeltas()
+}
+
+// rebuild replaces the subtree rooted at u — the paper's partial rebuilding,
+// also used for leaf splits. Cost O(k·|A ∩ I_u|/(εm) + k·h) words.
+func (t *Tracker) rebuild(u *node) {
+	fresh := t.buildSubtree(u.parent, u.lo, u.hi)
+	if p := u.parent; p == nil {
+		t.root = fresh
+	} else if p.left == u {
+		p.left = fresh
+	} else {
+		p.right = fresh
+	}
+	t.rebuilds++
+	t.gcDeltas()
+
+	// Setting s_u exact can only increase it, which can newly violate the
+	// parent edge; restore (6) upward.
+	for p := fresh.parent; p != nil; p = p.parent {
+		if violated(p, fresh) {
+			t.rebuild(p)
+			return
+		}
+		fresh = p
+	}
+}
+
+// buildSubtree runs the §4 initialization restricted to [lo, hi):
+//
+//  1. collect weighted separator samples at absolute step εm/64k, plus the
+//     exact per-site counts of the interval;
+//  2. recursively split at weighted medians while the estimated count
+//     exceeds 3εm/8, keeping invariant (5);
+//  3. broadcast the new structure to the sites;
+//  4. collect exact counts for every new node.
+func (t *Tracker) buildSubtree(parent *node, lo, hi uint64) *node {
+	step := maxi64(1, int64(t.cfg.Eps*float64(t.m)/(64*float64(t.cfg.K))))
+	var merged []wsep
+	var exact int64
+	for j, s := range t.sites {
+		t.meter.Down(j, "rb-req", 2)
+		c := s.st.CountRange(lo, hi)
+		var ss []uint64
+		if c > 0 {
+			ss = s.st.Separators(lo, hi, step)
+		}
+		t.meter.Up(j, "rb-seps", len(ss)+2)
+		exact += c
+		for _, v := range ss {
+			merged = append(merged, wsep{v: v, w: step})
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].v < merged[j].v })
+
+	leafCap := int64(3 * t.cfg.Eps * float64(t.m) / 8)
+	if leafCap < 1 {
+		leafCap = 1
+	}
+	fresh := t.buildRec(parent, lo, hi, merged, leafCap)
+
+	// Broadcast the new structure (id, lo, hi, split per node) and collect
+	// exact per-node counts.
+	nodes := collectNodes(fresh)
+	t.meter.Broadcast("rb-tree", 4*len(nodes), t.cfg.K)
+	for j, s := range t.sites {
+		for _, u := range nodes {
+			u.s += s.st.CountRange(u.lo, u.hi)
+		}
+		t.meter.Up(j, "rb-counts", len(nodes))
+	}
+	return fresh
+}
+
+// gcDeltas drops pending site deltas for node ids that are no longer in the
+// live tree. Called after a fresh subtree has been attached.
+func (t *Tracker) gcDeltas() {
+	live := make(map[int]bool)
+	for _, u := range collectNodes(t.root) {
+		live[u.id] = true
+	}
+	for _, s := range t.sites {
+		for id := range s.delta {
+			if !live[id] {
+				delete(s.delta, id)
+			}
+		}
+	}
+}
+
+// buildRec recursively splits [lo, hi) at the weighted median of the sample
+// segment until the estimated count is at most leafCap.
+func (t *Tracker) buildRec(parent *node, lo, hi uint64, merged []wsep, leafCap int64) *node {
+	u := &node{id: t.nextID, lo: lo, hi: hi, parent: parent}
+	t.nextID++
+
+	var weight int64
+	for _, ws := range merged {
+		weight += ws.w
+	}
+	if weight <= leafCap {
+		return u
+	}
+	// Weighted median, constrained to lie strictly inside (lo, hi).
+	var acc int64
+	split := uint64(0)
+	found := false
+	for _, ws := range merged {
+		acc += ws.w
+		if acc*2 >= weight && ws.v > lo && ws.v < hi {
+			split = ws.v
+			found = true
+			break
+		}
+	}
+	if !found {
+		// All samples collapse onto the interval edge (massive ties): leave
+		// a fat leaf rather than recurse forever.
+		t.cannotSplit++
+		return u
+	}
+	cut := sort.Search(len(merged), func(i int) bool { return merged[i].v >= split })
+	u.split = split
+	u.left = t.buildRec(u, lo, split, merged[:cut], leafCap)
+	u.right = t.buildRec(u, split, hi, merged[cut:], leafCap)
+	return u
+}
+
+// collectNodes returns all nodes of the subtree in preorder.
+func collectNodes(u *node) []*node {
+	var out []*node
+	var walk func(v *node)
+	walk = func(v *node) {
+		if v == nil {
+			return
+		}
+		out = append(out, v)
+		walk(v.left)
+		walk(v.right)
+	}
+	walk(u)
+	return out
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,10 @@
+// Package core groups the paper's three tracking protocols:
+//
+//   - core/hh: continuous φ-heavy-hitter tracking (Yi–Zhang §2.1, Theorem 2.1)
+//   - core/quantile: continuous single-φ-quantile tracking (§3.1, Theorem 3.1)
+//   - core/allq: continuous all-quantile tracking (§4, Theorem 4.1)
+//
+// All three share the same engine model: a deterministic, in-process
+// simulation of k sites and one coordinator, where Feed(site, item) runs the
+// site logic and any communication it triggers, metered by wire.Meter.
+package core

@@ -1,0 +1,45 @@
+package hh_test
+
+import (
+	"fmt"
+	"log"
+
+	"disttrack/internal/core/hh"
+)
+
+// Track the heavy hitters of a stream arriving at two sites.
+func Example() {
+	tr, err := hh.New(hh.Config{K: 2, Eps: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Site 0 sees mostly 7s, site 1 sees mostly 9s, plus assorted noise.
+	for i := 0; i < 500; i++ {
+		tr.Feed(0, 7)
+		tr.Feed(1, 9)
+		tr.Feed(i%2, uint64(100+i)) // 500 distinct light items
+	}
+	fmt.Println("phi=0.25 heavy hitters:", tr.HeavyHitters(0.25))
+	fmt.Println("est total:", tr.EstTotal() > 0)
+	// Output:
+	// phi=0.25 heavy hitters: [7 9]
+	// est total: true
+}
+
+// One tracker answers any phi >= eps.
+func Example_multipleThresholds() {
+	tr, err := hh.New(hh.Config{K: 4, Eps: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		tr.Feed(i%4, 1) // 50%
+		if i%2 == 0 {
+			tr.Feed(i%4, 2) // 25%
+		}
+		tr.Feed(i%4, uint64(1000+i%500))
+	}
+	fmt.Println(len(tr.HeavyHitters(0.4)), len(tr.HeavyHitters(0.2)))
+	// Output:
+	// 1 2
+}

@@ -1,0 +1,369 @@
+// Package hh implements the paper's §2.1 protocol for continuously tracking
+// the φ-heavy hitters of a distributed stream with total communication
+// O(k/ε · log n) (Theorem 2.1).
+//
+// # Protocol
+//
+// Each site S_j keeps S_j.m — its last-synchronized value of the global
+// count m — plus counters Δ(m) and Δ(m_x) for the arrivals since it last
+// reported. When either counter reaches the threshold ε·S_j.m/3k the site
+// sends the accumulated increment to the coordinator ("all" messages for
+// Δ(m), "freq" messages for Δ(m_x)). After k "all" signals the coordinator
+// collects the exact global count and broadcasts it, starting a new round;
+// the global count grows by a (1+ε/3) factor per round, so there are
+// O(log n / ε) rounds of k "all" messages each, and no more "freq" than
+// "all" messages — O(k/ε · log n) total.
+//
+// The coordinator's estimates satisfy the paper's invariants (2) and (3):
+//
+//	m_x − εm/3 < C.m_x ≤ m_x        m − εm/3 < C.m ≤ m
+//
+// so C.m_x/C.m is within ε/2 of m_x/m at all times.
+//
+// # Classification threshold
+//
+// The paper's equation (1) declares x a heavy hitter iff C.m_x/C.m ≥ φ+ε/2,
+// but under invariants (2)–(3) a true heavy hitter's ratio can be as low as
+// φ−ε/3, so that printed threshold would produce false negatives. Any
+// threshold in [φ−ε/2, φ−ε/3] yields the ε-approximation guarantee in both
+// directions; this implementation uses φ − 0.4ε (see DESIGN.md, deviation 1).
+//
+// # Modes
+//
+// In ModeExact each site stores its exact local frequencies (O(distinct)
+// space). In ModeSketch each site stores a Space-Saving sketch with error
+// ε/8 (the "implementing with small space" remark), keeping site space at
+// O(1/ε) counters while preserving the guarantees with adjusted constants.
+package hh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"disttrack/internal/summary/mg"
+	"disttrack/internal/summary/spacesaving"
+	"disttrack/internal/wire"
+)
+
+// Mode selects the per-site frequency store.
+type Mode int
+
+const (
+	// ModeExact keeps exact local frequencies at each site.
+	ModeExact Mode = iota
+	// ModeSketch keeps a Space-Saving sketch at each site (space O(1/ε)).
+	ModeSketch
+	// ModeMGSketch keeps a Misra–Gries summary at each site instead of
+	// Space-Saving (the A2 ablation). MG's estimates are underestimates
+	// and non-monotone (counters decay), so reporting is lazier; since
+	// every reported delta is still a lower bound on the true increment,
+	// C.m_x remains an underestimate and the contract holds with slightly
+	// different slack — the ablation measures the difference.
+	ModeMGSketch
+)
+
+// classifySlack positions the classification threshold at φ − classifySlack·ε,
+// inside the valid interval [φ−ε/2, φ−ε/3] (DESIGN.md deviation 1).
+const classifySlack = 0.4
+
+// sketchEpsFraction is the fraction of ε given to the per-site sketch in
+// ModeSketch; the remainder absorbs reporting staleness.
+const sketchEpsFraction = 8.0
+
+// Config parameterizes a Tracker.
+type Config struct {
+	K    int     // number of sites, >= 1
+	Eps  float64 // approximation error, in (0, 1)
+	Mode Mode    // per-site store; default ModeExact
+
+	// ThresholdDivisor overrides the 3 in the paper's ε·S_j.m/3k reporting
+	// threshold (0 means 3). Larger values report more eagerly (more
+	// communication, smaller staleness); values below 3 void the paper's
+	// worst-case invariants (2)–(3). Exists for the A1 ablation.
+	ThresholdDivisor float64
+}
+
+// Tracker tracks heavy hitters across K sites. Not safe for concurrent use;
+// see the runtime package for a concurrent wrapper.
+type Tracker struct {
+	cfg   Config
+	meter wire.Meter
+
+	sites []*site
+
+	// Coordinator state.
+	cm         int64            // C.m — underestimate of the global count
+	cmx        map[uint64]int64 // C.m_x — underestimates of global frequencies
+	allSignals int              // "all" messages since the last sync
+	boot       bool             // still in the initial forward-everything phase
+	bootTarget int64
+	rounds     int // completed coordinator syncs (for experiments)
+
+	n int64 // true global count (ground truth for tests/experiments)
+}
+
+type site struct {
+	m  int64 // S_j.m — global count at last broadcast
+	dm int64 // Δ(m) — arrivals since the last "all" report
+	nj int64 // exact local count |S_j|
+
+	// ModeExact state.
+	local map[uint64]int64 // exact m_{x,j}
+	dx    map[uint64]int64 // Δ(m_x) — unreported per-item increments
+
+	// ModeSketch / ModeMGSketch state.
+	ss      *spacesaving.Sketch
+	mgs     *mg.Summary
+	lastRep map[uint64]int64 // last sketch estimate reported per item
+}
+
+// New validates cfg and returns a Tracker.
+func New(cfg Config) (*Tracker, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("hh: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.Eps <= 0 || cfg.Eps >= 1 {
+		return nil, fmt.Errorf("hh: Eps must be in (0,1), got %g", cfg.Eps)
+	}
+	t := &Tracker{
+		cfg:        cfg,
+		cmx:        make(map[uint64]int64),
+		boot:       true,
+		bootTarget: int64(math.Ceil(float64(cfg.K) / cfg.Eps)),
+	}
+	if cfg.ThresholdDivisor < 0 {
+		return nil, fmt.Errorf("hh: ThresholdDivisor must be >= 0, got %g", cfg.ThresholdDivisor)
+	}
+	for j := 0; j < cfg.K; j++ {
+		s := &site{}
+		switch cfg.Mode {
+		case ModeSketch:
+			s.ss = spacesaving.NewEps(cfg.Eps / sketchEpsFraction)
+			s.lastRep = make(map[uint64]int64)
+		case ModeMGSketch:
+			s.mgs = mg.NewEps(cfg.Eps / sketchEpsFraction)
+			s.lastRep = make(map[uint64]int64)
+		default:
+			s.local = make(map[uint64]int64)
+			s.dx = make(map[uint64]int64)
+		}
+		t.sites = append(t.sites, s)
+	}
+	return t, nil
+}
+
+// threshold returns site s's current reporting threshold ε·S_j.m/3k
+// (ThresholdDivisor replacing the 3 when set), floored at one item.
+func (t *Tracker) threshold(s *site) int64 {
+	div := t.cfg.ThresholdDivisor
+	if div == 0 {
+		div = 3
+	}
+	thr := int64(t.cfg.Eps * float64(s.m) / (div * float64(t.cfg.K)))
+	if thr < 1 {
+		thr = 1
+	}
+	return thr
+}
+
+// Feed records one arrival of item x at the given site and runs any
+// communication the protocol triggers.
+func (t *Tracker) Feed(siteID int, x uint64) {
+	if siteID < 0 || siteID >= t.cfg.K {
+		panic(fmt.Sprintf("hh: site %d out of range [0,%d)", siteID, t.cfg.K))
+	}
+	s := t.sites[siteID]
+	s.nj++
+	t.n++
+	switch t.cfg.Mode {
+	case ModeSketch:
+		s.ss.Add(x)
+	case ModeMGSketch:
+		s.mgs.Add(x)
+	default:
+		s.local[x]++
+	}
+
+	if t.boot {
+		// Bootstrap: forward every arrival; all estimates stay exact.
+		t.meter.Up(siteID, "item", 1)
+		t.cm++
+		t.cmx[x]++
+		if t.cm >= t.bootTarget {
+			t.boot = false
+			t.broadcastM(t.cm)
+			// Everything so far was reported exactly; baseline the sketch
+			// reporting marks so deltas start from here.
+			switch t.cfg.Mode {
+			case ModeSketch:
+				for _, st := range t.sites {
+					for _, e := range st.ss.Top() {
+						st.lastRep[e.Item] = e.Count
+					}
+				}
+			case ModeMGSketch:
+				for _, st := range t.sites {
+					for _, e := range st.mgs.Top() {
+						st.lastRep[e.Item] = e.Count
+					}
+				}
+			}
+		}
+		return
+	}
+
+	thr := t.threshold(s)
+
+	// Per-item increment Δ(m_x).
+	switch t.cfg.Mode {
+	case ModeExact:
+		s.dx[x]++
+		if s.dx[x] >= thr {
+			t.meter.Up(siteID, "freq", 2)
+			t.cmx[x] += s.dx[x]
+			delete(s.dx, x)
+		}
+	case ModeSketch:
+		est := s.ss.Est(x)
+		if d := est - s.lastRep[x]; d >= thr {
+			t.meter.Up(siteID, "freq", 2)
+			t.cmx[x] += d
+			s.lastRep[x] = est
+		}
+	case ModeMGSketch:
+		// MG estimates are non-monotone: a decayed estimate simply defers
+		// reporting (d < thr); reported deltas stay valid lower bounds.
+		est := s.mgs.Est(x)
+		if d := est - s.lastRep[x]; d >= thr {
+			t.meter.Up(siteID, "freq", 2)
+			t.cmx[x] += d
+			s.lastRep[x] = est
+		}
+	}
+
+	// Total increment Δ(m).
+	s.dm++
+	if s.dm >= thr {
+		t.meter.Up(siteID, "all", 1)
+		t.cm += s.dm
+		s.dm = 0
+		t.allSignals++
+		if t.allSignals >= t.cfg.K {
+			t.sync()
+		}
+	}
+}
+
+// sync runs the coordinator's round refresh: collect the exact global count
+// from every site and broadcast it.
+func (t *Tracker) sync() {
+	var m int64
+	for j, s := range t.sites {
+		t.meter.Down(j, "sync", 1) // request
+		t.meter.Up(j, "sync", 1)   // exact local count
+		m += s.nj
+	}
+	// The collected count also covers each site's unreported Δ(m).
+	for _, s := range t.sites {
+		s.dm = 0
+	}
+	t.broadcastM(m)
+	t.allSignals = 0
+	t.rounds++
+}
+
+func (t *Tracker) broadcastM(m int64) {
+	t.cm = m
+	t.meter.Broadcast("newm", 1, t.cfg.K)
+	for _, s := range t.sites {
+		s.m = m
+		s.dm = 0
+	}
+}
+
+// HeavyHitters returns the coordinator's current φ-heavy-hitter set, sorted.
+// The result contains every x with m_x ≥ φ|A| and nothing with
+// m_x < (φ−ε)|A|. phi must satisfy ε ≤ phi ≤ 1 (the paper's precondition).
+func (t *Tracker) HeavyHitters(phi float64) []uint64 {
+	if phi < t.cfg.Eps || phi > 1 {
+		panic(fmt.Sprintf("hh: phi must be in [eps, 1], got %g (eps %g)", phi, t.cfg.Eps))
+	}
+	if t.cm == 0 {
+		return nil
+	}
+	tau := (phi - classifySlack*t.cfg.Eps) * float64(t.cm)
+	var out []uint64
+	for x, c := range t.cmx {
+		if float64(c) >= tau {
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EstFrequency returns the coordinator's estimate C.m_x.
+func (t *Tracker) EstFrequency(x uint64) int64 { return t.cmx[x] }
+
+// EstTotal returns the coordinator's estimate C.m.
+func (t *Tracker) EstTotal() int64 { return t.cm }
+
+// TrueTotal returns the exact global count (not known to the coordinator).
+func (t *Tracker) TrueTotal() int64 { return t.n }
+
+// Rounds returns the number of completed coordinator syncs.
+func (t *Tracker) Rounds() int { return t.rounds }
+
+// Bootstrapping reports whether the tracker is still forwarding every item.
+func (t *Tracker) Bootstrapping() bool { return t.boot }
+
+// K returns the number of sites. Eps returns the error parameter.
+func (t *Tracker) K() int             { return t.cfg.K }
+func (t *Tracker) Eps() float64       { return t.cfg.Eps }
+func (t *Tracker) Meter() *wire.Meter { return &t.meter }
+
+// SiteSpace returns the number of state entries held at site j — frequency
+// counters plus pending deltas in exact mode, sketch counters plus reporting
+// marks in sketch mode. Used by the space experiments (E9).
+func (t *Tracker) SiteSpace(j int) int {
+	s := t.sites[j]
+	switch t.cfg.Mode {
+	case ModeSketch:
+		return s.ss.Space() + len(s.lastRep)
+	case ModeMGSketch:
+		return s.mgs.Space() + len(s.lastRep)
+	default:
+		return len(s.local) + len(s.dx)
+	}
+}
+
+// ItemThreshold returns how many further copies of x site j must receive
+// before it sends its next message — the "triggering threshold" n_j the
+// Lemma 2.3 adversary inspects. During bootstrap it is 1.
+func (t *Tracker) ItemThreshold(j int, x uint64) int64 {
+	if t.boot {
+		return 1
+	}
+	s := t.sites[j]
+	thr := t.threshold(s)
+	var dx int64
+	switch t.cfg.Mode {
+	case ModeSketch:
+		dx = s.ss.Est(x) - s.lastRep[x]
+	case ModeMGSketch:
+		dx = s.mgs.Est(x) - s.lastRep[x]
+	default:
+		dx = s.dx[x]
+	}
+	remItem := thr - dx
+	remAll := thr - s.dm
+	rem := remItem
+	if remAll < rem {
+		rem = remAll
+	}
+	if rem < 1 {
+		rem = 1
+	}
+	return rem
+}

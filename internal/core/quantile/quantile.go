@@ -1,0 +1,370 @@
+// Package quantile implements the paper's §3.1 protocol for continuously
+// tracking a single φ-quantile (the median, or any 0 ≤ φ ≤ 1) of a
+// distributed stream with total communication O(k/ε · log n) (Theorem 3.1).
+//
+// # Protocol
+//
+// The tracking period is divided into O(log n) rounds; a round ends when |A|
+// has doubled. Within a round (m = |A| at round start):
+//
+//   - The coordinator maintains a set of separator items cutting the
+//     universe into intervals whose true counts stay within [Θ(εm), εm/2].
+//     Sites report interval arrivals in batches of εm/8k; when an interval's
+//     count reaches 3εm/8 the coordinator splits it via a localized O(k)
+//     rebuild (the paper's "rebuilding applied to the interval I").
+//
+//   - The coordinator keeps an approximate quantile M plus drift counters —
+//     the paper's Δ(L) and Δ(R), generalized from the median to arbitrary φ
+//     as a rank-drift trigger: relocate M when the estimated
+//     |rank(M) − φ·|A|| reaches εm/2. Relocation collects exact
+//     rank/total (O(k)), then probes O(1) neighbouring separators (O(k)
+//     each) to land within εm/4 of the target — possible because every
+//     interval holds at most εm/2 items.
+//
+//   - Each relocation requires Ω(εm) fresh arrivals, so there are O(1/ε)
+//     relocations and O(1/ε) splits per round: O(k/ε) words per round and
+//     O(k/ε · log n) total.
+//
+// At every instant each tracked M satisfies |rank(M) − φ|A|| ≤ ε|A|.
+//
+// # Multiple quantiles
+//
+// The interval machinery is φ-independent, so one tracker can follow any
+// number of quantiles at once (Config.Phis): the separators, splits and
+// count baselines are shared, and only the per-φ drift counters and
+// relocations are paid per quantile — cheaper than |Phis| independent
+// trackers, with the same per-φ guarantee. (For very many quantiles use
+// package allq, whose cost is independent of the number of queries.)
+//
+// # Distinctness
+//
+// As in the paper, items are assumed distinct ("symbolic perturbation");
+// wrap inputs with stream.Perturb when values repeat. Massive ties collapse
+// separators and void the interval-size invariant (the implementation stays
+// safe but the ε guarantee degrades); CannotSplit reports such events.
+//
+// # Modes
+//
+// ModeExact stores all local items in an order-statistics treap per site.
+// ModeSketch stores a Greenwald–Khanna summary per site (space
+// O(1/ε·log εn)), answering the same queries with an extra, budgeted,
+// ε/32-relative error — the paper's "implementing with small space" remark.
+package quantile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"disttrack/internal/rank"
+	"disttrack/internal/wire"
+)
+
+// Mode selects the per-site item store.
+type Mode int
+
+const (
+	// ModeExact keeps all local items at each site.
+	ModeExact Mode = iota
+	// ModeSketch keeps a GK quantile summary at each site.
+	ModeSketch
+)
+
+// gkEpsFraction: in ModeSketch each site's GK summary uses ε/gkEpsFraction,
+// keeping all sketch-induced rank errors within the protocol's slack.
+const gkEpsFraction = 32.0
+
+// Config parameterizes a Tracker.
+type Config struct {
+	K    int       // number of sites, >= 1
+	Eps  float64   // approximation error, in (0, 1)
+	Phi  float64   // the quantile to track (used when Phis is empty)
+	Phis []float64 // multiple quantiles sharing one tracker (optional)
+	Mode Mode      // per-site store; default ModeExact
+	Seed int64     // seed for per-site treaps (ModeExact)
+
+	// BatchDivisor overrides the 8 in the εm/8k site report batches (0
+	// means 8). Smaller values batch more aggressively (less communication,
+	// more staleness); below 8 the worst-case error analysis no longer
+	// closes. Exists for the A4 ablation.
+	BatchDivisor float64
+}
+
+// quantState is the coordinator's per-tracked-quantile state.
+type quantState struct {
+	phi   float64
+	m0    uint64 // M — the tracked approximate φ-quantile
+	lBase int64  // exact rank(M) at last relocation
+	tBase int64  // exact |A| at last relocation
+	dL    int64  // reported arrivals < M since last relocation
+	dR    int64  // reported arrivals >= M since last relocation
+}
+
+// Tracker continuously tracks one or more φ-quantiles of the union of k
+// site-local streams. Not safe for concurrent use; see the runtime package.
+type Tracker struct {
+	cfg   Config
+	phis  []float64
+	meter wire.Meter
+	sites []*site
+
+	// Bootstrap: until |A| >= k/ε every arrival is forwarded.
+	boot       bool
+	bootTarget int64
+	bootTree   *rank.Tree
+	n          int64 // true |A| (ground truth for tests)
+
+	// Round state (§3.1). m is |A| at round start and fixes all thresholds.
+	m         int64
+	seps      []uint64 // sorted separator items; intervals are the gaps
+	ivCount   []int64  // per-interval coordinator underestimates
+	totEst    int64    // coordinator underestimate of |A|
+	thrIv     int64    // site batch size for interval reports: εm/8k
+	thrTot    int64    // site batch size for total reports: εm/8k
+	thrLR     int64    // site batch size for drift reports: εm/8k
+	splitAt   int64    // coordinator split trigger: 3εm/8
+	driftTrig float64  // relocation trigger: εm/2
+
+	qs []quantState // one entry per tracked quantile
+
+	// Statistics for experiments.
+	rounds      int
+	relocations int
+	splits      int
+	cannotSplit int
+}
+
+type site struct {
+	st       store
+	nj       int64      // exact local count
+	ivDelta  []int64    // unreported arrivals per interval
+	totDelta int64      // unreported arrivals (total)
+	drift    [][2]int64 // per-quantile unreported arrivals [left, right] of M
+}
+
+// New validates cfg and returns a Tracker.
+func New(cfg Config) (*Tracker, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("quantile: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.Eps <= 0 || cfg.Eps >= 1 {
+		return nil, fmt.Errorf("quantile: Eps must be in (0,1), got %g", cfg.Eps)
+	}
+	phis := cfg.Phis
+	if len(phis) == 0 {
+		phis = []float64{cfg.Phi}
+	}
+	for _, phi := range phis {
+		if phi < 0 || phi > 1 {
+			return nil, fmt.Errorf("quantile: every phi must be in [0,1], got %g", phi)
+		}
+	}
+	t := &Tracker{
+		cfg:        cfg,
+		phis:       phis,
+		boot:       true,
+		bootTarget: int64(math.Ceil(float64(cfg.K) / cfg.Eps)),
+		bootTree:   rank.New(cfg.Seed ^ 0x5EED),
+		qs:         make([]quantState, len(phis)),
+	}
+	for i, phi := range phis {
+		t.qs[i].phi = phi
+	}
+	for j := 0; j < cfg.K; j++ {
+		var st store
+		if cfg.Mode == ModeSketch {
+			st = newGKStore(cfg.Eps / gkEpsFraction)
+		} else {
+			st = newExactStore(cfg.Seed + int64(j) + 1)
+		}
+		t.sites = append(t.sites, &site{st: st, drift: make([][2]int64, len(phis))})
+	}
+	return t, nil
+}
+
+// Feed records one arrival of item x at the given site and runs any
+// communication the protocol triggers.
+func (t *Tracker) Feed(siteID int, x uint64) {
+	if siteID < 0 || siteID >= t.cfg.K {
+		panic(fmt.Sprintf("quantile: site %d out of range [0,%d)", siteID, t.cfg.K))
+	}
+	s := t.sites[siteID]
+	s.st.Insert(x)
+	s.nj++
+	t.n++
+
+	if t.boot {
+		t.meter.Up(siteID, "item", 1)
+		t.bootTree.Insert(x)
+		if t.n >= t.bootTarget {
+			t.boot = false
+			t.newRound()
+		}
+		return
+	}
+
+	// Interval arrival counting → possible split.
+	iv := t.ivIndex(x)
+	s.ivDelta[iv]++
+	if s.ivDelta[iv] >= t.thrIv {
+		t.meter.Up(siteID, "iv", 2)
+		t.ivCount[iv] += s.ivDelta[iv]
+		s.ivDelta[iv] = 0
+		if t.ivCount[iv] >= t.splitAt {
+			t.split(iv)
+		}
+	}
+
+	// Total counting → possible round change.
+	s.totDelta++
+	if s.totDelta >= t.thrTot {
+		t.meter.Up(siteID, "tot", 1)
+		t.totEst += s.totDelta
+		s.totDelta = 0
+		if t.totEst >= 2*t.m {
+			t.newRound()
+			return
+		}
+	}
+
+	// Per-quantile drift counting → possible relocation.
+	for qi := range t.qs {
+		q := &t.qs[qi]
+		side := 0
+		if x >= q.m0 {
+			side = 1
+		}
+		s.drift[qi][side]++
+		if s.drift[qi][side] < t.thrLR {
+			continue
+		}
+		t.meter.Up(siteID, driftKind(side), 2)
+		if side == 0 {
+			q.dL += s.drift[qi][side]
+		} else {
+			q.dR += s.drift[qi][side]
+		}
+		s.drift[qi][side] = 0
+		t.maybeRelocate(qi)
+	}
+}
+
+func driftKind(side int) string {
+	if side == 0 {
+		return "dl"
+	}
+	return "dr"
+}
+
+// ivIndex returns the interval index of x: the number of separators <= x.
+func (t *Tracker) ivIndex(x uint64) int {
+	return sort.Search(len(t.seps), func(i int) bool { return t.seps[i] > x })
+}
+
+// maybeRelocate fires the paper's |Δ(L) − Δ(R)| ≥ εm/2 trigger, generalized
+// to arbitrary φ as a rank-drift condition.
+func (t *Tracker) maybeRelocate(qi int) {
+	q := &t.qs[qi]
+	estRank := float64(q.lBase + q.dL)
+	estTot := float64(q.tBase + q.dL + q.dR)
+	if math.Abs(estRank-q.phi*estTot) >= t.driftTrig {
+		t.relocate(qi)
+	}
+}
+
+// Quantile returns the first tracked quantile (Config.Phi, or Phis[0]).
+// During bootstrap it is exact. It panics before any item has arrived.
+func (t *Tracker) Quantile() uint64 { return t.QuantileAt(0) }
+
+// QuantileAt returns the i-th tracked quantile (index into Phis).
+func (t *Tracker) QuantileAt(i int) uint64 {
+	if t.boot {
+		if t.n == 0 {
+			panic("quantile: Quantile before any arrival")
+		}
+		idx := int64(t.phis[i] * float64(t.n))
+		if idx >= t.n {
+			idx = t.n - 1
+		}
+		return t.bootTree.Select(int(idx))
+	}
+	return t.qs[i].m0
+}
+
+// QuantileOf returns the tracked quantile for the given φ, which must be
+// one of the configured Phis.
+func (t *Tracker) QuantileOf(phi float64) uint64 {
+	for i, p := range t.phis {
+		if p == phi {
+			return t.QuantileAt(i)
+		}
+	}
+	panic(fmt.Sprintf("quantile: phi %g is not tracked (configured: %v)", phi, t.phis))
+}
+
+// Quantiles returns all tracked quantiles, parallel to Phis().
+func (t *Tracker) Quantiles() []uint64 {
+	out := make([]uint64, len(t.phis))
+	for i := range t.phis {
+		out[i] = t.QuantileAt(i)
+	}
+	return out
+}
+
+// TrueTotal returns the exact |A| (not known to the coordinator).
+func (t *Tracker) TrueTotal() int64 { return t.n }
+
+// EstTotal returns the coordinator's estimate of |A|.
+func (t *Tracker) EstTotal() int64 {
+	if t.boot {
+		return t.n
+	}
+	return t.totEst
+}
+
+// Meter returns the communication meter.
+func (t *Tracker) Meter() *wire.Meter { return &t.meter }
+
+// K returns the number of sites; Eps the error; Phi the first tracked
+// quantile; Phis all of them.
+func (t *Tracker) K() int          { return t.cfg.K }
+func (t *Tracker) Eps() float64    { return t.cfg.Eps }
+func (t *Tracker) Phi() float64    { return t.phis[0] }
+func (t *Tracker) Phis() []float64 { return append([]float64(nil), t.phis...) }
+
+// Rounds, Relocations and Splits return protocol statistics.
+func (t *Tracker) Rounds() int      { return t.rounds }
+func (t *Tracker) Relocations() int { return t.relocations }
+func (t *Tracker) Splits() int      { return t.splits }
+
+// CannotSplit counts split attempts defeated by ties (see the distinctness
+// note in the package documentation).
+func (t *Tracker) CannotSplit() int { return t.cannotSplit }
+
+// Intervals returns the current number of coordinator intervals.
+func (t *Tracker) Intervals() int { return len(t.seps) + 1 }
+
+// IntervalTrueCounts returns the exact current count of every interval,
+// computed from ground truth — used by the invariant tests, not part of the
+// protocol.
+func (t *Tracker) IntervalTrueCounts() []int64 {
+	counts := make([]int64, len(t.seps)+1)
+	for _, s := range t.sites {
+		prev := uint64(0)
+		for i, sep := range t.seps {
+			counts[i] += s.localTrueCount(prev, sep)
+			prev = sep
+		}
+		counts[len(t.seps)] += s.localTrueCount(prev, math.MaxUint64)
+	}
+	return counts
+}
+
+// localTrueCount is exact in ModeExact and sketch-estimated in ModeSketch.
+func (s *site) localTrueCount(lo, hi uint64) int64 { return s.st.CountRange(lo, hi) }
+
+// SiteSpace returns the number of stored entries at site j.
+func (t *Tracker) SiteSpace(j int) int { return t.sites[j].st.Space() }
+
+// RoundM returns m, the |A| snapshot the current round's thresholds use.
+func (t *Tracker) RoundM() int64 { return t.m }

@@ -1,0 +1,318 @@
+package quantile
+
+import (
+	"math"
+	"sort"
+)
+
+// wsep is a site-provided separator with the rank weight it represents.
+type wsep struct {
+	v uint64
+	w int64
+}
+
+// sepSamples collects ~n_j/step local separators of [lo, hi) from every
+// site, metering the exchange under the given kind. Each returned separator
+// from site j carries weight step_j, so cumulative weights estimate global
+// ranks within Σ_j step_j.
+func (t *Tracker) sepSamples(lo, hi uint64, denom float64, kind string) (merged []wsep, total int64, maxStep int64) {
+	for j, s := range t.sites {
+		t.meter.Down(j, kind+"-req", 1)
+		nLocal := s.st.CountRange(lo, hi)
+		step := int64(math.Ceil(float64(nLocal) / denom))
+		if step < 1 {
+			step = 1
+		}
+		if step > maxStep {
+			maxStep = step
+		}
+		var ss []uint64
+		if nLocal > 0 {
+			ss = s.st.Separators(lo, hi, step)
+		}
+		t.meter.Up(j, kind+"-resp", len(ss)+1)
+		total += nLocal
+		for _, v := range ss {
+			merged = append(merged, wsep{v: v, w: step})
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].v < merged[j].v })
+	return merged, total, maxStep
+}
+
+// cutsEvery cuts the merged weighted separator list every `target` weight,
+// returning strictly increasing cut values.
+func cutsEvery(merged []wsep, target int64) []uint64 {
+	if target < 1 {
+		target = 1
+	}
+	var cuts []uint64
+	var acc int64
+	for _, ws := range merged {
+		acc += ws.w
+		if acc >= target {
+			if len(cuts) == 0 || ws.v > cuts[len(cuts)-1] {
+				cuts = append(cuts, ws.v)
+				acc = 0
+			}
+			// A tie with the previous cut keeps accumulating; the next
+			// distinct value absorbs the weight.
+		}
+	}
+	return cuts
+}
+
+// newRound rebuilds all round state: fresh separators sized for the new m,
+// exact interval counts, exact quantile baselines, new thresholds. Cost
+// O(k/ε) — the paper's per-round initialization.
+func (t *Tracker) newRound() {
+	// 1. Collect weighted separator samples over the whole universe, each
+	// site cutting its local items every ε·n_j/32.
+	merged, total, _ := t.sepSamples(0, math.MaxUint64, 32/t.cfg.Eps, "round")
+	t.m = total
+	t.rounds++
+
+	// Fix thresholds for the round.
+	em := t.cfg.Eps * float64(t.m)
+	div := t.cfg.BatchDivisor
+	if div == 0 {
+		div = 8
+	}
+	t.thrIv = maxi64(1, int64(em/(div*float64(t.cfg.K))))
+	t.thrTot = t.thrIv
+	t.thrLR = t.thrIv
+	t.splitAt = maxi64(1, int64(3*em/8))
+	t.driftTrig = em / 2
+
+	// 2. Build separators targeting ~3εm/16 items per interval.
+	t.seps = cutsEvery(merged, int64(3*em/16))
+	if len(t.seps) == 0 {
+		// Degenerate round (tiny m or massive ties): fall back to the
+		// median of the merged samples so M has a candidate.
+		if len(merged) > 0 {
+			t.seps = []uint64{merged[len(merged)/2].v}
+		} else {
+			t.seps = []uint64{0}
+		}
+	}
+
+	// 3. Broadcast separators; sites reset their per-interval state.
+	t.meter.Broadcast("seps", len(t.seps)+1, t.cfg.K)
+	for _, s := range t.sites {
+		s.ivDelta = make([]int64, len(t.seps)+1)
+		s.totDelta = 0
+		for qi := range s.drift {
+			s.drift[qi] = [2]int64{}
+		}
+	}
+
+	// 4. Pick each M: the separator whose estimated rank is nearest φm,
+	// then collect exact interval counts and the exact rank of every M.
+	for qi := range t.qs {
+		q := &t.qs[qi]
+		q.m0 = t.nearestSepByWeight(merged, q.phi*float64(t.m))
+		q.lBase, q.tBase = 0, t.m
+		q.dL, q.dR = 0, 0
+	}
+	t.ivCount = make([]int64, len(t.seps)+1)
+	for j, s := range t.sites {
+		counts := t.localIntervalCounts(s)
+		t.meter.Up(j, "round-counts", len(counts)+1+len(t.qs))
+		for i, c := range counts {
+			t.ivCount[i] += c
+		}
+		for qi := range t.qs {
+			t.qs[qi].lBase += s.st.RankOf(t.qs[qi].m0)
+		}
+	}
+	t.totEst = t.m
+
+	// 5. Relocate any M that starts the round off target (still O(k) each).
+	for qi := range t.qs {
+		q := &t.qs[qi]
+		if math.Abs(float64(q.lBase)-q.phi*float64(q.tBase)) > em/4 {
+			t.relocate(qi)
+		}
+	}
+}
+
+// nearestSepByWeight picks the separator whose cumulative-weight rank
+// estimate is closest to target.
+func (t *Tracker) nearestSepByWeight(merged []wsep, target float64) uint64 {
+	best := t.seps[0]
+	bestErr := math.Inf(1)
+	var acc int64
+	mi := 0
+	for _, sep := range t.seps {
+		for mi < len(merged) && merged[mi].v <= sep {
+			acc += merged[mi].w
+			mi++
+		}
+		if err := math.Abs(float64(acc) - target); err < bestErr {
+			bestErr = err
+			best = sep
+		}
+	}
+	return best
+}
+
+func (t *Tracker) localIntervalCounts(s *site) []int64 {
+	counts := make([]int64, len(t.seps)+1)
+	prev := uint64(0)
+	for i, sep := range t.seps {
+		counts[i] = s.st.CountRange(prev, sep)
+		prev = sep
+	}
+	counts[len(t.seps)] = s.st.CountRange(prev, math.MaxUint64)
+	return counts
+}
+
+// split divides interval iv (whose coordinator count reached 3εm/8) into
+// two, via the paper's localized rebuild: collect local separators of the
+// interval, choose a weighted median, then collect exact half counts. Cost
+// O(k).
+func (t *Tracker) split(iv int) {
+	lo, hi := t.ivBounds(iv)
+	merged, totalEst, _ := t.sepSamples(lo, hi, 9, "split")
+	if len(merged) == 0 {
+		t.cannotSplit++
+		return
+	}
+	// Weighted median of the interval's items.
+	var acc int64
+	y := merged[len(merged)-1].v
+	for _, ws := range merged {
+		acc += ws.w
+		if acc*2 >= totalEst {
+			y = ws.v
+			break
+		}
+	}
+	// The split point must lie strictly inside (lo, hi).
+	if y <= lo {
+		y = lo + 1
+	}
+	if y >= hi {
+		t.cannotSplit++
+		return
+	}
+
+	// Collect exact half counts (these include all unreported deltas, so
+	// site deltas for both halves restart at zero).
+	var c1, c2 int64
+	for j, s := range t.sites {
+		t.meter.Down(j, "split-apply", 2)
+		a := s.st.CountRange(lo, y)
+		b := s.st.CountRange(y, hi)
+		t.meter.Up(j, "split-counts", 2)
+		c1 += a
+		c2 += b
+	}
+
+	// Install the new separator everywhere.
+	t.seps = append(t.seps, 0)
+	copy(t.seps[iv+1:], t.seps[iv:])
+	t.seps[iv] = y
+
+	t.ivCount = append(t.ivCount, 0)
+	copy(t.ivCount[iv+1:], t.ivCount[iv:])
+	t.ivCount[iv] = c1
+	t.ivCount[iv+1] = c2
+
+	for _, s := range t.sites {
+		s.ivDelta = append(s.ivDelta, 0)
+		copy(s.ivDelta[iv+1:], s.ivDelta[iv:])
+		s.ivDelta[iv] = 0
+		s.ivDelta[iv+1] = 0
+	}
+	t.splits++
+}
+
+// ivBounds returns interval iv as [lo, hi).
+func (t *Tracker) ivBounds(iv int) (lo, hi uint64) {
+	lo = uint64(0)
+	hi = uint64(math.MaxUint64)
+	if iv > 0 {
+		lo = t.seps[iv-1]
+	}
+	if iv < len(t.seps) {
+		hi = t.seps[iv]
+	}
+	return lo, hi
+}
+
+// relocate is the paper's M-update: collect exact rank/total (step 1), walk
+// separators toward the target rank with O(1) exact-count probes (step 2),
+// reset the drift counters (step 3).
+func (t *Tracker) relocate(qi int) {
+	q := &t.qs[qi]
+	// Step 1: exact L = rank(M) and T = |A| (2 words per site).
+	var l, total int64
+	for j, s := range t.sites {
+		t.meter.Down(j, "reloc-req", 1)
+		l += s.st.RankOf(q.m0)
+		total += s.nj
+		t.meter.Up(j, "reloc-resp", 2)
+	}
+	target := int64(q.phi * float64(total))
+
+	// Step 2: probe separators toward the target until the rank brackets
+	// it, keeping the best candidate. Interval counts are ≤ εm/2, so the
+	// best separator lands within εm/4 of the target, after O(1) probes.
+	bestV, bestErr := q.m0, math.Abs(float64(l-target))
+	newRank := l
+	pos := sort.Search(len(t.seps), func(i int) bool { return t.seps[i] > q.m0 })
+	if target > l {
+		for i := pos; i < len(t.seps); i++ {
+			r := l + t.collectRange(q.m0, t.seps[i])
+			if err := math.Abs(float64(r - target)); err < bestErr {
+				bestV, bestErr, newRank = t.seps[i], err, r
+			}
+			if r >= target {
+				break
+			}
+		}
+	} else if target < l {
+		for i := pos - 1; i >= 0; i-- {
+			if t.seps[i] >= q.m0 {
+				continue
+			}
+			r := l - t.collectRange(t.seps[i], q.m0)
+			if err := math.Abs(float64(r - target)); err < bestErr {
+				bestV, bestErr, newRank = t.seps[i], err, r
+			}
+			if r <= target {
+				break
+			}
+		}
+	}
+
+	// Step 3: install M and reset this quantile's drift state everywhere.
+	q.m0 = bestV
+	q.lBase, q.tBase = newRank, total
+	q.dL, q.dR = 0, 0
+	t.meter.Broadcast("newM", 2, t.cfg.K)
+	for _, s := range t.sites {
+		s.drift[qi] = [2]int64{}
+	}
+	t.relocations++
+}
+
+// collectRange collects the exact global count of [lo, hi) — one probe of
+// the paper's step 2, O(k) words.
+func (t *Tracker) collectRange(lo, hi uint64) int64 {
+	var c int64
+	for j, s := range t.sites {
+		t.meter.Down(j, "probe-req", 2)
+		c += s.st.CountRange(lo, hi)
+		t.meter.Up(j, "probe-resp", 1)
+	}
+	return c
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,10 @@
+package quantile
+
+import "disttrack/internal/sitestore"
+
+// store aliases the shared per-site item store; see package sitestore for
+// the exact (treap) and sketched (Greenwald–Khanna) implementations.
+type store = sitestore.Store
+
+func newExactStore(seed int64) store { return sitestore.NewExact(seed) }
+func newGKStore(eps float64) store   { return sitestore.NewGK(eps) }

@@ -1,0 +1,86 @@
+package counter
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAdditiveErrorBoundAtAllTimes(t *testing.T) {
+	for _, k := range []int{1, 8} {
+		for _, eps := range []float64{0.1, 0.02} {
+			tr, err := NewAdditive(k, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(k) + 1))
+			for i := 0; i < 40000; i++ {
+				tr.Feed(rng.Intn(k))
+				est, n := tr.Estimate(), tr.True()
+				if est > n {
+					t.Fatalf("k=%d eps=%g step %d: estimate %d above true %d", k, eps, i, est, n)
+				}
+				// Staleness: k sites × εm̂/k pending each, m̂ <= n.
+				if float64(n-est) > eps*float64(n)+float64(k) {
+					t.Fatalf("k=%d eps=%g step %d: estimate %d lags %d beyond εn",
+						k, eps, i, est, n)
+				}
+			}
+		}
+	}
+}
+
+func TestAdditiveCostLogarithmic(t *testing.T) {
+	const k, eps = 8, 0.05
+	run := func(n int) int64 {
+		tr, _ := NewAdditive(k, eps)
+		for i := 0; i < n; i++ {
+			tr.Feed(i % k)
+		}
+		return tr.Meter().Total().Msgs
+	}
+	c1, c2, c3 := run(1<<12), run(1<<16), run(1<<20)
+	d1, d2 := c2-c1, c3-c2
+	if d1 <= 0 || d2 <= 0 {
+		t.Fatalf("costs not increasing: %d %d %d", c1, c2, c3)
+	}
+	if r := float64(d2) / float64(d1); r > 2 || r < 0.5 {
+		t.Fatalf("message growth per 16x n should be ~constant: %d then %d", d1, d2)
+	}
+}
+
+func TestAdditiveVsMultiplicativeSkewedPlacement(t *testing.T) {
+	// All arrivals at one site: the multiplicative variant reports on the
+	// busy site's local (1+ε) growth; the additive one spreads thresholds
+	// by the global count. Both must stay within bound; costs may differ.
+	const k, eps, n = 16, 0.05, 1 << 16
+	mult, _ := New(k, eps)
+	add, _ := NewAdditive(k, eps)
+	for i := 0; i < n; i++ {
+		mult.Feed(3)
+		add.Feed(3)
+	}
+	for name, pair := range map[string][2]int64{
+		"multiplicative": {mult.Estimate(), mult.True()},
+		"additive":       {add.Estimate(), add.True()},
+	} {
+		if float64(pair[1]-pair[0]) > eps*float64(pair[1])+k {
+			t.Fatalf("%s: estimate %d lags %d", name, pair[0], pair[1])
+		}
+	}
+}
+
+func TestAdditiveValidationAndPanics(t *testing.T) {
+	if _, err := NewAdditive(0, 0.1); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := NewAdditive(2, 1); err == nil {
+		t.Fatal("eps=1 should error")
+	}
+	tr, _ := NewAdditive(2, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad site should panic")
+		}
+	}()
+	tr.Feed(2)
+}

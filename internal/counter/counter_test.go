@@ -1,0 +1,119 @@
+package counter
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestErrorBoundAtAllTimes(t *testing.T) {
+	for _, k := range []int{1, 4, 16} {
+		for _, eps := range []float64{0.1, 0.01} {
+			tr, err := New(k, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(k)))
+			for i := 0; i < 50000; i++ {
+				tr.Feed(rng.Intn(k))
+				est, n := tr.Estimate(), tr.True()
+				if est > n {
+					t.Fatalf("k=%d eps=%g step %d: estimate %d above true %d", k, eps, i, est, n)
+				}
+				if float64(n-est) > eps*float64(n) {
+					t.Fatalf("k=%d eps=%g step %d: estimate %d, true %d, error beyond eps*n",
+						k, eps, i, est, n)
+				}
+			}
+		}
+	}
+}
+
+func TestCostLogarithmicInN(t *testing.T) {
+	const k, eps = 8, 0.05
+	run := func(n int) int64 {
+		tr, _ := New(k, eps)
+		for i := 0; i < n; i++ {
+			tr.Feed(i % k)
+		}
+		return tr.Meter().Total().Msgs
+	}
+	c1 := run(1 << 12)
+	c2 := run(1 << 16)
+	c3 := run(1 << 20)
+	// Each 16x growth of n should add roughly the same number of messages
+	// (k/eps * log(16) each time), not multiply them.
+	d1, d2 := c2-c1, c3-c2
+	if d2 <= 0 || d1 <= 0 {
+		t.Fatalf("costs not increasing: %d %d %d", c1, c2, c3)
+	}
+	ratio := float64(d2) / float64(d1)
+	if ratio > 2.0 || ratio < 0.5 {
+		t.Fatalf("message growth per 16x of n should be ~constant, got deltas %d then %d", d1, d2)
+	}
+	// Absolute scale: at most a constant times k/eps * log(n).
+	bound := 10 * float64(k) / eps * math.Log(float64(1<<20)) / math.Log(1+eps) * eps // = 10*k*log_{1+eps} n * eps ≈ 10*k*log n
+	if float64(c3) > bound {
+		t.Fatalf("cost %d beyond O(k/eps log n) scale %f", c3, bound)
+	}
+}
+
+func TestCostLinearInK(t *testing.T) {
+	const eps = 0.05
+	const n = 1 << 16
+	run := func(k int) int64 {
+		tr, _ := New(k, eps)
+		for i := 0; i < n; i++ {
+			tr.Feed(i % k)
+		}
+		return tr.Meter().Total().Msgs
+	}
+	c4, c16 := run(4), run(16)
+	ratio := float64(c16) / float64(c4)
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("4x more sites should cost ~4x messages, got %d → %d (ratio %.2f)", c4, c16, ratio)
+	}
+}
+
+func TestSingleSiteSkew(t *testing.T) {
+	tr, _ := New(8, 0.02)
+	for i := 0; i < 10000; i++ {
+		tr.Feed(3) // all arrivals at one site
+	}
+	if est, n := tr.Estimate(), tr.True(); float64(n-est) > 0.02*float64(n) {
+		t.Fatalf("skewed placement broke the bound: est %d true %d", est, n)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0.1); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := New(2, 0); err == nil {
+		t.Fatal("eps=0 should error")
+	}
+	if _, err := New(2, 1); err == nil {
+		t.Fatal("eps=1 should error")
+	}
+}
+
+func TestFeedPanicsOnBadSite(t *testing.T) {
+	tr, _ := New(2, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Feed(-1) should panic")
+		}
+	}()
+	tr.Feed(-1)
+}
+
+func TestMessagesAreOneWord(t *testing.T) {
+	tr, _ := New(4, 0.1)
+	for i := 0; i < 1000; i++ {
+		tr.Feed(i % 4)
+	}
+	c := tr.Meter().Total()
+	if c.Words != c.Msgs {
+		t.Fatalf("count messages should be 1 word each: %d msgs, %d words", c.Msgs, c.Words)
+	}
+}

@@ -1,0 +1,211 @@
+// Package sampling implements the randomized tracker sketched in the
+// paper's §5 (Open Problems): "if randomization is allowed, simple random
+// sampling can be used to achieve a cost of O((k + 1/ε²)·polylog(n, k,
+// 1/ε)) for tracking both the heavy hitters and the quantiles", which beats
+// the deterministic Θ(k/ε·log n) bound when ε = ω(1/k).
+//
+// The protocol maintains a uniform random sample of s = Θ(1/ε²) items at
+// the coordinator via distributed priority sampling: every arrival draws a
+// uniform 64-bit priority at its site; the coordinator keeps the s smallest
+// priorities seen, and sites only forward arrivals whose priority beats the
+// last threshold the coordinator broadcast. Thresholds are re-broadcast
+// when they have tightened by 2x, so there are O(log n) broadcasts and an
+// expected O((k + s)·log n) messages overall.
+//
+// Answers (heavy hitters, quantiles) are computed over the sample and hold
+// with error ε with high probability — in contrast to the deterministic
+// trackers' worst-case guarantee.
+package sampling
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"disttrack/internal/wire"
+)
+
+// Config parameterizes a Tracker.
+type Config struct {
+	K    int     // number of sites, >= 1
+	Eps  float64 // target error, in (0, 1)
+	Seed int64   // PRNG seed (deterministic runs)
+
+	// SampleSize overrides the default Θ(1/ε²) sample size when positive.
+	SampleSize int
+}
+
+// Tracker maintains a uniform sample of the distributed stream. Not safe
+// for concurrent use.
+type Tracker struct {
+	cfg   Config
+	meter wire.Meter
+	s     int // target sample size
+
+	rngState   []uint64 // per-site PRNG states
+	siteThr    []uint64 // per-site view of the priority threshold
+	coordThr   uint64   // last broadcast threshold
+	sample     prioHeap // max-heap on priority: sample items with s smallest priorities
+	n          int64    // true |A|
+	estN       int64    // coordinator count estimate (cheap counter at ε/4)
+	local      []int64  // per-site exact counts
+	reported   []int64  // per-site last reported counts
+	broadcasts int
+}
+
+type sampleItem struct {
+	item uint64
+	prio uint64
+}
+
+type prioHeap []sampleItem
+
+func (h prioHeap) Len() int            { return len(h) }
+func (h prioHeap) Less(i, j int) bool  { return h[i].prio > h[j].prio } // max-heap
+func (h prioHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *prioHeap) Push(x interface{}) { *h = append(*h, x.(sampleItem)) }
+func (h *prioHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// New validates cfg and returns a Tracker.
+func New(cfg Config) (*Tracker, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("sampling: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.Eps <= 0 || cfg.Eps >= 1 {
+		return nil, fmt.Errorf("sampling: Eps must be in (0,1), got %g", cfg.Eps)
+	}
+	s := cfg.SampleSize
+	if s <= 0 {
+		s = int(math.Ceil(8 / (cfg.Eps * cfg.Eps)))
+	}
+	t := &Tracker{
+		cfg:      cfg,
+		s:        s,
+		rngState: make([]uint64, cfg.K),
+		siteThr:  make([]uint64, cfg.K),
+		local:    make([]int64, cfg.K),
+		reported: make([]int64, cfg.K),
+		coordThr: math.MaxUint64,
+	}
+	for j := range t.rngState {
+		t.rngState[j] = uint64(cfg.Seed)*0x9E3779B97F4A7C15 + uint64(j+1)*0xBF58476D1CE4E5B9
+		t.siteThr[j] = math.MaxUint64
+	}
+	return t, nil
+}
+
+func splitmix(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Feed records one arrival of item x at the given site.
+func (t *Tracker) Feed(site int, x uint64) {
+	if site < 0 || site >= t.cfg.K {
+		panic(fmt.Sprintf("sampling: site %d out of range [0,%d)", site, t.cfg.K))
+	}
+	t.n++
+	t.local[site]++
+
+	// Cheap distributed counting at ε/4 so queries can scale the sample.
+	if float64(t.local[site]) >= (1+t.cfg.Eps/4)*float64(t.reported[site]) {
+		t.estN += t.local[site] - t.reported[site]
+		t.reported[site] = t.local[site]
+		t.meter.Up(site, "count", 1)
+	}
+
+	prio := splitmix(&t.rngState[site])
+	if prio >= t.siteThr[site] {
+		return // locally filtered, no communication
+	}
+	t.meter.Up(site, "sample", 2)
+	// Coordinator: keep the s smallest priorities.
+	if len(t.sample) < t.s {
+		heap.Push(&t.sample, sampleItem{item: x, prio: prio})
+	} else if prio < t.sample[0].prio {
+		t.sample[0] = sampleItem{item: x, prio: prio}
+		heap.Fix(&t.sample, 0)
+	}
+	// Tighten the broadcast threshold when it is stale by 2x.
+	if len(t.sample) >= t.s {
+		cur := t.sample[0].prio
+		if t.coordThr/2 >= cur {
+			t.coordThr = cur
+			t.meter.Broadcast("thr", 1, t.cfg.K)
+			t.broadcasts++
+			for j := range t.siteThr {
+				t.siteThr[j] = cur
+			}
+		}
+	}
+}
+
+// Sample returns a copy of the current coordinator sample.
+func (t *Tracker) Sample() []uint64 {
+	out := make([]uint64, len(t.sample))
+	for i, it := range t.sample {
+		out[i] = it.item
+	}
+	return out
+}
+
+// HeavyHitters returns items whose sample frequency clears φ − ε/2 — an
+// ε-approximate heavy-hitter set with high probability.
+func (t *Tracker) HeavyHitters(phi float64) []uint64 {
+	if len(t.sample) == 0 {
+		return nil
+	}
+	counts := make(map[uint64]int)
+	for _, it := range t.sample {
+		counts[it.item]++
+	}
+	thresh := (phi - t.cfg.Eps/2) * float64(len(t.sample))
+	var out []uint64
+	for x, c := range counts {
+		if float64(c) >= thresh {
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Quantile returns the sample φ-quantile — an ε-approximate quantile with
+// high probability. It panics on an empty sample.
+func (t *Tracker) Quantile(phi float64) uint64 {
+	if len(t.sample) == 0 {
+		panic("sampling: Quantile before any sampled arrival")
+	}
+	xs := t.Sample()
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	i := int(phi * float64(len(xs)))
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}
+
+// EstTotal returns the coordinator's count estimate.
+func (t *Tracker) EstTotal() int64 { return t.estN }
+
+// TrueTotal returns the exact |A|.
+func (t *Tracker) TrueTotal() int64 { return t.n }
+
+// SampleSize returns the current sample size (≤ the configured target).
+func (t *Tracker) SampleSize() int { return len(t.sample) }
+
+// Broadcasts returns how many threshold broadcasts occurred.
+func (t *Tracker) Broadcasts() int { return t.broadcasts }
+
+// Meter returns the communication meter.
+func (t *Tracker) Meter() *wire.Meter { return &t.meter }

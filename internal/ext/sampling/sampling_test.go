@@ -1,0 +1,200 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"disttrack/internal/oracle"
+	"disttrack/internal/stream"
+)
+
+func TestSampleIsUniformish(t *testing.T) {
+	// Feed 0..n-1 once each; the sample mean should approximate the stream
+	// mean within a few standard errors.
+	tr, err := New(Config{K: 8, Eps: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		tr.Feed(i%8, uint64(i))
+	}
+	xs := tr.Sample()
+	if len(xs) != tr.SampleSize() || len(xs) == 0 {
+		t.Fatalf("sample size %d", len(xs))
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += float64(x)
+	}
+	mean /= float64(len(xs))
+	want := float64(n) / 2
+	se := float64(n) / math.Sqrt(12*float64(len(xs)))
+	if math.Abs(mean-want) > 6*se {
+		t.Fatalf("sample mean %.0f, want %.0f ± %.0f", mean, want, 6*se)
+	}
+}
+
+func TestHeavyHittersWHP(t *testing.T) {
+	const phi, eps = 0.1, 0.05
+	tr, _ := New(Config{K: 8, Eps: eps, Seed: 2})
+	o := oracle.New()
+	g := stream.Zipf(10000, 100000, 1.4, 3)
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(i%8, x)
+		o.Add(x)
+	}
+	rep := map[uint64]bool{}
+	for _, x := range tr.HeavyHitters(phi) {
+		rep[x] = true
+		if float64(o.Count(x)) < (phi-eps)*float64(o.Len()) {
+			t.Errorf("false positive %d (freq %d of %d)", x, o.Count(x), o.Len())
+		}
+	}
+	for _, x := range o.HeavyHitters(phi) {
+		if !rep[x] {
+			t.Errorf("missed heavy hitter %d (freq %d of %d)", x, o.Count(x), o.Len())
+		}
+	}
+}
+
+func TestQuantileWHP(t *testing.T) {
+	const eps = 0.05
+	tr, _ := New(Config{K: 8, Eps: eps, Seed: 4})
+	o := oracle.New()
+	g := stream.Perturb(stream.Uniform(1<<30, 100000, 5))
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(i%8, x)
+		o.Add(x)
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		v := tr.Quantile(phi)
+		if e := o.QuantileRankError(v, phi); e > eps {
+			t.Errorf("phi=%g: rank error %.4f > eps (whp bound)", phi, e)
+		}
+	}
+}
+
+func TestCommunicationIndependentOfKTimesEps(t *testing.T) {
+	// The point of §5: for fixed sample size, cost is O((k + 1/ε²)·log n),
+	// NOT O(k/ε·log n). Doubling k should raise cost by ~additive k·log n,
+	// far less than doubling it when 1/ε² dominates.
+	run := func(k int) int64 {
+		tr, _ := New(Config{K: k, Eps: 0.02, Seed: 6})
+		g := stream.Uniform(1<<20, 1<<17, 7)
+		for i := 0; ; i++ {
+			x, ok := g.Next()
+			if !ok {
+				break
+			}
+			tr.Feed(i%k, x)
+		}
+		return tr.Meter().Total().Words
+	}
+	w8, w32 := run(8), run(32)
+	if r := float64(w32) / float64(w8); r > 2.5 {
+		t.Fatalf("sampling cost should be sublinear in k when 1/ε² dominates: %d → %d (%.2fx)",
+			w8, w32, r)
+	}
+}
+
+func TestThresholdBroadcastsLogarithmic(t *testing.T) {
+	tr, _ := New(Config{K: 4, Eps: 0.1, Seed: 8})
+	g := stream.Uniform(1<<20, 1<<18, 9)
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(i%4, x)
+	}
+	// Threshold halves per broadcast: ~log2(n/s) ≈ 8 expected.
+	if b := tr.Broadcasts(); b < 2 || b > 40 {
+		t.Fatalf("broadcasts=%d, want Θ(log n)", b)
+	}
+	// Count estimate within ε/4.
+	if est, n := tr.EstTotal(), tr.TrueTotal(); float64(n-est) > 0.1*float64(n) {
+		t.Fatalf("count estimate %d too far from %d", est, n)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func(seed int64) (int64, map[uint64]bool) {
+		tr, _ := New(Config{K: 4, Eps: 0.1, Seed: seed})
+		for i := 0; i < 50000; i++ {
+			tr.Feed(i%4, uint64(i*7%100000))
+		}
+		set := map[uint64]bool{}
+		for _, x := range tr.Sample() {
+			set[x] = true
+		}
+		return tr.Meter().Total().Words, set
+	}
+	w1, s1 := run(5)
+	w2, s2 := run(5)
+	if w1 != w2 || len(s1) != len(s2) {
+		t.Fatal("same seed must reproduce identical runs")
+	}
+	for x := range s1 {
+		if !s2[x] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+	_, s3 := run(6)
+	same := len(s3) == len(s1)
+	if same {
+		for x := range s1 {
+			if !s3[x] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical samples (vanishingly unlikely)")
+	}
+}
+
+func TestValidationAndPanics(t *testing.T) {
+	if _, err := New(Config{K: 0, Eps: 0.1}); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if _, err := New(Config{K: 2, Eps: 0}); err == nil {
+		t.Fatal("Eps=0 should error")
+	}
+	tr, _ := New(Config{K: 2, Eps: 0.1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Quantile on empty sample should panic")
+			}
+		}()
+		tr.Quantile(0.5)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad site should panic")
+			}
+		}()
+		tr.Feed(-1, 0)
+	}()
+}
+
+func TestSampleSizeOverride(t *testing.T) {
+	tr, _ := New(Config{K: 2, Eps: 0.1, SampleSize: 10, Seed: 1})
+	for i := 0; i < 10000; i++ {
+		tr.Feed(i%2, uint64(i))
+	}
+	if tr.SampleSize() != 10 {
+		t.Fatalf("sample size %d, want exactly 10", tr.SampleSize())
+	}
+}

@@ -1,0 +1,54 @@
+package window
+
+import (
+	"sort"
+	"testing"
+
+	"disttrack/internal/stream"
+)
+
+// TestWindowQuantileAccuracyVsWindowTruth compares the window tracker's
+// quantiles against the exact quantiles of the arrivals its epochs actually
+// cover (WindowSize tells us how many), at several checkpoints.
+func TestWindowQuantileAccuracyVsWindowTruth(t *testing.T) {
+	const k, eps, w = 4, 0.05, 12000
+	tr, err := NewQuantiles(Config{K: k, Eps: eps, Window: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []uint64
+	g := stream.Perturb(stream.Uniform(1<<30, 60000, 401))
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(i%k, x)
+		all = append(all, x)
+		if i%9973 != 9972 || int64(len(all)) < 2*w {
+			continue
+		}
+		span := tr.WindowSize()
+		window := append([]uint64(nil), all[int64(len(all))-span:]...)
+		sort.Slice(window, func(a, b int) bool { return window[a] < window[b] })
+		for _, phi := range []float64{0.1, 0.5, 0.9} {
+			v := tr.Quantile(phi)
+			// Rank of v within the covered window.
+			r := sort.Search(len(window), func(j int) bool { return window[j] >= v })
+			errFrac := abs(float64(r)-phi*float64(span)) / float64(span)
+			// Per-epoch ε plus the extraction slack of the underlying allq
+			// trackers.
+			if errFrac > 2*eps {
+				t.Fatalf("step %d phi=%g: window rank error %.4f > 2eps (span %d)",
+					i, phi, errFrac, span)
+			}
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,262 @@
+// Package window implements sliding-window variants of the trackers — the
+// paper's second §5 open problem ("track the heavy hitters and quantiles
+// within a sliding window in the distributed streaming model").
+//
+// No optimal protocol is known; this package provides the standard
+// epoch-decomposition heuristic: the stream is cut into epochs of W/B
+// arrivals, each epoch is tracked by a fresh instance of the Theorem 2.1 /
+// Theorem 4.1 tracker, and queries merge the most recent B complete epochs
+// plus the partial current one. The answered window therefore covers
+// between W and W+W/B of the latest arrivals, and the approximation error
+// is ε (per-epoch guarantees are additive over disjoint epochs) plus the
+// W/B window slack; choosing B = ⌈2/ε⌉ yields a (2ε)-approximate sliding
+// window at B× the communication of a single tracker per window length.
+package window
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"disttrack/internal/core/allq"
+	"disttrack/internal/core/hh"
+	"disttrack/internal/wire"
+)
+
+// Config parameterizes the window trackers.
+type Config struct {
+	K      int     // number of sites
+	Eps    float64 // per-epoch approximation error
+	Window int64   // window length W in arrivals
+	Epochs int     // number of epochs B; 0 means ⌈2/ε⌉
+}
+
+func (c *Config) normalize() error {
+	if c.K < 1 {
+		return fmt.Errorf("window: K must be >= 1, got %d", c.K)
+	}
+	if c.Eps <= 0 || c.Eps >= 1 {
+		return fmt.Errorf("window: Eps must be in (0,1), got %g", c.Eps)
+	}
+	if c.Window < 1 {
+		return fmt.Errorf("window: Window must be positive, got %d", c.Window)
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = int(math.Ceil(2 / c.Eps))
+	}
+	if int64(c.Epochs) > c.Window {
+		c.Epochs = int(c.Window)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Heavy hitters over a sliding window
+// ---------------------------------------------------------------------------
+
+// HH tracks approximate heavy hitters over the last ~Window arrivals.
+type HH struct {
+	cfg      Config
+	epochLen int64
+	cur      *hh.Tracker
+	curN     int64
+	past     []*hh.Tracker // oldest first, at most Epochs entries
+	total    int64
+}
+
+// NewHH returns a sliding-window heavy-hitter tracker.
+func NewHH(cfg Config) (*HH, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	t := &HH{cfg: cfg, epochLen: cfg.Window / int64(cfg.Epochs)}
+	if t.epochLen < 1 {
+		t.epochLen = 1
+	}
+	var err error
+	t.cur, err = hh.New(hh.Config{K: cfg.K, Eps: cfg.Eps})
+	return t, err
+}
+
+// Feed records one arrival.
+func (t *HH) Feed(site int, x uint64) {
+	t.cur.Feed(site, x)
+	t.curN++
+	t.total++
+	if t.curN >= t.epochLen {
+		t.past = append(t.past, t.cur)
+		if len(t.past) > t.cfg.Epochs {
+			t.past = t.past[1:] // epoch slides out of the window
+		}
+		nt, err := hh.New(hh.Config{K: t.cfg.K, Eps: t.cfg.Eps})
+		if err != nil {
+			panic(err) // config was validated at construction
+		}
+		t.cur, t.curN = nt, 0
+	}
+}
+
+// windowTrackers returns the epochs covering the current window.
+func (t *HH) windowTrackers() []*hh.Tracker {
+	ts := make([]*hh.Tracker, 0, len(t.past)+1)
+	ts = append(ts, t.past...)
+	if t.curN > 0 || len(ts) == 0 {
+		ts = append(ts, t.cur)
+	}
+	return ts
+}
+
+// HeavyHitters returns the approximate φ-heavy hitters of the last ~Window
+// arrivals. phi must be in [eps, 1].
+func (t *HH) HeavyHitters(phi float64) []uint64 {
+	ts := t.windowTrackers()
+	var totalEst int64
+	cand := map[uint64]bool{}
+	for _, tr := range ts {
+		totalEst += tr.EstTotal()
+		for _, x := range tr.HeavyHitters(math.Max(t.cfg.Eps, phi-2*t.cfg.Eps)) {
+			cand[x] = true
+		}
+	}
+	if totalEst == 0 {
+		return nil
+	}
+	thresh := (phi - 0.5*t.cfg.Eps) * float64(totalEst)
+	var out []uint64
+	for x := range cand {
+		var f int64
+		for _, tr := range ts {
+			f += tr.EstFrequency(x)
+		}
+		if float64(f) >= thresh {
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WindowSize returns the number of arrivals the current answer covers.
+func (t *HH) WindowSize() int64 {
+	var n int64
+	for _, tr := range t.windowTrackers() {
+		n += tr.TrueTotal()
+	}
+	return n
+}
+
+// Cost returns the summed communication over all live epoch trackers plus
+// all epochs that have slid out (approximated by live ones; retired meters
+// are folded into retiredCost).
+func (t *HH) Cost() wire.Cost {
+	var c wire.Cost
+	for _, tr := range t.windowTrackers() {
+		c = c.Add(tr.Meter().Total())
+	}
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles over a sliding window
+// ---------------------------------------------------------------------------
+
+// Quantiles tracks all quantiles over the last ~Window arrivals by epoch
+// decomposition of the §4 structure: window ranks are sums of per-epoch
+// ranks, and quantiles are found by binary search on the (monotone) summed
+// rank function.
+type Quantiles struct {
+	cfg      Config
+	epochLen int64
+	cur      *allq.Tracker
+	curN     int64
+	past     []*allq.Tracker
+}
+
+// NewQuantiles returns a sliding-window all-quantiles tracker.
+func NewQuantiles(cfg Config) (*Quantiles, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	t := &Quantiles{cfg: cfg, epochLen: cfg.Window / int64(cfg.Epochs)}
+	if t.epochLen < 1 {
+		t.epochLen = 1
+	}
+	var err error
+	t.cur, err = allq.New(allq.Config{K: cfg.K, Eps: cfg.Eps})
+	return t, err
+}
+
+// Feed records one arrival.
+func (t *Quantiles) Feed(site int, x uint64) {
+	t.cur.Feed(site, x)
+	t.curN++
+	if t.curN >= t.epochLen {
+		t.past = append(t.past, t.cur)
+		if len(t.past) > t.cfg.Epochs {
+			t.past = t.past[1:]
+		}
+		nt, err := allq.New(allq.Config{K: t.cfg.K, Eps: t.cfg.Eps})
+		if err != nil {
+			panic(err)
+		}
+		t.cur, t.curN = nt, 0
+	}
+}
+
+func (t *Quantiles) windowTrackers() []*allq.Tracker {
+	ts := make([]*allq.Tracker, 0, len(t.past)+1)
+	ts = append(ts, t.past...)
+	if t.curN > 0 || len(ts) == 0 {
+		ts = append(ts, t.cur)
+	}
+	return ts
+}
+
+// Rank estimates the number of window items < x.
+func (t *Quantiles) Rank(x uint64) int64 {
+	var r int64
+	for _, tr := range t.windowTrackers() {
+		r += tr.Rank(x)
+	}
+	return r
+}
+
+// EstTotal estimates the number of items in the window.
+func (t *Quantiles) EstTotal() int64 {
+	var n int64
+	for _, tr := range t.windowTrackers() {
+		n += tr.EstTotal()
+	}
+	return n
+}
+
+// Quantile returns an approximate φ-quantile of the window via binary
+// search over the key space on the summed rank function.
+func (t *Quantiles) Quantile(phi float64) uint64 {
+	if phi < 0 || phi > 1 {
+		panic(fmt.Sprintf("window: phi must be in [0,1], got %g", phi))
+	}
+	total := t.EstTotal()
+	if total == 0 {
+		panic("window: Quantile over an empty window")
+	}
+	target := int64(phi * float64(total))
+	// Smallest v with Rank(v) >= target, bit by bit.
+	var v uint64
+	for bit := 63; bit >= 0; bit-- {
+		next := v | 1<<uint(bit)
+		if t.Rank(next) < target {
+			v = next
+		}
+	}
+	return v
+}
+
+// WindowSize returns the number of arrivals the current answer covers.
+func (t *Quantiles) WindowSize() int64 {
+	var n int64
+	for _, tr := range t.windowTrackers() {
+		n += tr.TrueTotal()
+	}
+	return n
+}

@@ -1,0 +1,213 @@
+package window
+
+import (
+	"sort"
+	"testing"
+
+	"disttrack/internal/stream"
+)
+
+// windowTruth maintains the exact multiset of the last-N-arrivals window the
+// epoch trackers approximate.
+type windowTruth struct {
+	items []uint64
+	cap   int64
+}
+
+func (w *windowTruth) add(x uint64) {
+	w.items = append(w.items, x)
+	if int64(len(w.items)) > w.cap {
+		w.items = w.items[1:]
+	}
+}
+
+func (w *windowTruth) counts() map[uint64]int64 {
+	m := map[uint64]int64{}
+	for _, x := range w.items {
+		m[x]++
+	}
+	return m
+}
+
+func TestWindowHHTracksRecentDistribution(t *testing.T) {
+	const k, eps, phi = 4, 0.05, 0.3
+	const W = 20000
+	tr, err := NewHH(Config{K: k, Eps: eps, Window: W})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: item 7 is hot. Phase 2: item 99 replaces it. A whole-stream
+	// tracker would keep reporting 7 long into phase 2; the window tracker
+	// must evict it within ~W arrivals.
+	feedPhase := func(hot uint64, n int, seed int64) {
+		g := stream.Uniform(100000, int64(n), seed)
+		for i := 0; ; i++ {
+			x, ok := g.Next()
+			if !ok {
+				return
+			}
+			tr.Feed(i%k, x)
+			tr.Feed((i+1)%k, hot)
+		}
+	}
+	feedPhase(7, 30000, 1)
+	hh := tr.HeavyHitters(phi)
+	if len(hh) != 1 || hh[0] != 7 {
+		t.Fatalf("phase 1: HH=%v, want [7]", hh)
+	}
+	feedPhase(99, 30000, 2) // 60000 arrivals ≫ W+W/B
+	hh = tr.HeavyHitters(phi)
+	found99, found7 := false, false
+	for _, x := range hh {
+		if x == 99 {
+			found99 = true
+		}
+		if x == 7 {
+			found7 = true
+		}
+	}
+	if !found99 {
+		t.Fatalf("phase 2: HH=%v, new hot item 99 missing", hh)
+	}
+	if found7 {
+		t.Fatalf("phase 2: HH=%v, stale item 7 should have slid out", hh)
+	}
+}
+
+func TestWindowHHContractWithinWindow(t *testing.T) {
+	const k, eps, phi = 4, 0.1, 0.3
+	const W = 8000
+	tr, _ := NewHH(Config{K: k, Eps: eps, Window: W})
+	truth := &windowTruth{cap: W + W/int64(tr.cfg.Epochs)} // covered span upper bound
+	g := stream.HotSet(10000, 60000, 3, 0.7, 3)
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(i%k, x)
+		truth.add(x)
+		if i%991 != 0 || i < int(W) {
+			continue
+		}
+		// Anything reported must be at least modestly frequent in the
+		// covered window span (heuristic guarantee: φ−3ε of the short span).
+		counts := truth.counts()
+		span := int64(len(truth.items))
+		for _, x := range tr.HeavyHitters(phi) {
+			if float64(counts[x]) < (phi-4*eps)*float64(span)*float64(W)/float64(truth.cap) {
+				t.Fatalf("step %d: reported %d has only %d of last %d", i, x, counts[x], span)
+			}
+		}
+	}
+}
+
+func TestWindowSizeApproximatesW(t *testing.T) {
+	const W = 5000
+	tr, _ := NewHH(Config{K: 2, Eps: 0.1, Window: W})
+	for i := 0; i < 40000; i++ {
+		tr.Feed(i%2, uint64(i%100))
+	}
+	ws := tr.WindowSize()
+	if ws < W || ws > W+W/int64(tr.cfg.Epochs)+int64(tr.epochLen) {
+		t.Fatalf("window covers %d arrivals, want within [W, W+W/B] = [%d, %d]",
+			ws, W, W+W/int64(tr.cfg.Epochs)+int64(tr.epochLen))
+	}
+}
+
+func TestWindowQuantileTracksShift(t *testing.T) {
+	const k, eps = 4, 0.05
+	const W = 20000
+	tr, err := NewQuantiles(Config{K: k, Eps: eps, Window: W})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: values around 1e6. Phase 2: values around 3e6. The window
+	// median must move to the new range once the window has slid.
+	g1 := stream.Perturb(stream.FromSlice(rampValues(1000000, 30000)))
+	for i := 0; ; i++ {
+		x, ok := g1.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(i%k, x)
+	}
+	med1 := stream.Unperturb(tr.Quantile(0.5))
+	if med1 < 900000 || med1 > 1100000 {
+		t.Fatalf("phase 1 median %d, want ≈1e6", med1)
+	}
+	g2 := stream.Perturb(stream.FromSlice(rampValues(3000000, 60000)))
+	for i := 0; ; i++ {
+		x, ok := g2.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(i%k, x)
+	}
+	med2 := stream.Unperturb(tr.Quantile(0.5))
+	if med2 < 2900000 || med2 > 3100000 {
+		t.Fatalf("phase 2 median %d, want ≈3e6 (window should have slid)", med2)
+	}
+}
+
+// rampValues returns n values spread ±5% around center.
+func rampValues(center uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	span := center / 10
+	for i := range out {
+		out[i] = center - span/2 + uint64(i)*span/uint64(n)
+	}
+	// Shuffle deterministically so arrivals are not sorted.
+	for i := len(out) - 1; i > 0; i-- {
+		j := int(uint64(i*2654435761) % uint64(i+1))
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func TestWindowQuantileRankMonotone(t *testing.T) {
+	tr, _ := NewQuantiles(Config{K: 2, Eps: 0.1, Window: 4000})
+	g := stream.Perturb(stream.Uniform(1<<20, 20000, 7))
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(i%2, x)
+	}
+	var prev int64 = -1
+	for _, q := range []uint64{0, 1 << 40, 1 << 42, 1 << 43, ^uint64(0)} {
+		r := tr.Rank(q)
+		if r < prev {
+			t.Fatalf("Rank not monotone at %d: %d after %d", q, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestWindowValidation(t *testing.T) {
+	if _, err := NewHH(Config{K: 0, Eps: 0.1, Window: 100}); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if _, err := NewHH(Config{K: 2, Eps: 0, Window: 100}); err == nil {
+		t.Fatal("Eps=0 should error")
+	}
+	if _, err := NewQuantiles(Config{K: 2, Eps: 0.1, Window: 0}); err == nil {
+		t.Fatal("Window=0 should error")
+	}
+}
+
+func TestEpochRotation(t *testing.T) {
+	tr, _ := NewHH(Config{K: 2, Eps: 0.2, Window: 100, Epochs: 4})
+	for i := 0; i < 1000; i++ {
+		tr.Feed(i%2, uint64(i%10))
+	}
+	if got := len(tr.past); got != 4 {
+		t.Fatalf("retained %d past epochs, want exactly Epochs=4", got)
+	}
+	// HeavyHitters candidates come from several epochs and stay sorted.
+	hh := tr.HeavyHitters(0.2)
+	if !sort.SliceIsSorted(hh, func(i, j int) bool { return hh[i] < hh[j] }) {
+		t.Fatalf("result not sorted: %v", hh)
+	}
+}

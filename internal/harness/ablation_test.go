@@ -1,0 +1,47 @@
+package harness
+
+import "testing"
+
+func TestAblationsProduceRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation suite is slow")
+	}
+	for _, tb := range Ablations(true) {
+		if len(tb.Rows) == 0 {
+			t.Errorf("ablation %q produced no rows", tb.Title)
+		}
+		for i, row := range tb.Rows {
+			if len(row) != len(tb.Cols) {
+				t.Errorf("ablation %q row %d has %d cells for %d cols",
+					tb.Title, i, len(row), len(tb.Cols))
+			}
+		}
+	}
+}
+
+func TestA1PaperDivisorIsSafe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb := A1(true)
+	for _, row := range tb.Rows {
+		// The paper's divisor (3) and anything larger must have zero
+		// violations.
+		if row[0] == "3" || row[0] == "6" || row[0] == "12" {
+			if row[2] != "0" {
+				t.Errorf("divisor %s shows violations: %v", row[0], row)
+			}
+		}
+	}
+}
+
+func TestA2AllSketchesSafe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, row := range A2(true).Rows {
+		if row[2] != "0" {
+			t.Errorf("sketch %s shows violations: %v", row[0], row)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	r, err := Run(Spec{Algo: HHExact, N: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K != 8 || r.Eps != 0.05 || r.Phi != 0.1 {
+		t.Fatalf("defaults not applied: %+v", r.Spec)
+	}
+	if r.Words == 0 || r.Msgs == 0 {
+		t.Fatal("no communication recorded")
+	}
+}
+
+func TestRunAllAlgosWithChecking(t *testing.T) {
+	for _, algo := range []Algo{
+		HHExact, HHSketch, QuantExact, QuantSketch, AllQ, AllQSketch,
+		Naive, Push, Poll, Sampling,
+	} {
+		r, err := Run(Spec{Algo: algo, N: 15000, CheckEvery: 499, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if r.Violations != 0 {
+			t.Errorf("%s: %d contract violations (max err %.4f)", algo, r.Violations, r.MaxErr)
+		}
+	}
+}
+
+func TestRunUnknownAlgo(t *testing.T) {
+	if _, err := Run(Spec{Algo: "nope"}); err == nil {
+		t.Fatal("unknown algo should error")
+	}
+}
+
+func TestQuantileSpecUsesPhi(t *testing.T) {
+	r, err := Run(Spec{Algo: QuantExact, N: 20000, Phi: 0.9, CheckEvery: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Phi != 0.9 {
+		t.Fatalf("phi not preserved: %+v", r.Spec)
+	}
+	if r.Violations != 0 {
+		t.Fatalf("phi=0.9 run violated the contract %d times", r.Violations)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	s := Spec{Algo: AllQ, N: 20000, Seed: 3}
+	r1, _ := Run(s)
+	r2, _ := Run(s)
+	if r1.Words != r2.Words || r1.Msgs != r2.Msgs {
+		t.Fatalf("same spec diverged: %d/%d vs %d/%d", r1.Msgs, r1.Words, r2.Msgs, r2.Words)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "a", "bb")
+	tb.Note = "a note"
+	tb.Add(1, 2.34567)
+	tb.Add("x", 5)
+	s := tb.String()
+	for _, want := range []string{"== demo ==", "a note", "bb", "2.346", "x"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table output %q missing %q", s, want)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n") || !strings.Contains(csv, "1,2.346") {
+		t.Fatalf("csv output %q", csv)
+	}
+}
+
+func TestExperimentsQuickAllProduceRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is slow")
+	}
+	for _, tb := range Experiments(true) {
+		if len(tb.Rows) == 0 {
+			t.Errorf("experiment %q produced no rows", tb.Title)
+		}
+		if len(tb.Cols) == 0 {
+			t.Errorf("experiment %q has no columns", tb.Title)
+		}
+		for i, row := range tb.Rows {
+			if len(row) != len(tb.Cols) {
+				t.Errorf("experiment %q row %d has %d cells for %d cols",
+					tb.Title, i, len(row), len(tb.Cols))
+			}
+		}
+	}
+}
+
+func TestE8AccuracyHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tb := E8(true)
+	for _, row := range tb.Rows {
+		if row[3] != "0" {
+			t.Errorf("E8 violation count nonzero: %v", row)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package histogram builds equal-height (equi-depth) histograms from an
+// all-quantile tracker — the paper's §1 observation that the all-quantile
+// structure "is equivalent to an (approximate) equal-height histogram,
+// which characterizes the entire distribution".
+package histogram
+
+import "fmt"
+
+// Ranker is the quantile interface a histogram is extracted from;
+// *allq.Tracker satisfies it.
+type Ranker interface {
+	// Quantile returns a value whose rank is within ~ε|A| of phi·|A|.
+	Quantile(phi float64) uint64
+	// Rank estimates the number of items < x.
+	Rank(x uint64) int64
+	// EstTotal estimates |A|.
+	EstTotal() int64
+}
+
+// Bucket is one histogram bucket [Lo, Hi) with an estimated item count.
+type Bucket struct {
+	Lo, Hi uint64
+	Count  int64
+}
+
+// Histogram is an equal-height histogram: every bucket holds approximately
+// |A|/len(Buckets) items (within the tracker's ε|A| rank error per
+// boundary).
+type Histogram struct {
+	Buckets []Bucket
+	Total   int64
+}
+
+// Build extracts a b-bucket equal-height histogram. b must be positive.
+func Build(r Ranker, b int) Histogram {
+	if b <= 0 {
+		panic(fmt.Sprintf("histogram: bucket count must be positive, got %d", b))
+	}
+	total := r.EstTotal()
+	h := Histogram{Total: total}
+	bounds := make([]uint64, 0, b+1)
+	bounds = append(bounds, 0)
+	for i := 1; i < b; i++ {
+		v := r.Quantile(float64(i) / float64(b))
+		// Quantiles are monotone up to tracker error; enforce monotone
+		// boundaries so buckets stay well formed.
+		if v < bounds[len(bounds)-1] {
+			v = bounds[len(bounds)-1]
+		}
+		bounds = append(bounds, v)
+	}
+	bounds = append(bounds, ^uint64(0))
+	ranks := make([]int64, len(bounds))
+	for i, v := range bounds {
+		if i == 0 {
+			ranks[i] = 0
+		} else if i == len(bounds)-1 {
+			ranks[i] = total
+		} else {
+			ranks[i] = r.Rank(v)
+		}
+		if i > 0 && ranks[i] < ranks[i-1] {
+			ranks[i] = ranks[i-1]
+		}
+	}
+	for i := 0; i+1 < len(bounds); i++ {
+		h.Buckets = append(h.Buckets, Bucket{
+			Lo:    bounds[i],
+			Hi:    bounds[i+1],
+			Count: ranks[i+1] - ranks[i],
+		})
+	}
+	return h
+}
+
+// MaxSkew returns the largest relative deviation of a bucket count from the
+// ideal |A|/b — a quality measure for the equal-height property.
+func (h Histogram) MaxSkew() float64 {
+	if h.Total == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	ideal := float64(h.Total) / float64(len(h.Buckets))
+	worst := 0.0
+	for _, bk := range h.Buckets {
+		d := float64(bk.Count) - ideal
+		if d < 0 {
+			d = -d
+		}
+		if d/ideal > worst {
+			worst = d / ideal
+		}
+	}
+	return worst
+}

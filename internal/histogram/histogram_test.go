@@ -1,0 +1,130 @@
+package histogram
+
+import (
+	"testing"
+
+	"disttrack/internal/core/allq"
+	"disttrack/internal/stream"
+)
+
+func buildTracker(t *testing.T, n int64, seed int64) *allq.Tracker {
+	t.Helper()
+	tr, err := allq.New(allq.Config{K: 8, Eps: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stream.Perturb(stream.Uniform(1<<30, n, seed))
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(i%8, x)
+	}
+	return tr
+}
+
+func TestEqualHeightBuckets(t *testing.T) {
+	tr := buildTracker(t, 50000, 1)
+	h := Build(tr, 10)
+	if len(h.Buckets) != 10 {
+		t.Fatalf("%d buckets, want 10", len(h.Buckets))
+	}
+	// Buckets tile the key space.
+	if h.Buckets[0].Lo != 0 || h.Buckets[9].Hi != ^uint64(0) {
+		t.Fatal("buckets do not cover the universe")
+	}
+	for i := 1; i < len(h.Buckets); i++ {
+		if h.Buckets[i].Lo != h.Buckets[i-1].Hi {
+			t.Fatalf("bucket %d does not abut its predecessor", i)
+		}
+	}
+	// Counts sum to the estimated total.
+	var sum int64
+	for _, b := range h.Buckets {
+		sum += b.Count
+	}
+	if sum != h.Total {
+		t.Fatalf("bucket counts sum to %d, total is %d", sum, h.Total)
+	}
+	// Equal-height: each bucket within ~3ε·b of ideal (ε rank error per
+	// boundary over an ideal height of total/b; ε=0.02, b=10 → 60%... the
+	// uniform workload lands much closer; assert the useful level).
+	if skew := h.MaxSkew(); skew > 0.5 {
+		t.Fatalf("max bucket skew %.3f too large for a uniform stream", skew)
+	}
+}
+
+func TestSingleBucket(t *testing.T) {
+	tr := buildTracker(t, 5000, 2)
+	h := Build(tr, 1)
+	if len(h.Buckets) != 1 || h.Buckets[0].Count != h.Total {
+		t.Fatalf("single bucket should hold everything: %+v", h)
+	}
+	if h.MaxSkew() != 0 {
+		t.Fatalf("single bucket skew should be 0, got %f", h.MaxSkew())
+	}
+}
+
+func TestSkewedDistribution(t *testing.T) {
+	// Zipf values: bucket *widths* vary wildly, heights must not.
+	tr, _ := allq.New(allq.Config{K: 4, Eps: 0.02})
+	g := stream.Perturb(stream.Zipf(100000, 60000, 1.3, 3))
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(i%4, x)
+	}
+	h := Build(tr, 8)
+	if skew := h.MaxSkew(); skew > 0.6 {
+		t.Fatalf("max bucket skew %.3f on zipf", skew)
+	}
+	// Width of the first bucket (hot values) must be far smaller than the
+	// last (cold tail).
+	first := h.Buckets[0].Hi - h.Buckets[0].Lo
+	last := h.Buckets[len(h.Buckets)-2].Hi - h.Buckets[len(h.Buckets)-2].Lo
+	if first >= last {
+		t.Fatalf("equal-height on zipf should give narrow hot buckets: first %d, later %d", first, last)
+	}
+}
+
+func TestBuildPanics(t *testing.T) {
+	tr := buildTracker(t, 1000, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("b=0 should panic")
+		}
+	}()
+	Build(tr, 0)
+}
+
+func TestMonotoneBoundsUnderTies(t *testing.T) {
+	// All mass at one value: every quantile is the same; buckets must stay
+	// well-formed (monotone, summing to total).
+	tr, _ := allq.New(allq.Config{K: 2, Eps: 0.1})
+	items := make([]uint64, 3000)
+	for i := range items {
+		items[i] = 42
+	}
+	g := stream.Perturb(stream.FromSlice(items))
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(i%2, x)
+	}
+	h := Build(tr, 5)
+	var sum int64
+	for i, b := range h.Buckets {
+		if b.Hi < b.Lo {
+			t.Fatalf("bucket %d inverted", i)
+		}
+		sum += b.Count
+	}
+	if sum != h.Total {
+		t.Fatalf("counts sum %d != total %d", sum, h.Total)
+	}
+}

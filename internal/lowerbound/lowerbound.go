@@ -1,0 +1,201 @@
+// Package lowerbound implements the constructive side of the paper's lower
+// bounds (Theorems 2.4 and 3.2):
+//
+//   - HHNemesis builds the Lemma 2.2 input: two groups of l = 1/(2φ−ε')
+//     items whose frequencies swap between φ·m and (φ−ε')·m every round
+//     (ε' = 2ε), so the heavy-hitter set changes Ω(log n / ε) times over
+//     the tracking period.
+//
+//   - MedianNemesis builds the §3.2 input over the two-item universe {0,1},
+//     whose majority item flips every round, so the median changes
+//     Ω(log n / ε) times.
+//
+//   - ForceMessages plays the Lemma 2.3 adversary against a live tracking
+//     algorithm: knowing each site's current triggering threshold, it routes
+//     each batch of arrivals to the currently cheapest site, forcing Ω(k)
+//     messages per heavy-hitter change.
+//
+// Together with change counting (CountHHChanges, CountMedianChanges) these
+// let the experiment suite measure the Ω(k/ε·log n) bound empirically
+// against the upper-bound trackers.
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"disttrack/internal/wire"
+)
+
+// HHNemesis returns the Lemma 2.2 arrival sequence for threshold phi and
+// error eps, long enough that the total count reaches at least targetN.
+// It requires phi > 3·eps (the theorem's precondition) and 2·phi−2·eps ≤ 1.
+// The second return value is the number of swap rounds generated.
+func HHNemesis(phi, eps float64, targetN int64) ([]uint64, int) {
+	if phi <= 3*eps {
+		panic(fmt.Sprintf("lowerbound: HHNemesis requires phi > 3*eps (phi=%g eps=%g)", phi, eps))
+	}
+	epsP := 2 * eps // the paper's ε'
+	if 2*phi-epsP > 1 {
+		panic("lowerbound: HHNemesis requires 2*phi - 2*eps <= 1")
+	}
+	l := int(1 / (2*phi - epsP))
+	if l < 1 {
+		l = 1
+	}
+	// Group 0 is items 1..l, group 1 is items l+1..2l.
+	group := func(g, i int) uint64 { return uint64(g*l + i + 1) }
+
+	// Initial prefix establishing the invariant at m0: group 0 at φ·m0,
+	// group 1 at (φ−ε')·m0. m0 is chosen large enough that all counts are
+	// meaningfully integral.
+	m0 := int64(math.Ceil(100 / (phi - epsP)))
+	var items []uint64
+	for i := 0; i < l; i++ {
+		for c := int64(0); c < int64(phi*float64(m0)); c++ {
+			items = append(items, group(0, i))
+		}
+		for c := int64(0); c < int64((phi-epsP)*float64(m0)); c++ {
+			items = append(items, group(1, i))
+		}
+	}
+	m := int64(len(items))
+
+	beta := epsP * (2*phi - epsP) / (phi - epsP)
+	rounds := 0
+	for m < targetN {
+		// Round `rounds`: the currently light group receives βm copies of
+		// each of its items, lifting them from (φ−ε')m to φ·m_{i+1}.
+		light := (rounds + 1) % 2 // group 0 is heavy at round 0
+		copies := int64(math.Ceil(beta * float64(m)))
+		for i := 0; i < l; i++ {
+			for c := int64(0); c < copies; c++ {
+				items = append(items, group(light, i))
+			}
+		}
+		m = int64(len(items))
+		rounds++
+	}
+	return items, rounds
+}
+
+// CountHHChanges counts ground-truth heavy-hitter transitions in the
+// arrival sequence: an item that was below (phi−eps)·|A| and later reaches
+// phi·|A| counts one change (the direction Lemma 2.2 counts).
+func CountHHChanges(items []uint64, phi, eps float64) int {
+	counts := make(map[uint64]int64)
+	below := make(map[uint64]bool) // has been below (φ−ε)|A| since last change
+	changes := 0
+	var n int64
+	for _, x := range items {
+		counts[x]++
+		n++
+		fx := float64(counts[x])
+		if fx >= phi*float64(n) {
+			if below[x] {
+				changes++
+				below[x] = false
+			}
+		} else if fx < (phi-eps)*float64(n) {
+			below[x] = true
+		}
+	}
+	return changes
+}
+
+// MedianNemesis returns the §3.2 arrival sequence over the two-value
+// universe {0, 1}, long enough to reach targetN, plus the number of
+// majority-flip rounds. eps must be below 1/8.
+func MedianNemesis(eps float64, targetN int64) ([]uint64, int) {
+	if eps <= 0 || eps >= 0.125 {
+		panic(fmt.Sprintf("lowerbound: MedianNemesis requires eps in (0, 1/8), got %g", eps))
+	}
+	// Invariant at round start: freq(b) = (0.5−2ε)m, freq(1−b) = (0.5+2ε)m,
+	// with b = round mod 2.
+	m0 := int64(math.Ceil(50 / eps))
+	var items []uint64
+	nLight := int64((0.5 - 2*eps) * float64(m0))
+	nHeavy := m0 - nLight
+	for c := int64(0); c < nLight; c++ {
+		items = append(items, 0)
+	}
+	for c := int64(0); c < nHeavy; c++ {
+		items = append(items, 1)
+	}
+	m := int64(len(items))
+	rounds := 0
+	grow := 4 * eps / (0.5 - 2*eps)
+	for m < targetN {
+		b := uint64(rounds % 2) // the currently light item
+		copies := int64(math.Ceil(grow * float64(m)))
+		for c := int64(0); c < copies; c++ {
+			items = append(items, b)
+		}
+		m = int64(len(items))
+		rounds++
+	}
+	return items, rounds
+}
+
+// CountMedianChanges counts how many times the exact median flips between
+// 0 and 1 over the prefix sequence.
+func CountMedianChanges(items []uint64) int {
+	var c0, c1, changes int64
+	median := uint64(0)
+	for _, x := range items {
+		if x == 0 {
+			c0++
+		} else {
+			c1++
+		}
+		m := uint64(0)
+		if c1 > c0 {
+			m = 1
+		}
+		if m != median {
+			changes++
+			median = m
+		}
+	}
+	return int(changes)
+}
+
+// Adversary is the view of a deterministic tracking algorithm the Lemma 2.3
+// adversary needs: per-site triggering thresholds for a given item, the
+// ability to deliver items, and the message meter.
+type Adversary interface {
+	// ItemThreshold returns how many further copies of x site j must
+	// receive before it initiates communication.
+	ItemThreshold(j int, x uint64) int64
+	Feed(site int, x uint64)
+	Meter() *wire.Meter
+	K() int
+}
+
+// ForceMessages delivers `budget` copies of item x to the tracker, always
+// routing the next batch to the site with the smallest triggering threshold
+// (the Lemma 2.3 strategy), and returns how many upstream messages the
+// delivery forced. If the algorithm meets its invariants, the count is
+// Ω(min(k, budget/threshold)).
+func ForceMessages(tr Adversary, x uint64, budget int64) int64 {
+	before := tr.Meter().UpCost().Msgs
+	remaining := budget
+	for remaining > 0 {
+		// Find the cheapest site to trigger.
+		bestJ, bestThr := 0, tr.ItemThreshold(0, x)
+		for j := 1; j < tr.K(); j++ {
+			if thr := tr.ItemThreshold(j, x); thr < bestThr {
+				bestJ, bestThr = j, thr
+			}
+		}
+		batch := bestThr
+		if batch > remaining {
+			batch = remaining
+		}
+		for c := int64(0); c < batch; c++ {
+			tr.Feed(bestJ, x)
+		}
+		remaining -= batch
+	}
+	return tr.Meter().UpCost().Msgs - before
+}

@@ -1,0 +1,190 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"disttrack/internal/core/hh"
+	"disttrack/internal/stream"
+)
+
+func TestHHNemesisProducesManyChanges(t *testing.T) {
+	const phi, eps = 0.2, 0.05
+	items, rounds := HHNemesis(phi, eps, 1<<18)
+	if rounds < 5 {
+		t.Fatalf("only %d rounds generated", rounds)
+	}
+	changes := CountHHChanges(items, phi, eps)
+	// Lemma 2.2: Ω(log n / ε) changes; l changes per round.
+	l := int(math.Floor(1 / (2*phi - 2*eps)))
+	wantAtLeast := rounds * l / 2
+	if changes < wantAtLeast {
+		t.Fatalf("changes=%d, want >= %d (rounds=%d, l=%d)", changes, wantAtLeast, rounds, l)
+	}
+	// Growth is geometric: rounds should scale with log(n)/ε.
+	n := float64(len(items))
+	growth := phi / (phi - 2*eps)
+	expRounds := math.Log(n) / math.Log(growth)
+	if float64(rounds) > 1.5*expRounds {
+		t.Fatalf("rounds=%d far above the Θ(log n) prediction %f", rounds, expRounds)
+	}
+}
+
+func TestHHNemesisChangesScaleWithLogN(t *testing.T) {
+	const phi, eps = 0.2, 0.05
+	short, _ := HHNemesis(phi, eps, 1<<14)
+	long, _ := HHNemesis(phi, eps, 1<<20)
+	cs := CountHHChanges(short, phi, eps)
+	cl := CountHHChanges(long, phi, eps)
+	// 64x more items is +6 doublings: changes grow additively, not
+	// multiplicatively (log-scaling).
+	if cl <= cs {
+		t.Fatalf("changes did not grow: %d → %d", cs, cl)
+	}
+	if float64(cl) > 3.5*float64(cs) {
+		t.Fatalf("changes grew superlogarithmically: %d → %d", cs, cl)
+	}
+}
+
+func TestHHNemesisPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"phi too small": func() { HHNemesis(0.1, 0.05, 1000) },
+		"phi too big":   func() { HHNemesis(0.9, 0.1, 1000) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMedianNemesisFlips(t *testing.T) {
+	const eps = 0.05
+	items, rounds := MedianNemesis(eps, 1<<18)
+	if rounds < 5 {
+		t.Fatalf("only %d rounds", rounds)
+	}
+	changes := CountMedianChanges(items)
+	if changes < rounds {
+		t.Fatalf("median changed %d times over %d rounds, want >= rounds", changes, rounds)
+	}
+}
+
+func TestMedianNemesisPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("eps=0.2 should panic")
+		}
+	}()
+	MedianNemesis(0.2, 1000)
+}
+
+func TestAdversaryForcesOmegaKMessages(t *testing.T) {
+	// Lemma 2.3 against the real Theorem 2.1 tracker: warm the tracker,
+	// then deliver βm copies of one item adversarially and verify Ω(k)
+	// messages are forced.
+	for _, k := range []int{4, 8, 16, 32} {
+		const eps = 0.05
+		tr, err := hh.New(hh.Config{K: k, Eps: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := stream.Uniform(100000, 1<<15, int64(k))
+		for i := 0; ; i++ {
+			x, ok := g.Next()
+			if !ok {
+				break
+			}
+			tr.Feed(i%k, x)
+		}
+		m := tr.TrueTotal()
+		budget := int64(eps * float64(m)) // ≈ the βm_i copies of one change
+		forced := ForceMessages(tr, 424242, budget)
+		if forced < int64(k)/2 {
+			t.Fatalf("k=%d: adversary forced only %d messages, want >= k/2 = %d",
+				k, forced, k/2)
+		}
+	}
+}
+
+func TestAdversaryScalesLinearlyInK(t *testing.T) {
+	run := func(k int) int64 {
+		const eps = 0.05
+		tr, _ := hh.New(hh.Config{K: k, Eps: eps})
+		g := stream.Uniform(100000, 1<<15, 99)
+		for i := 0; ; i++ {
+			x, ok := g.Next()
+			if !ok {
+				break
+			}
+			tr.Feed(i%k, x)
+		}
+		return ForceMessages(tr, 7777, int64(eps*float64(tr.TrueTotal())))
+	}
+	f8, f32 := run(8), run(32)
+	if r := float64(f32) / float64(f8); r < 2 {
+		t.Fatalf("forced messages should scale ~linearly in k: %d → %d (ratio %.2f)",
+			f8, f32, r)
+	}
+}
+
+func TestForceMessagesDeliversExactBudget(t *testing.T) {
+	const k, eps = 4, 0.1
+	tr, _ := hh.New(hh.Config{K: k, Eps: eps})
+	g := stream.Uniform(1000, 4000, 3)
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(i%k, x)
+	}
+	before := tr.TrueTotal()
+	ForceMessages(tr, 55, 500)
+	if got := tr.TrueTotal() - before; got != 500 {
+		t.Fatalf("adversary delivered %d items, want exactly 500", got)
+	}
+	if tr.EstFrequency(55) == 0 {
+		t.Fatal("tracked frequency of the attacked item should be visible")
+	}
+}
+
+func TestHHNemesisAgainstTracker(t *testing.T) {
+	// End-to-end: the nemesis stream must not break the tracker's contract
+	// (it stresses it maximally), and the tracker's cost on it stays within
+	// the Theorem 2.1 budget.
+	const phi, eps, k = 0.2, 0.05, 8
+	items, _ := HHNemesis(phi, eps, 1<<16)
+	tr, _ := hh.New(hh.Config{K: k, Eps: eps})
+	counts := make(map[uint64]int64)
+	var n int64
+	for i, x := range items {
+		tr.Feed(i%k, x)
+		counts[x]++
+		n++
+		if i%509 != 0 {
+			continue
+		}
+		rep := map[uint64]bool{}
+		for _, v := range tr.HeavyHitters(phi) {
+			rep[v] = true
+			if float64(counts[v]) < (phi-eps)*float64(n) {
+				t.Fatalf("step %d: false positive %d", i, v)
+			}
+		}
+		for v, c := range counts {
+			if float64(c) >= phi*float64(n) && !rep[v] {
+				t.Fatalf("step %d: missed heavy hitter %d", i, v)
+			}
+		}
+	}
+	words := tr.Meter().Total().Words
+	bound := 60 * float64(k) / eps * math.Log2(float64(n))
+	if float64(words) > bound {
+		t.Fatalf("nemesis run cost %d words beyond O(k/ε log n) scale %.0f", words, bound)
+	}
+}

@@ -1,0 +1,108 @@
+// Package oracle maintains the exact global state of the tracked stream —
+// the ground truth the paper's approximation guarantees are stated against.
+//
+// Every tracker test feeds the same arrivals to the tracker and to an Oracle
+// and checks, at each prefix (the "at all times" part of the guarantee),
+// that the tracker's answers are within the promised ε of the oracle's.
+package oracle
+
+import (
+	"sort"
+
+	"disttrack/internal/rank"
+)
+
+// Oracle holds the exact multiset A(t).
+type Oracle struct {
+	counts map[uint64]int64
+	tree   *rank.Tree
+	n      int64
+}
+
+// New returns an empty oracle.
+func New() *Oracle {
+	return &Oracle{counts: make(map[uint64]int64), tree: rank.New(0xFACE)}
+}
+
+// Add records one arrival of x.
+func (o *Oracle) Add(x uint64) {
+	o.counts[x]++
+	o.tree.Insert(x)
+	o.n++
+}
+
+// Len returns |A|.
+func (o *Oracle) Len() int64 { return o.n }
+
+// Count returns m_x(A), the exact frequency of x.
+func (o *Oracle) Count(x uint64) int64 { return o.counts[x] }
+
+// Rank returns the exact number of items strictly less than x.
+func (o *Oracle) Rank(x uint64) int64 { return int64(o.tree.Rank(x)) }
+
+// RankOfValue returns the exact number of items whose Unperturb-ed value is
+// strictly less than v, assuming keys were produced by stream.Perturb with
+// the given shift.
+func (o *Oracle) RankOfValue(v uint64, shift uint) int64 {
+	return int64(o.tree.Rank(v << shift))
+}
+
+// HeavyHitters returns the exact set Hφ = {x : m_x >= φ|A|}, sorted.
+func (o *Oracle) HeavyHitters(phi float64) []uint64 {
+	if o.n == 0 {
+		return nil
+	}
+	thresh := phi * float64(o.n)
+	var out []uint64
+	for x, c := range o.counts {
+		if float64(c) >= thresh {
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsHeavy reports whether m_x >= φ|A|.
+func (o *Oracle) IsHeavy(x uint64, phi float64) bool {
+	return o.n > 0 && float64(o.counts[x]) >= phi*float64(o.n)
+}
+
+// Quantile returns the exact φ-quantile: the item of rank ⌊φ·|A|⌋ in sorted
+// order (0-based), clamped to the ends — an item with at most φ|A| items
+// smaller and at most (1−φ)|A| greater. It panics on an empty oracle.
+func (o *Oracle) Quantile(phi float64) uint64 {
+	if o.n == 0 {
+		panic("oracle: Quantile of empty multiset")
+	}
+	i := int64(phi * float64(o.n))
+	if i < 0 {
+		i = 0
+	}
+	if i >= o.n {
+		i = o.n - 1
+	}
+	return o.tree.Select(int(i))
+}
+
+// QuantileRankError returns |rank(x) − φ|A|| as a fraction of |A| — the
+// quantity the ε-approximate quantile guarantee bounds. For x's with
+// duplicates, the most favourable rank in [rank(x), rank(x)+count(x)] is
+// used, matching the definition "at most φ|A| items smaller, at most
+// (1−φ)|A| items greater".
+func (o *Oracle) QuantileRankError(x uint64, phi float64) float64 {
+	if o.n == 0 {
+		return 0
+	}
+	lo := float64(o.tree.Rank(x))     // items < x
+	hi := lo + float64(o.counts[x])   // items <= x
+	target := phi * float64(o.n)      // ideal rank
+	if target >= lo && target <= hi { // target falls inside x's run
+		return 0
+	}
+	err := lo - target
+	if target > hi {
+		err = target - hi
+	}
+	return err / float64(o.n)
+}

@@ -1,0 +1,151 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"disttrack/internal/stream"
+)
+
+func TestCountsAndLen(t *testing.T) {
+	o := New()
+	for _, x := range []uint64{5, 5, 7, 5} {
+		o.Add(x)
+	}
+	if o.Len() != 4 {
+		t.Fatalf("Len=%d", o.Len())
+	}
+	if o.Count(5) != 3 || o.Count(7) != 1 || o.Count(9) != 0 {
+		t.Fatalf("counts wrong: %d %d %d", o.Count(5), o.Count(7), o.Count(9))
+	}
+}
+
+func TestHeavyHitters(t *testing.T) {
+	o := New()
+	// 10 items: 5 x four times, 7 x three times, 1,2,3 once each.
+	for _, x := range []uint64{5, 5, 5, 5, 7, 7, 7, 1, 2, 3} {
+		o.Add(x)
+	}
+	got := o.HeavyHitters(0.3)
+	if len(got) != 2 || got[0] != 5 || got[1] != 7 {
+		t.Fatalf("HH(0.3)=%v want [5 7]", got)
+	}
+	got = o.HeavyHitters(0.35)
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("HH(0.35)=%v want [5]", got)
+	}
+	if !o.IsHeavy(5, 0.4) || o.IsHeavy(7, 0.4) {
+		t.Fatal("IsHeavy misclassifies")
+	}
+	if New().HeavyHitters(0.1) != nil {
+		t.Fatal("empty oracle should have no heavy hitters")
+	}
+}
+
+func TestRankAndQuantile(t *testing.T) {
+	o := New()
+	for x := uint64(0); x < 100; x++ {
+		o.Add(x * 10)
+	}
+	if got := o.Rank(500); got != 50 {
+		t.Fatalf("Rank(500)=%d want 50", got)
+	}
+	if got := o.Rank(505); got != 51 {
+		t.Fatalf("Rank(505)=%d want 51", got)
+	}
+	if got := o.Quantile(0.5); got != 500 {
+		t.Fatalf("median=%d want 500", got)
+	}
+	if got := o.Quantile(0); got != 0 {
+		t.Fatalf("Quantile(0)=%d want 0", got)
+	}
+	if got := o.Quantile(1); got != 990 {
+		t.Fatalf("Quantile(1)=%d want 990", got)
+	}
+}
+
+func TestQuantilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile on empty should panic")
+		}
+	}()
+	New().Quantile(0.5)
+}
+
+func TestQuantileRankError(t *testing.T) {
+	o := New()
+	for x := uint64(1); x <= 100; x++ {
+		o.Add(x)
+	}
+	// Exact median: any x with rank interval containing 50.
+	if err := o.QuantileRankError(50, 0.5); err != 0 {
+		t.Fatalf("error for x=50 at phi=0.5: %f want 0", err)
+	}
+	if err := o.QuantileRankError(51, 0.5); err != 0 {
+		t.Fatalf("error for x=51 at phi=0.5: %f want 0", err)
+	}
+	// x=60: rank 59..60, target 50 → error 9/100.
+	if err := o.QuantileRankError(60, 0.5); err != 0.09 {
+		t.Fatalf("error for x=60: %f want 0.09", err)
+	}
+	// x=40: rank 39..40, target 50 → error 10/100 (50-40).
+	if err := o.QuantileRankError(40, 0.5); err != 0.10 {
+		t.Fatalf("error for x=40: %f want 0.10", err)
+	}
+}
+
+func TestQuantileRankErrorWithDuplicates(t *testing.T) {
+	o := New()
+	// 1,2,2,2,2,2,2,2,2,3 — the value 2 spans ranks 1..9; median target 5.
+	o.Add(1)
+	for i := 0; i < 8; i++ {
+		o.Add(2)
+	}
+	o.Add(3)
+	if err := o.QuantileRankError(2, 0.5); err != 0 {
+		t.Fatalf("value spanning the target should have zero error, got %f", err)
+	}
+}
+
+func TestRankOfValue(t *testing.T) {
+	o := New()
+	g := stream.Perturb(stream.FromSlice([]uint64{3, 3, 5, 4}))
+	for {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		o.Add(x)
+	}
+	if got := o.RankOfValue(4, stream.PerturbBits); got != 2 {
+		t.Fatalf("RankOfValue(4)=%d want 2", got)
+	}
+	if got := o.RankOfValue(6, stream.PerturbBits); got != 4 {
+		t.Fatalf("RankOfValue(6)=%d want 4", got)
+	}
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	o := New()
+	var items []uint64
+	for i := 0; i < 2000; i++ {
+		x := uint64(rng.Intn(300))
+		o.Add(x)
+		items = append(items, x)
+		if i%101 != 0 {
+			continue
+		}
+		q := uint64(rng.Intn(310))
+		want := int64(0)
+		for _, y := range items {
+			if y < q {
+				want++
+			}
+		}
+		if got := o.Rank(q); got != want {
+			t.Fatalf("step %d: Rank(%d)=%d want %d", i, q, got, want)
+		}
+	}
+}

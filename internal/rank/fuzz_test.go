@@ -1,0 +1,89 @@
+package rank
+
+import (
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+// FuzzTreeAgainstReference drives the treap with an arbitrary operation
+// tape (insert/delete/rank/select) and checks every answer against a
+// sorted-slice model.
+func FuzzTreeAgainstReference(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 1, 2, 3})
+	f.Add([]byte{0, 200, 0, 200, 3, 200, 1, 0})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		tr := New(99)
+		var model []uint64
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i]%4, uint64(tape[i+1])
+			switch op {
+			case 0: // insert
+				tr.Insert(arg)
+				j := sort.Search(len(model), func(j int) bool { return model[j] >= arg })
+				model = append(model, 0)
+				copy(model[j+1:], model[j:])
+				model[j] = arg
+			case 1: // delete
+				ok := tr.Delete(arg)
+				j := sort.Search(len(model), func(j int) bool { return model[j] >= arg })
+				wantOK := j < len(model) && model[j] == arg
+				if ok != wantOK {
+					t.Fatalf("Delete(%d)=%v want %v", arg, ok, wantOK)
+				}
+				if wantOK {
+					model = append(model[:j], model[j+1:]...)
+				}
+			case 2: // rank
+				want := sort.Search(len(model), func(j int) bool { return model[j] >= arg })
+				if got := tr.Rank(arg); got != want {
+					t.Fatalf("Rank(%d)=%d want %d", arg, got, want)
+				}
+			case 3: // select
+				if len(model) == 0 {
+					continue
+				}
+				idx := int(arg) % len(model)
+				if got := tr.Select(idx); got != model[idx] {
+					t.Fatalf("Select(%d)=%d want %d", idx, got, model[idx])
+				}
+			}
+			if tr.Len() != len(model) {
+				t.Fatalf("Len=%d want %d", tr.Len(), len(model))
+			}
+		}
+	})
+}
+
+// FuzzSeparators checks the separator rank-error contract for arbitrary
+// multisets and steps.
+func FuzzSeparators(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, step uint8) {
+		if step == 0 {
+			step = 1
+		}
+		tr := New(7)
+		var xs []uint64
+		for i := 0; i+8 <= len(data) && i < 400*8; i += 8 {
+			x := binary.LittleEndian.Uint64(data[i : i+8])
+			tr.Insert(x)
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return
+		}
+		seps := tr.Separators(0, ^uint64(0), int(step))
+		for i, s := range seps {
+			wantRankCeil := (i + 1) * int(step) // rank of the chunk-closing item
+			got := tr.Rank(s)
+			// The closing item of chunk i has rank in
+			// [i*step, (i+1)*step): duplicates make Rank land at the run
+			// start, so allow the full chunk.
+			if got >= wantRankCeil || got < wantRankCeil-int(step)-int(tr.Count(s)) {
+				t.Fatalf("separator %d (=%d): Rank=%d want in [%d,%d)",
+					i, s, got, wantRankCeil-int(step), wantRankCeil)
+			}
+		}
+	})
+}

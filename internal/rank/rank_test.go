@@ -1,0 +1,301 @@
+package rank
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// reference is a sorted-slice model of the multiset.
+type reference struct{ items []uint64 }
+
+func (r *reference) insert(x uint64) {
+	i := sort.Search(len(r.items), func(i int) bool { return r.items[i] >= x })
+	r.items = append(r.items, 0)
+	copy(r.items[i+1:], r.items[i:])
+	r.items[i] = x
+}
+
+func (r *reference) rank(x uint64) int {
+	return sort.Search(len(r.items), func(i int) bool { return r.items[i] >= x })
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(1)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if tr.Rank(42) != 0 {
+		t.Fatalf("Rank on empty = %d, want 0", tr.Rank(42))
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty should report !ok")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty should report !ok")
+	}
+	if got := tr.Separators(0, ^uint64(0), 3); got != nil {
+		t.Fatalf("Separators on empty = %v, want nil", got)
+	}
+}
+
+func TestInsertRankSelectAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New(7)
+	ref := &reference{}
+	for i := 0; i < 3000; i++ {
+		x := uint64(rng.Intn(500)) // plenty of duplicates
+		tr.Insert(x)
+		ref.insert(x)
+		if tr.Len() != len(ref.items) {
+			t.Fatalf("step %d: Len=%d want %d", i, tr.Len(), len(ref.items))
+		}
+		if i%37 == 0 {
+			q := uint64(rng.Intn(510))
+			if got, want := tr.Rank(q), ref.rank(q); got != want {
+				t.Fatalf("step %d: Rank(%d)=%d want %d", i, q, got, want)
+			}
+			j := rng.Intn(len(ref.items))
+			if got, want := tr.Select(j), ref.items[j]; got != want {
+				t.Fatalf("step %d: Select(%d)=%d want %d", i, j, got, want)
+			}
+		}
+	}
+	got := tr.Items()
+	if len(got) != len(ref.items) {
+		t.Fatalf("Items length %d want %d", len(got), len(ref.items))
+	}
+	for i := range got {
+		if got[i] != ref.items[i] {
+			t.Fatalf("Items[%d]=%d want %d", i, got[i], ref.items[i])
+		}
+	}
+}
+
+func TestDuplicateMultiplicity(t *testing.T) {
+	tr := New(3)
+	tr.InsertN(10, 5)
+	tr.Insert(10)
+	tr.Insert(20)
+	if got := tr.Count(10); got != 6 {
+		t.Fatalf("Count(10)=%d want 6", got)
+	}
+	if got := tr.Len(); got != 7 {
+		t.Fatalf("Len=%d want 7", got)
+	}
+	if got := tr.Rank(20); got != 6 {
+		t.Fatalf("Rank(20)=%d want 6", got)
+	}
+	if got := tr.Select(5); got != 10 {
+		t.Fatalf("Select(5)=%d want 10", got)
+	}
+	if got := tr.Select(6); got != 20 {
+		t.Fatalf("Select(6)=%d want 20", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New(11)
+	for _, x := range []uint64{5, 3, 8, 3, 9} {
+		tr.Insert(x)
+	}
+	if !tr.Delete(3) {
+		t.Fatal("Delete(3) should succeed")
+	}
+	if got := tr.Count(3); got != 1 {
+		t.Fatalf("Count(3)=%d want 1 after one delete", got)
+	}
+	if !tr.Delete(3) || tr.Count(3) != 0 {
+		t.Fatal("second Delete(3) should remove the node")
+	}
+	if tr.Delete(3) {
+		t.Fatal("Delete of absent key should report false")
+	}
+	if got := tr.Len(); got != 3 {
+		t.Fatalf("Len=%d want 3", got)
+	}
+	want := []uint64{5, 8, 9}
+	for i, x := range tr.Items() {
+		if x != want[i] {
+			t.Fatalf("Items=%v want %v", tr.Items(), want)
+		}
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	tr := New(5)
+	for x := uint64(0); x < 100; x++ {
+		tr.Insert(x * 2) // evens 0..198
+	}
+	cases := []struct {
+		lo, hi uint64
+		want   int
+	}{
+		{0, 200, 100},
+		{0, 0, 0},
+		{10, 10, 0},
+		{10, 11, 1},
+		{11, 13, 1},
+		{50, 40, 0}, // inverted
+		{199, 1000, 0},
+	}
+	for _, c := range cases {
+		if got := tr.CountRange(c.lo, c.hi); got != c.want {
+			t.Errorf("CountRange(%d,%d)=%d want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New(9)
+	for _, x := range []uint64{42, 7, 99, 7} {
+		tr.Insert(x)
+	}
+	if mn, ok := tr.Min(); !ok || mn != 7 {
+		t.Fatalf("Min=%d,%v want 7,true", mn, ok)
+	}
+	if mx, ok := tr.Max(); !ok || mx != 99 {
+		t.Fatalf("Max=%d,%v want 99,true", mx, ok)
+	}
+}
+
+func TestSeparatorsFullRange(t *testing.T) {
+	tr := New(13)
+	for x := uint64(1); x <= 20; x++ {
+		tr.Insert(x)
+	}
+	seps := tr.Separators(0, ^uint64(0), 5)
+	want := []uint64{5, 10, 15, 20}
+	if len(seps) != len(want) {
+		t.Fatalf("Separators=%v want %v", seps, want)
+	}
+	for i := range want {
+		if seps[i] != want[i] {
+			t.Fatalf("Separators=%v want %v", seps, want)
+		}
+	}
+}
+
+func TestSeparatorsSubInterval(t *testing.T) {
+	tr := New(13)
+	for x := uint64(0); x < 100; x++ {
+		tr.Insert(x)
+	}
+	// Interval [30, 60) holds 30 items; step 10 → items of local ranks 9,19,29.
+	seps := tr.Separators(30, 60, 10)
+	want := []uint64{39, 49, 59}
+	if len(seps) != 3 || seps[0] != want[0] || seps[1] != want[1] || seps[2] != want[2] {
+		t.Fatalf("Separators(30,60,10)=%v want %v", seps, want)
+	}
+}
+
+// Property: separators bound interval-local ranks within step.
+func TestSeparatorsRankErrorProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr := New(21)
+	for i := 0; i < 2000; i++ {
+		tr.Insert(uint64(rng.Intn(100000)))
+	}
+	const step = 50
+	seps := tr.Separators(0, ^uint64(0), step)
+	for trial := 0; trial < 200; trial++ {
+		q := uint64(rng.Intn(100001))
+		// Estimated rank from separators: step * (number of separators < q)
+		// ... which must be within step of the true rank.
+		est := 0
+		for _, s := range seps {
+			if s < q {
+				est += step
+			}
+		}
+		trueRank := tr.Rank(q)
+		diff := trueRank - est
+		if diff < 0 || diff > step {
+			t.Fatalf("q=%d est=%d true=%d: separator rank error %d outside [0,%d]",
+				q, est, trueRank, diff, step)
+		}
+	}
+}
+
+func TestQuickRankSelectInverse(t *testing.T) {
+	f := func(xs []uint64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		tr := New(31)
+		for _, x := range xs {
+			tr.Insert(x)
+		}
+		// Select(Rank(x)) must return x for every inserted x (first occurrence).
+		for _, x := range xs {
+			if tr.Select(tr.Rank(x)) != x {
+				return false
+			}
+		}
+		// Ranks are monotone in sorted order and sizes are consistent.
+		return tr.Len() == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCountRangeAdditive(t *testing.T) {
+	f := func(xs []uint64, a, b, c uint64) bool {
+		tr := New(41)
+		for _, x := range xs {
+			tr.Insert(x)
+		}
+		lo, mid, hi := a, b, c
+		if lo > mid {
+			lo, mid = mid, lo
+		}
+		if mid > hi {
+			mid, hi = hi, mid
+		}
+		if lo > mid {
+			lo, mid = mid, lo
+		}
+		return tr.CountRange(lo, hi) == tr.CountRange(lo, mid)+tr.CountRange(mid, hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	a, b := New(99), New(99)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		x := rng.Uint64() % 1000
+		a.Insert(x)
+		b.Insert(x)
+	}
+	for q := uint64(0); q < 1000; q += 17 {
+		if a.Rank(q) != b.Rank(q) {
+			t.Fatalf("same-seed trees disagree at Rank(%d)", q)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New(1)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Uint64())
+	}
+}
+
+func BenchmarkRank(b *testing.B) {
+	tr := New(1)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		tr.Insert(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Rank(rng.Uint64())
+	}
+}

@@ -1,0 +1,58 @@
+package remote
+
+import (
+	"fmt"
+	"math"
+	"net"
+)
+
+// HHResult is one heavy-hitter row returned by a coordinator query.
+type HHResult struct {
+	Item uint64
+	Est  int64 // the coordinator's frequency estimate C.m_x
+}
+
+// Client queries a running coordinator over TCP. It is safe for sequential
+// reuse; one query is in flight at a time.
+type Client struct {
+	conn net.Conn
+}
+
+// DialClient connects a query client to a coordinator.
+func DialClient(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial client: %w", err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// HeavyHitters returns the coordinator's current φ-heavy hitters and its
+// estimate of the total count.
+func (c *Client) HeavyHitters(phi float64) ([]HHResult, int64, error) {
+	if err := WriteMsg(c.conn, Msg{Type: TypeQueryHH, A: math.Float64bits(phi)}); err != nil {
+		return nil, 0, fmt.Errorf("remote: query: %w", err)
+	}
+	var rows []HHResult
+	for {
+		m, err := ReadMsg(c.conn)
+		if err != nil {
+			return nil, 0, fmt.Errorf("remote: query response: %w", err)
+		}
+		switch m.Type {
+		case TypeHHItem:
+			rows = append(rows, HHResult{Item: m.A, Est: int64(m.B)})
+		case TypeQueryEnd:
+			if int(m.A) != len(rows) {
+				return nil, 0, fmt.Errorf("remote: query lost rows: got %d, header says %d",
+					len(rows), m.A)
+			}
+			return rows, int64(m.B), nil
+		default:
+			return nil, 0, fmt.Errorf("remote: unexpected response type %d", m.Type)
+		}
+	}
+}
+
+// Close tears the client connection down.
+func (c *Client) Close() error { return c.conn.Close() }

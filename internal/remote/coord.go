@@ -1,0 +1,340 @@
+package remote
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+
+	"disttrack/internal/wire"
+)
+
+// CoordConfig parameterizes a Coordinator.
+type CoordConfig struct {
+	K   int     // number of sites
+	Eps float64 // approximation error
+}
+
+// Coordinator is the coordinator daemon: it accepts site connections and
+// maintains the §2.1 coordinator state.
+type Coordinator struct {
+	cfg CoordConfig
+	ln  net.Listener
+
+	mu         sync.Mutex
+	conns      map[int]net.Conn // live site connections
+	lastNj     map[int]int64    // last exact count per site
+	cm         int64
+	cmx        map[uint64]int64
+	epoch      uint64
+	allSignals int
+	boot       bool
+	bootTarget int64
+	syncWait   map[int]bool // sites whose SyncResp is pending
+	meter      wire.Meter
+	rounds     int
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewCoordinator starts a coordinator listening on addr (e.g.
+// "127.0.0.1:0"). Close shuts it down.
+func NewCoordinator(addr string, cfg CoordConfig) (*Coordinator, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("remote: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.Eps <= 0 || cfg.Eps >= 1 {
+		return nil, fmt.Errorf("remote: Eps must be in (0,1), got %g", cfg.Eps)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: listen: %w", err)
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		ln:         ln,
+		conns:      make(map[int]net.Conn),
+		lastNj:     make(map[int]int64),
+		cmx:        make(map[uint64]int64),
+		boot:       true,
+		bootTarget: int64(float64(cfg.K)/cfg.Eps) + 1,
+		syncWait:   make(map[int]bool),
+	}
+	c.wg.Add(1)
+	go c.accept()
+	return c, nil
+}
+
+// Addr returns the listening address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+func (c *Coordinator) accept() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go c.serve(conn)
+	}
+}
+
+// serve handles one site connection.
+func (c *Coordinator) serve(conn net.Conn) {
+	defer c.wg.Done()
+	defer conn.Close()
+	hello, err := ReadMsg(conn)
+	if err != nil {
+		return
+	}
+	if hello.Type == TypeQueryHH {
+		c.serveQuery(conn, hello)
+		return
+	}
+	if hello.Type != TypeHello {
+		return
+	}
+	site := int(hello.A)
+	c.mu.Lock()
+	if site < 0 || site >= c.cfg.K || c.conns[site] != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.conns[site] = conn
+	if !c.boot {
+		// Late joiner (or a registration that lost the race with the
+		// boot-exit broadcast): bring it up to date immediately.
+		c.meter.Down(site, "newm", 1)
+		_ = WriteMsg(conn, Msg{Type: TypeNewM, A: uint64(c.cm), B: c.epoch})
+	}
+	c.mu.Unlock()
+
+	for {
+		m, err := ReadMsg(conn)
+		if err != nil {
+			c.dropSite(site)
+			return
+		}
+		c.handle(site, m, conn)
+	}
+}
+
+// serveQuery answers heavy-hitter queries on a client connection: for each
+// TypeQueryHH received, the current result rows followed by a terminator,
+// until the connection closes.
+func (c *Coordinator) serveQuery(conn net.Conn, first Msg) {
+	m := first
+	for {
+		phi := math.Float64frombits(m.A)
+		c.mu.Lock()
+		var rows []Msg
+		if c.cm > 0 && phi > 0 && phi <= 1 {
+			tau := (phi - 0.4*c.cfg.Eps) * float64(c.cm)
+			for x, f := range c.cmx {
+				if float64(f) >= tau {
+					rows = append(rows, Msg{Type: TypeHHItem, A: x, B: uint64(f)})
+				}
+			}
+		}
+		total := c.cm
+		c.mu.Unlock()
+		sort.Slice(rows, func(i, j int) bool { return rows[i].A < rows[j].A })
+		for _, r := range rows {
+			if WriteMsg(conn, r) != nil {
+				return
+			}
+		}
+		if WriteMsg(conn, Msg{Type: TypeQueryEnd, A: uint64(len(rows)), B: uint64(total)}) != nil {
+			return
+		}
+		var err error
+		m, err = ReadMsg(conn)
+		if err != nil || m.Type != TypeQueryHH {
+			return
+		}
+	}
+}
+
+// dropSite marks a site dead: its last reported state is retained, and any
+// pending sync completes without it.
+func (c *Coordinator) dropSite(site int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.conns, site)
+	if c.syncWait[site] {
+		delete(c.syncWait, site)
+		c.maybeFinishSyncLocked()
+	}
+}
+
+func (c *Coordinator) handle(site int, m Msg, conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.meter.Up(site, kindOf(m.Type), m.Words())
+	switch m.Type {
+	case TypeItem:
+		c.cm++
+		c.cmx[m.A]++
+		c.lastNj[site]++
+		if c.boot && c.cm >= c.bootTarget {
+			c.boot = false
+			c.broadcastNewMLocked(c.cm)
+		}
+	case TypeFreq:
+		c.cmx[m.A] += int64(m.B)
+	case TypeAll:
+		if m.B != c.epoch {
+			return // stale epoch: already folded into a sync
+		}
+		c.cm += int64(m.A)
+		c.allSignals++
+		if c.allSignals >= c.cfg.K && len(c.syncWait) == 0 {
+			c.startSyncLocked()
+		}
+	case TypeSyncResp:
+		if m.B != c.epoch || !c.syncWait[site] {
+			return
+		}
+		c.lastNj[site] = int64(m.A)
+		delete(c.syncWait, site)
+		c.maybeFinishSyncLocked()
+	case TypeFlush:
+		c.meter.Down(site, "flush", 1)
+		_ = WriteMsg(conn, Msg{Type: TypeFlushAck, A: m.A})
+	}
+}
+
+func kindOf(t byte) string {
+	switch t {
+	case TypeItem:
+		return "item"
+	case TypeAll:
+		return "all"
+	case TypeFreq:
+		return "freq"
+	case TypeSyncResp:
+		return "sync"
+	case TypeFlush:
+		return "flush"
+	}
+	return "other"
+}
+
+// startSyncLocked begins the exact-count collection from all live sites.
+func (c *Coordinator) startSyncLocked() {
+	c.allSignals = 0
+	live := 0
+	for site, conn := range c.conns {
+		c.syncWait[site] = true
+		c.meter.Down(site, "sync", 1)
+		_ = WriteMsg(conn, Msg{Type: TypeSyncReq, A: c.epoch})
+		live++
+	}
+	if live == 0 {
+		c.maybeFinishSyncLocked()
+	}
+}
+
+// maybeFinishSyncLocked completes the sync once every awaited site has
+// responded (or died): set C.m to the sum of exact counts and broadcast.
+func (c *Coordinator) maybeFinishSyncLocked() {
+	if len(c.syncWait) > 0 {
+		return
+	}
+	var m int64
+	for _, nj := range c.lastNj {
+		m += nj
+	}
+	if m > c.cm {
+		c.broadcastNewMLocked(m)
+	} else {
+		c.broadcastNewMLocked(c.cm)
+	}
+	c.rounds++
+}
+
+// broadcastNewMLocked advances the epoch and tells every live site the new
+// global count.
+func (c *Coordinator) broadcastNewMLocked(m int64) {
+	c.cm = m
+	c.epoch++
+	for site, conn := range c.conns {
+		c.meter.Down(site, "newm", 1)
+		_ = WriteMsg(conn, Msg{Type: TypeNewM, A: uint64(m), B: c.epoch})
+	}
+}
+
+// HeavyHitters returns the coordinator's current φ-heavy-hitter set, using
+// the same classification threshold as the simulator (φ − 0.4ε).
+func (c *Coordinator) HeavyHitters(phi float64) []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cm == 0 {
+		return nil
+	}
+	tau := (phi - 0.4*c.cfg.Eps) * float64(c.cm)
+	var out []uint64
+	for x, f := range c.cmx {
+		if float64(f) >= tau {
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EstTotal returns C.m.
+func (c *Coordinator) EstTotal() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cm
+}
+
+// EstFrequency returns C.m_x.
+func (c *Coordinator) EstFrequency(x uint64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cmx[x]
+}
+
+// LiveSites returns how many site connections are currently up.
+func (c *Coordinator) LiveSites() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.conns)
+}
+
+// Rounds returns how many syncs have completed.
+func (c *Coordinator) Rounds() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rounds
+}
+
+// Meter returns the coordinator-side communication meter. The caller must
+// not use it concurrently with live traffic.
+func (c *Coordinator) Meter() *wire.Meter { return &c.meter }
+
+// Close shuts the coordinator down and waits for its goroutines.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := make([]net.Conn, 0, len(c.conns))
+	for _, conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.mu.Unlock()
+	err := c.ln.Close()
+	for _, conn := range conns {
+		conn.Close()
+	}
+	c.wg.Wait()
+	return err
+}

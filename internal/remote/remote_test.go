@@ -1,0 +1,300 @@
+package remote
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"disttrack/internal/oracle"
+	"disttrack/internal/stream"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Msg{Type: TypeFreq, A: 42, B: 7, C: 9}
+	if err := WriteMsg(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v != %+v", out, in)
+	}
+}
+
+func TestFrameRejectsUnknownType(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteByte(200)
+	buf.Write(make([]byte, 24))
+	if _, err := ReadMsg(&buf); err == nil {
+		t.Fatal("unknown type should error")
+	}
+}
+
+func TestMsgWords(t *testing.T) {
+	if (Msg{Type: TypeFreq}).Words() != 2 {
+		t.Fatal("freq is 2 words")
+	}
+	if (Msg{Type: TypeAll}).Words() != 1 {
+		t.Fatal("all is 1 word")
+	}
+}
+
+// startCluster brings up a coordinator and k connected agents on loopback.
+func startCluster(t *testing.T, k int, eps float64) (*Coordinator, []*SiteAgent) {
+	t.Helper()
+	coord, err := NewCoordinator("127.0.0.1:0", CoordConfig{K: k, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := make([]*SiteAgent, k)
+	for j := 0; j < k; j++ {
+		agents[j], err = Dial(coord.Addr(), j, k, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until the coordinator sees everyone.
+	deadline := time.Now().Add(2 * time.Second)
+	for coord.LiveSites() < k {
+		if time.Now().After(deadline) {
+			t.Fatal("sites did not connect")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return coord, agents
+}
+
+func TestEndToEndHeavyHitters(t *testing.T) {
+	const k, eps, phi = 4, 0.05, 0.1
+	coord, agents := startCluster(t, k, eps)
+	defer coord.Close()
+
+	o := oracle.New()
+	var omu sync.Mutex
+	var wg sync.WaitGroup
+	for j := 0; j < k; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			g := stream.Zipf(5000, 10000, 1.4, int64(j+1))
+			for {
+				x, ok := g.Next()
+				if !ok {
+					return
+				}
+				if err := agents[j].Observe(x); err != nil {
+					t.Errorf("site %d: %v", j, err)
+					return
+				}
+				omu.Lock()
+				o.Add(x)
+				omu.Unlock()
+			}
+		}(j)
+	}
+	wg.Wait()
+	for _, a := range agents {
+		if err := a.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// All messages processed: the coordinator's answer must satisfy the
+	// ε-contract against the exact oracle.
+	reported := map[uint64]bool{}
+	for _, x := range coord.HeavyHitters(phi) {
+		reported[x] = true
+		if float64(o.Count(x)) < (phi-eps)*float64(o.Len()) {
+			t.Errorf("false positive %d (freq %d of %d)", x, o.Count(x), o.Len())
+		}
+	}
+	for _, x := range o.HeavyHitters(phi) {
+		if !reported[x] {
+			t.Errorf("missed heavy hitter %d (freq %d of %d)", x, o.Count(x), o.Len())
+		}
+	}
+	// Count estimate: the simulator's invariant (3) allows εn/3 staleness;
+	// the async deployment additionally drops in-flight epoch-stale count
+	// signals until the next sync, so allow the full εn here.
+	if est, n := coord.EstTotal(), o.Len(); float64(n-est) > eps*float64(n) {
+		t.Errorf("EstTotal %d lags true %d beyond εn", est, n)
+	}
+	for _, a := range agents {
+		a.Close()
+	}
+}
+
+func TestCommunicationFarBelowNaive(t *testing.T) {
+	const k, eps = 4, 0.05
+	coord, agents := startCluster(t, k, eps)
+	defer coord.Close()
+	// Pace ingestion with Flush fences every batch (see the package
+	// documentation): arrivals faster than the coordinator round-trip run
+	// on stale state and degrade toward forwarding.
+	const n, batch = 40000, 1000
+	for i := 0; i < n; i++ {
+		if err := agents[i%k].Observe(uint64(i % 50)); err != nil {
+			t.Fatal(err)
+		}
+		if i%batch == batch-1 {
+			for _, a := range agents {
+				if err := a.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for _, a := range agents {
+		if err := a.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		a.Close()
+	}
+	up := coord.Meter().UpCost()
+	if up.Msgs >= n/2 {
+		t.Fatalf("remote protocol sent %d msgs for %d arrivals — not sublinear", up.Msgs, n)
+	}
+	if coord.Rounds() == 0 {
+		t.Fatal("no syncs completed")
+	}
+}
+
+func TestSiteFailureDegradesGracefully(t *testing.T) {
+	const k, eps, phi = 4, 0.1, 0.3
+	coord, agents := startCluster(t, k, eps)
+	defer coord.Close()
+
+	feed := func(from, to int) {
+		for i := from; i < to; i++ {
+			j := i % k
+			if agents[j] == nil {
+				j = (j + 1) % k
+			}
+			_ = agents[j].Observe(uint64(i % 7))
+			if i%1000 == 999 {
+				for _, a := range agents {
+					if a != nil {
+						_ = a.Flush()
+					}
+				}
+			}
+		}
+	}
+	feed(0, 10000)
+	// Kill site 2 mid-run.
+	agents[2].Close()
+	agents[2] = nil
+	deadline := time.Now().Add(2 * time.Second)
+	for coord.LiveSites() != k-1 {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator did not notice the dead site")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The survivors keep the protocol running: more syncs must complete.
+	before := coord.Rounds()
+	feed(10000, 40000)
+	for _, a := range agents {
+		if a != nil {
+			if err := a.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if coord.Rounds() <= before {
+		t.Fatalf("no syncs completed after the failure (rounds %d → %d)", before, coord.Rounds())
+	}
+	// Every value fed is ~1/7 of the stream — all must be reported at phi=0.3... none,
+	// whereas at phi := 1/8 each is heavy. Check the coordinator still answers.
+	if hh := coord.HeavyHitters(0.1); len(hh) != 7 {
+		t.Fatalf("after failure: HH=%v, want all 7 values", hh)
+	}
+	_ = phi
+	for _, a := range agents {
+		if a != nil {
+			a.Close()
+		}
+	}
+}
+
+func TestDialValidation(t *testing.T) {
+	coord, _ := NewCoordinator("127.0.0.1:0", CoordConfig{K: 2, Eps: 0.1})
+	defer coord.Close()
+	if _, err := Dial(coord.Addr(), 5, 2, 0.1); err == nil {
+		t.Fatal("site id out of range should error")
+	}
+	if _, err := Dial("127.0.0.1:1", 0, 2, 0.1); err == nil {
+		t.Fatal("dead address should error")
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator("127.0.0.1:0", CoordConfig{K: 0, Eps: 0.1}); err == nil {
+		t.Fatal("K=0 should error")
+	}
+	if _, err := NewCoordinator("127.0.0.1:0", CoordConfig{K: 2, Eps: 2}); err == nil {
+		t.Fatal("Eps=2 should error")
+	}
+}
+
+func TestSiteReconnect(t *testing.T) {
+	const k, eps = 2, 0.1
+	coord, agents := startCluster(t, k, eps)
+	defer coord.Close()
+	for i := 0; i < 2000; i++ {
+		_ = agents[i%k].Observe(uint64(i % 5))
+	}
+	for _, a := range agents {
+		_ = a.Flush()
+	}
+	// Site 1 restarts: close, re-dial with the same id.
+	agents[1].Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for coord.LiveSites() != k-1 {
+		if time.Now().After(deadline) {
+			t.Fatal("drop not noticed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	re, err := Dial(coord.Addr(), 1, k, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents[1] = re
+	for coord.LiveSites() != k {
+		if time.Now().After(deadline) {
+			t.Fatal("reconnect not registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The reconnected agent participates again (it gets the current NewM
+	// on Hello and resumes delta reporting).
+	for i := 0; i < 2000; i++ {
+		if err := agents[1].Observe(uint64(i % 5)); err != nil {
+			t.Fatalf("post-reconnect observe: %v", err)
+		}
+	}
+	if err := agents[1].Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if hh := coord.HeavyHitters(0.15); len(hh) == 0 {
+		t.Fatal("coordinator lost track after reconnect")
+	}
+	for _, a := range agents {
+		a.Close()
+	}
+}
+
+func TestCoordinatorCloseIdempotent(t *testing.T) {
+	coord, _ := NewCoordinator("127.0.0.1:0", CoordConfig{K: 2, Eps: 0.1})
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

@@ -1,0 +1,203 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// SiteAgent is one remote site: it observes a local stream and speaks the
+// §2.1 site protocol with the coordinator over TCP.
+type SiteAgent struct {
+	id   int
+	k    int
+	eps  float64
+	conn net.Conn
+
+	mu    sync.Mutex // guards protocol state and writes
+	m     int64      // S_j.m — last broadcast global count (0 = bootstrapping)
+	epoch uint64
+	dm    int64
+	dx    map[uint64]int64
+	local map[uint64]int64
+	nj    int64
+
+	flushSeq  uint64
+	flushAck  atomic.Uint64
+	flushCond *sync.Cond
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	err    atomic.Value // first fatal error
+}
+
+// Dial connects a site agent to the coordinator.
+func Dial(addr string, siteID, k int, eps float64) (*SiteAgent, error) {
+	if siteID < 0 || siteID >= k {
+		return nil, fmt.Errorf("remote: site id %d out of range [0,%d)", siteID, k)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial: %w", err)
+	}
+	s := &SiteAgent{
+		id:    siteID,
+		k:     k,
+		eps:   eps,
+		conn:  conn,
+		dx:    make(map[uint64]int64),
+		local: make(map[uint64]int64),
+	}
+	s.flushCond = sync.NewCond(&s.mu)
+	if err := WriteMsg(conn, Msg{Type: TypeHello, A: uint64(siteID)}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.readLoop()
+	return s, nil
+}
+
+// readLoop processes coordinator → site messages.
+func (s *SiteAgent) readLoop() {
+	defer s.wg.Done()
+	for {
+		m, err := ReadMsg(s.conn)
+		if err != nil {
+			if !s.closed.Load() {
+				s.err.Store(err)
+			}
+			s.mu.Lock()
+			s.flushCond.Broadcast() // wake any Flush waiter
+			s.mu.Unlock()
+			return
+		}
+		switch m.Type {
+		case TypeNewM:
+			s.mu.Lock()
+			s.m = int64(m.A)
+			s.epoch = m.B
+			s.dm = 0
+			s.mu.Unlock()
+		case TypeSyncReq:
+			s.mu.Lock()
+			nj := s.nj
+			s.dm = 0
+			err := WriteMsg(s.conn, Msg{Type: TypeSyncResp, A: uint64(nj), B: m.A})
+			s.mu.Unlock()
+			if err != nil {
+				s.err.Store(err)
+				return
+			}
+		case TypeFlushAck:
+			s.mu.Lock()
+			s.flushAck.Store(m.A)
+			s.flushCond.Broadcast()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// threshold is ε·S_j.m/3k, floored at one item.
+func (s *SiteAgent) threshold() int64 {
+	thr := int64(s.eps * float64(s.m) / (3 * float64(s.k)))
+	if thr < 1 {
+		thr = 1
+	}
+	return thr
+}
+
+// Observe records one local arrival and sends whatever the protocol
+// requires. It returns the first transport error encountered, after which
+// the agent keeps counting locally but stops communicating.
+func (s *SiteAgent) Observe(x uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nj++
+	s.local[x]++
+	if e := s.fatalErr(); e != nil {
+		return e
+	}
+	if s.m == 0 {
+		// Bootstrap: forward everything.
+		return s.send(Msg{Type: TypeItem, A: x})
+	}
+	thr := s.threshold()
+	s.dx[x]++
+	if s.dx[x] >= thr {
+		if err := s.send(Msg{Type: TypeFreq, A: x, B: uint64(s.dx[x])}); err != nil {
+			return err
+		}
+		delete(s.dx, x)
+	}
+	s.dm++
+	if s.dm >= thr {
+		if err := s.send(Msg{Type: TypeAll, A: uint64(s.dm), B: s.epoch}); err != nil {
+			return err
+		}
+		s.dm = 0
+	}
+	return nil
+}
+
+func (s *SiteAgent) send(m Msg) error {
+	if err := WriteMsg(s.conn, m); err != nil {
+		s.err.Store(err)
+		return err
+	}
+	return nil
+}
+
+func (s *SiteAgent) fatalErr() error {
+	if e := s.err.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// Flush blocks until the coordinator has processed every message this agent
+// sent before the call (a per-connection fence: TCP preserves order).
+func (s *SiteAgent) Flush() error {
+	s.mu.Lock()
+	s.flushSeq++
+	seq := s.flushSeq
+	if err := s.send(Msg{Type: TypeFlush, A: seq}); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	for s.flushAck.Load() < seq {
+		if e := s.fatalErr(); e != nil {
+			s.mu.Unlock()
+			return e
+		}
+		s.flushCond.Wait()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// LocalCount returns the site's exact count of x (diagnostics).
+func (s *SiteAgent) LocalCount(x uint64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.local[x]
+}
+
+// N returns the site's exact local item count.
+func (s *SiteAgent) N() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nj
+}
+
+// Close tears the connection down.
+func (s *SiteAgent) Close() error {
+	s.closed.Store(true)
+	err := s.conn.Close()
+	s.mu.Lock()
+	s.flushCond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,138 @@
+// Package runtime runs a tracker as a concurrent cluster: one goroutine per
+// site consuming from a per-site ingestion channel, a shared coordinator,
+// and thread-safe queries.
+//
+// The paper's model assumes communication is instant and atomic — when an
+// arrival triggers a message cascade, the cascade completes before the next
+// arrival is processed. The cluster honours that semantics by serializing
+// protocol transitions with a mutex while keeping ingestion, generation and
+// querying concurrent. (For a deployment across real processes and sockets,
+// see the remote package.)
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Feeder is the protocol surface the cluster drives; every tracker in this
+// module implements it.
+type Feeder interface {
+	Feed(site int, x uint64)
+}
+
+// ErrStopped is returned by Send after the cluster has been stopped or its
+// context cancelled.
+var ErrStopped = errors.New("runtime: cluster stopped")
+
+// Cluster runs k site goroutines feeding a shared tracker.
+type Cluster struct {
+	mu sync.Mutex // serializes protocol transitions and queries
+	tr Feeder
+
+	ingest    []chan uint64
+	wg        sync.WaitGroup
+	ctx       context.Context
+	cancel    context.CancelFunc
+	processed atomic.Int64
+	stopOnce  sync.Once
+}
+
+// New starts a cluster of k sites over tr. buf is the per-site channel
+// capacity (≥ 1). Always call Stop (or Drain) when done.
+func New(ctx context.Context, tr Feeder, k, buf int) (*Cluster, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("runtime: k must be >= 1, got %d", k)
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	c := &Cluster{tr: tr, ctx: cctx, cancel: cancel}
+	for j := 0; j < k; j++ {
+		ch := make(chan uint64, buf)
+		c.ingest = append(c.ingest, ch)
+		c.wg.Add(1)
+		go c.site(j, ch)
+	}
+	return c, nil
+}
+
+// site is the per-site goroutine: it observes its local stream and runs the
+// protocol for each arrival.
+func (c *Cluster) site(j int, ch <-chan uint64) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case x, ok := <-ch:
+			if !ok {
+				return
+			}
+			c.mu.Lock()
+			c.tr.Feed(j, x)
+			c.mu.Unlock()
+			c.processed.Add(1)
+		}
+	}
+}
+
+// Send delivers one arrival to a site's ingestion queue, blocking while the
+// queue is full. It returns ErrStopped after cancellation or Stop.
+func (c *Cluster) Send(site int, x uint64) error {
+	if site < 0 || site >= len(c.ingest) {
+		return fmt.Errorf("runtime: site %d out of range [0,%d)", site, len(c.ingest))
+	}
+	// Check cancellation first: when both the queue and Done are ready,
+	// select would pick randomly, and an enqueue after Stop would be
+	// silently dropped.
+	select {
+	case <-c.ctx.Done():
+		return ErrStopped
+	default:
+	}
+	select {
+	case <-c.ctx.Done():
+		return ErrStopped
+	case c.ingest[site] <- x:
+		return nil
+	}
+}
+
+// Query runs f while the protocol is quiescent, so any tracker reads inside
+// f see a consistent coordinator state.
+func (c *Cluster) Query(f func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f()
+}
+
+// Drain closes the ingestion queues and waits for the sites to finish
+// processing everything already sent. Send must not be called concurrently
+// with or after Drain.
+func (c *Cluster) Drain() {
+	c.stopOnce.Do(func() {
+		for _, ch := range c.ingest {
+			close(ch)
+		}
+	})
+	c.wg.Wait()
+	c.cancel()
+}
+
+// Stop cancels processing immediately, dropping anything still queued, and
+// waits for the site goroutines to exit.
+func (c *Cluster) Stop() {
+	c.cancel()
+	c.wg.Wait()
+}
+
+// Processed returns how many arrivals have been fully processed.
+func (c *Cluster) Processed() int64 { return c.processed.Load() }
+
+// K returns the number of sites.
+func (c *Cluster) K() int { return len(c.ingest) }

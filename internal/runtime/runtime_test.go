@@ -1,0 +1,158 @@
+package runtime
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"disttrack/internal/core/hh"
+	"disttrack/internal/oracle"
+	"disttrack/internal/stream"
+)
+
+func TestConcurrentIngestionPreservesContract(t *testing.T) {
+	const k, eps, phi = 8, 0.05, 0.1
+	tr, err := hh.New(hh.Config{K: k, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(context.Background(), tr, k, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := oracle.New()
+	var omu sync.Mutex
+
+	// One producer goroutine per site, each with its own stream slice.
+	var wg sync.WaitGroup
+	for j := 0; j < k; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			g := stream.Zipf(10000, 5000, 1.4, int64(j))
+			for {
+				x, ok := g.Next()
+				if !ok {
+					return
+				}
+				if err := c.Send(j, x); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+				omu.Lock()
+				o.Add(x)
+				omu.Unlock()
+			}
+		}(j)
+	}
+	wg.Wait()
+	c.Drain()
+
+	if got := c.Processed(); got != int64(k)*5000 {
+		t.Fatalf("processed %d, want %d", got, k*5000)
+	}
+	// Contract at the end (the oracle total matches exactly after Drain).
+	c.Query(func() {
+		reported := map[uint64]bool{}
+		for _, x := range tr.HeavyHitters(phi) {
+			reported[x] = true
+			if float64(o.Count(x)) < (phi-eps)*float64(o.Len()) {
+				t.Errorf("false positive %d", x)
+			}
+		}
+		for _, x := range o.HeavyHitters(phi) {
+			if !reported[x] {
+				t.Errorf("missed heavy hitter %d", x)
+			}
+		}
+	})
+}
+
+func TestQueryWhileIngesting(t *testing.T) {
+	const k = 4
+	tr, _ := hh.New(hh.Config{K: k, Eps: 0.1})
+	c, _ := New(context.Background(), tr, k, 16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20000; i++ {
+			if err := c.Send(i%k, uint64(i%100)); err != nil {
+				return
+			}
+		}
+	}()
+	// Interleaved queries must never observe a torn coordinator state
+	// (EstTotal is monotone under the lock).
+	var last int64
+	for i := 0; i < 200; i++ {
+		c.Query(func() {
+			if et := tr.EstTotal(); et < last {
+				t.Errorf("EstTotal went backwards: %d after %d", et, last)
+			} else {
+				last = et
+			}
+		})
+	}
+	<-done
+	c.Drain()
+}
+
+func TestStopCancelsPromptly(t *testing.T) {
+	tr, _ := hh.New(hh.Config{K: 2, Eps: 0.1})
+	c, _ := New(context.Background(), tr, 2, 1)
+	c.Stop()
+	if err := c.Send(0, 1); err != ErrStopped {
+		t.Fatalf("Send after Stop = %v, want ErrStopped", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tr, _ := hh.New(hh.Config{K: 2, Eps: 0.1})
+	c, _ := New(ctx, tr, 2, 1)
+	cancel()
+	deadline := time.After(2 * time.Second)
+	for {
+		if err := c.Send(0, 1); err == ErrStopped {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("Send did not observe cancellation")
+		default:
+		}
+	}
+	c.Stop()
+}
+
+func TestSendValidation(t *testing.T) {
+	tr, _ := hh.New(hh.Config{K: 2, Eps: 0.1})
+	c, _ := New(context.Background(), tr, 2, 1)
+	defer c.Drain()
+	if err := c.Send(5, 1); err == nil {
+		t.Fatal("out-of-range site should error")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	tr, _ := hh.New(hh.Config{K: 2, Eps: 0.1})
+	if _, err := New(context.Background(), tr, 0, 1); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestDrainIdempotentAfterProducers(t *testing.T) {
+	tr, _ := hh.New(hh.Config{K: 2, Eps: 0.1})
+	c, _ := New(context.Background(), tr, 2, 8)
+	for i := 0; i < 100; i++ {
+		if err := c.Send(i%2, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Drain()
+	c.Drain() // second drain must not panic (close of closed channel)
+	if c.Processed() != 100 {
+		t.Fatalf("processed %d", c.Processed())
+	}
+}

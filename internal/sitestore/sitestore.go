@@ -1,0 +1,79 @@
+// Package sitestore provides the per-site item store used by the quantile
+// protocols (§3.1 and §4): either exact (an order-statistics treap over all
+// local items) or sketched (a Greenwald–Khanna summary — the paper's
+// "implementing with small space" variant). All protocol queries — ranks,
+// range counts, separator samples — go through the Store interface, so the
+// tracking logic is identical in both modes.
+package sitestore
+
+import (
+	"disttrack/internal/rank"
+	"disttrack/internal/summary/gk"
+)
+
+// Store answers rank-structure queries over a site's local items.
+type Store interface {
+	// Insert records one local item.
+	Insert(x uint64)
+	// RankOf returns (an estimate of) the number of local items < x.
+	RankOf(x uint64) int64
+	// CountRange returns (an estimate of) the number of local items in [lo, hi).
+	CountRange(lo, hi uint64) int64
+	// Separators returns local items cutting [lo, hi) into chunks of ~step
+	// local items each (rank error at most step plus the sketch error).
+	Separators(lo, hi uint64, step int64) []uint64
+	// Space returns the number of stored entries (for the space experiments).
+	Space() int
+}
+
+// NewExact returns a Store holding every local item, with deterministic
+// internal balancing derived from seed.
+func NewExact(seed int64) Store { return &exactStore{tree: rank.New(seed)} }
+
+type exactStore struct{ tree *rank.Tree }
+
+func (s *exactStore) Insert(x uint64)       { s.tree.Insert(x) }
+func (s *exactStore) RankOf(x uint64) int64 { return int64(s.tree.Rank(x)) }
+func (s *exactStore) CountRange(lo, hi uint64) int64 {
+	return int64(s.tree.CountRange(lo, hi))
+}
+func (s *exactStore) Separators(lo, hi uint64, step int64) []uint64 {
+	return s.tree.Separators(lo, hi, int(step))
+}
+func (s *exactStore) Space() int { return s.tree.Len() }
+
+// NewGK returns a Store answering from a GK summary with rank error eps·n_j.
+func NewGK(eps float64) Store { return &gkStore{sum: gk.New(eps)} }
+
+type gkStore struct{ sum *gk.Summary }
+
+func (s *gkStore) Insert(x uint64)       { s.sum.Add(x) }
+func (s *gkStore) RankOf(x uint64) int64 { return s.sum.RankEst(x) }
+
+func (s *gkStore) CountRange(lo, hi uint64) int64 {
+	c := s.sum.RankEst(hi) - s.sum.RankEst(lo)
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+func (s *gkStore) Separators(lo, hi uint64, step int64) []uint64 {
+	r0, r1 := s.sum.RankEst(lo), s.sum.RankEst(hi)
+	var out []uint64
+	for r := r0 + step; r <= r1; r += step {
+		v := s.sum.QueryRank(r)
+		// The summary's error can push the returned value outside [lo, hi);
+		// clamp so merged separator lists stay inside the interval.
+		if v < lo {
+			v = lo
+		}
+		if hi > lo && v >= hi {
+			v = hi - 1
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func (s *gkStore) Space() int { return s.sum.Space() }

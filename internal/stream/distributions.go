@@ -1,0 +1,74 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Additional value distributions for realistic workloads: latency-like
+// (log-normal, exponential) and reading-like (normal) value streams, plus a
+// drifting mixture for continuous-tracking stress.
+
+// Normal returns n values distributed N(mean, stddev²), clamped at zero and
+// quantized to integers.
+func Normal(mean, stddev float64, n int64, seed int64) Generator {
+	if stddev < 0 || n < 0 {
+		panic("stream: Normal requires stddev >= 0 and n >= 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &funcGen{n: n, f: func() Item {
+		v := mean + stddev*rng.NormFloat64()
+		if v < 0 {
+			v = 0
+		}
+		return uint64(v)
+	}}
+}
+
+// Exponential returns n values distributed Exp(1/mean), quantized to
+// integers — a light-tailed latency model.
+func Exponential(mean float64, n int64, seed int64) Generator {
+	if mean <= 0 || n < 0 {
+		panic("stream: Exponential requires mean > 0 and n >= 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &funcGen{n: n, f: func() Item {
+		return uint64(rng.ExpFloat64() * mean)
+	}}
+}
+
+// LogNormal returns n values with ln X ~ N(mu, sigma²) — the classic
+// heavy-tailed latency model.
+func LogNormal(mu, sigma float64, n int64, seed int64) Generator {
+	if sigma < 0 || n < 0 {
+		panic("stream: LogNormal requires sigma >= 0 and n >= 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &funcGen{n: n, f: func() Item {
+		return uint64(math.Exp(mu + sigma*rng.NormFloat64()))
+	}}
+}
+
+// Drift returns n values from a normal distribution whose mean moves
+// linearly from startMean to endMean over the stream — continuous
+// distribution change, the hardest regime for "at all times" guarantees.
+func Drift(startMean, endMean, stddev float64, n int64, seed int64) Generator {
+	if n < 0 || stddev < 0 {
+		panic("stream: Drift requires stddev >= 0 and n >= 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	i := int64(0)
+	return &funcGen{n: n, f: func() Item {
+		frac := 0.0
+		if n > 1 {
+			frac = float64(i) / float64(n-1)
+		}
+		i++
+		mean := startMean + (endMean-startMean)*frac
+		v := mean + stddev*rng.NormFloat64()
+		if v < 0 {
+			v = 0
+		}
+		return uint64(v)
+	}}
+}

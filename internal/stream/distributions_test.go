@@ -1,0 +1,90 @@
+package stream
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func stats(xs []Item) (mean, stddev float64) {
+	for _, x := range xs {
+		mean += float64(x)
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := float64(x) - mean
+		stddev += d * d
+	}
+	return mean, math.Sqrt(stddev / float64(len(xs)))
+}
+
+func TestNormalMoments(t *testing.T) {
+	xs := drain(Normal(1000, 50, 20000, 1))
+	mean, sd := stats(xs)
+	if math.Abs(mean-1000) > 5 {
+		t.Fatalf("mean %.1f want ~1000", mean)
+	}
+	if math.Abs(sd-50) > 5 {
+		t.Fatalf("stddev %.1f want ~50", sd)
+	}
+}
+
+func TestNormalClampsAtZero(t *testing.T) {
+	for _, x := range drain(Normal(1, 100, 5000, 2)) {
+		if x > 1<<32 {
+			t.Fatalf("negative value wrapped to %d", x)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	xs := drain(Exponential(500, 30000, 3))
+	mean, _ := stats(xs)
+	if math.Abs(mean-500) > 25 {
+		t.Fatalf("mean %.1f want ~500", mean)
+	}
+}
+
+func TestLogNormalHeavyTail(t *testing.T) {
+	xs := drain(LogNormal(7, 1, 30000, 4))
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	median := float64(xs[len(xs)/2])
+	p99 := float64(xs[len(xs)*99/100])
+	// ln-median = mu → median ≈ e^7 ≈ 1096; p99 ≈ e^(7+2.33) ≈ 11, 000+.
+	if median < 800 || median > 1400 {
+		t.Fatalf("median %.0f want ~1096", median)
+	}
+	if p99 < 5*median {
+		t.Fatalf("p99 %.0f not heavy-tailed vs median %.0f", p99, median)
+	}
+}
+
+func TestDriftMovesMean(t *testing.T) {
+	xs := drain(Drift(100, 10100, 10, 20000, 5))
+	early, _ := stats(xs[:2000])
+	late, _ := stats(xs[len(xs)-2000:])
+	if early > 1500 {
+		t.Fatalf("early mean %.0f want ~start", early)
+	}
+	if late < 8500 {
+		t.Fatalf("late mean %.0f want ~end", late)
+	}
+}
+
+func TestDistributionPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"normal":      func() { Normal(1, -1, 5, 1) },
+		"exponential": func() { Exponential(0, 5, 1) },
+		"lognormal":   func() { LogNormal(0, -1, 5, 1) },
+		"drift":       func() { Drift(0, 1, -1, 5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,86 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	evs := Events(Zipf(1000, 5000, 1.3, 1), RandomAssign(8, 2))
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(evs) {
+		t.Fatalf("got %d events, want %d", len(back), len(evs))
+	}
+	for i := range evs {
+		if back[i] != evs[i] {
+			t.Fatalf("event %d: %+v != %+v", i, back[i], evs[i])
+		}
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Fatalf("got %d events", len(back))
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadEvents(bytes.NewReader([]byte("garbage bytes here...."))); err == nil {
+		t.Fatal("garbage should not decode")
+	}
+	// Truncated body.
+	evs := Events(Sequential(100), RoundRobin(4))
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadEvents(bytes.NewReader(buf.Bytes()[:buf.Len()-5])); err == nil {
+		t.Fatal("truncated trace should not decode")
+	}
+}
+
+func TestTraceRejectsNegativeSite(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, []Event{{Site: -1, Item: 3}}); err == nil {
+		t.Fatal("negative site should be rejected")
+	}
+}
+
+func TestReplayEvents(t *testing.T) {
+	evs := Events(Zipf(500, 2000, 1.5, 3), WeightedAssign([]float64{1, 3}, 4))
+	gen, assign := ReplayEvents(evs)
+	for i := 0; ; i++ {
+		x, ok := gen.Next()
+		if !ok {
+			if i != len(evs) {
+				t.Fatalf("replay ended at %d of %d", i, len(evs))
+			}
+			break
+		}
+		if x != evs[i].Item {
+			t.Fatalf("replay item %d: %d != %d", i, x, evs[i].Item)
+		}
+		if got := assign.Site(i, x); got != evs[i].Site {
+			t.Fatalf("replay site %d: %d != %d", i, got, evs[i].Site)
+		}
+	}
+	// Out-of-range assigner queries are clamped to site 0, not a panic.
+	if assign.Site(len(evs)+5, 0) != 0 {
+		t.Fatal("out-of-range replay site should be 0")
+	}
+}

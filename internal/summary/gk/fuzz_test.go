@@ -1,0 +1,38 @@
+package gk
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzRankBound feeds arbitrary byte-derived streams and checks the εn rank
+// bound at several probes after every insertion batch.
+func FuzzRankBound(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const eps = 0.1
+		s := New(eps)
+		var xs []uint64
+		for i := 0; i+2 <= len(data) && i < 2*2000; i += 2 {
+			x := uint64(binary.LittleEndian.Uint16(data[i : i+2]))
+			s.Add(x)
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return
+		}
+		bound := eps*float64(len(xs)) + 1
+		for _, q := range []uint64{0, 100, 30000, 65535, 70000} {
+			var want int64
+			for _, x := range xs {
+				if x < q {
+					want++
+				}
+			}
+			if got := s.RankEst(q); math.Abs(float64(got-want)) > bound {
+				t.Fatalf("RankEst(%d)=%d want %d±%.1f (n=%d)", q, got, want, bound, len(xs))
+			}
+		}
+	})
+}

@@ -1,0 +1,168 @@
+// Package gk implements the Greenwald–Khanna ε-approximate quantile summary
+// (reference [18] of the paper), which the §3.1 and §4 "implementing with
+// small space" remarks use as the per-site store in sketch mode.
+//
+// A summary answers rank queries over the n items inserted so far with
+// additive error at most ε·n, using a sorted list of tuples (v, g, Δ)
+// maintained under the invariant g_i + Δ_i ≤ ⌊2εn⌋. This implementation
+// uses the band-free greedy compression, which preserves the error guarantee
+// with slightly larger (still sublinear) space than the banded original.
+package gk
+
+import "sort"
+
+// Summary is a Greenwald–Khanna quantile summary. Not safe for concurrent use.
+type Summary struct {
+	eps     float64
+	n       int64
+	tuples  []tuple
+	pending int // inserts since last compression
+}
+
+// tuple (v, g, Δ): g is the gap in minimum rank to the previous tuple, and
+// rmin(i)+Δ is the maximum possible rank of v among inserted items.
+type tuple struct {
+	v uint64
+	g int64
+	d int64
+}
+
+// New returns a summary with rank error at most eps·n.
+func New(eps float64) *Summary {
+	if eps <= 0 || eps >= 1 {
+		panic("gk: eps must be in (0, 1)")
+	}
+	return &Summary{eps: eps}
+}
+
+// Eps returns the summary's error parameter.
+func (s *Summary) Eps() float64 { return s.eps }
+
+// N returns the number of items inserted.
+func (s *Summary) N() int64 { return s.n }
+
+// Space returns the number of stored tuples.
+func (s *Summary) Space() int { return len(s.tuples) }
+
+// Add inserts one item.
+func (s *Summary) Add(v uint64) {
+	s.n++
+	i := sort.Search(len(s.tuples), func(i int) bool { return s.tuples[i].v >= v })
+	var d int64
+	if i > 0 && i < len(s.tuples) {
+		d = s.cap() - 1
+		if d < 0 {
+			d = 0
+		}
+	}
+	s.tuples = append(s.tuples, tuple{})
+	copy(s.tuples[i+1:], s.tuples[i:])
+	s.tuples[i] = tuple{v: v, g: 1, d: d}
+
+	s.pending++
+	if period := int(1.0 / (2 * s.eps)); s.pending >= period {
+		s.compress()
+		s.pending = 0
+	}
+}
+
+// cap is the compression threshold ⌊2εn⌋.
+func (s *Summary) cap() int64 { return int64(2 * s.eps * float64(s.n)) }
+
+func (s *Summary) compress() {
+	if len(s.tuples) < 3 {
+		return
+	}
+	limit := s.cap()
+	// Merge tuple i into i+1 when allowed; keep the first and last tuples so
+	// the exact min and max remain queryable.
+	out := s.tuples[:1]
+	for i := 1; i < len(s.tuples)-1; i++ {
+		t := s.tuples[i]
+		next := &s.tuples[i+1]
+		if t.g+next.g+next.d <= limit {
+			next.g += t.g
+		} else {
+			out = append(out, t)
+		}
+	}
+	out = append(out, s.tuples[len(s.tuples)-1])
+	s.tuples = out
+}
+
+// RankEst returns an estimate of the number of items strictly less than x,
+// with additive error at most eps·N().
+func (s *Summary) RankEst(x uint64) int64 {
+	if len(s.tuples) == 0 {
+		return 0
+	}
+	if x <= s.tuples[0].v {
+		return 0
+	}
+	// rmin of the last tuple with v < x, averaged with the lower bound on
+	// where x could sit before the next tuple.
+	var rmin int64
+	i := 0
+	for ; i < len(s.tuples) && s.tuples[i].v < x; i++ {
+		rmin += s.tuples[i].g
+	}
+	if i >= len(s.tuples) {
+		return s.n
+	}
+	// x lies between tuple i-1 and tuple i. Its true rank is in
+	// [rmin, rmin + g_i + Δ_i - 1]; return the midpoint.
+	upper := rmin + s.tuples[i].g + s.tuples[i].d - 1
+	if upper < rmin {
+		upper = rmin
+	}
+	return (rmin + upper) / 2
+}
+
+// QueryRank returns a stored value whose true rank is within eps·N() of r.
+// r is clamped to [0, N()]. It panics on an empty summary.
+func (s *Summary) QueryRank(r int64) uint64 {
+	if len(s.tuples) == 0 {
+		panic("gk: QueryRank on empty summary")
+	}
+	if r < 0 {
+		r = 0
+	}
+	if r > s.n {
+		r = s.n
+	}
+	e := int64(s.eps*float64(s.n)) + 1
+	var rmin int64
+	for i, t := range s.tuples {
+		rmin += t.g
+		rmax := rmin + t.d
+		// First tuple that could not be too far left: rmax >= r - e and the
+		// next tuple would overshoot.
+		if rmax >= r-e {
+			if i == len(s.tuples)-1 || rmin >= r || rmin+s.tuples[i+1].g > r+e {
+				return t.v
+			}
+		}
+	}
+	return s.tuples[len(s.tuples)-1].v
+}
+
+// Quantile returns a value whose rank is within eps·N() of phi·N().
+func (s *Summary) Quantile(phi float64) uint64 {
+	return s.QueryRank(int64(phi * float64(s.n)))
+}
+
+// Min returns the smallest inserted value; ok is false if empty.
+func (s *Summary) Min() (uint64, bool) {
+	if len(s.tuples) == 0 {
+		return 0, false
+	}
+	return s.tuples[0].v, true
+}
+
+// Max returns the largest inserted value; ok is false if empty.
+func (s *Summary) Max() (uint64, bool) {
+	if len(s.tuples) == 0 {
+		return 0, false
+	}
+	return s.tuples[len(s.tuples)-1].v, true
+}

@@ -1,0 +1,254 @@
+package gk
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// trueRank returns the number of items in xs strictly less than q.
+func trueRank(xs []uint64, q uint64) int64 {
+	var r int64
+	for _, x := range xs {
+		if x < q {
+			r++
+		}
+	}
+	return r
+}
+
+func TestRankErrorBoundRandom(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.02, 0.005} {
+		rng := rand.New(rand.NewSource(13))
+		s := New(eps)
+		var xs []uint64
+		for i := 0; i < 20000; i++ {
+			x := rng.Uint64() % 1000000
+			s.Add(x)
+			xs = append(xs, x)
+		}
+		bound := eps*float64(s.N()) + 1
+		for trial := 0; trial < 300; trial++ {
+			q := rng.Uint64() % 1000001
+			got := s.RankEst(q)
+			want := trueRank(xs, q)
+			if math.Abs(float64(got-want)) > bound {
+				t.Fatalf("eps=%g: RankEst(%d)=%d true=%d, error beyond %f",
+					eps, q, got, want, bound)
+			}
+		}
+	}
+}
+
+func TestRankErrorBoundSortedInput(t *testing.T) {
+	// Sorted input is GK's historically adversarial case for space; the error
+	// bound must still hold.
+	const eps = 0.01
+	s := New(eps)
+	var xs []uint64
+	for i := 0; i < 30000; i++ {
+		s.Add(uint64(i))
+		xs = append(xs, uint64(i))
+	}
+	bound := eps*float64(s.N()) + 1
+	for q := uint64(0); q <= 30000; q += 997 {
+		got := s.RankEst(q)
+		if math.Abs(float64(got-int64(q))) > bound {
+			t.Fatalf("RankEst(%d)=%d want ~%d (bound %f)", q, got, q, bound)
+		}
+	}
+	_ = xs
+}
+
+func TestRankErrorBoundReverseSorted(t *testing.T) {
+	const eps = 0.02
+	s := New(eps)
+	const n = 20000
+	for i := n; i > 0; i-- {
+		s.Add(uint64(i))
+	}
+	bound := eps*float64(s.N()) + 1
+	for q := uint64(1); q <= n; q += 503 {
+		got := s.RankEst(q)
+		want := int64(q - 1)
+		if math.Abs(float64(got-want)) > bound {
+			t.Fatalf("RankEst(%d)=%d want ~%d", q, got, want)
+		}
+	}
+}
+
+func TestQuantileQuery(t *testing.T) {
+	const eps = 0.01
+	rng := rand.New(rand.NewSource(29))
+	s := New(eps)
+	var xs []uint64
+	for i := 0; i < 50000; i++ {
+		x := rng.Uint64() % (1 << 40)
+		s.Add(x)
+		xs = append(xs, x)
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	n := float64(len(xs))
+	for _, phi := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+		v := s.Quantile(phi)
+		// True rank of v must be within eps*n of phi*n (allow the duplicate run).
+		lo := sort.Search(len(xs), func(i int) bool { return xs[i] >= v })
+		hi := sort.Search(len(xs), func(i int) bool { return xs[i] > v })
+		target := phi * n
+		err := 0.0
+		if target < float64(lo) {
+			err = float64(lo) - target
+		} else if target > float64(hi) {
+			err = target - float64(hi)
+		}
+		if err > eps*n+1 {
+			t.Fatalf("phi=%g: rank error %f beyond %f", phi, err, eps*n+1)
+		}
+	}
+}
+
+func TestSpaceIsSublinear(t *testing.T) {
+	const eps = 0.01
+	s := New(eps)
+	for i := 0; i < 100000; i++ {
+		s.Add(uint64(i * 7 % 1000003))
+	}
+	// Theory: O(1/eps * log(eps n)) ≈ 100 * log2(1000) ≈ 1000.
+	// Anything near n means compression is broken.
+	if s.Space() > 20000 {
+		t.Fatalf("space %d too large for n=100000, eps=%g", s.Space(), eps)
+	}
+	if s.Space() < 10 {
+		t.Fatalf("space %d suspiciously small", s.Space())
+	}
+}
+
+func TestMinMaxExact(t *testing.T) {
+	s := New(0.05)
+	if _, ok := s.Min(); ok {
+		t.Fatal("empty summary should have no min")
+	}
+	rng := rand.New(rand.NewSource(31))
+	lo, hi := uint64(math.MaxUint64), uint64(0)
+	for i := 0; i < 10000; i++ {
+		x := rng.Uint64()
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+		s.Add(x)
+	}
+	if mn, _ := s.Min(); mn != lo {
+		t.Fatalf("Min=%d want %d (ends must stay exact)", mn, lo)
+	}
+	if mx, _ := s.Max(); mx != hi {
+		t.Fatalf("Max=%d want %d", mx, hi)
+	}
+}
+
+func TestEmptyAndSmall(t *testing.T) {
+	s := New(0.1)
+	if got := s.RankEst(5); got != 0 {
+		t.Fatalf("RankEst on empty = %d", got)
+	}
+	s.Add(42)
+	if got := s.RankEst(42); got != 0 {
+		t.Fatalf("RankEst(42)=%d want 0", got)
+	}
+	if got := s.RankEst(43); got != 1 {
+		t.Fatalf("RankEst(43)=%d want 1", got)
+	}
+	if got := s.Quantile(0.5); got != 42 {
+		t.Fatalf("Quantile(0.5)=%d want 42", got)
+	}
+}
+
+func TestQueryRankClamping(t *testing.T) {
+	s := New(0.1)
+	for i := uint64(0); i < 100; i++ {
+		s.Add(i)
+	}
+	if v := s.QueryRank(-50); v != 0 {
+		t.Fatalf("QueryRank(-50)=%d want 0", v)
+	}
+	if v := s.QueryRank(1000); v != 99 {
+		t.Fatalf("QueryRank(1000)=%d want 99", v)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"eps 0":       func() { New(0) },
+		"eps 1":       func() { New(1) },
+		"empty query": func() { New(0.1).QueryRank(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGInvariantSumsToN(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	s := New(0.02)
+	for i := 0; i < 5000; i++ {
+		s.Add(rng.Uint64() % 10000)
+		var sum int64
+		for _, tp := range s.tuples {
+			sum += tp.g
+		}
+		if sum != s.n {
+			t.Fatalf("after %d adds: sum of g = %d, n = %d", i+1, sum, s.n)
+		}
+	}
+}
+
+func TestTupleInvariantAfterCompress(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	s := New(0.05)
+	for i := 0; i < 20000; i++ {
+		s.Add(rng.Uint64() % 1000)
+	}
+	limit := s.cap()
+	for i, tp := range s.tuples {
+		if i == 0 || i == len(s.tuples)-1 {
+			continue
+		}
+		if tp.g+tp.d > limit {
+			t.Fatalf("tuple %d violates g+Δ=%d <= 2εn=%d", i, tp.g+tp.d, limit)
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := New(0.01)
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]uint64, 4096)
+	for i := range xs {
+		xs[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(xs[i&4095])
+	}
+}
+
+func BenchmarkRankEst(b *testing.B) {
+	s := New(0.01)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		s.Add(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RankEst(rng.Uint64())
+	}
+}

@@ -1,0 +1,105 @@
+// Package mg implements the Misra–Gries frequent-items summary (the
+// deterministic counter-based scheme surveyed in Cormode–Hadjieleftheriou,
+// reference [8] of the paper). It is the classical alternative to
+// Space-Saving and is used in the ablation experiments comparing local-site
+// sketch choices.
+//
+// With c counters, every estimate satisfies
+//
+//	m_x − n/(c+1) ≤ Est(x) ≤ m_x,
+//
+// i.e. an underestimate with error at most ε·n for c = ⌈1/ε⌉ counters.
+package mg
+
+import "sort"
+
+// Summary is a Misra–Gries summary. Not safe for concurrent use.
+type Summary struct {
+	cap      int
+	n        int64
+	counters map[uint64]int64
+}
+
+// New returns a summary with c counters; c must be positive.
+func New(c int) *Summary {
+	if c <= 0 {
+		panic("mg: capacity must be positive")
+	}
+	return &Summary{cap: c, counters: make(map[uint64]int64, c+1)}
+}
+
+// NewEps returns a summary with error at most eps·n.
+func NewEps(eps float64) *Summary {
+	if eps <= 0 || eps > 1 {
+		panic("mg: eps must be in (0, 1]")
+	}
+	return New(int(1/eps + 0.999999))
+}
+
+// Add records one arrival of x.
+func (s *Summary) Add(x uint64) {
+	s.n++
+	if _, ok := s.counters[x]; ok {
+		s.counters[x]++
+		return
+	}
+	if len(s.counters) < s.cap {
+		s.counters[x] = 1
+		return
+	}
+	// Decrement all counters; drop the ones reaching zero.
+	for y, c := range s.counters {
+		if c == 1 {
+			delete(s.counters, y)
+		} else {
+			s.counters[y] = c - 1
+		}
+	}
+}
+
+// N returns the number of arrivals recorded.
+func (s *Summary) N() int64 { return s.n }
+
+// Est returns an underestimate of m_x with error at most n/(cap+1).
+func (s *Summary) Est(x uint64) int64 { return s.counters[x] }
+
+// Space returns the number of counters in use.
+func (s *Summary) Space() int { return len(s.counters) }
+
+// Entry is a tracked item and its count lower bound.
+type Entry struct {
+	Item  uint64
+	Count int64
+}
+
+// Top returns the tracked items sorted by decreasing count.
+func (s *Summary) Top() []Entry {
+	out := make([]Entry, 0, len(s.counters))
+	for x, c := range s.counters {
+		out = append(out, Entry{Item: x, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// HeavyHitters returns all items whose estimate rules them in for threshold
+// phi given the summary's error: Est(x) ≥ (phi − 1/(cap+1))·n. With
+// cap ≥ 1/ε this reports every true φ-heavy hitter and nothing below
+// (φ−2ε)·n.
+func (s *Summary) HeavyHitters(phi float64) []uint64 {
+	err := float64(s.n) / float64(s.cap+1)
+	thresh := phi*float64(s.n) - err
+	var out []uint64
+	for x, c := range s.counters {
+		if float64(c) >= thresh {
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

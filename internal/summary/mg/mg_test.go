@@ -1,0 +1,127 @@
+package mg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnderestimateInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := New(25)
+	truth := map[uint64]int64{}
+	for i := 0; i < 30000; i++ {
+		x := uint64(rng.Intn(300))
+		s.Add(x)
+		truth[x]++
+	}
+	maxErr := s.N() / int64(s.cap+1)
+	for x, mx := range truth {
+		est := s.Est(x)
+		if est > mx {
+			t.Fatalf("Est(%d)=%d > true %d: MG must underestimate", x, est, mx)
+		}
+		if mx-est > maxErr {
+			t.Fatalf("Est(%d)=%d, true %d: error beyond n/(c+1)=%d", x, est, mx, maxErr)
+		}
+	}
+}
+
+func TestExactUnderCapacity(t *testing.T) {
+	s := New(10)
+	for _, x := range []uint64{1, 1, 2, 3, 2, 1} {
+		s.Add(x)
+	}
+	if s.Est(1) != 3 || s.Est(2) != 2 || s.Est(3) != 1 || s.Est(99) != 0 {
+		t.Fatalf("est: %d %d %d %d", s.Est(1), s.Est(2), s.Est(3), s.Est(99))
+	}
+}
+
+func TestDecrementPath(t *testing.T) {
+	s := New(2)
+	s.Add(1)
+	s.Add(2)
+	s.Add(3) // decrements both to 0 → empty
+	if s.Space() != 0 {
+		t.Fatalf("Space=%d want 0 after full decrement", s.Space())
+	}
+	s.Add(4)
+	if s.Est(4) != 1 {
+		t.Fatalf("Est(4)=%d want 1", s.Est(4))
+	}
+}
+
+func TestHeavyHittersNoFalseNegatives(t *testing.T) {
+	const eps, phi = 0.05, 0.2
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewEps(eps)
+		truth := map[uint64]int64{}
+		var n int64
+		for i := 0; i < 4000; i++ {
+			// Skewed: half the arrivals are item 0 or 1.
+			var x uint64
+			if rng.Intn(2) == 0 {
+				x = uint64(rng.Intn(2))
+			} else {
+				x = uint64(rng.Intn(1000))
+			}
+			s.Add(x)
+			truth[x]++
+			n++
+		}
+		hh := map[uint64]bool{}
+		for _, x := range s.HeavyHitters(phi) {
+			hh[x] = true
+		}
+		for x, mx := range truth {
+			if float64(mx) >= phi*float64(n) && !hh[x] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceBound(t *testing.T) {
+	s := New(7)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		s.Add(rng.Uint64() % 100)
+		if s.Space() > 7 {
+			t.Fatalf("space %d exceeds capacity 7", s.Space())
+		}
+	}
+}
+
+func TestTop(t *testing.T) {
+	s := New(5)
+	for i, reps := range []int{2, 9, 4} {
+		for r := 0; r < reps; r++ {
+			s.Add(uint64(i))
+		}
+	}
+	top := s.Top()
+	if top[0].Item != 1 || top[0].Count != 9 {
+		t.Fatalf("Top=%v", top)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero cap": func() { New(0) },
+		"bad eps":  func() { NewEps(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

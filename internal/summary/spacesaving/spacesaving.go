@@ -1,0 +1,200 @@
+// Package spacesaving implements the Space-Saving sketch of Metwally,
+// Agrawal and El Abbadi (reference [26] of the paper), the frequent-items
+// summary the paper's §2.1 "implementing with small space" remark plugs into
+// the heavy-hitter tracking protocol.
+//
+// A sketch with capacity c (built from error ε as c = ⌈1/ε⌉) maintains at
+// most c monitored items. For every item x, the estimate satisfies
+//
+//	m_x ≤ Est(x) ≤ m_x + MaxError(),   MaxError() ≤ n/c ≤ ε·n,
+//
+// where n is the number of arrivals. Updates run in O(log c) via a min-heap.
+package spacesaving
+
+import "sort"
+
+// Sketch is a Space-Saving summary. Not safe for concurrent use.
+type Sketch struct {
+	cap     int
+	n       int64
+	entries []entry        // min-heap ordered by count
+	pos     map[uint64]int // item → heap index
+}
+
+type entry struct {
+	item  uint64
+	count int64
+	err   int64 // overestimation bound for this entry
+}
+
+// New returns a sketch with the given counter capacity; cap must be positive.
+func New(cap int) *Sketch {
+	if cap <= 0 {
+		panic("spacesaving: capacity must be positive")
+	}
+	return &Sketch{cap: cap, pos: make(map[uint64]int, cap)}
+}
+
+// NewEps returns a sketch whose estimation error is at most eps·n,
+// i.e. capacity ⌈1/eps⌉.
+func NewEps(eps float64) *Sketch {
+	if eps <= 0 || eps > 1 {
+		panic("spacesaving: eps must be in (0, 1]")
+	}
+	c := int(1/eps + 0.999999)
+	return New(c)
+}
+
+// Add records one arrival of x.
+func (s *Sketch) Add(x uint64) { s.AddN(x, 1) }
+
+// AddN records w arrivals of x; w must be positive.
+func (s *Sketch) AddN(x uint64, w int64) {
+	if w <= 0 {
+		panic("spacesaving: non-positive weight")
+	}
+	s.n += w
+	if i, ok := s.pos[x]; ok {
+		s.entries[i].count += w
+		s.siftDown(i)
+		return
+	}
+	if len(s.entries) < s.cap {
+		s.entries = append(s.entries, entry{item: x, count: w})
+		s.pos[x] = len(s.entries) - 1
+		s.siftUp(len(s.entries) - 1)
+		return
+	}
+	// Evict the minimum: the newcomer inherits its count as error bound.
+	min := s.entries[0]
+	delete(s.pos, min.item)
+	s.entries[0] = entry{item: x, count: min.count + w, err: min.count}
+	s.pos[x] = 0
+	s.siftDown(0)
+}
+
+// N returns the number of arrivals recorded.
+func (s *Sketch) N() int64 { return s.n }
+
+// Est returns an overestimate of m_x: Est(x) ∈ [m_x, m_x + MaxError()].
+// For unmonitored items it returns the minimum counter value (their upper
+// bound).
+func (s *Sketch) Est(x uint64) int64 {
+	if i, ok := s.pos[x]; ok {
+		return s.entries[i].count
+	}
+	return s.minCount()
+}
+
+// LowerBound returns a guaranteed underestimate of m_x: count − err for
+// monitored items, 0 otherwise.
+func (s *Sketch) LowerBound(x uint64) int64 {
+	if i, ok := s.pos[x]; ok {
+		return s.entries[i].count - s.entries[i].err
+	}
+	return 0
+}
+
+// Monitored reports whether x currently occupies a counter.
+func (s *Sketch) Monitored(x uint64) bool {
+	_, ok := s.pos[x]
+	return ok
+}
+
+// MaxError returns the current worst-case overestimation, the minimum
+// counter value once the sketch is full (≤ n/cap), else 0.
+func (s *Sketch) MaxError() int64 {
+	if len(s.entries) < s.cap {
+		return 0
+	}
+	return s.minCount()
+}
+
+// Space returns the number of counters in use (the O(1/ε) space bound).
+func (s *Sketch) Space() int { return len(s.entries) }
+
+func (s *Sketch) minCount() int64 {
+	if len(s.entries) == 0 {
+		return 0
+	}
+	return s.entries[0].count
+}
+
+// Entry is a monitored item with its count estimate and error bound.
+type Entry struct {
+	Item  uint64
+	Count int64 // overestimate of the true frequency
+	Err   int64 // Count - Err is a guaranteed lower bound
+}
+
+// Top returns the monitored items sorted by decreasing count.
+func (s *Sketch) Top() []Entry {
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, Entry{Item: e.item, Count: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
+// HeavyHitters returns all monitored items whose guaranteed lower bound
+// meets phi·n, plus any whose estimate does (the possible region), sorted by
+// item. This matches the ε-approximate heavy-hitter contract when the sketch
+// capacity is ≥ 1/ε: no item with m_x ≥ φn is missed, and no item with
+// m_x < (φ−ε)n is reported.
+func (s *Sketch) HeavyHitters(phi float64) []uint64 {
+	thresh := phi * float64(s.n)
+	var out []uint64
+	for _, e := range s.entries {
+		if float64(e.count) >= thresh {
+			out = append(out, e.item)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// heap operations (min-heap on count)
+
+func (s *Sketch) less(i, j int) bool { return s.entries[i].count < s.entries[j].count }
+
+func (s *Sketch) swap(i, j int) {
+	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
+	s.pos[s.entries[i].item] = i
+	s.pos[s.entries[j].item] = j
+}
+
+func (s *Sketch) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			return
+		}
+		s.swap(i, p)
+		i = p
+	}
+}
+
+func (s *Sketch) siftDown(i int) {
+	n := len(s.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s.less(l, m) {
+			m = l
+		}
+		if r < n && s.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.swap(i, m)
+		i = m
+	}
+}

@@ -1,0 +1,197 @@
+package spacesaving
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"disttrack/internal/stream"
+)
+
+func TestSmallExact(t *testing.T) {
+	s := New(10)
+	for _, x := range []uint64{1, 2, 1, 3, 1, 2} {
+		s.Add(x)
+	}
+	// Fewer distinct items than capacity → exact counts, zero error.
+	if s.Est(1) != 3 || s.Est(2) != 2 || s.Est(3) != 1 {
+		t.Fatalf("est: %d %d %d", s.Est(1), s.Est(2), s.Est(3))
+	}
+	if s.MaxError() != 0 {
+		t.Fatalf("MaxError=%d want 0 while under capacity", s.MaxError())
+	}
+	if s.N() != 6 {
+		t.Fatalf("N=%d", s.N())
+	}
+}
+
+func TestOverestimateInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := New(20)
+	truth := map[uint64]int64{}
+	for i := 0; i < 20000; i++ {
+		x := uint64(rng.Intn(200))
+		s.Add(x)
+		truth[x]++
+	}
+	for x, mx := range truth {
+		est := s.Est(x)
+		if est < mx {
+			t.Fatalf("Est(%d)=%d < true %d: Space-Saving must overestimate", x, est, mx)
+		}
+		if est > mx+s.MaxError() {
+			t.Fatalf("Est(%d)=%d exceeds true %d + MaxError %d", x, est, mx, s.MaxError())
+		}
+		if lb := s.LowerBound(x); lb > mx {
+			t.Fatalf("LowerBound(%d)=%d > true %d", x, lb, mx)
+		}
+	}
+	if maxErr := s.MaxError(); maxErr > s.N()/int64(s.cap)+1 {
+		t.Fatalf("MaxError=%d exceeds n/cap=%d", maxErr, s.N()/int64(s.cap))
+	}
+}
+
+func TestEpsilonBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eps := 0.05
+		s := NewEps(eps)
+		truth := map[uint64]int64{}
+		for i := 0; i < 5000; i++ {
+			x := uint64(rng.Intn(500))
+			s.Add(x)
+			truth[x]++
+		}
+		for x, mx := range truth {
+			if float64(s.Est(x)-mx) > eps*float64(s.N()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeavyHittersContract(t *testing.T) {
+	const eps, phi = 0.02, 0.1
+	s := NewEps(eps)
+	truth := map[uint64]int64{}
+	g := stream.Zipf(10000, 50000, 1.3, 5)
+	var n int64
+	for {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		s.Add(x)
+		truth[x]++
+		n++
+	}
+	hh := s.HeavyHitters(phi)
+	got := map[uint64]bool{}
+	for _, x := range hh {
+		got[x] = true
+	}
+	for x, mx := range truth {
+		if float64(mx) >= phi*float64(n) && !got[x] {
+			t.Errorf("missed true heavy hitter %d (freq %d of %d)", x, mx, n)
+		}
+	}
+	for _, x := range hh {
+		if float64(truth[x]) < (phi-eps)*float64(n) {
+			t.Errorf("false positive %d (freq %d, floor %f)", x, truth[x], (phi-eps)*float64(n))
+		}
+	}
+}
+
+func TestEviction(t *testing.T) {
+	s := New(2)
+	s.Add(1)
+	s.Add(2)
+	s.Add(3) // evicts the min (count 1) → count 2, err 1
+	if !s.Monitored(3) {
+		t.Fatal("newcomer should be monitored after eviction")
+	}
+	if s.Space() != 2 {
+		t.Fatalf("Space=%d want 2", s.Space())
+	}
+	if got := s.Est(3); got != 2 {
+		t.Fatalf("Est(3)=%d want 2 (inherited min+1)", got)
+	}
+	if got := s.LowerBound(3); got != 1 {
+		t.Fatalf("LowerBound(3)=%d want 1", got)
+	}
+}
+
+func TestAddN(t *testing.T) {
+	s := New(4)
+	s.AddN(7, 10)
+	s.Add(7)
+	if s.Est(7) != 11 || s.N() != 11 {
+		t.Fatalf("AddN broken: est=%d n=%d", s.Est(7), s.N())
+	}
+}
+
+func TestTopOrdering(t *testing.T) {
+	s := New(10)
+	for i, reps := range []int{5, 3, 8} {
+		for r := 0; r < reps; r++ {
+			s.Add(uint64(i))
+		}
+	}
+	top := s.Top()
+	if len(top) != 3 || top[0].Item != 2 || top[1].Item != 0 || top[2].Item != 1 {
+		t.Fatalf("Top=%v", top)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero capacity": func() { New(0) },
+		"bad eps":       func() { NewEps(0) },
+		"eps > 1":       func() { NewEps(1.5) },
+		"zero weight":   func() { New(2).AddN(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHeapInvariantUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := New(8)
+	for i := 0; i < 5000; i++ {
+		s.Add(uint64(rng.Intn(1000))) // heavy churn, constant eviction
+		// Heap property: parent count <= child count.
+		for j := 1; j < len(s.entries); j++ {
+			p := (j - 1) / 2
+			if s.entries[p].count > s.entries[j].count {
+				t.Fatalf("heap violated at %d after %d adds", j, i+1)
+			}
+			if s.pos[s.entries[j].item] != j {
+				t.Fatalf("pos map out of sync at %d", j)
+			}
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := NewEps(0.01)
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]uint64, 4096)
+	for i := range xs {
+		xs[i] = uint64(rng.Intn(100000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(xs[i&4095])
+	}
+}

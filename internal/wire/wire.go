@@ -1,0 +1,149 @@
+// Package wire provides communication-cost accounting for the distributed
+// tracking protocols.
+//
+// The paper measures communication in words, where a word is Θ(log u) =
+// Θ(log n) bits, and its lower bounds count messages. Meter records both, in
+// both directions (site→coordinator is "up", coordinator→site is "down"),
+// with an optional per-kind breakdown so experiments can attribute cost to
+// protocol phases (deltas, collects, broadcasts, rebuilds, ...).
+package wire
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cost is a (messages, words) pair.
+type Cost struct {
+	Msgs  int64
+	Words int64
+}
+
+// Add returns the component-wise sum of c and d.
+func (c Cost) Add(d Cost) Cost { return Cost{c.Msgs + d.Msgs, c.Words + d.Words} }
+
+// Meter accumulates communication cost. The zero value is ready to use.
+// Meter is not safe for concurrent use; protocol engines serialize access.
+type Meter struct {
+	up     Cost
+	down   Cost
+	byKind map[string]Cost
+	bySite []Cost // grown on demand, indexed by site
+
+	// trace, when enabled, records every message for debugging and for the
+	// lower-bound adversary, bounded by traceCap.
+	trace    []Msg
+	traceOn  bool
+	traceCap int
+}
+
+// Msg is a traced message.
+type Msg struct {
+	Up    bool // site→coordinator if true
+	Site  int
+	Kind  string
+	Words int
+}
+
+// EnableTrace starts recording messages, keeping at most cap entries
+// (cap <= 0 means unbounded).
+func (m *Meter) EnableTrace(cap int) {
+	m.traceOn = true
+	m.traceCap = cap
+	m.trace = m.trace[:0]
+}
+
+// Trace returns the recorded messages. The returned slice is owned by the
+// meter; callers must not retain it across further protocol activity.
+func (m *Meter) Trace() []Msg { return m.trace }
+
+// Up records one site→coordinator message of the given kind and size.
+func (m *Meter) Up(site int, kind string, words int) { m.record(true, site, kind, words) }
+
+// Down records one coordinator→site message of the given kind and size.
+func (m *Meter) Down(site int, kind string, words int) { m.record(false, site, kind, words) }
+
+// Broadcast records a coordinator message of the given size sent to each of
+// k sites (k separate messages, as the model has no multicast).
+func (m *Meter) Broadcast(kind string, words, k int) {
+	for j := 0; j < k; j++ {
+		m.Down(j, kind, words)
+	}
+}
+
+func (m *Meter) record(up bool, site int, kind string, words int) {
+	if words < 1 {
+		words = 1 // a message carries at least its type
+	}
+	c := Cost{Msgs: 1, Words: int64(words)}
+	if up {
+		m.up = m.up.Add(c)
+	} else {
+		m.down = m.down.Add(c)
+	}
+	if m.byKind == nil {
+		m.byKind = make(map[string]Cost)
+	}
+	m.byKind[kind] = m.byKind[kind].Add(c)
+	for site >= len(m.bySite) {
+		m.bySite = append(m.bySite, Cost{})
+	}
+	if site >= 0 {
+		m.bySite[site] = m.bySite[site].Add(c)
+	}
+	if m.traceOn && (m.traceCap <= 0 || len(m.trace) < m.traceCap) {
+		m.trace = append(m.trace, Msg{Up: up, Site: site, Kind: kind, Words: words})
+	}
+}
+
+// Total returns the total cost in both directions.
+func (m *Meter) Total() Cost { return m.up.Add(m.down) }
+
+// UpCost returns the site→coordinator cost.
+func (m *Meter) UpCost() Cost { return m.up }
+
+// DownCost returns the coordinator→site cost.
+func (m *Meter) DownCost() Cost { return m.down }
+
+// Kind returns the accumulated cost for one message kind.
+func (m *Meter) Kind(kind string) Cost { return m.byKind[kind] }
+
+// Kinds returns the sorted list of message kinds seen so far.
+func (m *Meter) Kinds() []string {
+	ks := make([]string, 0, len(m.byKind))
+	for k := range m.byKind {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Site returns the accumulated cost attributed to one site (both directions).
+func (m *Meter) Site(j int) Cost {
+	if j < 0 || j >= len(m.bySite) {
+		return Cost{}
+	}
+	return m.bySite[j]
+}
+
+// Reset clears all counters and the trace.
+func (m *Meter) Reset() {
+	m.up, m.down = Cost{}, Cost{}
+	m.byKind = nil
+	m.bySite = nil
+	m.trace = nil
+}
+
+// String renders a compact human-readable summary.
+func (m *Meter) String() string {
+	var b strings.Builder
+	t := m.Total()
+	fmt.Fprintf(&b, "total: %d msgs / %d words (up %d/%d, down %d/%d)",
+		t.Msgs, t.Words, m.up.Msgs, m.up.Words, m.down.Msgs, m.down.Words)
+	for _, k := range m.Kinds() {
+		c := m.byKind[k]
+		fmt.Fprintf(&b, "\n  %-12s %8d msgs %10d words", k, c.Msgs, c.Words)
+	}
+	return b.String()
+}
