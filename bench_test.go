@@ -7,6 +7,7 @@
 package disttrack_test
 
 import (
+	"context"
 	"testing"
 
 	"disttrack/internal/core/allq"
@@ -14,6 +15,7 @@ import (
 	"disttrack/internal/core/quantile"
 	"disttrack/internal/harness"
 	"disttrack/internal/lowerbound"
+	"disttrack/internal/runtime"
 	"disttrack/internal/stream"
 )
 
@@ -310,6 +312,64 @@ func BenchmarkFeedAllQ(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Feed(i&7, xs[i&65535]+uint64(i)<<24)
+	}
+}
+
+// Ingest throughput through the concurrent runtime: per-item Send vs the
+// batched SendBatch path (one channel operation and one protocol-lock
+// acquisition per batch) — the internal/service hot path.
+func BenchmarkClusterSend(b *testing.B) {
+	tr, err := hh.New(hh.Config{K: 8, Eps: 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := runtime.New(context.Background(), tr, 8, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := preGen(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(i&7, xs[i&65535]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	c.Drain()
+}
+
+func BenchmarkClusterSendBatch(b *testing.B) {
+	for _, batch := range []int{64, 256, 1024} {
+		b.Run("batch="+itoa(batch), func(b *testing.B) {
+			tr, err := hh.New(hh.Config{K: 8, Eps: 0.02})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := runtime.New(context.Background(), tr, 8, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			xs := preGen(b, false)
+			bufs := make([][]uint64, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := i & 7
+				bufs[j] = append(bufs[j], xs[i&65535])
+				if len(bufs[j]) == batch {
+					if err := c.SendBatch(j, bufs[j]); err != nil {
+						b.Fatal(err)
+					}
+					bufs[j] = make([]uint64, 0, batch) // cluster owns the sent slice
+				}
+			}
+			b.StopTimer()
+			for j, buf := range bufs {
+				if err := c.SendBatch(j, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			c.Drain()
+		})
 	}
 }
 

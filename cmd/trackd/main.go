@@ -1,0 +1,73 @@
+// Command trackd runs the multi-tenant tracking service (internal/service)
+// as an HTTP daemon: many named tracker instances — heavy-hitter, quantile
+// and all-quantile tenants — behind one batched, sharded ingest pipeline
+// and a JSON query API. See docs/service.md for the wire protocol.
+//
+// Usage:
+//
+//	trackd [-listen 127.0.0.1:8080] [-shards 4] [-shard-queue 64] [-site-buffer 128]
+//
+// Example session:
+//
+//	trackd -listen :8080 &
+//	curl -X POST localhost:8080/v1/tenants -d '{"name":"clicks","kind":"hh","k":4,"eps":0.05}'
+//	curl -X POST localhost:8080/v1/ingest -d '{"records":[{"tenant":"clicks","site":0,"value":7}]}'
+//	curl 'localhost:8080/v1/tenants/clicks/heavy?phi=0.1'
+//
+// On SIGINT/SIGTERM the daemon stops accepting requests, flushes the shard
+// queues into the tenants' clusters, and drains every cluster before
+// exiting, so everything acknowledged is processed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"disttrack/internal/service"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+	shards := flag.Int("shards", 4, "ingest worker shards")
+	shardQueue := flag.Int("shard-queue", 64, "per-shard queue capacity (batches)")
+	siteBuffer := flag.Int("site-buffer", 128, "per-site cluster channel capacity")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight HTTP requests")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Shards:     *shards,
+		ShardQueue: *shardQueue,
+		SiteBuffer: *siteBuffer,
+	})
+	hs := &http.Server{Addr: *listen, Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("trackd listening on %s (shards=%d)", *listen, *shards)
+		errc <- hs.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		log.Printf("received %v, draining", sig)
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	svc.Close()
+	log.Printf("drained, bye")
+}

@@ -16,12 +16,16 @@
 //
 //   - internal/core/hh, internal/core/quantile, internal/core/allq — the
 //     paper's protocols (see each package's documentation);
+//   - internal/service, cmd/trackd — the multi-tenant tracking service:
+//     many named trackers behind a sharded batched ingest pipeline and an
+//     HTTP+JSON query API (docs/service.md);
 //   - cmd/hhtrack, cmd/quantiletrack — CLIs over generated streams;
 //   - cmd/experiments — regenerates every experiment table (EXPERIMENTS.md);
 //   - cmd/coordd, cmd/sited — the TCP coordinator and site agents;
 //   - examples/ — quickstart plus network-monitoring, sensor-median and
 //     latency-SLA scenarios.
 //
-// See README.md for an overview and DESIGN.md for the system inventory and
-// paper-to-code map.
+// See README.md for an overview, quickstart and package map; each core
+// package's doc comment maps its code to the paper's theorems and records
+// deliberate deviations.
 package disttrack

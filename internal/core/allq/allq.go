@@ -348,6 +348,9 @@ func (t *Tracker) SiteSpace(j int) int {
 	return t.sites[j].st.Space() + len(t.sites[j].delta)
 }
 
+// SiteCount returns the exact number of arrivals observed at site j.
+func (t *Tracker) SiteCount(j int) int64 { return t.sites[j].nj }
+
 // Stats describes the current tree shape — the Figure 1 invariants.
 type Stats struct {
 	Nodes     int

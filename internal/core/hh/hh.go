@@ -303,8 +303,42 @@ func (t *Tracker) HeavyHitters(phi float64) []uint64 {
 	return out
 }
 
+// Entry is one heavy hitter with the coordinator's frequency estimate, as
+// returned by HeavyHitterEntries.
+type Entry struct {
+	Item  uint64
+	Count int64   // C.m_x — underestimate of the global frequency
+	Ratio float64 // Count / C.m — estimated frequency share
+}
+
+// HeavyHitterEntries returns the current φ-heavy-hitter set together with
+// the coordinator's frequency estimates, sorted by descending Count (ties
+// by ascending Item). Same classification rule and precondition as
+// HeavyHitters.
+func (t *Tracker) HeavyHitterEntries(phi float64) []Entry {
+	items := t.HeavyHitters(phi)
+	if len(items) == 0 {
+		return nil
+	}
+	out := make([]Entry, 0, len(items))
+	for _, x := range items {
+		c := t.cmx[x]
+		out = append(out, Entry{Item: x, Count: c, Ratio: float64(c) / float64(t.cm)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}
+
 // EstFrequency returns the coordinator's estimate C.m_x.
 func (t *Tracker) EstFrequency(x uint64) int64 { return t.cmx[x] }
+
+// SiteCount returns the exact number of arrivals observed at site j.
+func (t *Tracker) SiteCount(j int) int64 { return t.sites[j].nj }
 
 // EstTotal returns the coordinator's estimate C.m.
 func (t *Tracker) EstTotal() int64 { return t.cm }

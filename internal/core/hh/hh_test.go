@@ -397,3 +397,50 @@ func TestMultiplePhiQueriesFromOneTracker(t *testing.T) {
 		checkContract(t, tr, o, phi, -1)
 	}
 }
+
+func TestHeavyHitterEntries(t *testing.T) {
+	const k, eps, phi = 4, 0.05, 0.1
+	tr, err := New(Config{K: k, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stream.Zipf(1000, 20000, 1.5, 42)
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(i%k, x)
+	}
+	items := tr.HeavyHitters(phi)
+	entries := tr.HeavyHitterEntries(phi)
+	if len(entries) != len(items) {
+		t.Fatalf("entries %d != items %d", len(entries), len(items))
+	}
+	want := map[uint64]bool{}
+	for _, x := range items {
+		want[x] = true
+	}
+	for i, e := range entries {
+		if !want[e.Item] {
+			t.Errorf("entry %d not in HeavyHitters set", e.Item)
+		}
+		if e.Count != tr.EstFrequency(e.Item) {
+			t.Errorf("entry %d count %d != EstFrequency %d", e.Item, e.Count, tr.EstFrequency(e.Item))
+		}
+		if got := float64(e.Count) / float64(tr.EstTotal()); math.Abs(got-e.Ratio) > 1e-12 {
+			t.Errorf("entry %d ratio %g, want %g", e.Item, e.Ratio, got)
+		}
+		if i > 0 && entries[i-1].Count < e.Count {
+			t.Errorf("entries not sorted by descending count at %d", i)
+		}
+	}
+	// Per-site counts sum to the true total.
+	var sum int64
+	for j := 0; j < k; j++ {
+		sum += tr.SiteCount(j)
+	}
+	if sum != tr.TrueTotal() {
+		t.Errorf("site counts sum %d != true total %d", sum, tr.TrueTotal())
+	}
+}

@@ -366,5 +366,8 @@ func (s *site) localTrueCount(lo, hi uint64) int64 { return s.st.CountRange(lo, 
 // SiteSpace returns the number of stored entries at site j.
 func (t *Tracker) SiteSpace(j int) int { return t.sites[j].st.Space() }
 
+// SiteCount returns the exact number of arrivals observed at site j.
+func (t *Tracker) SiteCount(j int) int64 { return t.sites[j].nj }
+
 // RoundM returns m, the |A| snapshot the current round's thresholds use.
 func (t *Tracker) RoundM() int64 { return t.m }

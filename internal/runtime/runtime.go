@@ -34,10 +34,13 @@ type Cluster struct {
 	tr Feeder
 
 	ingest    []chan uint64
+	batches   []chan []uint64
 	wg        sync.WaitGroup
 	ctx       context.Context
 	cancel    context.CancelFunc
 	processed atomic.Int64
+	batched   atomic.Int64
+	dropped   atomic.Int64
 	stopOnce  sync.Once
 }
 
@@ -54,29 +57,54 @@ func New(ctx context.Context, tr Feeder, k, buf int) (*Cluster, error) {
 	c := &Cluster{tr: tr, ctx: cctx, cancel: cancel}
 	for j := 0; j < k; j++ {
 		ch := make(chan uint64, buf)
+		bch := make(chan []uint64, buf)
 		c.ingest = append(c.ingest, ch)
+		c.batches = append(c.batches, bch)
 		c.wg.Add(1)
-		go c.site(j, ch)
+		go c.site(j, ch, bch)
 	}
 	return c, nil
 }
 
 // site is the per-site goroutine: it observes its local stream and runs the
-// protocol for each arrival.
-func (c *Cluster) site(j int, ch <-chan uint64) {
+// protocol for each arrival. Single items and batches arrive on separate
+// queues; a batch pays one mutex acquisition for all of its items, which is
+// what makes SendBatch the hot-path ingestion route.
+func (c *Cluster) site(j int, ch <-chan uint64, bch <-chan []uint64) {
 	defer c.wg.Done()
-	for {
+	for ch != nil || bch != nil {
+		// Check cancellation first: when both a queue and Done are ready,
+		// select picks randomly, and Stop promises queued items are dropped
+		// rather than raced against.
+		select {
+		case <-c.ctx.Done():
+			return
+		default:
+		}
 		select {
 		case <-c.ctx.Done():
 			return
 		case x, ok := <-ch:
 			if !ok {
-				return
+				ch = nil
+				continue
 			}
 			c.mu.Lock()
 			c.tr.Feed(j, x)
 			c.mu.Unlock()
 			c.processed.Add(1)
+		case xs, ok := <-bch:
+			if !ok {
+				bch = nil
+				continue
+			}
+			c.mu.Lock()
+			for _, x := range xs {
+				c.tr.Feed(j, x)
+			}
+			c.mu.Unlock()
+			c.processed.Add(int64(len(xs)))
+			c.batched.Add(1)
 		}
 	}
 }
@@ -103,6 +131,32 @@ func (c *Cluster) Send(site int, x uint64) error {
 	}
 }
 
+// SendBatch delivers a batch of arrivals to a site's ingestion queue in one
+// channel operation; the site processes the whole batch under a single
+// protocol-lock acquisition, amortizing per-item synchronization. The
+// cluster takes ownership of xs — the caller must not reuse the slice.
+// Empty batches are a no-op. Like Send, it blocks while the queue is full
+// and returns ErrStopped after cancellation or Stop.
+func (c *Cluster) SendBatch(site int, xs []uint64) error {
+	if site < 0 || site >= len(c.batches) {
+		return fmt.Errorf("runtime: site %d out of range [0,%d)", site, len(c.batches))
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	select {
+	case <-c.ctx.Done():
+		return ErrStopped
+	default:
+	}
+	select {
+	case <-c.ctx.Done():
+		return ErrStopped
+	case c.batches[site] <- xs:
+		return nil
+	}
+}
+
 // Query runs f while the protocol is quiescent, so any tracker reads inside
 // f see a consistent coordinator state.
 func (c *Cluster) Query(f func()) {
@@ -112,11 +166,14 @@ func (c *Cluster) Query(f func()) {
 }
 
 // Drain closes the ingestion queues and waits for the sites to finish
-// processing everything already sent. Send must not be called concurrently
-// with or after Drain.
+// processing everything already sent. Send and SendBatch must not be called
+// concurrently with or after Drain.
 func (c *Cluster) Drain() {
 	c.stopOnce.Do(func() {
 		for _, ch := range c.ingest {
+			close(ch)
+		}
+		for _, ch := range c.batches {
 			close(ch)
 		}
 	})
@@ -125,14 +182,53 @@ func (c *Cluster) Drain() {
 }
 
 // Stop cancels processing immediately, dropping anything still queued, and
-// waits for the site goroutines to exit.
+// waits for the site goroutines to exit. Dropped arrivals are counted in
+// Stats. Send and SendBatch must not be called concurrently with Stop (late
+// senders get ErrStopped; their items are not counted as dropped).
 func (c *Cluster) Stop() {
 	c.cancel()
 	c.wg.Wait()
+	c.stopOnce.Do(func() {
+		for _, ch := range c.ingest {
+			close(ch)
+		}
+		for _, ch := range c.batches {
+			close(ch)
+		}
+	})
+	for _, ch := range c.ingest {
+		for range ch {
+			c.dropped.Add(1)
+		}
+	}
+	for _, ch := range c.batches {
+		for xs := range ch {
+			c.dropped.Add(int64(len(xs)))
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the cluster's ingestion counters.
+type Stats struct {
+	Processed int64 // arrivals fully fed to the tracker
+	Batches   int64 // batch deliveries processed (SendBatch path)
+	Dropped   int64 // queued arrivals discarded by Stop
+}
+
+// Stats returns the current ingestion counters.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		Processed: c.processed.Load(),
+		Batches:   c.batched.Load(),
+		Dropped:   c.dropped.Load(),
+	}
 }
 
 // Processed returns how many arrivals have been fully processed.
 func (c *Cluster) Processed() int64 { return c.processed.Load() }
+
+// Dropped returns how many queued arrivals were discarded by Stop.
+func (c *Cluster) Dropped() int64 { return c.dropped.Load() }
 
 // K returns the number of sites.
 func (c *Cluster) K() int { return len(c.ingest) }

@@ -142,6 +142,151 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
+func TestSendBatchMatchesSend(t *testing.T) {
+	const k, eps, phi = 4, 0.05, 0.1
+	mk := func() *hh.Tracker {
+		tr, err := hh.New(hh.Config{K: k, Eps: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	feed := func(tr *hh.Tracker, batch bool) *Cluster {
+		c, err := New(context.Background(), tr, k, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < k; j++ {
+			g := stream.Zipf(10000, 4000, 1.4, int64(j))
+			var buf []uint64
+			for {
+				x, ok := g.Next()
+				if !ok {
+					break
+				}
+				if !batch {
+					if err := c.Send(j, x); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				buf = append(buf, x)
+				if len(buf) == 64 {
+					if err := c.SendBatch(j, buf); err != nil {
+						t.Fatal(err)
+					}
+					buf = nil
+				}
+			}
+			if err := c.SendBatch(j, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Drain()
+		return c
+	}
+
+	trS, trB := mk(), mk()
+	feed(trS, false)
+	cB := feed(trB, true)
+
+	// The tracker is deterministic, and per-site arrival order is identical
+	// on both paths, but site interleaving differs; compare the contract
+	// surface, not internal state: both runs saw the same multiset per site,
+	// so totals agree exactly and heavy-hitter sets agree.
+	if trS.TrueTotal() != trB.TrueTotal() {
+		t.Fatalf("true totals differ: %d vs %d", trS.TrueTotal(), trB.TrueTotal())
+	}
+	st := cB.Stats()
+	if st.Processed != trB.TrueTotal() {
+		t.Errorf("batched cluster processed %d, want %d", st.Processed, trB.TrueTotal())
+	}
+	if st.Batches == 0 {
+		t.Error("batched cluster reports zero batch deliveries")
+	}
+	if st.Dropped != 0 {
+		t.Errorf("drained cluster reports %d dropped", st.Dropped)
+	}
+	o := oracle.New()
+	for j := 0; j < k; j++ {
+		g := stream.Zipf(10000, 4000, 1.4, int64(j))
+		for {
+			x, ok := g.Next()
+			if !ok {
+				break
+			}
+			o.Add(x)
+		}
+	}
+	for _, tr := range []*hh.Tracker{trS, trB} {
+		for _, x := range tr.HeavyHitters(phi) {
+			if float64(o.Count(x)) < (phi-eps)*float64(o.Len()) {
+				t.Errorf("false positive %d", x)
+			}
+		}
+		for _, x := range o.HeavyHitters(phi) {
+			found := false
+			for _, y := range tr.HeavyHitters(phi) {
+				if x == y {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("missed heavy hitter %d", x)
+			}
+		}
+	}
+}
+
+func TestSendBatchValidation(t *testing.T) {
+	tr, _ := hh.New(hh.Config{K: 2, Eps: 0.1})
+	c, _ := New(context.Background(), tr, 2, 1)
+	defer c.Drain()
+	if err := c.SendBatch(5, []uint64{1}); err == nil {
+		t.Fatal("out-of-range site should error")
+	}
+	if err := c.SendBatch(0, nil); err != nil {
+		t.Fatalf("empty batch should be a no-op, got %v", err)
+	}
+}
+
+func TestStopCountsDropped(t *testing.T) {
+	tr, _ := hh.New(hh.Config{K: 1, Eps: 0.1})
+	locked := make(chan struct{})
+	block := make(chan struct{})
+	c, _ := New(context.Background(), tr, 1, 8)
+	// Hold the protocol lock so the site goroutine stalls mid-feed, letting
+	// the queues fill with items that Stop will then discard.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Query(func() { close(locked); <-block })
+	}()
+	<-locked
+	// The site goroutine may pull at most one queued message — possibly the
+	// whole 3-item batch — before blocking on the protocol lock, so at
+	// least 4+3-3 of these items stay queued.
+	for i := 0; i < 4; i++ {
+		c.ingest[0] <- uint64(i)
+	}
+	c.batches[0] <- []uint64{7, 8, 9}
+	// Cancel before releasing the lock: the site feeds its at-most-one
+	// in-flight item, then the priority Done check exits the loop, leaving
+	// everything still queued for Stop to count.
+	c.cancel()
+	close(block)
+	c.Stop()
+	wg.Wait()
+	st := c.Stats()
+	if st.Dropped < 4 {
+		t.Fatalf("Stop with 7 queued items dropped %d, want >= 4 (stats %+v)", st.Dropped, st)
+	}
+	if st.Dropped != c.Dropped() {
+		t.Fatalf("Stats.Dropped %d != Dropped() %d", st.Dropped, c.Dropped())
+	}
+}
+
 func TestDrainIdempotentAfterProducers(t *testing.T) {
 	tr, _ := hh.New(hh.Config{K: 2, Eps: 0.1})
 	c, _ := New(context.Background(), tr, 2, 8)

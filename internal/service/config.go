@@ -1,0 +1,45 @@
+// Package service is the multi-tenant serving layer over the paper's
+// tracking protocols: a registry of named tracker instances (any mix of
+// heavy-hitter, quantile and all-quantile tenants, each running inside a
+// runtime.Cluster), a sharded batched ingest pipeline, and an HTTP+JSON
+// query API. cmd/trackd is the daemon entry point; docs/service.md
+// documents the wire protocol.
+//
+// Data flow: clients POST batches of (tenant, site, value) records; the
+// server validates them synchronously, hashes each tenant onto one of N
+// worker shards, and the owning shard groups records per (tenant, site) and
+// feeds them to the tenant's cluster via the batched SendBatch path — one
+// channel operation and one protocol-lock acquisition per group instead of
+// per record. Because a tenant is owned by exactly one shard, per-tenant
+// arrival order is preserved and per-tenant state (symbolic perturbation
+// for the quantile protocols) needs no locking. Queries are served from the
+// coordinator's state under the cluster's query lock and never wait behind
+// queued ingest.
+package service
+
+// Config parameterizes a Server.
+type Config struct {
+	// Shards is the number of ingest worker goroutines tenants are hashed
+	// across (default 4).
+	Shards int
+	// ShardQueue is the per-shard queue capacity, in record batches
+	// (default 64). Ingest blocks when the owning shard's queue is full —
+	// backpressure rather than unbounded buffering.
+	ShardQueue int
+	// SiteBuffer is the per-site ingestion channel capacity of each
+	// tenant's runtime.Cluster (default 128).
+	SiteBuffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = 4
+	}
+	if c.ShardQueue < 1 {
+		c.ShardQueue = 64
+	}
+	if c.SiteBuffer < 1 {
+		c.SiteBuffer = 128
+	}
+	return c
+}

@@ -1,0 +1,264 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Error codes returned in the JSON error body (see docs/service.md).
+const (
+	codeInvalid     = "invalid_argument"
+	codeNotFound    = "not_found"
+	codeExists      = "already_exists"
+	codeUnsupported = "unsupported"
+	codeNoData      = "no_data"
+	codeClosing     = "shutting_down"
+)
+
+type errBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errBody{Error: msg, Code: code})
+}
+
+// newMux wires the HTTP API onto a fresh ServeMux.
+func newMux(s *Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/tenants", s.handleListTenants)
+	mux.HandleFunc("POST /v1/tenants", s.handleCreateTenant)
+	mux.HandleFunc("GET /v1/tenants/{name}", s.handleTenantStats)
+	mux.HandleFunc("DELETE /v1/tenants/{name}", s.handleDeleteTenant)
+	mux.HandleFunc("GET /v1/tenants/{name}/heavy", s.handleHeavy)
+	mux.HandleFunc("GET /v1/tenants/{name}/quantile", s.handleQuantile)
+	mux.HandleFunc("GET /v1/tenants/{name}/rank", s.handleRank)
+	mux.HandleFunc("GET /v1/tenants/{name}/freq", s.handleFreq)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/flush", s.handleFlush)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       !s.closing.Load(),
+		"tenants":  len(s.reg.List()),
+		"accepted": s.sh.Accepted(),
+		"rejected": s.sh.Rejected(),
+		"lost":     s.sh.Lost(),
+	})
+}
+
+func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": s.reg.List()})
+}
+
+func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeErr(w, http.StatusServiceUnavailable, codeClosing, "server shutting down")
+		return
+	}
+	var tc TenantConfig
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tc); err != nil {
+		writeErr(w, http.StatusBadRequest, codeInvalid, "bad tenant config: "+err.Error())
+		return
+	}
+	t, err := s.reg.Create(tc)
+	if err != nil {
+		if errors.Is(err, ErrExists) {
+			writeErr(w, http.StatusConflict, codeExists, err.Error())
+		} else {
+			writeErr(w, http.StatusBadRequest, codeInvalid, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, t.Config())
+}
+
+// tenant resolves the {name} path segment, writing a 404 on miss.
+func (s *Server) tenant(w http.ResponseWriter, r *http.Request) *Tenant {
+	name := r.PathValue("name")
+	t := s.reg.Get(name)
+	if t == nil {
+		writeErr(w, http.StatusNotFound, codeNotFound, "tenant "+strconv.Quote(name)+" not found")
+	}
+	return t
+}
+
+func (s *Server) handleTenantStats(w http.ResponseWriter, r *http.Request) {
+	t := s.tenant(w, r)
+	if t == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Stats())
+}
+
+func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	drain := r.URL.Query().Get("drain") != "false"
+	if !s.reg.Delete(name, drain) {
+		writeErr(w, http.StatusNotFound, codeNotFound, "tenant "+strconv.Quote(name)+" not found")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": name, "drained": drain})
+}
+
+// phiParam parses the required ?phi= query parameter.
+func phiParam(w http.ResponseWriter, r *http.Request) (float64, bool) {
+	raw := r.URL.Query().Get("phi")
+	if raw == "" {
+		writeErr(w, http.StatusBadRequest, codeInvalid, "missing phi parameter")
+		return 0, false
+	}
+	phi, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, codeInvalid, "bad phi: "+err.Error())
+		return 0, false
+	}
+	return phi, true
+}
+
+func (s *Server) handleHeavy(w http.ResponseWriter, r *http.Request) {
+	t := s.tenant(w, r)
+	if t == nil {
+		return
+	}
+	phi, ok := phiParam(w, r)
+	if !ok {
+		return
+	}
+	entries, err := t.HeavyHitters(phi)
+	if err != nil {
+		if t.cfg.Kind == KindQuantile {
+			writeErr(w, http.StatusUnprocessableEntity, codeUnsupported, err.Error())
+		} else {
+			writeErr(w, http.StatusBadRequest, codeInvalid, err.Error())
+		}
+		return
+	}
+	if entries == nil {
+		entries = []Entry{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"phi": phi, "items": entries})
+}
+
+func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
+	t := s.tenant(w, r)
+	if t == nil {
+		return
+	}
+	phi, ok := phiParam(w, r)
+	if !ok {
+		return
+	}
+	v, err := t.Quantile(phi)
+	if err != nil {
+		switch {
+		case t.cfg.Kind == KindHH:
+			writeErr(w, http.StatusUnprocessableEntity, codeUnsupported, err.Error())
+		case strings.Contains(err.Error(), "no data"):
+			writeErr(w, http.StatusConflict, codeNoData, err.Error())
+		default:
+			writeErr(w, http.StatusBadRequest, codeInvalid, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"phi": phi, "value": v})
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	t := s.tenant(w, r)
+	if t == nil {
+		return
+	}
+	raw := r.URL.Query().Get("value")
+	if raw == "" {
+		writeErr(w, http.StatusBadRequest, codeInvalid, "missing value parameter")
+		return
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, codeInvalid, "bad value: "+err.Error())
+		return
+	}
+	rank, total, err := t.Rank(v)
+	if err != nil {
+		if t.cfg.Kind != KindAllQ {
+			writeErr(w, http.StatusUnprocessableEntity, codeUnsupported, err.Error())
+		} else {
+			writeErr(w, http.StatusBadRequest, codeInvalid, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"value": v, "rank": rank, "total": total})
+}
+
+func (s *Server) handleFreq(w http.ResponseWriter, r *http.Request) {
+	t := s.tenant(w, r)
+	if t == nil {
+		return
+	}
+	raw := r.URL.Query().Get("item")
+	if raw == "" {
+		writeErr(w, http.StatusBadRequest, codeInvalid, "missing item parameter")
+		return
+	}
+	item, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, codeInvalid, "bad item: "+err.Error())
+		return
+	}
+	c, err := t.Frequency(item)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, codeUnsupported, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"item": item, "count": c})
+}
+
+// ingestRequest is the batch wire format: an array of records.
+type ingestRequest struct {
+	Records []Record `json:"records"`
+}
+
+type ingestResponse struct {
+	Accepted int           `json:"accepted"`
+	Rejected []RecordError `json:"rejected,omitempty"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeErr(w, http.StatusServiceUnavailable, codeClosing, "server shutting down")
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, codeInvalid, "bad ingest body: "+err.Error())
+		return
+	}
+	accepted, errs := s.sh.Ingest(req.Records)
+	writeJSON(w, http.StatusOK, ingestResponse{Accepted: accepted, Rejected: errs})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeErr(w, http.StatusServiceUnavailable, codeClosing, "server shutting down")
+		return
+	}
+	s.sh.Flush()
+	writeJSON(w, http.StatusOK, map[string]any{"flushed": true})
+}

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrExists is returned (wrapped) by Create when the tenant name is taken.
+var ErrExists = errors.New("tenant already exists")
+
+// Registry owns the tenants: named tracker instances with create / get /
+// delete / list lifecycle. All methods are safe for concurrent use.
+type Registry struct {
+	siteBuffer int
+
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+}
+
+// NewRegistry returns an empty registry whose tenants use the given
+// per-site cluster buffer.
+func NewRegistry(siteBuffer int) *Registry {
+	if siteBuffer < 1 {
+		siteBuffer = 128
+	}
+	return &Registry{siteBuffer: siteBuffer, tenants: make(map[string]*Tenant)}
+}
+
+// Create validates tc, builds the tracker and its cluster, and registers
+// the tenant. It fails if the name is taken.
+func (r *Registry) Create(tc TenantConfig) (*Tenant, error) {
+	if err := tc.validate(); err != nil {
+		return nil, err
+	}
+	// Build outside the lock (tracker construction allocates per-site
+	// state), then insert; racing creates of the same name lose cleanly.
+	t, err := newTenant(tc, r.siteBuffer)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if _, ok := r.tenants[tc.Name]; ok {
+		r.mu.Unlock()
+		t.close(false)
+		return nil, fmt.Errorf("tenant %q: %w", tc.Name, ErrExists)
+	}
+	r.tenants[tc.Name] = t
+	r.mu.Unlock()
+	return t, nil
+}
+
+// Get returns the named tenant, or nil if absent.
+func (r *Registry) Get(name string) *Tenant {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tenants[name]
+}
+
+// Delete unregisters the named tenant and stops its cluster. With drain
+// set, arrivals already enqueued are processed first; otherwise they are
+// dropped. It reports whether the tenant existed.
+func (r *Registry) Delete(name string, drain bool) bool {
+	r.mu.Lock()
+	t, ok := r.tenants[name]
+	delete(r.tenants, name)
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	t.close(drain)
+	return true
+}
+
+// List returns the configurations of all tenants, sorted by name.
+func (r *Registry) List() []TenantConfig {
+	r.mu.RLock()
+	out := make([]TenantConfig, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		out = append(out, t.cfg)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// all returns the live tenants (unsorted), for Flush.
+func (r *Registry) all() []*Tenant {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Close drains and removes every tenant.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	ts := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		ts = append(ts, t)
+	}
+	r.tenants = make(map[string]*Tenant)
+	r.mu.Unlock()
+	for _, t := range ts {
+		t.close(true)
+	}
+}

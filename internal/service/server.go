@@ -1,0 +1,53 @@
+package service
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Server ties the registry, the sharded ingest pipeline and the HTTP API
+// together. Create one with New, mount Handler on any http.Server (or use
+// cmd/trackd), and Close it for a graceful drain.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	sh      *sharder
+	mux     *http.ServeMux
+	closing atomic.Bool
+}
+
+// New builds a Server from cfg (zero values take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg}
+	s.reg = NewRegistry(cfg.SiteBuffer)
+	s.sh = newSharder(s.reg, cfg.Shards, cfg.ShardQueue)
+	s.mux = newMux(s)
+	return s
+}
+
+// Handler returns the HTTP API handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes tenant lifecycle for embedding and tests.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Ingest feeds records through the pipeline without HTTP (embedded use).
+func (s *Server) Ingest(recs []Record) (int, []RecordError) { return s.sh.Ingest(recs) }
+
+// Flush blocks until everything accepted so far is visible to queries.
+func (s *Server) Flush() { s.sh.Flush() }
+
+// Close drains the service: new ingest/create requests are refused, shard
+// queues are flushed into the clusters, and every tenant's cluster drains
+// its remaining arrivals. Queries keep working until the caller stops the
+// HTTP listener; Close is idempotent only in that second calls panic-free
+// no-op via the registry being empty, so call it once after the listener
+// has shut down.
+func (s *Server) Close() {
+	if s.closing.Swap(true) {
+		return
+	}
+	s.sh.Close()
+	s.reg.Close()
+}

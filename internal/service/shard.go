@@ -1,0 +1,240 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Record is one ingested arrival: a value observed at one site of one
+// tenant's distributed stream.
+type Record struct {
+	Tenant string `json:"tenant"`
+	Site   int    `json:"site"`
+	Value  uint64 `json:"value"`
+}
+
+// RecordError reports one rejected record by its index in the submitted
+// batch.
+type RecordError struct {
+	Index int    `json:"index"`
+	Err   string `json:"error"`
+}
+
+// sharder is the ingest pipeline: it validates record batches, hashes each
+// tenant onto one worker shard, and the shard feeds grouped sub-batches to
+// the tenants' clusters. A tenant's records always land on the same shard,
+// preserving per-tenant arrival order and making per-tenant ingest state
+// single-writer.
+type sharder struct {
+	reg    *Registry
+	shards []*shard
+
+	accepted atomic.Int64
+	rejected atomic.Int64
+	lost     atomic.Int64 // accepted but undeliverable (tenant deleted mid-flight)
+
+	// mu serializes Ingest/Flush (read side) against Close (write side):
+	// closing a shard channel while a handler is sending on it would panic,
+	// and HTTP handlers can outlive the server's closing flag check.
+	mu     sync.RWMutex
+	closed bool
+}
+
+type shard struct {
+	ch chan shardMsg
+	wg *sync.WaitGroup
+}
+
+// shardMsg carries either a record batch or a flush barrier.
+type shardMsg struct {
+	recs    []Record
+	barrier chan<- struct{}
+}
+
+func newSharder(reg *Registry, n, queue int) *sharder {
+	sh := &sharder{reg: reg}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		s := &shard{ch: make(chan shardMsg, queue), wg: &wg}
+		sh.shards = append(sh.shards, s)
+		wg.Add(1)
+		go sh.worker(s)
+	}
+	return sh
+}
+
+// shardOf hashes a tenant name onto its owning shard (inlined FNV-1a — the
+// hash/fnv hasher would allocate once per record on the hot ingest path).
+func (sh *sharder) shardOf(tenant string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(tenant); i++ {
+		h ^= uint32(tenant[i])
+		h *= 16777619
+	}
+	return sh.shards[int(h)%len(sh.shards)]
+}
+
+// Ingest validates recs and enqueues the valid ones onto their owning
+// shards, blocking while a shard queue is full. Validation is synchronous
+// so callers learn about unknown tenants, out-of-range sites and
+// out-of-range values immediately; processing is asynchronous (see Flush
+// for the visibility barrier). Returns the number accepted and the
+// per-record rejections.
+func (sh *sharder) Ingest(recs []Record) (int, []RecordError) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	var errs []RecordError
+	if sh.closed {
+		for i := range recs {
+			errs = append(errs, RecordError{Index: i, Err: "service shutting down"})
+		}
+		sh.rejected.Add(int64(len(errs)))
+		return 0, errs
+	}
+	// Partition per shard, preserving submission order within each shard.
+	parts := make(map[*shard][]Record)
+	for i, rec := range recs {
+		t := sh.reg.Get(rec.Tenant)
+		if t == nil {
+			errs = append(errs, RecordError{Index: i, Err: fmt.Sprintf("tenant %q not found", rec.Tenant)})
+			continue
+		}
+		if rec.Site < 0 || rec.Site >= t.cfg.K {
+			errs = append(errs, RecordError{Index: i,
+				Err: fmt.Sprintf("site %d out of range [0,%d)", rec.Site, t.cfg.K)})
+			continue
+		}
+		if t.perturbed() && rec.Value >= MaxPerturbedValue {
+			errs = append(errs, RecordError{Index: i,
+				Err: fmt.Sprintf("value %d out of range [0, %d) for kind %q", rec.Value, MaxPerturbedValue, t.cfg.Kind)})
+			continue
+		}
+		s := sh.shardOf(rec.Tenant)
+		parts[s] = append(parts[s], rec)
+	}
+	accepted := 0
+	for s, part := range parts {
+		s.ch <- shardMsg{recs: part}
+		accepted += len(part)
+	}
+	sh.accepted.Add(int64(accepted))
+	sh.rejected.Add(int64(len(errs)))
+	return accepted, errs
+}
+
+// worker drains one shard queue: group each batch by (tenant, site), apply
+// the tenant's perturbation, and feed each group through the cluster's
+// batched path.
+func (sh *sharder) worker(s *shard) {
+	defer s.wg.Done()
+	for msg := range s.ch {
+		if msg.barrier != nil {
+			msg.barrier <- struct{}{}
+			continue
+		}
+		sh.deliver(msg.recs)
+	}
+}
+
+// deliver feeds one shard batch, grouped by (tenant, site) across the whole
+// batch so interleaved workloads still amortize into one SendBatch per
+// group. Record order is preserved within each (tenant, site) pair — the
+// only order the runtime observes, since each site has its own ingestion
+// queue.
+func (sh *sharder) deliver(recs []Record) {
+	type groupKey struct {
+		tenant string
+		site   int
+	}
+	type group struct {
+		t    *Tenant
+		site int
+		keys []uint64
+	}
+	groups := make(map[groupKey]*group)
+	var order []*group // encounter order, for deterministic delivery
+	var (
+		cur     *Tenant
+		curName string
+		looked  bool
+	)
+	for _, rec := range recs {
+		if !looked || rec.Tenant != curName {
+			curName, looked = rec.Tenant, true
+			cur = sh.reg.Get(rec.Tenant)
+		}
+		if cur == nil {
+			sh.lost.Add(1) // tenant deleted between accept and delivery
+			continue
+		}
+		v := rec.Value
+		if cur.perturbed() {
+			v = cur.perturb(v)
+		}
+		gk := groupKey{rec.Tenant, rec.Site}
+		g := groups[gk]
+		if g == nil {
+			g = &group{t: cur, site: rec.Site}
+			groups[gk] = g
+			order = append(order, g)
+		}
+		g.keys = append(g.keys, v)
+	}
+	for _, g := range order {
+		// Ownership of keys passes to the cluster.
+		if err := g.t.sendBatch(g.site, g.keys); err != nil {
+			sh.lost.Add(int64(len(g.keys)))
+		}
+	}
+}
+
+// Flush blocks until every record accepted before the call is visible to
+// queries: first a barrier through every shard queue (all accepted batches
+// delivered to the clusters), then a wait until each tenant's cluster has
+// processed everything delivered. Closed tenants are skipped; after Close
+// it is a no-op (Close itself flushes by draining the queues).
+func (sh *sharder) Flush() {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.closed {
+		return
+	}
+	done := make(chan struct{}, len(sh.shards))
+	for _, s := range sh.shards {
+		s.ch <- shardMsg{barrier: done}
+	}
+	for range sh.shards {
+		<-done
+	}
+	for _, t := range sh.reg.all() {
+		for !t.isClosed() && !t.synced() {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// Close stops the pipeline: no further records are accepted, shard queues
+// are closed, and the workers finish delivering everything already
+// accepted. Safe against concurrent Ingest/Flush; idempotent.
+func (sh *sharder) Close() {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return
+	}
+	sh.closed = true
+	sh.mu.Unlock()
+	for _, s := range sh.shards {
+		close(s.ch)
+	}
+	sh.shards[0].wg.Wait()
+}
+
+// Accepted, Rejected and Lost return the pipeline's lifetime record
+// counters: accepted at ingest, rejected at validation, and accepted but
+// undeliverable (tenant deleted or closed before delivery).
+func (sh *sharder) Accepted() int64 { return sh.accepted.Load() }
+func (sh *sharder) Rejected() int64 { return sh.rejected.Load() }
+func (sh *sharder) Lost() int64     { return sh.lost.Load() }

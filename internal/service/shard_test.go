@@ -1,0 +1,137 @@
+package service
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIngestValidation(t *testing.T) {
+	s := New(Config{Shards: 2, ShardQueue: 8, SiteBuffer: 8})
+	defer s.Close()
+	if _, err := s.Registry().Create(TenantConfig{Name: "t", Kind: KindQuantile, K: 2, Eps: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Tenant: "t", Site: 0, Value: 1},
+		{Tenant: "ghost", Site: 0, Value: 1},
+		{Tenant: "t", Site: 7, Value: 1},
+		{Tenant: "t", Site: 1, Value: MaxPerturbedValue}, // too big for a perturbed kind
+		{Tenant: "t", Site: 1, Value: 2},
+	}
+	acc, errs := s.Ingest(recs)
+	if acc != 2 {
+		t.Fatalf("accepted %d, want 2", acc)
+	}
+	if len(errs) != 3 {
+		t.Fatalf("rejected %d, want 3: %+v", len(errs), errs)
+	}
+	want := map[int]bool{1: true, 2: true, 3: true}
+	for _, e := range errs {
+		if !want[e.Index] {
+			t.Errorf("unexpected rejection index %d (%s)", e.Index, e.Err)
+		}
+	}
+	s.Flush()
+	st := s.Registry().Get("t").Stats()
+	if st.Processed != 2 {
+		t.Fatalf("processed %d, want 2", st.Processed)
+	}
+}
+
+func TestShardedIngestPreservesPerTenantTotals(t *testing.T) {
+	const tenants, perTenant = 6, 3000
+	s := New(Config{Shards: 3, ShardQueue: 16, SiteBuffer: 32})
+	defer s.Close()
+	names := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	for i, n := range names {
+		kind := []Kind{KindHH, KindQuantile, KindAllQ}[i%3]
+		if _, err := s.Registry().Create(TenantConfig{Name: n, Kind: kind, K: 4, Eps: 0.1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Concurrent producers interleaving all tenants in each batch.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perTenant/4; i++ {
+				recs := make([]Record, 0, tenants)
+				for ti, n := range names {
+					recs = append(recs, Record{Tenant: n, Site: (i + ti) % 4, Value: uint64(w*1_000_000 + i)})
+				}
+				if acc, errs := s.Ingest(recs); acc != tenants || len(errs) != 0 {
+					t.Errorf("ingest accepted %d (%v)", acc, errs)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Flush()
+	for _, n := range names {
+		st := s.Registry().Get(n).Stats()
+		if st.Processed != perTenant/4*4 {
+			t.Errorf("tenant %s processed %d, want %d", n, st.Processed, perTenant/4*4)
+		}
+		var sum int64
+		for _, c := range st.SiteCounts {
+			sum += c
+		}
+		if sum != st.Processed {
+			t.Errorf("tenant %s site counts sum %d != processed %d", n, sum, st.Processed)
+		}
+		if st.Batches == 0 {
+			t.Errorf("tenant %s saw no batched deliveries", n)
+		}
+		if st.Dropped != 0 || st.Ties != 0 {
+			t.Errorf("tenant %s dropped=%d ties=%d, want 0", n, st.Dropped, st.Ties)
+		}
+	}
+}
+
+func TestPerturbationKeepsDuplicatesDistinct(t *testing.T) {
+	s := New(Config{Shards: 1, ShardQueue: 4, SiteBuffer: 8})
+	defer s.Close()
+	if _, err := s.Registry().Create(TenantConfig{Name: "q", Kind: KindQuantile, K: 1, Eps: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	// 5000 copies of the same value: without perturbation the quantile
+	// protocol's separators would collapse; with it the median must be the
+	// value itself and the tracker absorbs all arrivals.
+	recs := make([]Record, 5000)
+	for i := range recs {
+		recs[i] = Record{Tenant: "q", Site: 0, Value: 42}
+	}
+	if acc, errs := s.Ingest(recs); acc != len(recs) || len(errs) != 0 {
+		t.Fatalf("ingest: %d accepted, %v", acc, errs)
+	}
+	s.Flush()
+	ten := s.Registry().Get("q")
+	v, err := ten.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("median of 5000 copies of 42 = %d", v)
+	}
+}
+
+func TestFlushBarrierMakesIngestVisible(t *testing.T) {
+	s := New(Config{Shards: 2, ShardQueue: 4, SiteBuffer: 4})
+	defer s.Close()
+	if _, err := s.Registry().Create(TenantConfig{Name: "h", Kind: KindHH, K: 2, Eps: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	for round := int64(1); round <= 20; round++ {
+		recs := make([]Record, 50)
+		for i := range recs {
+			recs[i] = Record{Tenant: "h", Site: i % 2, Value: uint64(i % 5)}
+		}
+		s.Ingest(recs)
+		s.Flush()
+		if st := s.Registry().Get("h").Stats(); st.Processed != round*50 {
+			t.Fatalf("round %d: processed %d, want %d", round, st.Processed, round*50)
+		}
+	}
+}

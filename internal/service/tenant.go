@@ -1,0 +1,402 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"disttrack/internal/core/allq"
+	"disttrack/internal/core/hh"
+	"disttrack/internal/core/quantile"
+	"disttrack/internal/runtime"
+	"disttrack/internal/stream"
+)
+
+// Kind selects which of the paper's protocols a tenant runs.
+type Kind string
+
+const (
+	// KindHH tracks φ-heavy hitters (core/hh, Theorem 2.1).
+	KindHH Kind = "hh"
+	// KindQuantile tracks a fixed set of φ-quantiles (core/quantile,
+	// Theorem 3.1).
+	KindQuantile Kind = "quantile"
+	// KindAllQ tracks all quantiles and ranks at once (core/allq,
+	// Theorem 4.1); it also answers heavy-hitter queries from ranks.
+	KindAllQ Kind = "allq"
+)
+
+// MaxPerturbedValue bounds ingested values for quantile and allq tenants:
+// the service breaks ties by symbolic perturbation (stream.Perturb), which
+// reserves the low PerturbBits of the key space.
+const MaxPerturbedValue = uint64(1) << (64 - stream.PerturbBits)
+
+// TenantConfig describes one tracked stream.
+type TenantConfig struct {
+	Name   string    `json:"name"`
+	Kind   Kind      `json:"kind"`
+	K      int       `json:"k"`                // number of sites, >= 1
+	Eps    float64   `json:"eps"`              // approximation error, in (0,1)
+	Phis   []float64 `json:"phis,omitempty"`   // quantile kind: tracked quantiles (default 0.5)
+	Sketch bool      `json:"sketch,omitempty"` // small-space per-site stores
+}
+
+func (tc TenantConfig) validate() error {
+	if tc.Name == "" {
+		return fmt.Errorf("tenant name must be non-empty")
+	}
+	for _, r := range tc.Name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return fmt.Errorf("tenant name %q: only [A-Za-z0-9._-] allowed", tc.Name)
+		}
+	}
+	switch tc.Kind {
+	case KindHH, KindQuantile, KindAllQ:
+	default:
+		return fmt.Errorf("unknown tenant kind %q (want hh, quantile or allq)", tc.Kind)
+	}
+	if tc.K < 1 {
+		return fmt.Errorf("k must be >= 1, got %d", tc.K)
+	}
+	if tc.Eps <= 0 || tc.Eps >= 1 {
+		return fmt.Errorf("eps must be in (0,1), got %g", tc.Eps)
+	}
+	for _, phi := range tc.Phis {
+		if phi < 0 || phi > 1 {
+			return fmt.Errorf("every phi must be in [0,1], got %g", phi)
+		}
+	}
+	if tc.Kind != KindQuantile && len(tc.Phis) > 0 {
+		return fmt.Errorf("phis only applies to quantile tenants")
+	}
+	return nil
+}
+
+// Tenant is one named tracker instance: a core tracker wrapped in a
+// runtime.Cluster, plus the service-side perturbation and send bookkeeping.
+// Ingestion for a tenant is owned by exactly one shard goroutine (tenants
+// are hashed across shards), which is what makes the perturbation sequence
+// map safe without a lock.
+type Tenant struct {
+	cfg     TenantConfig
+	cluster *runtime.Cluster
+
+	// Exactly one of these is non-nil, per cfg.Kind.
+	hh *hh.Tracker
+	q  *quantile.Tracker
+	aq *allq.Tracker
+
+	// seq is the symbolic-perturbation state for quantile/allq tenants:
+	// per-value occurrence counters (see stream.Perturb). Touched only by
+	// the owning shard goroutine.
+	seq map[uint64]uint32
+
+	sent    atomic.Int64 // arrivals successfully enqueued to the cluster
+	dropped atomic.Int64 // arrivals lost because the tenant closed mid-send
+	ties    atomic.Int64 // perturbation overflows (> 2^24 copies of a value)
+
+	// sendMu serializes sends against close: sends hold the read side, so
+	// close's write lock waits for in-flight sends before draining the
+	// cluster (runtime forbids Send concurrent with Drain).
+	sendMu sync.RWMutex
+	closed bool
+}
+
+func newTenant(tc TenantConfig, siteBuffer int) (*Tenant, error) {
+	t := &Tenant{cfg: tc}
+	var feeder runtime.Feeder
+	var err error
+	switch tc.Kind {
+	case KindHH:
+		mode := hh.ModeExact
+		if tc.Sketch {
+			mode = hh.ModeSketch
+		}
+		t.hh, err = hh.New(hh.Config{K: tc.K, Eps: tc.Eps, Mode: mode})
+		feeder = t.hh
+	case KindQuantile:
+		mode := quantile.ModeExact
+		if tc.Sketch {
+			mode = quantile.ModeSketch
+		}
+		phis := tc.Phis
+		if len(phis) == 0 {
+			phis = []float64{0.5}
+			t.cfg.Phis = phis
+		}
+		t.q, err = quantile.New(quantile.Config{K: tc.K, Eps: tc.Eps, Phis: phis, Mode: mode})
+		feeder = t.q
+		t.seq = make(map[uint64]uint32)
+	case KindAllQ:
+		mode := allq.ModeExact
+		if tc.Sketch {
+			mode = allq.ModeSketch
+		}
+		t.aq, err = allq.New(allq.Config{K: tc.K, Eps: tc.Eps, Mode: mode})
+		feeder = t.aq
+		t.seq = make(map[uint64]uint32)
+	}
+	if err != nil {
+		return nil, err
+	}
+	t.cluster, err = runtime.New(context.Background(), feeder, tc.K, siteBuffer)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// perturbed reports whether values are symbolically perturbed on ingest.
+func (t *Tenant) perturbed() bool { return t.cfg.Kind != KindHH }
+
+// perturb maps a raw value to a distinct key (stream.Perturb semantics).
+// Only the owning shard goroutine may call it. Past 2^PerturbBits copies of
+// one value the key space is exhausted; the key is then reused and the
+// occurrence counted in Ties (the protocol stays safe, the ε guarantee
+// degrades — see package quantile's distinctness note).
+func (t *Tenant) perturb(v uint64) uint64 {
+	s := t.seq[v]
+	if s+1 < 1<<stream.PerturbBits {
+		t.seq[v] = s + 1
+	} else {
+		t.ties.Add(1)
+	}
+	return v<<stream.PerturbBits | uint64(s)
+}
+
+// sendBatch hands a batch of already-perturbed keys for one site to the
+// cluster. It is a no-op returning an error after the tenant closed.
+func (t *Tenant) sendBatch(site int, keys []uint64) error {
+	t.sendMu.RLock()
+	defer t.sendMu.RUnlock()
+	if t.closed {
+		t.dropped.Add(int64(len(keys)))
+		return fmt.Errorf("tenant %q closed", t.cfg.Name)
+	}
+	if err := t.cluster.SendBatch(site, keys); err != nil {
+		t.dropped.Add(int64(len(keys)))
+		return err
+	}
+	t.sent.Add(int64(len(keys)))
+	return nil
+}
+
+// close marks the tenant closed and stops its cluster: gracefully (drain —
+// everything already enqueued is processed) or immediately (queued items
+// dropped).
+func (t *Tenant) close(drain bool) {
+	t.sendMu.Lock()
+	if t.closed {
+		t.sendMu.Unlock()
+		return
+	}
+	t.closed = true
+	t.sendMu.Unlock()
+	if drain {
+		t.cluster.Drain()
+	} else {
+		t.cluster.Stop()
+	}
+}
+
+// isClosed reports whether close has begun.
+func (t *Tenant) isClosed() bool {
+	t.sendMu.RLock()
+	defer t.sendMu.RUnlock()
+	return t.closed
+}
+
+// synced reports whether every successfully enqueued arrival has been
+// processed by the tracker (used by Flush).
+func (t *Tenant) synced() bool {
+	return t.cluster.Processed() >= t.sent.Load()
+}
+
+// Config returns the tenant's configuration (Phis filled with defaults).
+func (t *Tenant) Config() TenantConfig { return t.cfg }
+
+// Entry is one heavy hitter in a query response.
+type Entry struct {
+	Item  uint64  `json:"item"`
+	Count int64   `json:"count"`
+	Ratio float64 `json:"ratio"`
+}
+
+// HeavyHitters answers a φ-heavy-hitter query. Supported by hh tenants
+// (directly) and allq tenants (extracted from ranks); phi must exceed eps.
+func (t *Tenant) HeavyHitters(phi float64) ([]Entry, error) {
+	if phi <= t.cfg.Eps || phi > 1 {
+		return nil, fmt.Errorf("phi must be in (eps, 1], got %g (eps %g)", phi, t.cfg.Eps)
+	}
+	var out []Entry
+	switch t.cfg.Kind {
+	case KindHH:
+		t.cluster.Query(func() {
+			for _, e := range t.hh.HeavyHitterEntries(phi) {
+				out = append(out, Entry{Item: e.Item, Count: e.Count, Ratio: e.Ratio})
+			}
+		})
+	case KindAllQ:
+		t.cluster.Query(func() {
+			total := t.aq.EstTotal()
+			if total == 0 {
+				return
+			}
+			for _, v := range t.aq.HeavyHittersFromRanks(phi, stream.PerturbBits) {
+				// For the maximum valid value, (v+1)<<PerturbBits would wrap
+				// to 0; every key >= v<<PerturbBits carries value v then.
+				hi := total
+				if v+1 < MaxPerturbedValue {
+					hi = t.aq.Rank((v + 1) << stream.PerturbBits)
+				}
+				c := hi - t.aq.Rank(v<<stream.PerturbBits)
+				out = append(out, Entry{Item: v, Count: c, Ratio: float64(c) / float64(total)})
+			}
+		})
+	default:
+		return nil, fmt.Errorf("tenant kind %q does not answer heavy-hitter queries", t.cfg.Kind)
+	}
+	return out, nil
+}
+
+// Quantile answers a φ-quantile query with the raw (unperturbed) value.
+// Quantile tenants answer only their configured Phis; allq tenants answer
+// any φ in [0,1]. It errors before the first arrival.
+func (t *Tenant) Quantile(phi float64) (uint64, error) {
+	if phi < 0 || phi > 1 {
+		return 0, fmt.Errorf("phi must be in [0,1], got %g", phi)
+	}
+	var key uint64
+	var err error
+	switch t.cfg.Kind {
+	case KindQuantile:
+		tracked := -1
+		for i, p := range t.cfg.Phis {
+			if p == phi {
+				tracked = i
+			}
+		}
+		if tracked < 0 {
+			return 0, fmt.Errorf("phi %g is not tracked (configured: %v)", phi, t.cfg.Phis)
+		}
+		t.cluster.Query(func() {
+			if t.q.TrueTotal() == 0 {
+				err = fmt.Errorf("tenant %q has no data", t.cfg.Name)
+				return
+			}
+			key = t.q.QuantileAt(tracked)
+		})
+	case KindAllQ:
+		t.cluster.Query(func() {
+			if t.aq.TrueTotal() == 0 {
+				err = fmt.Errorf("tenant %q has no data", t.cfg.Name)
+				return
+			}
+			key = t.aq.Quantile(phi)
+		})
+	default:
+		return 0, fmt.Errorf("tenant kind %q does not answer quantile queries", t.cfg.Kind)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return stream.Unperturb(key), nil
+}
+
+// Rank answers "how many ingested values are < v" (allq tenants only),
+// together with the coordinator's total estimate.
+func (t *Tenant) Rank(v uint64) (rank, total int64, err error) {
+	if t.cfg.Kind != KindAllQ {
+		return 0, 0, fmt.Errorf("tenant kind %q does not answer rank queries", t.cfg.Kind)
+	}
+	if v >= MaxPerturbedValue {
+		return 0, 0, fmt.Errorf("value %d out of range [0, 2^%d)", v, 64-stream.PerturbBits)
+	}
+	t.cluster.Query(func() {
+		rank = t.aq.Rank(stream.PerturbValue(v))
+		total = t.aq.EstTotal()
+	})
+	return rank, total, nil
+}
+
+// Frequency answers a point frequency query (hh tenants only): the
+// coordinator's underestimate of the item's global count.
+func (t *Tenant) Frequency(item uint64) (int64, error) {
+	if t.cfg.Kind != KindHH {
+		return 0, fmt.Errorf("tenant kind %q does not answer frequency queries", t.cfg.Kind)
+	}
+	var c int64
+	t.cluster.Query(func() { c = t.hh.EstFrequency(item) })
+	return c, nil
+}
+
+// TenantStats is the observability snapshot served by the stats endpoint.
+type TenantStats struct {
+	Name       string    `json:"name"`
+	Kind       Kind      `json:"kind"`
+	K          int       `json:"k"`
+	Eps        float64   `json:"eps"`
+	Phis       []float64 `json:"phis,omitempty"`
+	Sketch     bool      `json:"sketch,omitempty"`
+	EstTotal   int64     `json:"est_total"`   // coordinator's view of |A|
+	Processed  int64     `json:"processed"`   // arrivals fed to the tracker
+	Batches    int64     `json:"batches"`     // batch deliveries processed
+	Dropped    int64     `json:"dropped"`     // arrivals lost (close/stop)
+	Ties       int64     `json:"ties"`        // perturbation overflows
+	Msgs       int64     `json:"msgs"`        // protocol messages site↔coordinator
+	Words      int64     `json:"words"`       // protocol words site↔coordinator
+	Rounds     int       `json:"rounds"`      // completed protocol rounds
+	SiteCounts []int64   `json:"site_counts"` // exact arrivals per site
+}
+
+// Stats captures the tenant's current statistics under a consistent
+// coordinator snapshot.
+func (t *Tenant) Stats() TenantStats {
+	st := TenantStats{
+		Name:   t.cfg.Name,
+		Kind:   t.cfg.Kind,
+		K:      t.cfg.K,
+		Eps:    t.cfg.Eps,
+		Phis:   t.cfg.Phis,
+		Sketch: t.cfg.Sketch,
+	}
+	cs := t.cluster.Stats()
+	st.Processed = cs.Processed
+	st.Batches = cs.Batches
+	st.Dropped = cs.Dropped + t.dropped.Load()
+	st.Ties = t.ties.Load()
+	st.SiteCounts = make([]int64, t.cfg.K)
+	t.cluster.Query(func() {
+		switch t.cfg.Kind {
+		case KindHH:
+			st.EstTotal = t.hh.EstTotal()
+			st.Rounds = t.hh.Rounds()
+			c := t.hh.Meter().Total()
+			st.Msgs, st.Words = c.Msgs, c.Words
+			for j := 0; j < t.cfg.K; j++ {
+				st.SiteCounts[j] = t.hh.SiteCount(j)
+			}
+		case KindQuantile:
+			st.EstTotal = t.q.EstTotal()
+			st.Rounds = t.q.Rounds()
+			c := t.q.Meter().Total()
+			st.Msgs, st.Words = c.Msgs, c.Words
+			for j := 0; j < t.cfg.K; j++ {
+				st.SiteCounts[j] = t.q.SiteCount(j)
+			}
+		case KindAllQ:
+			st.EstTotal = t.aq.EstTotal()
+			st.Rounds = t.aq.Rounds()
+			c := t.aq.Meter().Total()
+			st.Msgs, st.Words = c.Msgs, c.Words
+			for j := 0; j < t.cfg.K; j++ {
+				st.SiteCounts[j] = t.aq.SiteCount(j)
+			}
+		}
+	})
+	return st
+}
