@@ -1,0 +1,51 @@
+# Mirrors .github/workflows/ci.yml so contributors can run the same checks
+# locally: `make ci` is the full gate, individual targets below.
+
+GO ?= go
+
+.PHONY: all ci fmt fmt-fix vet build test race bench-smoke staticcheck vuln fuzz-smoke
+
+all: build
+
+ci: fmt vet build test race bench-smoke
+
+# fmt fails if any file needs formatting (what CI runs); fmt-fix rewrites.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+
+fmt-fix:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run every benchmark exactly once so they cannot bit-rot.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Short fuzz pass over the wire-protocol decoders.
+fuzz-smoke:
+	$(GO) test ./internal/remote/ -run '^$$' -fuzz FuzzReadTFrame -fuzztime 10s
+	$(GO) test ./internal/remote/ -run '^$$' -fuzz FuzzReadMsg -fuzztime 10s
+	$(GO) test ./internal/summary/gk/ -run '^$$' -fuzz Fuzz -fuzztime 10s
+
+# Optional: require the tools only when the target is invoked.
+staticcheck:
+	@command -v staticcheck >/dev/null || { \
+		echo "staticcheck not installed: go install honnef.co/go/tools/cmd/staticcheck@latest"; exit 1; }
+	staticcheck ./...
+
+vuln:
+	@command -v govulncheck >/dev/null || { \
+		echo "govulncheck not installed: go install golang.org/x/vuln/cmd/govulncheck@latest"; exit 1; }
+	govulncheck ./...

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	coordd [-listen :7070] [-k 4] [-eps 0.05] [-phi 0.1] [-interval 2s]
+//
+// On SIGINT/SIGTERM the daemon runs one final reconciliation sync —
+// folding every live site's exact count into C.m, repairing the staleness
+// that epoch-raced count signals leave behind — prints a last report, and
+// drains its connections before exiting.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"disttrack/internal/remote"
@@ -33,21 +39,29 @@ func main() {
 	defer coord.Close()
 	log.Printf("coordinator listening on %s (k=%d eps=%g phi=%g)", coord.Addr(), *k, *eps, *phi)
 
+	report := func() {
+		hh := coord.HeavyHitters(*phi)
+		c := coord.TotalCost() // lock-protected: sites mutate the meter live
+		fmt.Printf("[%s] sites=%d est_total=%d rounds=%d msgs=%d words=%d heavy=%v\n",
+			time.Now().Format("15:04:05"), coord.LiveSites(), coord.EstTotal(),
+			coord.Rounds(), c.Msgs, c.Words, hh)
+	}
+
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	tick := time.NewTicker(*interval)
 	defer tick.Stop()
 	for {
 		select {
-		case <-stop:
-			log.Printf("shutting down")
+		case sig := <-stop:
+			log.Printf("received %v, reconciling and draining", sig)
+			// Fold every live site's exact count into C.m so the final
+			// report is as tight as the protocol allows.
+			coord.Sync()
+			report()
 			return
 		case <-tick.C:
-			hh := coord.HeavyHitters(*phi)
-			c := coord.Meter().Total()
-			fmt.Printf("[%s] sites=%d est_total=%d rounds=%d msgs=%d words=%d heavy=%v\n",
-				time.Now().Format("15:04:05"), coord.LiveSites(), coord.EstTotal(),
-				coord.Rounds(), c.Msgs, c.Words, hh)
+			report()
 		}
 	}
 }

@@ -5,11 +5,23 @@
 // Usage:
 //
 //	sited -site 0 [-coord 127.0.0.1:7070] [-k 4] [-eps 0.05] [-n 1000000] [-rate 10000] [-dist zipf] [-seed 0]
+//
+// On SIGINT/SIGTERM the agent stops generating, flushes its in-flight
+// messages through the coordinator (a per-connection fence) and exits
+// cleanly. If the coordinator connection drops mid-run the agent drains
+// gracefully too: it logs how far it got instead of aborting, so a
+// supervisor can restart it with the same site id (the coordinator retains
+// the site's last reported state and resyncs it on reconnect).
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"disttrack/internal/remote"
@@ -51,18 +63,34 @@ func main() {
 		log.Fatalf("unknown -dist %q", *dist)
 	}
 
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
 	var pacer *time.Ticker
 	if *rate > 0 {
 		pacer = time.NewTicker(time.Second / time.Duration(*rate))
 		defer pacer.Stop()
 	}
+
+	var disconnected error
+loop:
 	for i := int64(0); ; i++ {
+		select {
+		case sig := <-stop:
+			log.Printf("site %d: received %v, draining", *site, sig)
+			break loop
+		default:
+		}
 		x, ok := gen.Next()
 		if !ok {
 			break
 		}
 		if err := agent.Observe(x); err != nil {
-			log.Fatalf("site %d: %v", *site, err)
+			// The connection is gone: the agent keeps exact local counts
+			// but cannot communicate. Drain instead of aborting.
+			disconnected = err
+			log.Printf("site %d: coordinator connection lost (%v), draining", *site, err)
+			break
 		}
 		switch {
 		case pacer != nil:
@@ -70,12 +98,20 @@ func main() {
 		case i%1000 == 999:
 			// Line rate: bound in-flight staleness with a flush fence.
 			if err := agent.Flush(); err != nil {
-				log.Fatalf("site %d: %v", *site, err)
+				disconnected = err
+				log.Printf("site %d: flush failed (%v), draining", *site, err)
+				break loop
 			}
 		}
 	}
-	if err := agent.Flush(); err != nil {
-		log.Fatal(err)
+	if disconnected == nil {
+		if err := agent.Flush(); err != nil && !errors.Is(err, net.ErrClosed) {
+			disconnected = err
+			log.Printf("site %d: final flush failed: %v", *site, err)
+		}
 	}
 	log.Printf("site %d done: %d arrivals observed", *site, agent.N())
+	if disconnected != nil {
+		os.Exit(1)
+	}
 }

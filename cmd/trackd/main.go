@@ -1,21 +1,34 @@
 // Command trackd runs the multi-tenant tracking service (internal/service)
 // as an HTTP daemon: many named tracker instances — heavy-hitter, quantile
 // and all-quantile tenants — behind one batched, sharded ingest pipeline
-// and a JSON query API. See docs/service.md for the wire protocol.
+// and a JSON query API. See docs/service.md for the wire protocol and
+// docs/distributed.md for the distributed topology.
+//
+// trackd runs in one of three roles:
+//
+//   - standalone (default): the full service in one process.
+//   - coord: the full service plus a TCP ingest listener terminating
+//     site-node connections (-ingest-listen).
+//   - site: an edge node accepting the same HTTP ingest API, batching
+//     records per (tenant, site) and pushing delta frames upstream to a
+//     coordinator (-upstream), with reconnect-and-resync.
 //
 // Usage:
 //
-//	trackd [-listen 127.0.0.1:8080] [-shards 4] [-shard-queue 64] [-site-buffer 128]
+//	trackd [-role standalone|coord|site] [-listen 127.0.0.1:8080] ...
 //
-// Example session:
+// Example distributed session:
 //
-//	trackd -listen :8080 &
+//	trackd -role coord -listen :8080 -ingest-listen :7171 &
+//	trackd -role site -node edge-1 -upstream localhost:7171 -listen :8081 &
 //	curl -X POST localhost:8080/v1/tenants -d '{"name":"clicks","kind":"hh","k":4,"eps":0.05}'
-//	curl -X POST localhost:8080/v1/ingest -d '{"records":[{"tenant":"clicks","site":0,"value":7}]}'
+//	curl -X POST localhost:8081/v1/ingest -d '{"records":[{"tenant":"clicks","site":0,"value":7}]}'
+//	curl -X POST localhost:8081/v1/flush
 //	curl 'localhost:8080/v1/tenants/clicks/heavy?phi=0.1'
 //
-// On SIGINT/SIGTERM the daemon stops accepting requests, flushes the shard
-// queues into the tenants' clusters, and drains every cluster before
+// On SIGINT/SIGTERM every role drains gracefully: a server stops accepting
+// requests and flushes its pipeline into the tenants' clusters; a site node
+// pushes its buffered batches upstream and fences the coordinator before
 // exiting, so everything acknowledged is processed.
 package main
 
@@ -23,6 +36,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -30,27 +44,121 @@ import (
 	"syscall"
 	"time"
 
+	"disttrack/internal/runtime"
 	"disttrack/internal/service"
 )
 
+// config is trackd's parsed command line.
+type config struct {
+	role       string
+	listen     string
+	shards     int
+	shardQueue int
+	siteBuffer int
+	grace      time.Duration
+
+	// coord role
+	ingestListen string
+
+	// site role
+	upstream     string
+	node         string
+	forwardBatch int
+	forwardDelay time.Duration
+	window       int
+}
+
+// parseFlags parses args (without the program name) into a config.
+func parseFlags(args []string) (config, error) {
+	var cfg config
+	fs := flag.NewFlagSet("trackd", flag.ContinueOnError)
+	fs.StringVar(&cfg.role, "role", "standalone", "standalone | coord | site")
+	fs.StringVar(&cfg.listen, "listen", "127.0.0.1:8080", "HTTP listen address")
+	fs.IntVar(&cfg.shards, "shards", 4, "ingest worker shards (standalone/coord)")
+	fs.IntVar(&cfg.shardQueue, "shard-queue", 64, "per-shard queue capacity (batches)")
+	fs.IntVar(&cfg.siteBuffer, "site-buffer", 128, "per-site cluster channel capacity")
+	fs.DurationVar(&cfg.grace, "grace", 10*time.Second, "shutdown grace period for in-flight HTTP requests")
+	fs.StringVar(&cfg.ingestListen, "ingest-listen", "127.0.0.1:7171", "coord: TCP listen address for site-node ingest")
+	fs.StringVar(&cfg.upstream, "upstream", "", "site: coordinator ingest address (required)")
+	fs.StringVar(&cfg.node, "node", "", "site: stable node name (required; keys reconnect resync)")
+	fs.IntVar(&cfg.forwardBatch, "forward-batch", 256, "site: values per upstream batch frame")
+	fs.DurationVar(&cfg.forwardDelay, "forward-delay", 50*time.Millisecond, "site: max buffering delay before a partial batch is sent")
+	fs.IntVar(&cfg.window, "window", 64, "site: max unacknowledged frames in flight")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	if len(fs.Args()) > 0 {
+		return config{}, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return cfg, cfg.validate()
+}
+
+func (c config) validate() error {
+	switch c.role {
+	case "standalone", "coord", "site":
+	default:
+		return fmt.Errorf("unknown -role %q (want standalone, coord or site)", c.role)
+	}
+	if c.role == "site" {
+		if c.upstream == "" {
+			return fmt.Errorf("-role site requires -upstream")
+		}
+		if c.node == "" {
+			return fmt.Errorf("-role site requires -node (a stable name; it keys replay dedup across reconnects)")
+		}
+	}
+	if c.shards < 1 || c.shardQueue < 1 || c.siteBuffer < 1 {
+		return fmt.Errorf("-shards, -shard-queue and -site-buffer must be >= 1")
+	}
+	if c.forwardBatch < 1 || c.window < 1 {
+		return fmt.Errorf("-forward-batch and -window must be >= 1")
+	}
+	if c.forwardDelay <= 0 {
+		return fmt.Errorf("-forward-delay must be positive")
+	}
+	if c.grace <= 0 {
+		return fmt.Errorf("-grace must be positive")
+	}
+	return nil
+}
+
 func main() {
-	listen := flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
-	shards := flag.Int("shards", 4, "ingest worker shards")
-	shardQueue := flag.Int("shard-queue", 64, "per-shard queue capacity (batches)")
-	siteBuffer := flag.Int("site-buffer", 128, "per-site cluster channel capacity")
-	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight HTTP requests")
-	flag.Parse()
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		log.Fatal(err)
+	}
+	switch cfg.role {
+	case "site":
+		err = runSite(cfg)
+	default:
+		err = runServer(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
 
+// runServer runs the standalone and coord roles.
+func runServer(cfg config) error {
 	svc := service.New(service.Config{
-		Shards:     *shards,
-		ShardQueue: *shardQueue,
-		SiteBuffer: *siteBuffer,
+		Shards:     cfg.shards,
+		ShardQueue: cfg.shardQueue,
+		SiteBuffer: cfg.siteBuffer,
 	})
-	hs := &http.Server{Addr: *listen, Handler: svc.Handler()}
-
+	if cfg.role == "coord" {
+		ri, err := svc.ServeRemote(cfg.ingestListen)
+		if err != nil {
+			return err
+		}
+		log.Printf("trackd coord ingest listening on %s", ri.Addr())
+	}
+	hs := &http.Server{Addr: cfg.listen, Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("trackd listening on %s (shards=%d)", *listen, *shards)
+		log.Printf("trackd %s listening on %s (shards=%d)", cfg.role, cfg.listen, cfg.shards)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -60,14 +168,63 @@ func main() {
 	case sig := <-stop:
 		log.Printf("received %v, draining", sig)
 	case err := <-errc:
-		log.Fatalf("serve: %v", err)
+		return fmt.Errorf("serve: %w", err)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.grace)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("http shutdown: %v", err)
 	}
 	svc.Close()
 	log.Printf("drained, bye")
+	return nil
+}
+
+// runSite runs the site role: HTTP ingest in, batched frames upstream.
+func runSite(cfg config) error {
+	node, err := service.NewSiteNode(service.SiteNodeConfig{
+		Node:         cfg.node,
+		Upstream:     cfg.upstream,
+		Window:       cfg.window,
+		DrainTimeout: cfg.grace,
+		Forward: runtime.ForwarderConfig{
+			BatchSize: cfg.forwardBatch,
+			MaxDelay:  cfg.forwardDelay,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Addr: cfg.listen, Handler: node.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("trackd site %q listening on %s, upstream %s", cfg.node, cfg.listen, cfg.upstream)
+		errc <- hs.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		log.Printf("received %v, draining upstream", sig)
+	case err := <-errc:
+		node.Close()
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.grace)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	// Close flushes buffered batches upstream and fences the coordinator,
+	// so everything this node acknowledged is visible there.
+	if err := node.Close(); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	st := node.Stats()
+	log.Printf("drained: %d accepted, %d batches, %d reconnects, bye",
+		st.Accepted, st.Batches, st.Reconnects)
+	return nil
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.role != "standalone" {
+		t.Fatalf("default role = %q", cfg.role)
+	}
+	if cfg.listen != "127.0.0.1:8080" || cfg.ingestListen != "127.0.0.1:7171" {
+		t.Fatalf("default addresses = %q / %q", cfg.listen, cfg.ingestListen)
+	}
+	if cfg.shards != 4 || cfg.shardQueue != 64 || cfg.siteBuffer != 128 {
+		t.Fatalf("default pipeline sizing = %d/%d/%d", cfg.shards, cfg.shardQueue, cfg.siteBuffer)
+	}
+	if cfg.forwardBatch != 256 || cfg.window != 64 || cfg.forwardDelay != 50*time.Millisecond {
+		t.Fatalf("default forwarding = %d/%d/%v", cfg.forwardBatch, cfg.window, cfg.forwardDelay)
+	}
+	if cfg.grace != 10*time.Second {
+		t.Fatalf("default grace = %v", cfg.grace)
+	}
+}
+
+func TestParseFlagsRoles(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"coord ok", []string{"-role", "coord", "-ingest-listen", ":7171"}, ""},
+		{"site ok", []string{"-role", "site", "-upstream", "h:7171", "-node", "edge-1"}, ""},
+		{"unknown role", []string{"-role", "proxy"}, "unknown -role"},
+		{"site missing upstream", []string{"-role", "site", "-node", "e"}, "requires -upstream"},
+		{"site missing node", []string{"-role", "site", "-upstream", "h:1"}, "requires -node"},
+		{"bad shards", []string{"-shards", "0"}, "must be >= 1"},
+		{"bad queue", []string{"-shard-queue", "-1"}, "must be >= 1"},
+		{"bad window", []string{"-role", "site", "-upstream", "h:1", "-node", "e", "-window", "0"}, "must be >= 1"},
+		{"bad grace", []string{"-grace", "-1s"}, "must be positive"},
+		{"bad forward delay", []string{"-forward-delay", "0s"}, "must be positive"},
+		{"unknown flag", []string{"-nope"}, "flag provided but not defined"},
+		{"positional junk", []string{"extra"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := parseFlags(tc.args)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("parseFlags(%v): %v", tc.args, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("parseFlags(%v) = %+v, want error containing %q", tc.args, cfg, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("parseFlags(%v) error = %q, want containing %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseFlagsValues(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-role", "site",
+		"-listen", ":9090",
+		"-upstream", "coord.internal:7171",
+		"-node", "rack-3",
+		"-forward-batch", "512",
+		"-forward-delay", "10ms",
+		"-window", "128",
+		"-grace", "3s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.listen != ":9090" || cfg.upstream != "coord.internal:7171" || cfg.node != "rack-3" {
+		t.Fatalf("addresses = %+v", cfg)
+	}
+	if cfg.forwardBatch != 512 || cfg.forwardDelay != 10*time.Millisecond || cfg.window != 128 {
+		t.Fatalf("forwarding = %+v", cfg)
+	}
+	if cfg.grace != 3*time.Second {
+		t.Fatalf("grace = %v", cfg.grace)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"sync"
 )
 
 // HHResult is one heavy-hitter row returned by a coordinator query.
@@ -12,9 +13,11 @@ type HHResult struct {
 	Est  int64 // the coordinator's frequency estimate C.m_x
 }
 
-// Client queries a running coordinator over TCP. It is safe for sequential
-// reuse; one query is in flight at a time.
+// Client queries a running coordinator over TCP. It is safe for concurrent
+// use: an internal mutex serializes queries, so exactly one is in flight at
+// a time and responses cannot interleave on the shared connection.
 type Client struct {
+	mu   sync.Mutex // one query in flight: guards the request/response cycle
 	conn net.Conn
 }
 
@@ -30,6 +33,8 @@ func DialClient(addr string) (*Client, error) {
 // HeavyHitters returns the coordinator's current φ-heavy hitters and its
 // estimate of the total count.
 func (c *Client) HeavyHitters(phi float64) ([]HHResult, int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err := WriteMsg(c.conn, Msg{Type: TypeQueryHH, A: math.Float64bits(phi)}); err != nil {
 		return nil, 0, fmt.Errorf("remote: query: %w", err)
 	}

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"sync"
 	"testing"
 )
 
@@ -44,6 +45,53 @@ func TestClientQueryHeavyHitters(t *testing.T) {
 	if err != nil || len(none) != 0 {
 		t.Fatalf("phi=0.9 rows = %v, err %v", none, err)
 	}
+	for _, a := range agents {
+		a.Close()
+	}
+}
+
+// TestClientConcurrentQueries is the regression test for the documented
+// "one query in flight" contract: before the Client grew its mutex, two
+// goroutines querying the same connection interleaved their requests and
+// read each other's response rows. Run under -race in CI.
+func TestClientConcurrentQueries(t *testing.T) {
+	const k, eps = 2, 0.1
+	coord, agents := startCluster(t, k, eps)
+	defer coord.Close()
+	for i := 0; i < 4000; i++ {
+		_ = agents[i%k].Observe(42)
+		_ = agents[i%k].Observe(uint64(1000 + i))
+	}
+	for _, a := range agents {
+		if err := a.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl, err := DialClient(coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rows, total, err := cl.HeavyHitters(0.3)
+				if err != nil {
+					t.Errorf("concurrent query: %v", err)
+					return
+				}
+				if len(rows) != 1 || rows[0].Item != 42 || total <= 0 {
+					t.Errorf("concurrent query corrupted: rows=%v total=%d", rows, total)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 	for _, a := range agents {
 		a.Close()
 	}

@@ -34,6 +34,7 @@ type Coordinator struct {
 	syncWait   map[int]bool // sites whose SyncResp is pending
 	meter      wire.Meter
 	rounds     int
+	roundDone  *sync.Cond // signalled (on mu) each time a sync completes
 
 	wg     sync.WaitGroup
 	closed bool
@@ -62,6 +63,7 @@ func NewCoordinator(addr string, cfg CoordConfig) (*Coordinator, error) {
 		bootTarget: int64(float64(cfg.K)/cfg.Eps) + 1,
 		syncWait:   make(map[int]bool),
 	}
+	c.roundDone = sync.NewCond(&c.mu)
 	c.wg.Add(1)
 	go c.accept()
 	return c, nil
@@ -254,6 +256,7 @@ func (c *Coordinator) maybeFinishSyncLocked() {
 		c.broadcastNewMLocked(c.cm)
 	}
 	c.rounds++
+	c.roundDone.Broadcast()
 }
 
 // broadcastNewMLocked advances the epoch and tells every live site the new
@@ -264,6 +267,30 @@ func (c *Coordinator) broadcastNewMLocked(m int64) {
 	for site, conn := range c.conns {
 		c.meter.Down(site, "newm", 1)
 		_ = WriteMsg(conn, Msg{Type: TypeNewM, A: uint64(m), B: c.epoch})
+	}
+}
+
+// Sync forces one reconciliation round: the exact per-site counts are
+// collected from every live site and folded into C.m, exactly as when the
+// protocol's own cadence triggers a sync. Deployments use it to repair the
+// terminal staleness the async protocol permits — count signals whose epoch
+// raced a broadcast are dropped, and with no further arrivals no organic
+// sync would fold those counts back in. It blocks until the round (or an
+// already in-flight one) completes.
+func (c *Coordinator) Sync() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	// Target before starting: with no live sites startSyncLocked completes
+	// the round synchronously.
+	target := c.rounds + 1
+	if len(c.syncWait) == 0 {
+		c.startSyncLocked()
+	}
+	for c.rounds < target && !c.closed {
+		c.roundDone.Wait()
 	}
 }
 
@@ -315,8 +342,17 @@ func (c *Coordinator) Rounds() int {
 }
 
 // Meter returns the coordinator-side communication meter. The caller must
-// not use it concurrently with live traffic.
+// not use it concurrently with live traffic; for a safe snapshot while
+// sites are active, use TotalCost.
 func (c *Coordinator) Meter() *wire.Meter { return &c.meter }
+
+// TotalCost returns the meter's total communication cost under the
+// coordinator lock, safe to call while traffic flows.
+func (c *Coordinator) TotalCost() wire.Cost {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.meter.Total()
+}
 
 // Close shuts the coordinator down and waits for its goroutines.
 func (c *Coordinator) Close() error {
@@ -326,6 +362,7 @@ func (c *Coordinator) Close() error {
 		return nil
 	}
 	c.closed = true
+	c.roundDone.Broadcast() // release any Sync waiter
 	conns := make([]net.Conn, 0, len(c.conns))
 	for _, conn := range c.conns {
 		conns = append(conns, conn)

@@ -1,0 +1,382 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrNodeClosed is returned by NodeClient operations after Close.
+var ErrNodeClosed = errors.New("remote: node client closed")
+
+// NodeConfig parameterizes a NodeClient.
+type NodeConfig struct {
+	// Node names this sender; the coordinator keys replay deduplication on
+	// it, so it must be stable across restarts of the same logical site
+	// node and unique among nodes. Required.
+	Node string
+	// Window bounds the unacknowledged batch frames in flight; SendBatch
+	// blocks while the window is full, propagating coordinator-side
+	// backpressure to the producer (default 64).
+	Window int
+	// RetryMin/RetryMax bound the reconnect backoff (defaults 20ms / 2s).
+	RetryMin, RetryMax time.Duration
+	// WriteTimeout bounds each socket write (and the handshake read), so a
+	// wedged peer breaks the connection instead of blocking senders — and
+	// everything serialized behind them — indefinitely (default 10s).
+	WriteTimeout time.Duration
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.Window < 1 {
+		c.Window = 64
+	}
+	if c.RetryMin <= 0 {
+		c.RetryMin = 20 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Second
+	}
+	if c.RetryMax < c.RetryMin {
+		c.RetryMax = c.RetryMin
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// NodeClient is the site-node side of the multi-tenant transport: it pushes
+// per-(tenant,site) batch frames to a coordinator's IngestServer, keeps the
+// unacknowledged tail buffered, and transparently reconnects — replaying
+// whatever the coordinator has not yet applied (the coordinator's welcome
+// carries its high-water sequence, so replays never double count).
+type NodeClient struct {
+	addr string
+	cfg  NodeConfig
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	conn     net.Conn // nil while disconnected
+	connGen  int      // bumped on every established connection
+	pending  []TFrame // unacked batch frames, ascending seq
+	nextSeq  uint64
+	acked    uint64 // highest frame seq acknowledged (or rejected)
+	flushReq uint64 // last NetFlush seq issued
+	flushAck uint64
+	closed   bool
+
+	reconnects int64
+	resent     int64
+	rejected   int64
+	lastReject string
+
+	wg sync.WaitGroup
+}
+
+// DialNode connects a node client to a coordinator's ingest listener. The
+// first connection is synchronous (so configuration errors surface
+// immediately); later disconnects are healed in the background.
+func DialNode(addr string, cfg NodeConfig) (*NodeClient, error) {
+	if cfg.Node == "" {
+		return nil, fmt.Errorf("remote: NodeConfig.Node is required")
+	}
+	c := &NodeClient{addr: addr, cfg: cfg.withDefaults()}
+	c.cond = sync.NewCond(&c.mu)
+	conn, err := c.establish()
+	if err != nil {
+		return nil, err
+	}
+	c.wg.Add(1)
+	go c.run(conn)
+	return c, nil
+}
+
+// establish dials, handshakes and resyncs: unacked frames the coordinator
+// already applied are retired, the rest are replayed in order.
+func (c *NodeClient) establish() (net.Conn, error) {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial node: %w", err)
+	}
+	if err := c.writeFrame(conn, TFrame{Type: TypeNodeHello, Tenant: c.cfg.Node}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	// The handshake read is bounded too; the ack read loop afterwards may
+	// legitimately idle forever, so the deadline is cleared below.
+	conn.SetReadDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	welcome, err := ReadTFrame(conn)
+	if err != nil || welcome.Type != TypeNodeWelcome {
+		conn.Close()
+		if err == nil {
+			err = fmt.Errorf("remote: unexpected handshake frame type %d", welcome.Type)
+		}
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Time{})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		conn.Close()
+		return nil, ErrNodeClosed
+	}
+	c.retireLocked(welcome.Seq)
+	for _, f := range c.pending {
+		if err := c.writeFrame(conn, f); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		c.resent++
+	}
+	c.conn = conn
+	c.connGen++
+	c.cond.Broadcast()
+	return conn, nil
+}
+
+// run owns the connection lifecycle: read acknowledgements until the
+// connection dies, then redial with backoff until Close.
+func (c *NodeClient) run(conn net.Conn) {
+	defer c.wg.Done()
+	for {
+		c.readAcks(conn)
+		c.mu.Lock()
+		if c.conn == conn {
+			c.conn = nil
+			c.cond.Broadcast()
+		}
+		closed := c.closed
+		c.mu.Unlock()
+		conn.Close()
+		if closed {
+			return
+		}
+		backoff := c.cfg.RetryMin
+		for {
+			var err error
+			conn, err = c.establish()
+			if err == nil {
+				c.mu.Lock()
+				c.reconnects++
+				c.mu.Unlock()
+				break
+			}
+			if errors.Is(err, ErrNodeClosed) {
+				return
+			}
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return
+			}
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > c.cfg.RetryMax {
+				backoff = c.cfg.RetryMax
+			}
+		}
+	}
+}
+
+// readAcks drains coordinator → node frames until the connection errors.
+func (c *NodeClient) readAcks(conn net.Conn) {
+	for {
+		f, err := ReadTFrame(conn)
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case TypeBatchAck:
+			c.mu.Lock()
+			c.retireLocked(f.Seq)
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case TypeBatchReject:
+			c.mu.Lock()
+			c.rejected++
+			c.lastReject = f.Tenant
+			c.retireLocked(f.Seq)
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case TypeNetFlushAck:
+			c.mu.Lock()
+			if f.Seq > c.flushAck {
+				c.flushAck = f.Seq
+			}
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case TypeNodeGoodbye:
+			return
+		}
+	}
+}
+
+// retireLocked drops pending frames up to and including seq (acks are
+// cumulative) and advances the acknowledgement high-water mark.
+func (c *NodeClient) retireLocked(seq uint64) {
+	if seq > c.acked && seq <= c.nextSeq {
+		c.acked = seq
+	}
+	i := 0
+	for i < len(c.pending) && c.pending[i].Seq <= seq {
+		i++
+	}
+	if i > 0 {
+		c.pending = append(c.pending[:0], c.pending[i:]...)
+	}
+}
+
+// SendBatch queues one per-(tenant,site) value batch for delivery, blocking
+// while the in-flight window is full. The client takes ownership of values.
+// A disconnected client still accepts batches until the window fills; they
+// are replayed once the connection heals. Delivery is at-least-once on the
+// wire and exactly-once after the coordinator's sequence deduplication.
+func (c *NodeClient) SendBatch(tenant string, site int, kind byte, values []uint64) error {
+	if site < 0 {
+		return fmt.Errorf("remote: site %d must be >= 0", site)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !c.closed && len(c.pending) >= c.cfg.Window {
+		c.cond.Wait()
+	}
+	if c.closed {
+		return ErrNodeClosed
+	}
+	c.nextSeq++
+	f := TFrame{Type: TypeBatch, Seq: c.nextSeq, Kind: kind, Site: uint32(site),
+		Tenant: tenant, Values: values}
+	c.pending = append(c.pending, f)
+	if c.conn != nil {
+		if err := c.writeFrame(c.conn, f); err != nil {
+			// The frame stays pending; the run loop notices the broken
+			// connection and replays it after the redial.
+			c.conn.Close()
+			c.conn = nil
+			c.cond.Broadcast()
+		}
+	}
+	return nil
+}
+
+// Flush is the network ingest fence: it blocks until every batch sent
+// before the call has been acknowledged by the coordinator AND the
+// coordinator's ingest pipeline has made them visible to queries (the
+// server runs its flush barrier before acking). It retries transparently
+// across reconnects. The fence covers only frames sent before the call —
+// concurrent senders cannot starve it.
+func (c *NodeClient) Flush() error { return c.FlushContext(context.Background()) }
+
+// FlushContext is Flush with cancellation: with the coordinator
+// unreachable the fence would otherwise wait for a reconnect that may
+// never come, so callers serving their own clients (e.g. an HTTP flush
+// handler) pass the request context to bound it.
+func (c *NodeClient) FlushContext(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	target := c.nextSeq // frames sent before the call
+	for {
+		for !c.closed && ctx.Err() == nil && (c.acked < target || c.conn == nil) {
+			c.cond.Wait()
+		}
+		if c.closed {
+			return ErrNodeClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		gen := c.connGen
+		c.flushReq++
+		seq := c.flushReq
+		if err := c.writeFrame(c.conn, TFrame{Type: TypeNetFlush, Seq: seq}); err != nil {
+			c.conn.Close()
+			c.conn = nil
+			c.cond.Broadcast()
+			continue
+		}
+		for !c.closed && ctx.Err() == nil && c.flushAck < seq && c.connGen == gen && c.conn != nil {
+			c.cond.Wait()
+		}
+		if c.flushAck >= seq {
+			return nil
+		}
+		if c.closed {
+			return ErrNodeClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// The connection died before the ack: resync happened (or is in
+		// progress); issue a fresh fence.
+	}
+}
+
+// writeFrame writes one frame under the configured write deadline, so a
+// peer that stops reading breaks the connection instead of blocking the
+// sender forever.
+func (c *NodeClient) writeFrame(conn net.Conn, f TFrame) error {
+	conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	return WriteTFrame(conn, f)
+}
+
+// Pending returns how many batch frames await acknowledgement.
+func (c *NodeClient) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Reconnects returns how many times the client re-established the
+// connection after a failure.
+func (c *NodeClient) Reconnects() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
+
+// Resent returns how many frames were replayed during resyncs.
+func (c *NodeClient) Resent() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resent
+}
+
+// Rejected returns how many frames the coordinator refused, and the most
+// recent refusal reason.
+func (c *NodeClient) Rejected() (int64, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rejected, c.lastReject
+}
+
+// Close sends a best-effort goodbye (when connected and fully acked) and
+// tears the client down. Unacknowledged frames are abandoned.
+func (c *NodeClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	if c.conn != nil && len(c.pending) == 0 {
+		_ = WriteTFrame(c.conn, TFrame{Type: TypeNodeGoodbye})
+	}
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.wg.Wait()
+	return nil
+}

@@ -1,0 +1,103 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestTFrameRoundTrip(t *testing.T) {
+	frames := []TFrame{
+		{Type: TypeNodeHello, Tenant: "edge-7"},
+		{Type: TypeNodeWelcome, Seq: 42},
+		{Type: TypeBatch, Seq: 9, Kind: TKindHH, Site: 3, Tenant: "clicks",
+			Values: []uint64{1, 2, 3, 1 << 60}},
+		{Type: TypeBatch, Seq: 10, Kind: TKindAllQ, Site: 0, Tenant: "lat.ency-2"},
+		{Type: TypeBatchAck, Seq: 10},
+		{Type: TypeNetFlush, Seq: 1},
+		{Type: TypeNetFlushAck, Seq: 1},
+		{Type: TypeBatchReject, Seq: 9, Tenant: "tenant \"x\" not found"},
+		{Type: TypeNodeGoodbye},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteTFrame(&buf, f); err != nil {
+			t.Fatalf("write %+v: %v", f, err)
+		}
+	}
+	for _, want := range frames {
+		got, err := ReadTFrame(&buf)
+		if err != nil {
+			t.Fatalf("read (want %+v): %v", want, err)
+		}
+		if got.Type != want.Type || got.Seq != want.Seq || got.Kind != want.Kind ||
+			got.Site != want.Site || got.Tenant != want.Tenant {
+			t.Fatalf("round trip %+v != %+v", got, want)
+		}
+		if len(got.Values) != len(want.Values) {
+			t.Fatalf("values %v != %v", got.Values, want.Values)
+		}
+		for i := range want.Values {
+			if got.Values[i] != want.Values[i] {
+				t.Fatalf("values %v != %v", got.Values, want.Values)
+			}
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d trailing bytes after decoding all frames", buf.Len())
+	}
+}
+
+func TestTFrameWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTFrame(&buf, TFrame{Type: 0x7f}); err == nil {
+		t.Fatal("unknown type should error")
+	}
+	big := make([]byte, maxTenantLen+1)
+	if err := WriteTFrame(&buf, TFrame{Type: TypeBatch, Tenant: string(big)}); err == nil {
+		t.Fatal("oversized tenant should error")
+	}
+	if err := WriteTFrame(&buf, TFrame{Type: TypeBatch, Values: make([]uint64, maxBatchLen+1)}); err == nil {
+		t.Fatal("oversized batch should error")
+	}
+}
+
+func TestTFrameReadRejectsCorruptLengths(t *testing.T) {
+	// A valid frame whose payload length field is inflated: the inner
+	// tenant-len/count bookkeeping no longer matches and must be rejected
+	// rather than trusted.
+	var buf bytes.Buffer
+	if err := WriteTFrame(&buf, TFrame{Type: TypeBatch, Tenant: "t", Values: []uint64{7}}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	binary.BigEndian.PutUint32(raw[1:5], uint32(len(raw)-5+8))
+	raw = append(raw, make([]byte, 8)...)
+	if _, err := ReadTFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("inflated payload length should error")
+	}
+
+	// A payload length beyond the hard cap must be refused before any
+	// allocation of that size.
+	huge := []byte{TypeBatch, 0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadTFrame(bytes.NewReader(huge)); err == nil {
+		t.Fatal("oversized payload length should error")
+	}
+
+	// Unknown type byte.
+	bad := []byte{0x7f, 0, 0, 0, byte(tframeFixed)}
+	bad = append(bad, make([]byte, tframeFixed)...)
+	if _, err := ReadTFrame(bytes.NewReader(bad)); err == nil {
+		t.Fatal("unknown tframe type should error")
+	}
+}
+
+func TestTFrameWords(t *testing.T) {
+	f := TFrame{Type: TypeBatch, Tenant: "x", Values: make([]uint64, 5)}
+	if f.Words() != 8 {
+		t.Fatalf("Words = %d, want header 3 + 5 values", f.Words())
+	}
+	if (TFrame{Type: TypeBatchAck}).Words() != 3 {
+		t.Fatal("ack frames cost the header alone")
+	}
+}

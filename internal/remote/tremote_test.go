@@ -1,0 +1,301 @@
+package remote
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collector is a test IngestServer sink: it tallies delivered values per
+// (tenant, site) and can refuse tenants.
+type collector struct {
+	mu     sync.Mutex
+	counts map[string]int64 // "tenant/site" → value count
+	sum    uint64
+	refuse string // tenant name to refuse, if non-empty
+}
+
+func newCollector() *collector { return &collector{counts: make(map[string]int64)} }
+
+func (c *collector) onBatch(node string, f TFrame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.refuse != "" && f.Tenant == c.refuse {
+		return fmt.Errorf("tenant %q not found", f.Tenant)
+	}
+	key := fmt.Sprintf("%s/%d", f.Tenant, f.Site)
+	c.counts[key] += int64(len(f.Values))
+	for _, v := range f.Values {
+		c.sum += v
+	}
+	return nil
+}
+
+func (c *collector) count(tenant string, site int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[fmt.Sprintf("%s/%d", tenant, site)]
+}
+
+func (c *collector) total() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sum
+}
+
+func startIngest(t *testing.T, cfg IngestServerConfig) *IngestServer {
+	t.Helper()
+	srv, err := NewIngestServer("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestNodeTransportDelivers(t *testing.T) {
+	col := newCollector()
+	srv := startIngest(t, IngestServerConfig{OnBatch: col.onBatch})
+	cl, err := DialNode(srv.Addr(), NodeConfig{Node: "edge-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var want uint64
+	for i := 0; i < 100; i++ {
+		vals := []uint64{uint64(i), uint64(2 * i)}
+		want += uint64(3 * i)
+		if err := cl.SendBatch("clicks", i%4, TKindHH, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.total(); got != want {
+		t.Fatalf("delivered sum = %d, want %d", got, want)
+	}
+	if got := col.count("clicks", 1); got != 50 {
+		t.Fatalf("site 1 count = %d, want 50", got)
+	}
+	st := srv.Stats()
+	if st.Frames != 100 || st.Values != 200 || st.Nodes != 1 || st.Flushes == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if cl.Pending() != 0 {
+		t.Fatalf("pending = %d after flush, want 0", cl.Pending())
+	}
+}
+
+func TestNodeTransportReconnectResync(t *testing.T) {
+	col := newCollector()
+	srv := startIngest(t, IngestServerConfig{OnBatch: col.onBatch})
+	cl, err := DialNode(srv.Addr(), NodeConfig{Node: "edge-b", Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var want uint64
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			v := uint64(i + 1)
+			want += v
+			if err := cl.SendBatch("t", 0, TKindUnknown, []uint64{v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	send(50)
+	// Kick the node server-side mid-stream: the client must heal, replay
+	// its unacknowledged tail exactly once, and keep going.
+	srv.DisconnectNode("edge-b")
+	send(50)
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.total(); got != want {
+		t.Fatalf("delivered sum after reconnect = %d, want %d (loss or double count)", got, want)
+	}
+	if cl.Reconnects() < 1 {
+		t.Fatal("client did not record a reconnect")
+	}
+	// A second kick while idle: Flush still works afterwards.
+	srv.DisconnectNode("edge-b")
+	send(10)
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.total(); got != want {
+		t.Fatalf("delivered sum = %d, want %d", got, want)
+	}
+}
+
+// TestNodeTransportUnavailableRetries pins the shutdown-window semantics:
+// an OnBatch returning ErrIngestUnavailable must NOT consume the frame —
+// the connection drops, the client replays on reconnect, and the batch is
+// delivered exactly once when the pipeline comes back.
+func TestNodeTransportUnavailableRetries(t *testing.T) {
+	col := newCollector()
+	var unavailable atomic.Bool
+	unavailable.Store(true)
+	srv := startIngest(t, IngestServerConfig{OnBatch: func(node string, f TFrame) error {
+		if unavailable.Load() {
+			return fmt.Errorf("draining: %w", ErrIngestUnavailable)
+		}
+		return col.onBatch(node, f)
+	}})
+	cl, err := DialNode(srv.Addr(), NodeConfig{Node: "edge-u"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.SendBatch("t", 0, TKindHH, []uint64{41, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Let the client bounce off the unavailable server at least once.
+	deadline := time.Now().Add(2 * time.Second)
+	for cl.Reconnects() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("client never retried against the unavailable server")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	unavailable.Store(false)
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.total(); got != 42 {
+		t.Fatalf("delivered sum = %d, want 42 exactly (frame lost or duplicated)", got)
+	}
+	if n, _ := cl.Rejected(); n != 0 {
+		t.Fatalf("unavailable must not count as a rejection, got %d", n)
+	}
+	if st := srv.Stats(); st.Rejected != 0 || st.Frames != 1 {
+		t.Fatalf("server stats = %+v, want 1 applied frame and no rejects", st)
+	}
+}
+
+func TestNodeTransportRejectsBadTenant(t *testing.T) {
+	col := newCollector()
+	col.refuse = "ghost"
+	srv := startIngest(t, IngestServerConfig{OnBatch: col.onBatch})
+	cl, err := DialNode(srv.Addr(), NodeConfig{Node: "edge-c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.SendBatch("ghost", 0, TKindHH, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SendBatch("real", 0, TKindHH, []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n, reason := cl.Rejected()
+	if n != 1 || reason == "" {
+		t.Fatalf("rejected = %d (%q), want 1 with a reason", n, reason)
+	}
+	if col.count("real", 0) != 1 || col.count("ghost", 0) != 0 {
+		t.Fatal("rejection leaked into delivery")
+	}
+	if st := srv.Stats(); st.Rejected != 1 {
+		t.Fatalf("server rejected = %d, want 1", st.Rejected)
+	}
+}
+
+func TestNodeTransportWindowBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	var released sync.Once
+	col := newCollector()
+	srv := startIngest(t, IngestServerConfig{OnBatch: func(node string, f TFrame) error {
+		<-release // hold every delivery until released
+		return col.onBatch(node, f)
+	}})
+	cl, err := DialNode(srv.Addr(), NodeConfig{Node: "edge-d", Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 12; i++ {
+			if err := cl.SendBatch("t", 0, TKindHH, []uint64{1}); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+		}
+	}()
+	// With the server stalled, the sender must stop at the window bound
+	// rather than buffering all 12 frames.
+	time.Sleep(50 * time.Millisecond)
+	if p := cl.Pending(); p > 4 {
+		t.Fatalf("pending = %d, want <= window 4", p)
+	}
+	select {
+	case <-done:
+		t.Fatal("sender finished despite a stalled server and a full window")
+	default:
+	}
+	released.Do(func() { close(release) })
+	<-done
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.total(); got != 12 {
+		t.Fatalf("delivered = %d, want 12", got)
+	}
+}
+
+func TestNodeClientValidation(t *testing.T) {
+	if _, err := DialNode("127.0.0.1:1", NodeConfig{Node: "x"}); err == nil {
+		t.Fatal("dead address should error")
+	}
+	col := newCollector()
+	srv := startIngest(t, IngestServerConfig{OnBatch: col.onBatch})
+	if _, err := DialNode(srv.Addr(), NodeConfig{}); err == nil {
+		t.Fatal("missing node name should error")
+	}
+	cl, err := DialNode(srv.Addr(), NodeConfig{Node: "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SendBatch("t", -1, TKindHH, nil); err == nil {
+		t.Fatal("negative site should error")
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := cl.SendBatch("t", 0, TKindHH, []uint64{1}); err == nil {
+		t.Fatal("send after close should error")
+	}
+	if err := cl.Flush(); err == nil {
+		t.Fatal("flush after close should error")
+	}
+}
+
+func TestIngestServerValidation(t *testing.T) {
+	if _, err := NewIngestServer("127.0.0.1:0", IngestServerConfig{}); err == nil {
+		t.Fatal("missing OnBatch should error")
+	}
+	srv := startIngest(t, IngestServerConfig{OnBatch: newCollector().onBatch})
+	if srv.DisconnectNode("nobody") {
+		t.Fatal("disconnecting an unknown node should report false")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

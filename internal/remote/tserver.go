@@ -1,0 +1,290 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrIngestUnavailable signals from OnBatch that the pipeline cannot take
+// the frame right now (e.g. the service is shutting down) but the frame is
+// NOT invalid: instead of rejecting — which consumes the frame — the server
+// drops the connection with the frame unapplied, so the sender keeps it
+// buffered and replays it against whatever serves the address next.
+var ErrIngestUnavailable = errors.New("remote: ingest unavailable")
+
+// IngestServerConfig wires an IngestServer into an ingest pipeline.
+type IngestServerConfig struct {
+	// OnBatch delivers one applied batch frame (f.Type == TypeBatch). A
+	// non-nil error refuses the whole frame: the sender receives a
+	// TypeBatchReject carrying the error text, and the frame still counts
+	// as consumed (it is not redelivered on reconnect) — except
+	// ErrIngestUnavailable, which drops the connection with the frame
+	// unconsumed so the sender replays it later.
+	OnBatch func(node string, f TFrame) error
+	// OnFlush runs the pipeline barrier backing a TypeNetFlush: when it
+	// returns, everything delivered via OnBatch before the flush frame must
+	// be visible to queries. The ack is sent after it returns. Optional.
+	OnFlush func(node string)
+}
+
+// IngestStats is a point-in-time snapshot of an IngestServer's counters.
+type IngestStats struct {
+	Nodes      int   `json:"nodes"`      // live node connections
+	Frames     int64 `json:"frames"`     // batch frames applied
+	Values     int64 `json:"values"`     // values delivered to the pipeline
+	Duplicates int64 `json:"duplicates"` // replayed frames dropped by seq dedupe
+	Rejected   int64 `json:"rejected"`   // frames refused by OnBatch
+	Flushes    int64 `json:"flushes"`    // network flush barriers served
+}
+
+// IngestServer terminates multi-tenant site-node connections on the
+// coordinator: it accepts TFrame batch streams, deduplicates replays by
+// per-node sequence number (so a reconnecting node can resend its
+// unacknowledged tail without double counting), acknowledges applied
+// frames, and serves network flush barriers.
+type IngestServer struct {
+	cfg IngestServerConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	conns   map[string]net.Conn    // live connection per node name
+	lastSeq map[string]uint64      // highest applied frame seq per node
+	locks   map[string]*sync.Mutex // serializes apply/welcome per node
+	closed  bool
+
+	frames  atomic.Int64
+	values  atomic.Int64
+	dups    atomic.Int64
+	rejects atomic.Int64
+	flushes atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// NewIngestServer starts an ingest listener on addr (e.g. "127.0.0.1:0").
+func NewIngestServer(addr string, cfg IngestServerConfig) (*IngestServer, error) {
+	if cfg.OnBatch == nil {
+		return nil, fmt.Errorf("remote: IngestServerConfig.OnBatch is required")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: ingest listen: %w", err)
+	}
+	s := &IngestServer{
+		cfg:     cfg,
+		ln:      ln,
+		conns:   make(map[string]net.Conn),
+		lastSeq: make(map[string]uint64),
+		locks:   make(map[string]*sync.Mutex),
+	}
+	s.wg.Add(1)
+	go s.accept()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *IngestServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *IngestServer) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+// serve handles one node connection: handshake, then frames until error.
+func (s *IngestServer) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	hello, err := ReadTFrame(conn)
+	if err != nil || hello.Type != TypeNodeHello || hello.Tenant == "" {
+		return
+	}
+	node := hello.Tenant
+	// The per-node lock serializes this handshake against any apply still
+	// in flight on the node's previous connection: the welcome must carry
+	// a sequence number that is settled, or a frame that ends up rolled
+	// back (ErrIngestUnavailable) could be retired by the reconnecting
+	// sender on the strength of a premature welcome.
+	lk := s.nodeLock(node)
+	lk.Lock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lk.Unlock()
+		return
+	}
+	if old := s.conns[node]; old != nil {
+		// The node reconnected before we noticed the old connection die
+		// (half-open after a network fault): the new connection wins.
+		old.Close()
+	}
+	s.conns[node] = conn
+	last := s.lastSeq[node]
+	s.mu.Unlock()
+	err = WriteTFrame(conn, TFrame{Type: TypeNodeWelcome, Seq: last})
+	lk.Unlock()
+	if err != nil {
+		s.removeConn(node, conn)
+		return
+	}
+
+	for {
+		f, err := ReadTFrame(conn)
+		if err != nil {
+			s.removeConn(node, conn)
+			return
+		}
+		switch f.Type {
+		case TypeBatch:
+			if !s.applyBatch(node, conn, f, lk) {
+				s.removeConn(node, conn)
+				return
+			}
+		case TypeNetFlush:
+			if s.cfg.OnFlush != nil {
+				s.cfg.OnFlush(node)
+			}
+			s.flushes.Add(1)
+			if WriteTFrame(conn, TFrame{Type: TypeNetFlushAck, Seq: f.Seq}) != nil {
+				s.removeConn(node, conn)
+				return
+			}
+		case TypeNodeGoodbye:
+			s.removeConn(node, conn)
+			return
+		}
+	}
+}
+
+// nodeLock returns the node's apply/welcome serialization lock, creating
+// it on first use. Entries persist for the server's lifetime, like the
+// node's sequence state.
+func (s *IngestServer) nodeLock(node string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lk := s.locks[node]
+	if lk == nil {
+		lk = &sync.Mutex{}
+		s.locks[node] = lk
+	}
+	return lk
+}
+
+// applyBatch deduplicates, delivers and acknowledges one batch frame. It
+// reports whether the connection is still usable. The node lock is held
+// across deliver-then-advance, so the sequence state never reflects a
+// frame whose delivery is still undecided — a concurrent reconnect
+// handshake waits and welcomes with settled state.
+func (s *IngestServer) applyBatch(node string, conn net.Conn, f TFrame, lk *sync.Mutex) bool {
+	lk.Lock()
+	defer lk.Unlock()
+	s.mu.Lock()
+	last := s.lastSeq[node]
+	s.mu.Unlock()
+	if f.Seq <= last {
+		// Replay of an already-applied frame (the ack was lost in a
+		// disconnect): acknowledge again, apply nothing.
+		s.dups.Add(1)
+		return WriteTFrame(conn, TFrame{Type: TypeBatchAck, Seq: f.Seq}) == nil
+	}
+	err := s.cfg.OnBatch(node, f)
+	if errors.Is(err, ErrIngestUnavailable) {
+		// Nothing recorded: the frame stays buffered at the sender and is
+		// replayed against whatever serves the address next.
+		return false
+	}
+	s.mu.Lock()
+	if f.Seq > s.lastSeq[node] {
+		s.lastSeq[node] = f.Seq
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.rejects.Add(1)
+		return WriteTFrame(conn, TFrame{Type: TypeBatchReject, Seq: f.Seq, Tenant: err.Error()}) == nil
+	}
+	s.frames.Add(1)
+	s.values.Add(int64(len(f.Values)))
+	return WriteTFrame(conn, TFrame{Type: TypeBatchAck, Seq: f.Seq}) == nil
+}
+
+// removeConn forgets a connection if it is still the registered one for the
+// node (a reconnect may already have replaced it).
+func (s *IngestServer) removeConn(node string, conn net.Conn) {
+	s.mu.Lock()
+	if s.conns[node] == conn {
+		delete(s.conns, node)
+	}
+	s.mu.Unlock()
+}
+
+// DisconnectNode forcibly closes a node's connection (administrative kick;
+// the node's applied-sequence state is retained so a reconnect resyncs
+// cleanly). It reports whether the node was connected.
+func (s *IngestServer) DisconnectNode(node string) bool {
+	s.mu.Lock()
+	conn := s.conns[node]
+	delete(s.conns, node)
+	s.mu.Unlock()
+	if conn == nil {
+		return false
+	}
+	conn.Close()
+	return true
+}
+
+// Nodes returns the names of the currently connected nodes.
+func (s *IngestServer) Nodes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.conns))
+	for n := range s.conns {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Stats returns the server's counters.
+func (s *IngestServer) Stats() IngestStats {
+	s.mu.Lock()
+	nodes := len(s.conns)
+	s.mu.Unlock()
+	return IngestStats{
+		Nodes:      nodes,
+		Frames:     s.frames.Load(),
+		Values:     s.values.Load(),
+		Duplicates: s.dups.Load(),
+		Rejected:   s.rejects.Load(),
+		Flushes:    s.flushes.Load(),
+	}
+}
+
+// Close stops the listener, drops every connection and waits for the
+// per-connection goroutines.
+func (s *IngestServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}

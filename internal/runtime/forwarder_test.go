@@ -1,0 +1,235 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sink collects forwarded batches.
+type sink struct {
+	mu      sync.Mutex
+	batches map[string][][]uint64 // "tenant/site" → batches in arrival order
+	block   chan struct{}         // when non-nil, forwards wait on it
+	fail    bool
+}
+
+func newSink() *sink { return &sink{batches: make(map[string][][]uint64)} }
+
+func (s *sink) forward(tenant string, site int, kind byte, values []uint64) error {
+	if s.block != nil {
+		<-s.block
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail {
+		return fmt.Errorf("downstream down")
+	}
+	key := fmt.Sprintf("%s/%d", tenant, site)
+	s.batches[key] = append(s.batches[key], values)
+	return nil
+}
+
+func (s *sink) values(tenant string, site int) []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []uint64
+	for _, b := range s.batches[fmt.Sprintf("%s/%d", tenant, site)] {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func TestForwarderBatchesBySize(t *testing.T) {
+	s := newSink()
+	f, err := NewForwarder(s.forward, ForwarderConfig{BatchSize: 10, MaxDelay: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 25; i++ {
+		if err := f.Add("t", 0, 0, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.values("t", 0)
+	if len(got) != 25 {
+		t.Fatalf("forwarded %d values, want 25", len(got))
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("order violated at %d: %v", i, got[:i+1])
+		}
+	}
+	// Two full batches of 10 plus the flushed remainder of 5.
+	s.mu.Lock()
+	n := len(s.batches["t/0"])
+	s.mu.Unlock()
+	if n != 3 {
+		t.Fatalf("batch count = %d, want 3", n)
+	}
+	if f.Batches() != 3 || f.Values() != 25 {
+		t.Fatalf("stats = %d batches / %d values", f.Batches(), f.Values())
+	}
+}
+
+func TestForwarderFlushesByDelay(t *testing.T) {
+	s := newSink()
+	f, err := NewForwarder(s.forward, ForwarderConfig{BatchSize: 1 << 20, MaxDelay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.AddBatch("t", 1, 0, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.values("t", 1)) != 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("delay flush never happened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestForwarderBackpressure(t *testing.T) {
+	s := newSink()
+	s.block = make(chan struct{})
+	f, err := NewForwarder(s.forward, ForwarderConfig{BatchSize: 1, MaxDelay: time.Hour, Queue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the downstream stalled, producers must block once the dispatch
+	// queue and the in-flight send are saturated rather than buffer
+	// unboundedly.
+	var progressed atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			if err := f.Add("t", 0, 0, uint64(i)); err != nil {
+				t.Errorf("add: %v", err)
+				return
+			}
+			progressed.Add(1)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if p := progressed.Load(); p == 0 {
+		t.Fatal("producer made no progress at all")
+	} else if p > 90 {
+		t.Fatalf("producer ran %d adds past a stalled downstream", p)
+	}
+	close(s.block)
+	<-done
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.values("t", 0)); got != 100 {
+		t.Fatalf("forwarded %d values, want 100", got)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForwarderFlushReportsDownstreamError(t *testing.T) {
+	s := newSink()
+	s.fail = true
+	f, err := NewForwarder(s.forward, ForwarderConfig{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Add("t", 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err == nil {
+		t.Fatal("flush should surface the downstream error")
+	}
+	if n, last := f.Errors(); n != 1 || last == nil {
+		t.Fatalf("Errors() = %d, %v", n, last)
+	}
+	// The barrier error resets once reported.
+	if err := f.Flush(); err != nil {
+		t.Fatalf("second flush: %v", err)
+	}
+}
+
+func TestForwarderCloseFlushesAndRejects(t *testing.T) {
+	s := newSink()
+	f, err := NewForwarder(s.forward, ForwarderConfig{BatchSize: 1 << 20, MaxDelay: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddBatch("t", 2, 0, []uint64{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.values("t", 2)); got != 3 {
+		t.Fatalf("close flushed %d values, want 3", got)
+	}
+	if err := f.Add("t", 0, 0, 1); err != ErrForwarderClosed {
+		t.Fatalf("add after close = %v, want ErrForwarderClosed", err)
+	}
+	if err := f.Flush(); err != ErrForwarderClosed {
+		t.Fatalf("flush after close = %v, want ErrForwarderClosed", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestForwarderValidation(t *testing.T) {
+	if _, err := NewForwarder(nil, ForwarderConfig{}); err == nil {
+		t.Fatal("nil ForwardFunc should error")
+	}
+}
+
+func TestForwarderConcurrentProducers(t *testing.T) {
+	s := newSink()
+	f, err := NewForwarder(s.forward, ForwarderConfig{BatchSize: 16, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var wg sync.WaitGroup
+	const producers, per = 8, 500
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", p%2)
+			for i := 0; i < per; i++ {
+				if err := f.Add(tenant, p, 0, uint64(i)); err != nil {
+					t.Errorf("add: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for p := 0; p < producers; p++ {
+		vals := s.values(fmt.Sprintf("t%d", p%2), p)
+		total += len(vals)
+		for i, v := range vals {
+			if v != uint64(i) {
+				t.Fatalf("producer %d order violated at %d", p, i)
+			}
+		}
+	}
+	if total != producers*per {
+		t.Fatalf("forwarded %d values, want %d", total, producers*per)
+	}
+}

@@ -48,7 +48,18 @@ func newMux(s *Server) *http.ServeMux {
 	mux.HandleFunc("GET /v1/tenants/{name}/freq", s.handleFreq)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/flush", s.handleFlush)
+	mux.HandleFunc("GET /v1/remote", s.handleRemote)
 	return mux
+}
+
+// handleRemote serves the networked ingest path's stats (coord role only).
+func (s *Server) handleRemote(w http.ResponseWriter, r *http.Request) {
+	ri := s.remote.Load()
+	if ri == nil {
+		writeErr(w, http.StatusNotFound, codeUnsupported, "remote ingest not serving")
+		return
+	}
+	writeJSON(w, http.StatusOK, ri.Stats())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

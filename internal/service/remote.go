@@ -1,0 +1,129 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"disttrack/internal/remote"
+	"disttrack/internal/wire"
+)
+
+// RemoteIngest is the coordinator side of the distributed deployment: a
+// remote.IngestServer terminating multi-tenant site-node connections,
+// feeding decoded batch frames into the service's sharded ingest pipeline
+// (the remoteShard path), and answering network flush fences with a full
+// pipeline barrier. Communication is accounted per tenant on a wire.Meter,
+// extending the paper's word-cost bookkeeping across the real network hop.
+type RemoteIngest struct {
+	s   *Server
+	srv *remote.IngestServer
+
+	mu       sync.Mutex
+	meter    wire.Meter
+	rejected int64 // values filtered by per-value validation
+}
+
+// ServeRemote starts the networked ingest listener on addr (e.g.
+// ":7171"). One listener per server; a second call fails.
+func (s *Server) ServeRemote(addr string) (*RemoteIngest, error) {
+	ri := &RemoteIngest{s: s}
+	srv, err := remote.NewIngestServer(addr, remote.IngestServerConfig{
+		OnBatch: ri.onBatch,
+		OnFlush: ri.onFlush,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ri.srv = srv
+	if !s.remote.CompareAndSwap(nil, ri) {
+		srv.Close()
+		return nil, fmt.Errorf("service: remote ingest already serving")
+	}
+	return ri, nil
+}
+
+// Addr returns the ingest listener's address.
+func (ri *RemoteIngest) Addr() string { return ri.srv.Addr() }
+
+// onBatch applies one decoded batch frame through the remoteShard path. A
+// non-nil return refuses the whole frame (the transport sends a reject) —
+// except during shutdown, where ErrIngestUnavailable makes the transport
+// drop the connection with the frame unconsumed, so the site node keeps it
+// buffered and resyncs against the coordinator's replacement.
+func (ri *RemoteIngest) onBatch(node string, f remote.TFrame) error {
+	if ri.s.closing.Load() {
+		return remote.ErrIngestUnavailable
+	}
+	_, rejected, err := ri.s.sh.IngestGrouped(f.Tenant, int(f.Site), f.Values)
+	if errors.Is(err, errShuttingDown) {
+		return fmt.Errorf("%w: %v", remote.ErrIngestUnavailable, err)
+	}
+	if err != nil {
+		// Attribution only after validation: f.Tenant/f.Site come off the
+		// wire, and keying the meter's tenant map or site slice on
+		// unvalidated values would let a bad sender grow them without
+		// bound. Refused traffic is accounted unattributed.
+		ri.mu.Lock()
+		ri.meter.Up(-1, "tbatch", f.Words())
+		ri.meter.Down(-1, "treject", 1)
+		ri.mu.Unlock()
+		return err
+	}
+	// Validated: the tenant exists and f.Site < its K, so both are safe
+	// meter keys.
+	ri.mu.Lock()
+	ri.rejected += int64(rejected)
+	ri.meter.UpTenant(f.Tenant, int(f.Site), "tbatch", f.Words())
+	ri.meter.DownTenant(f.Tenant, int(f.Site), "tack", 1)
+	ri.mu.Unlock()
+	return nil
+}
+
+// onFlush backs a node's network fence with the service-wide barrier:
+// every accepted batch is delivered to the clusters and processed by the
+// trackers before the ack goes out.
+func (ri *RemoteIngest) onFlush(node string) {
+	ri.s.sh.Flush()
+	ri.mu.Lock()
+	ri.meter.Up(-1, "tflush", 1)
+	ri.meter.Down(-1, "tflush", 1)
+	ri.mu.Unlock()
+}
+
+// TenantCost is one tenant's share of the networked ingest traffic.
+type TenantCost struct {
+	Tenant string `json:"tenant"`
+	Msgs   int64  `json:"msgs"`
+	Words  int64  `json:"words"`
+}
+
+// RemoteStats is the observability snapshot of the networked ingest path.
+type RemoteStats struct {
+	remote.IngestStats
+	RejectedValues int64        `json:"rejected_values"` // values filtered by validation
+	Tenants        []TenantCost `json:"tenants"`         // per-tenant traffic, sorted by name
+}
+
+// Stats snapshots the transport counters and the per-tenant communication
+// accounting.
+func (ri *RemoteIngest) Stats() RemoteStats {
+	st := RemoteStats{IngestStats: ri.srv.Stats()}
+	ri.mu.Lock()
+	st.RejectedValues = ri.rejected
+	for _, name := range ri.meter.Tenants() {
+		c := ri.meter.Tenant(name)
+		st.Tenants = append(st.Tenants, TenantCost{Tenant: name, Msgs: c.Msgs, Words: c.Words})
+	}
+	ri.mu.Unlock()
+	return st
+}
+
+// DisconnectNode forcibly drops a site node's connection (it will resync on
+// reconnect). It reports whether the node was connected.
+func (ri *RemoteIngest) DisconnectNode(node string) bool { return ri.srv.DisconnectNode(node) }
+
+// Close stops the listener and drops every node connection. Sequence
+// state is lost with it, which is fine: the service's trackers are gone
+// too once the owning Server closes.
+func (ri *RemoteIngest) Close() error { return ri.srv.Close() }

@@ -14,6 +14,7 @@ type Server struct {
 	sh      *sharder
 	mux     *http.ServeMux
 	closing atomic.Bool
+	remote  atomic.Pointer[RemoteIngest] // set by ServeRemote
 }
 
 // New builds a Server from cfg (zero values take defaults).
@@ -47,6 +48,12 @@ func (s *Server) Flush() { s.sh.Flush() }
 func (s *Server) Close() {
 	if s.closing.Swap(true) {
 		return
+	}
+	// Stop the networked ingest first so no site-node frame races the
+	// pipeline teardown; site nodes keep unacknowledged frames buffered
+	// and resync against whatever replaces this server.
+	if ri := s.remote.Load(); ri != nil {
+		ri.Close()
 	}
 	s.sh.Close()
 	s.reg.Close()

@@ -1,11 +1,17 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// errShuttingDown marks rejections caused by pipeline teardown rather than
+// bad input; the networked ingest path translates it into a connection drop
+// (sender retries) instead of a frame reject (sender discards).
+var errShuttingDown = errors.New("service shutting down")
 
 // Record is one ingested arrival: a value observed at one site of one
 // tenant's distributed stream.
@@ -47,10 +53,21 @@ type shard struct {
 	wg *sync.WaitGroup
 }
 
-// shardMsg carries either a record batch or a flush barrier.
+// shardMsg carries a record batch, a pre-grouped remote batch, or a flush
+// barrier.
 type shardMsg struct {
 	recs    []Record
+	group   *remoteGroup
 	barrier chan<- struct{}
+}
+
+// remoteGroup is one already-grouped (tenant, site) value batch from the
+// networked ingest path: a site node groups records before framing them, so
+// the coordinator can skip the per-record partitioning the HTTP path pays.
+type remoteGroup struct {
+	tenant string
+	site   int
+	values []uint64
 }
 
 func newSharder(reg *Registry, n, queue int) *sharder {
@@ -124,9 +141,53 @@ func (sh *sharder) Ingest(recs []Record) (int, []RecordError) {
 	return accepted, errs
 }
 
+// IngestGrouped is the remoteShard ingest path: it accepts one
+// already-grouped (tenant, site) value batch — typically decoded from a
+// network frame — validates it against the tenant's configuration, and
+// enqueues it on the tenant's owning shard in a single channel operation.
+// Out-of-range values for perturbed kinds are filtered and counted
+// rejected; a nil tenant or out-of-range site refuses the whole batch with
+// a non-nil error (accepted = 0) so the transport can reject the frame.
+// The sharder takes ownership of values.
+func (sh *sharder) IngestGrouped(tenant string, site int, values []uint64) (accepted, rejected int, err error) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.closed {
+		return 0, 0, errShuttingDown
+	}
+	t := sh.reg.Get(tenant)
+	if t == nil {
+		sh.rejected.Add(int64(len(values)))
+		return 0, len(values), fmt.Errorf("tenant %q not found", tenant)
+	}
+	if site < 0 || site >= t.cfg.K {
+		sh.rejected.Add(int64(len(values)))
+		return 0, len(values), fmt.Errorf("site %d out of range [0,%d)", site, t.cfg.K)
+	}
+	if t.perturbed() {
+		kept := values[:0]
+		for _, v := range values {
+			if v >= MaxPerturbedValue {
+				rejected++
+				continue
+			}
+			kept = append(kept, v)
+		}
+		values = kept
+	}
+	sh.rejected.Add(int64(rejected))
+	if len(values) == 0 {
+		return 0, rejected, nil
+	}
+	s := sh.shardOf(tenant)
+	s.ch <- shardMsg{group: &remoteGroup{tenant: tenant, site: site, values: values}}
+	sh.accepted.Add(int64(len(values)))
+	return len(values), rejected, nil
+}
+
 // worker drains one shard queue: group each batch by (tenant, site), apply
 // the tenant's perturbation, and feed each group through the cluster's
-// batched path.
+// batched path. Pre-grouped remote batches skip the grouping pass.
 func (sh *sharder) worker(s *shard) {
 	defer s.wg.Done()
 	for msg := range s.ch {
@@ -134,7 +195,31 @@ func (sh *sharder) worker(s *shard) {
 			msg.barrier <- struct{}{}
 			continue
 		}
+		if msg.group != nil {
+			sh.deliverGroup(msg.group)
+			continue
+		}
 		sh.deliver(msg.recs)
+	}
+}
+
+// deliverGroup feeds one pre-grouped remote batch: perturb in place on the
+// owning shard goroutine (which owns the tenant's perturbation state), then
+// one SendBatch.
+func (sh *sharder) deliverGroup(g *remoteGroup) {
+	t := sh.reg.Get(g.tenant)
+	if t == nil {
+		sh.lost.Add(int64(len(g.values))) // tenant deleted between accept and delivery
+		return
+	}
+	if t.perturbed() {
+		for i, v := range g.values {
+			g.values[i] = t.perturb(v)
+		}
+	}
+	// Ownership of the values slice passes to the cluster.
+	if err := t.sendBatch(g.site, g.values); err != nil {
+		sh.lost.Add(int64(len(g.values)))
 	}
 }
 

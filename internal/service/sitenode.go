@@ -1,0 +1,263 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"disttrack/internal/remote"
+	"disttrack/internal/runtime"
+)
+
+// SiteNodeConfig parameterizes a SiteNode.
+type SiteNodeConfig struct {
+	// Node is this site node's stable name; the coordinator keys replay
+	// deduplication on it. Required.
+	Node string
+	// Upstream is the coordinator's remote-ingest address. Required.
+	Upstream string
+	// Forward tunes local batching (zero values take defaults).
+	Forward runtime.ForwarderConfig
+	// Window bounds unacknowledged frames in flight to the coordinator
+	// (default 64).
+	Window int
+	// DrainTimeout bounds how long Close waits for the final upstream
+	// flush before abandoning unacknowledged batches (default 10s). With
+	// the coordinator unreachable the transport would otherwise retry
+	// forever and Close would never return.
+	DrainTimeout time.Duration
+}
+
+// SiteNode is the site role of a distributed trackd deployment: it accepts
+// the same ingest records as a standalone server, accumulates them into
+// per-(tenant, site) batches (runtime.Forwarder), and pushes batched delta
+// frames upstream to the coordinator over the multi-tenant transport
+// (remote.NodeClient). Tenant configuration lives at the coordinator; the
+// node validates only what it can know locally, and upstream rejections are
+// surfaced through Stats. Backpressure propagates end to end: a stalled
+// coordinator fills the transport window, which stalls the forwarder, which
+// blocks Ingest.
+type SiteNode struct {
+	cfg SiteNodeConfig
+	cl  *remote.NodeClient
+	fw  *runtime.Forwarder
+	mux *http.ServeMux
+
+	accepted atomic.Int64
+	rejected atomic.Int64
+	closing  atomic.Bool
+}
+
+// NewSiteNode connects a site node to its coordinator.
+func NewSiteNode(cfg SiteNodeConfig) (*SiteNode, error) {
+	if cfg.Node == "" {
+		return nil, fmt.Errorf("service: SiteNodeConfig.Node is required")
+	}
+	if cfg.Upstream == "" {
+		return nil, fmt.Errorf("service: SiteNodeConfig.Upstream is required")
+	}
+	cl, err := remote.DialNode(cfg.Upstream, remote.NodeConfig{Node: cfg.Node, Window: cfg.Window})
+	if err != nil {
+		return nil, err
+	}
+	n := &SiteNode{cfg: cfg, cl: cl}
+	n.fw, err = runtime.NewForwarder(func(tenant string, site int, kind byte, values []uint64) error {
+		return cl.SendBatch(tenant, site, kind, values)
+	}, cfg.Forward)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	n.mux = http.NewServeMux()
+	n.mux.HandleFunc("GET /healthz", n.handleHealth)
+	n.mux.HandleFunc("POST /v1/ingest", n.handleIngest)
+	n.mux.HandleFunc("POST /v1/flush", n.handleFlush)
+	return n, nil
+}
+
+// Ingest accepts records for upstream delivery. Validation is local-only
+// (the tenant registry lives at the coordinator): empty tenant names and
+// negative sites are rejected here; unknown tenants and out-of-range
+// values are rejected upstream and counted in Stats.
+func (n *SiteNode) Ingest(recs []Record) (int, []RecordError) {
+	if n.closing.Load() {
+		errs := make([]RecordError, len(recs))
+		for i := range recs {
+			errs[i] = RecordError{Index: i, Err: "site node shutting down"}
+		}
+		n.rejected.Add(int64(len(errs)))
+		return 0, errs
+	}
+	// Group per (tenant, site) before handing to the forwarder — one
+	// buffer append and lock acquisition per group instead of per record,
+	// mirroring the standalone sharder's batching.
+	type groupKey struct {
+		tenant string
+		site   int
+	}
+	type group struct {
+		key    groupKey
+		values []uint64
+		idx    []int // original record indices, for error reporting
+	}
+	var errs []RecordError
+	groups := make(map[groupKey]*group)
+	var order []*group
+	for i, rec := range recs {
+		switch {
+		case rec.Tenant == "":
+			errs = append(errs, RecordError{Index: i, Err: "tenant name must be non-empty"})
+		case rec.Site < 0:
+			errs = append(errs, RecordError{Index: i, Err: fmt.Sprintf("site %d must be >= 0", rec.Site)})
+		default:
+			gk := groupKey{rec.Tenant, rec.Site}
+			g := groups[gk]
+			if g == nil {
+				g = &group{key: gk}
+				groups[gk] = g
+				order = append(order, g)
+			}
+			g.values = append(g.values, rec.Value)
+			g.idx = append(g.idx, i)
+		}
+	}
+	accepted := 0
+	for _, g := range order {
+		if err := n.fw.AddBatch(g.key.tenant, g.key.site, remote.TKindUnknown, g.values); err != nil {
+			for _, i := range g.idx {
+				errs = append(errs, RecordError{Index: i, Err: err.Error()})
+			}
+			continue
+		}
+		accepted += len(g.values)
+	}
+	n.accepted.Add(int64(accepted))
+	n.rejected.Add(int64(len(errs)))
+	return accepted, errs
+}
+
+// Flush is the distributed visibility barrier: local buffers are pushed
+// into the transport, and the call returns once the coordinator has
+// acknowledged every frame AND run its own pipeline flush — everything this
+// node accepted before the call is then visible to coordinator queries.
+func (n *SiteNode) Flush() error { return n.FlushContext(context.Background()) }
+
+// FlushContext is Flush with cancellation, for callers that must not wait
+// out a coordinator outage (the HTTP flush handler passes its request
+// context). A cancelled barrier leaves the data buffered, not lost.
+func (n *SiteNode) FlushContext(ctx context.Context) error {
+	done := make(chan error, 1)
+	go func() {
+		if err := n.fw.Flush(); err != nil {
+			done <- err
+			return
+		}
+		done <- n.cl.FlushContext(ctx)
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		// The forwarder barrier itself is not cancellable; the goroutine
+		// finishes (or fails) once the transport heals or the node closes.
+		return ctx.Err()
+	}
+}
+
+// SiteNodeStats is the node's observability snapshot.
+type SiteNodeStats struct {
+	Node           string `json:"node"`
+	Accepted       int64  `json:"accepted"`        // records accepted locally
+	Rejected       int64  `json:"rejected"`        // records refused locally
+	Batches        int64  `json:"batches"`         // batches handed to the transport
+	Pending        int    `json:"pending"`         // frames awaiting coordinator ack
+	Reconnects     int64  `json:"reconnects"`      // healed transport failures
+	Resent         int64  `json:"resent"`          // frames replayed during resyncs
+	UpstreamReject int64  `json:"upstream_reject"` // frames the coordinator refused
+	LastReject     string `json:"last_reject,omitempty"`
+}
+
+// Stats returns the node's counters.
+func (n *SiteNode) Stats() SiteNodeStats {
+	rej, reason := n.cl.Rejected()
+	return SiteNodeStats{
+		Node:           n.cfg.Node,
+		Accepted:       n.accepted.Load(),
+		Rejected:       n.rejected.Load(),
+		Batches:        n.fw.Batches(),
+		Pending:        n.cl.Pending(),
+		Reconnects:     n.cl.Reconnects(),
+		Resent:         n.cl.Resent(),
+		UpstreamReject: rej,
+		LastReject:     reason,
+	}
+}
+
+// Handler returns the node's HTTP API: the same /v1/ingest and /v1/flush
+// contract as a standalone server, plus /healthz.
+func (n *SiteNode) Handler() http.Handler { return n.mux }
+
+func (n *SiteNode) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := n.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{"ok": !n.closing.Load(), "stats": st})
+}
+
+func (n *SiteNode) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if n.closing.Load() {
+		writeErr(w, http.StatusServiceUnavailable, codeClosing, "site node shutting down")
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, codeInvalid, "bad ingest body: "+err.Error())
+		return
+	}
+	accepted, errs := n.Ingest(req.Records)
+	writeJSON(w, http.StatusOK, ingestResponse{Accepted: accepted, Rejected: errs})
+}
+
+func (n *SiteNode) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if n.closing.Load() {
+		writeErr(w, http.StatusServiceUnavailable, codeClosing, "site node shutting down")
+		return
+	}
+	if err := n.FlushContext(r.Context()); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, codeClosing, "flush: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"flushed": true})
+}
+
+// Close drains gracefully: stop accepting, push local buffers upstream,
+// fence the coordinator, then tear the transport down. The drain is
+// bounded by DrainTimeout — with the coordinator unreachable, the
+// transport would retry forever; after the timeout the unacknowledged
+// tail is abandoned and the error says so.
+func (n *SiteNode) Close() error {
+	if n.closing.Swap(true) {
+		return nil
+	}
+	timeout := n.cfg.DrainTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	flushErr := n.FlushContext(ctx)
+	if errors.Is(flushErr, context.DeadlineExceeded) {
+		// Closing the transport unblocks any forwarder dispatch stuck in
+		// SendBatch, letting the forwarder close cleanly.
+		n.cl.Close()
+		n.fw.Close()
+		return fmt.Errorf("service: drain timed out after %v; unacknowledged batches abandoned", timeout)
+	}
+	n.fw.Close()
+	if err := n.cl.Close(); err != nil {
+		return err
+	}
+	return flushErr
+}

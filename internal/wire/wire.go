@@ -26,10 +26,11 @@ func (c Cost) Add(d Cost) Cost { return Cost{c.Msgs + d.Msgs, c.Words + d.Words}
 // Meter accumulates communication cost. The zero value is ready to use.
 // Meter is not safe for concurrent use; protocol engines serialize access.
 type Meter struct {
-	up     Cost
-	down   Cost
-	byKind map[string]Cost
-	bySite []Cost // grown on demand, indexed by site
+	up       Cost
+	down     Cost
+	byKind   map[string]Cost
+	bySite   []Cost // grown on demand, indexed by site
+	byTenant map[string]Cost
 
 	// trace, when enabled, records every message for debugging and for the
 	// lower-bound adversary, bounded by traceCap.
@@ -63,6 +64,29 @@ func (m *Meter) Up(site int, kind string, words int) { m.record(true, site, kind
 
 // Down records one coordinator→site message of the given kind and size.
 func (m *Meter) Down(site int, kind string, words int) { m.record(false, site, kind, words) }
+
+// UpTenant records one site→coordinator message attributed to a tenant, for
+// multi-tenant transports where one link carries many tenants' deltas.
+func (m *Meter) UpTenant(tenant string, site int, kind string, words int) {
+	m.record(true, site, kind, words)
+	m.tenantAdd(tenant, words)
+}
+
+// DownTenant records one coordinator→site message attributed to a tenant.
+func (m *Meter) DownTenant(tenant string, site int, kind string, words int) {
+	m.record(false, site, kind, words)
+	m.tenantAdd(tenant, words)
+}
+
+func (m *Meter) tenantAdd(tenant string, words int) {
+	if words < 1 {
+		words = 1
+	}
+	if m.byTenant == nil {
+		m.byTenant = make(map[string]Cost)
+	}
+	m.byTenant[tenant] = m.byTenant[tenant].Add(Cost{Msgs: 1, Words: int64(words)})
+}
 
 // Broadcast records a coordinator message of the given size sent to each of
 // k sites (k separate messages, as the model has no multicast).
@@ -119,6 +143,20 @@ func (m *Meter) Kinds() []string {
 	return ks
 }
 
+// Tenant returns the accumulated cost attributed to one tenant (both
+// directions). Only the *Tenant recording methods contribute to it.
+func (m *Meter) Tenant(name string) Cost { return m.byTenant[name] }
+
+// Tenants returns the sorted list of tenants with attributed cost.
+func (m *Meter) Tenants() []string {
+	ts := make([]string, 0, len(m.byTenant))
+	for t := range m.byTenant {
+		ts = append(ts, t)
+	}
+	sort.Strings(ts)
+	return ts
+}
+
 // Site returns the accumulated cost attributed to one site (both directions).
 func (m *Meter) Site(j int) Cost {
 	if j < 0 || j >= len(m.bySite) {
@@ -132,6 +170,7 @@ func (m *Meter) Reset() {
 	m.up, m.down = Cost{}, Cost{}
 	m.byKind = nil
 	m.bySite = nil
+	m.byTenant = nil
 	m.trace = nil
 }
 

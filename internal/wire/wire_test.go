@@ -69,6 +69,37 @@ func TestMeterByKindAndSite(t *testing.T) {
 	}
 }
 
+func TestMeterByTenant(t *testing.T) {
+	var m Meter
+	m.UpTenant("acme", 0, "tbatch", 10)
+	m.UpTenant("acme", 1, "tbatch", 5)
+	m.DownTenant("beta", 0, "tack", 0) // floors at one word
+	if c := m.Tenant("acme"); c.Msgs != 2 || c.Words != 15 {
+		t.Fatalf("Tenant(acme) = %+v, want {2 15}", c)
+	}
+	if c := m.Tenant("beta"); c.Msgs != 1 || c.Words != 1 {
+		t.Fatalf("Tenant(beta) = %+v, want {1 1}", c)
+	}
+	if c := m.Tenant("nope"); c != (Cost{}) {
+		t.Fatalf("unknown tenant should be zero, got %+v", c)
+	}
+	// Tenant recording still feeds the directional and per-kind totals.
+	if up := m.UpCost(); up.Msgs != 2 || up.Words != 15 {
+		t.Fatalf("UpCost = %+v, want {2 15}", up)
+	}
+	if c := m.Kind("tack"); c.Msgs != 1 {
+		t.Fatalf("Kind(tack) = %+v", c)
+	}
+	ts := m.Tenants()
+	if len(ts) != 2 || ts[0] != "acme" || ts[1] != "beta" {
+		t.Fatalf("Tenants = %v, want sorted [acme beta]", ts)
+	}
+	m.Reset()
+	if len(m.Tenants()) != 0 || m.Tenant("acme") != (Cost{}) {
+		t.Fatal("Reset should clear tenant attribution")
+	}
+}
+
 func TestMeterTrace(t *testing.T) {
 	var m Meter
 	m.EnableTrace(2)
