@@ -12,7 +12,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,7 +26,24 @@ func main() {
 	ablations := flag.Bool("ablations", true, "include the design-choice ablation tables (A1-A4)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	only := flag.String("only", "", "run only tables whose title contains this substring (e.g. E3)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatalf("cpuprofile: %v", err)
+			}
+		}()
+	}
 
 	start := time.Now()
 	tables := harness.Experiments(*quick)

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,10 +49,32 @@ import (
 	"disttrack/internal/service"
 )
 
+// startPprof serves the net/http/pprof handlers on their own listener when
+// -pprof is set, so profiling never shares a port (or a mux) with the
+// public API. Off by default.
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		log.Printf("trackd pprof listening on %s", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("pprof: %v", err)
+		}
+	}()
+}
+
 // config is trackd's parsed command line.
 type config struct {
 	role       string
 	listen     string
+	pprofAddr  string
 	shards     int
 	shardQueue int
 	siteBuffer int
@@ -74,6 +97,7 @@ func parseFlags(args []string) (config, error) {
 	fs := flag.NewFlagSet("trackd", flag.ContinueOnError)
 	fs.StringVar(&cfg.role, "role", "standalone", "standalone | coord | site")
 	fs.StringVar(&cfg.listen, "listen", "127.0.0.1:8080", "HTTP listen address")
+	fs.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	fs.IntVar(&cfg.shards, "shards", 4, "ingest worker shards (standalone/coord)")
 	fs.IntVar(&cfg.shardQueue, "shard-queue", 64, "per-shard queue capacity (batches)")
 	fs.IntVar(&cfg.siteBuffer, "site-buffer", 128, "per-site cluster channel capacity")
@@ -143,6 +167,7 @@ func main() {
 
 // runServer runs the standalone and coord roles.
 func runServer(cfg config) error {
+	startPprof(cfg.pprofAddr)
 	svc := service.New(service.Config{
 		Shards:     cfg.shards,
 		ShardQueue: cfg.shardQueue,
@@ -183,6 +208,7 @@ func runServer(cfg config) error {
 
 // runSite runs the site role: HTTP ingest in, batched frames upstream.
 func runSite(cfg config) error {
+	startPprof(cfg.pprofAddr)
 	node, err := service.NewSiteNode(service.SiteNodeConfig{
 		Node:         cfg.node,
 		Upstream:     cfg.upstream,

@@ -45,6 +45,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"disttrack/internal/rank"
 	"disttrack/internal/sitestore"
@@ -91,16 +93,28 @@ type node struct {
 func (u *node) isLeaf() bool { return u.left == nil }
 
 // Tracker continuously tracks all quantiles of the union of k site-local
-// streams. Not safe for concurrent use; see the runtime package.
+// streams.
+//
+// Concurrency follows the same two-phase contract as core/hh: FeedLocal is
+// safe with one goroutine per site, Escalate/Quiesce serialize the
+// coordinator slow path against every fast path, and Feed plus the query
+// methods are for sequential callers (or inside Quiesce). See the runtime
+// package for the concurrent driver.
 type Tracker struct {
 	cfg   Config
 	meter wire.Meter
 	sites []*site
 
+	// escMu serializes the coordinator slow path; the slow path also holds
+	// every site lock, so the tree structure the fast path walks only
+	// changes while all fast paths are excluded.
+	escMu   sync.Mutex
+	version atomic.Uint64
+
 	boot       bool
 	bootTarget int64
 	bootTree   *rank.Tree
-	n          int64 // true |A|
+	n          atomic.Int64 // true |A|
 
 	// Round state.
 	m           int64   // |A| at round start
@@ -119,6 +133,10 @@ type Tracker struct {
 }
 
 type site struct {
+	// mu guards every field: held by the owning site goroutine for the
+	// duration of FeedLocal and by the coordinator for the whole slow path.
+	mu sync.Mutex
+
 	st    sitestore.Store
 	nj    int64
 	delta map[int]int64 // per-node unreported arrival counts
@@ -159,30 +177,83 @@ func heightCap(eps float64) int {
 }
 
 // Feed records one arrival of item x at the given site and runs any
-// communication the protocol triggers.
+// communication the protocol triggers: the sequential composition of
+// FeedLocal and Escalate, message-for-message identical to the unsplit
+// protocol.
 func (t *Tracker) Feed(siteID int, x uint64) {
+	if t.FeedLocal(siteID, x) {
+		t.Escalate(siteID, x)
+	}
+}
+
+// FeedLocal runs the site-local fast path for one arrival: the store
+// insert and the per-node counter updates along the root-to-leaf path of
+// x, with no shared state touched. It reports whether a node batch reached
+// its threshold — the caller must then invoke Escalate with the same
+// arguments. Safe for concurrent use with one goroutine per site; the tree
+// it walks only changes while every site lock is held.
+func (t *Tracker) FeedLocal(siteID int, x uint64) (escalate bool) {
 	if siteID < 0 || siteID >= t.cfg.K {
 		panic(fmt.Sprintf("allq: site %d out of range [0,%d)", siteID, t.cfg.K))
 	}
 	s := t.sites[siteID]
+	s.mu.Lock()
 	s.st.Insert(x)
 	s.nj++
-	t.n++
+	t.n.Add(1)
+
+	if t.boot {
+		s.mu.Unlock()
+		return true
+	}
+
+	for u := t.root; ; {
+		s.delta[u.id]++
+		if s.delta[u.id] >= t.thrNode {
+			escalate = true
+		}
+		if u.isLeaf() {
+			break
+		}
+		if x < u.split {
+			u = u.left
+		} else {
+			u = u.right
+		}
+	}
+	s.mu.Unlock()
+	return escalate
+}
+
+// Escalate runs the coordinator slow path for an arrival previously applied
+// by FeedLocal: it re-checks the per-node thresholds under the protocol
+// lock and runs the communication the protocol triggers — node reports,
+// condition (6) maintenance and rebuilds, leaf splits, round changes — with
+// all wire.Meter accounting. It excludes every site's fast path for its
+// duration. When a rebuild replaces a subtree, pending deltas for the
+// replaced nodes (including ones this arrival just incremented) are
+// garbage-collected; the rebuild's exact counts already cover them.
+// Arrivals that straddle the bootstrap→tracking transition are absorbed by
+// the next exact collection (see core/hh for the argument).
+func (t *Tracker) Escalate(siteID int, x uint64) {
+	t.escMu.Lock()
+	t.lockSites()
+	s := t.sites[siteID]
 
 	if t.boot {
 		t.meter.Up(siteID, "item", 1)
 		t.bootTree.Insert(x)
-		if t.n >= t.bootTarget {
+		if t.n.Load() >= t.bootTarget {
 			t.boot = false
 			t.newRound()
 		}
+		t.finishSlowPath()
 		return
 	}
 
-	// Walk the root-to-leaf path of x, batching per-node counts.
+	// Walk the root-to-leaf path of x, flushing full per-node batches.
 	path := pathOf(t.root, x)
 	for _, u := range path {
-		s.delta[u.id]++
 		if s.delta[u.id] < t.thrNode {
 			continue
 		}
@@ -201,7 +272,45 @@ func (t *Tracker) Feed(siteID int, x uint64) {
 	if t.root.s >= 2*t.m {
 		t.newRound()
 	}
+	t.finishSlowPath()
 }
+
+// lockSites acquires every site lock in index order (lock order: escMu,
+// then sites ascending; FeedLocal takes only its own site lock).
+func (t *Tracker) lockSites() {
+	for _, s := range t.sites {
+		s.mu.Lock()
+	}
+}
+
+func (t *Tracker) unlockSites() {
+	for _, s := range t.sites {
+		s.mu.Unlock()
+	}
+}
+
+// finishSlowPath publishes the new coordinator state version and releases
+// the slow-path locks.
+func (t *Tracker) finishSlowPath() {
+	t.version.Add(1)
+	t.unlockSites()
+	t.escMu.Unlock()
+}
+
+// Quiesce runs f with no fast path in flight and no escalation, so tracker
+// reads inside f see consistent coordinator and site state. It is the
+// query entry point for concurrent deployments.
+func (t *Tracker) Quiesce(f func()) {
+	t.escMu.Lock()
+	t.lockSites()
+	f()
+	t.unlockSites()
+	t.escMu.Unlock()
+}
+
+// Version returns the coordinator state version; answers computed under
+// Quiesce remain valid while it is unchanged. Safe for concurrent use.
+func (t *Tracker) Version() uint64 { return t.version.Load() }
 
 // pathOf returns the root-to-leaf path of x.
 func pathOf(root *node, x uint64) []*node {
@@ -246,12 +355,13 @@ func (t *Tracker) Quantile(phi float64) uint64 {
 		panic(fmt.Sprintf("allq: phi must be in [0,1], got %g", phi))
 	}
 	if t.boot {
-		if t.n == 0 {
+		n := t.n.Load()
+		if n == 0 {
 			panic("allq: Quantile before any arrival")
 		}
-		i := int64(phi * float64(t.n))
-		if i >= t.n {
-			i = t.n - 1
+		i := int64(phi * float64(n))
+		if i >= n {
+			i = n - 1
 		}
 		return t.bootTree.Select(int(i))
 	}
@@ -313,13 +423,13 @@ func (t *Tracker) HeavyHittersFromRanks(phi float64, shift uint) []uint64 {
 // EstTotal returns the coordinator's estimate of |A| (s_root).
 func (t *Tracker) EstTotal() int64 {
 	if t.boot {
-		return t.n
+		return t.n.Load()
 	}
 	return t.root.s
 }
 
 // TrueTotal returns the exact |A| (not known to the coordinator).
-func (t *Tracker) TrueTotal() int64 { return t.n }
+func (t *Tracker) TrueTotal() int64 { return t.n.Load() }
 
 // Meter returns the communication meter.
 func (t *Tracker) Meter() *wire.Meter { return &t.meter }

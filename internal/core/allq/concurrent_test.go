@@ -1,0 +1,160 @@
+package allq
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"disttrack/internal/stream"
+)
+
+// TestConcurrentFeedLocalStress hammers concurrent FeedLocal + queries +
+// escalations (node reports, rebuilds, leaf splits, round changes) and
+// asserts the final rank structure satisfies the same contract as a
+// sequential replay of the same per-site streams — run under -race.
+func TestConcurrentFeedLocalStress(t *testing.T) {
+	const (
+		k       = 4
+		perSite = 8000
+		eps     = 0.08
+	)
+	g := stream.Perturb(stream.Uniform(1<<30, int64(k*perSite), 23))
+	streams := make([][]uint64, k)
+	var all []uint64
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		streams[i%k] = append(streams[i%k], x)
+		all = append(all, x)
+	}
+	sorted := append([]uint64(nil), all...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	trueRank := func(x uint64) int64 {
+		return int64(sort.Search(len(sorted), func(i int) bool { return sorted[i] >= x }))
+	}
+
+	conc, err := New(Config{K: k, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var qwg sync.WaitGroup
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = conc.Version()
+			conc.Quiesce(func() {
+				if conc.TrueTotal() > 0 {
+					_ = conc.Rank(sorted[len(sorted)/2])
+					_ = conc.Quantile(0.5)
+					if conc.EstTotal() > conc.TrueTotal() {
+						t.Error("EstTotal overtook TrueTotal mid-stream")
+					}
+				}
+			})
+		}
+	}()
+	var wg sync.WaitGroup
+	for j := range streams {
+		wg.Add(1)
+		go func(site int, xs []uint64) {
+			defer wg.Done()
+			for _, x := range xs {
+				if conc.FeedLocal(site, x) {
+					conc.Escalate(site, x)
+				}
+			}
+		}(j, streams[j])
+	}
+	wg.Wait()
+	close(done)
+	qwg.Wait()
+
+	seq, err := New(Config{K: k, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < perSite; i++ {
+		for j := 0; j < k; j++ {
+			seq.Feed(j, streams[j][i])
+		}
+	}
+
+	n := int64(len(all))
+	if conc.TrueTotal() != n || seq.TrueTotal() != n {
+		t.Fatalf("TrueTotal: concurrent %d, sequential %d, want %d",
+			conc.TrueTotal(), seq.TrueTotal(), n)
+	}
+	for j := 0; j < k; j++ {
+		if cg := conc.SiteCount(j); cg != int64(len(streams[j])) {
+			t.Fatalf("site %d count = %d, want %d", j, cg, len(streams[j]))
+		}
+	}
+
+	// Rank and quantile contracts, with slack 4k for concurrent
+	// boot-straddle arrivals (see Escalate).
+	check := func(label string, tr *Tracker) {
+		bound := eps*float64(n) + float64(4*k)
+		for i := 0; i < len(sorted); i += len(sorted) / 64 {
+			x := sorted[i]
+			r, tru := tr.Rank(x), trueRank(x)
+			if r > tru {
+				t.Fatalf("%s: Rank(%d) = %d overestimates true %d", label, x, r, tru)
+			}
+			if float64(tru-r) > bound {
+				t.Errorf("%s: Rank(%d) = %d, error %d exceeds %g", label, x, r, tru-r, bound)
+			}
+		}
+		for _, phi := range []float64{0.1, 0.5, 0.9} {
+			v := tr.Quantile(phi)
+			// Leaf-edge extraction adds up to a leaf load (εm/2) of slack.
+			if diff := float64(trueRank(v)) - phi*float64(n); diff > 1.5*eps*float64(n)+float64(4*k) ||
+				diff < -1.5*eps*float64(n)-float64(4*k) {
+				t.Errorf("%s: Quantile(%g) rank off by %g", label, phi, diff)
+			}
+		}
+	}
+	conc.Quiesce(func() { check("concurrent", conc) })
+	check("sequential", seq)
+}
+
+// TestFeedMatchesSplitFeed verifies the sequential identity Feed ≡
+// FeedLocal + conditional Escalate, meter included.
+func TestFeedMatchesSplitFeed(t *testing.T) {
+	mk := func() *Tracker {
+		tr, err := New(Config{K: 3, Eps: 0.1, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b := mk(), mk()
+	g := stream.Perturb(stream.Uniform(1<<30, 20000, 31))
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		a.Feed(i%3, x)
+		if b.FeedLocal(i%3, x) {
+			b.Escalate(i%3, x)
+		}
+	}
+	if at, bt := a.Meter().Total(), b.Meter().Total(); at != bt {
+		t.Fatalf("meter diverged: Feed %+v, split %+v", at, bt)
+	}
+	if a.EstTotal() != b.EstTotal() || a.Rounds() != b.Rounds() ||
+		a.Rebuilds() != b.Rebuilds() || a.LeafSplits() != b.LeafSplits() {
+		t.Fatalf("state diverged: est %d/%d rounds %d/%d rebuilds %d/%d leafsplits %d/%d",
+			a.EstTotal(), b.EstTotal(), a.Rounds(), b.Rounds(),
+			a.Rebuilds(), b.Rebuilds(), a.LeafSplits(), b.LeafSplits())
+	}
+}

@@ -1,0 +1,210 @@
+package hh
+
+import (
+	"sync"
+	"testing"
+
+	"disttrack/internal/stream"
+)
+
+// genSiteStreams deals a deterministic Zipf stream out to k per-site
+// streams round-robin, so the concurrent run and the sequential replay see
+// exactly the same per-site inputs.
+func genSiteStreams(t *testing.T, k int, perSite int, seed int64) [][]uint64 {
+	t.Helper()
+	g := stream.Zipf(1<<20, int64(k*perSite), 1.2, seed)
+	out := make([][]uint64, k)
+	for j := range out {
+		out[j] = make([]uint64, 0, perSite)
+	}
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		out[i%k] = append(out[i%k], x)
+	}
+	return out
+}
+
+// hammer drives one goroutine per site through FeedLocal/Escalate while
+// queryLoops goroutines hit the tracker's quiescent-query path, returning
+// once all arrivals are processed.
+func hammer(tr *Tracker, streams [][]uint64, queryLoops int, query func()) {
+	done := make(chan struct{})
+	var qwg sync.WaitGroup
+	for q := 0; q < queryLoops; q++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = tr.Version()
+				tr.Quiesce(query)
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for j := range streams {
+		wg.Add(1)
+		go func(site int, xs []uint64) {
+			defer wg.Done()
+			for _, x := range xs {
+				if tr.FeedLocal(site, x) {
+					tr.Escalate(site, x)
+				}
+			}
+		}(j, streams[j])
+	}
+	wg.Wait()
+	close(done)
+	qwg.Wait()
+}
+
+// checkHHContract asserts the paper's invariants (2)–(3) and the
+// classification guarantee against exact ground truth, with slack 2k words
+// for arrivals that straddle concurrent escalations (see Escalate).
+func checkHHContract(t *testing.T, label string, tr *Tracker, truth map[uint64]int64, n int64, eps, phi float64, k int) {
+	t.Helper()
+	if got := tr.TrueTotal(); got != n {
+		t.Fatalf("%s: TrueTotal = %d, want %d", label, got, n)
+	}
+	slack := eps*float64(n)/3 + float64(2*k)
+	if est := tr.EstTotal(); est > n || float64(n-est) > slack {
+		t.Errorf("%s: EstTotal = %d, want in [%d - %g, %d]", label, est, n, slack, n)
+	}
+	for x, f := range truth {
+		est := tr.EstFrequency(x)
+		if est > f {
+			t.Fatalf("%s: EstFrequency(%d) = %d overestimates true %d", label, x, est, f)
+		}
+		if float64(f-est) > slack {
+			t.Errorf("%s: EstFrequency(%d) = %d, staleness %d exceeds %g", label, x, est, f-est, slack)
+		}
+	}
+	hits := make(map[uint64]bool)
+	for _, x := range tr.HeavyHitters(phi) {
+		hits[x] = true
+	}
+	lo := (phi - eps) * float64(n)
+	hi := (phi + eps) * float64(n)
+	for x, f := range truth {
+		if float64(f) >= hi && !hits[x] {
+			t.Errorf("%s: item %d with freq %d >= %g missing from heavy hitters", label, x, f, hi)
+		}
+		if float64(f) < lo-float64(2*k) && hits[x] {
+			t.Errorf("%s: item %d with freq %d < %g wrongly a heavy hitter", label, x, f, lo)
+		}
+	}
+}
+
+// TestConcurrentFeedLocalStress hammers concurrent FeedLocal + queries +
+// escalations and asserts the final answers satisfy the same contract as a
+// sequential replay of the same per-site streams — run under -race.
+func TestConcurrentFeedLocalStress(t *testing.T) {
+	const (
+		k       = 4
+		perSite = 20000
+		eps     = 0.05
+		phi     = 0.1
+	)
+	streams := genSiteStreams(t, k, perSite, 42)
+	n := int64(0)
+	truth := make(map[uint64]int64)
+	for _, xs := range streams {
+		n += int64(len(xs))
+		for _, x := range xs {
+			truth[x]++
+		}
+	}
+
+	conc, err := New(Config{K: k, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hammer(conc, streams, 2, func() {
+		if conc.EstTotal() > conc.TrueTotal() {
+			t.Error("EstTotal overtook TrueTotal mid-stream")
+		}
+		_ = conc.HeavyHitters(phi)
+	})
+
+	seq, err := New(Config{K: k, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < perSite; i++ {
+		for j := 0; j < k; j++ {
+			seq.Feed(j, streams[j][i])
+		}
+	}
+
+	for j := 0; j < k; j++ {
+		if cg, sg := conc.SiteCount(j), seq.SiteCount(j); cg != sg || cg != int64(len(streams[j])) {
+			t.Fatalf("site %d count: concurrent %d, sequential %d, want %d", j, cg, sg, len(streams[j]))
+		}
+	}
+	conc.Quiesce(func() {
+		checkHHContract(t, "concurrent", conc, truth, n, eps, phi, k)
+	})
+	checkHHContract(t, "sequential", seq, truth, n, eps, phi, k)
+}
+
+// TestConcurrentFeedLocalSketch exercises the sketch modes' fast path under
+// -race; the accuracy contract for sketches is covered by the sequential
+// tests, so this asserts conservation and underestimation only.
+func TestConcurrentFeedLocalSketch(t *testing.T) {
+	for _, mode := range []Mode{ModeSketch, ModeMGSketch} {
+		streams := genSiteStreams(t, 4, 8000, 7)
+		tr, err := New(Config{K: 4, Eps: 0.05, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hammer(tr, streams, 1, func() { _ = tr.EstTotal() })
+		var n int64
+		for _, xs := range streams {
+			n += int64(len(xs))
+		}
+		if got := tr.TrueTotal(); got != n {
+			t.Fatalf("mode %d: TrueTotal = %d, want %d", mode, got, n)
+		}
+		if est := tr.EstTotal(); est > n {
+			t.Fatalf("mode %d: EstTotal = %d overestimates %d", mode, est, n)
+		}
+	}
+}
+
+// TestFeedMatchesSplitFeed verifies the sequential identity Feed ≡
+// FeedLocal + conditional Escalate, meter included.
+func TestFeedMatchesSplitFeed(t *testing.T) {
+	a, err := New(Config{K: 3, Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{K: 3, Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stream.Zipf(1<<16, 30000, 1.3, 99)
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		a.Feed(i%3, x)
+		if b.FeedLocal(i%3, x) {
+			b.Escalate(i%3, x)
+		}
+	}
+	if at, bt := a.Meter().Total(), b.Meter().Total(); at != bt {
+		t.Fatalf("meter diverged: Feed %+v, split %+v", at, bt)
+	}
+	if a.EstTotal() != b.EstTotal() || a.Rounds() != b.Rounds() {
+		t.Fatalf("state diverged: EstTotal %d/%d rounds %d/%d",
+			a.EstTotal(), b.EstTotal(), a.Rounds(), b.Rounds())
+	}
+}

@@ -40,6 +40,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"disttrack/internal/summary/mg"
 	"disttrack/internal/summary/spacesaving"
@@ -84,15 +86,34 @@ type Config struct {
 	ThresholdDivisor float64
 }
 
-// Tracker tracks heavy hitters across K sites. Not safe for concurrent use;
-// see the runtime package for a concurrent wrapper.
+// Tracker tracks heavy hitters across K sites.
+//
+// # Concurrency
+//
+// The tracker has a two-phase ingest API. FeedLocal is the site-local fast
+// path: it may be called concurrently as long as each site is driven by at
+// most one goroutine at a time (per-site state is single-writer). Escalate
+// is the coordinator slow path; it serializes internally and excludes every
+// site's fast path for its duration, so the rare communication cascades see
+// a quiescent cluster exactly as the paper's atomic-message model assumes.
+// Feed is the sequential composition of the two and, like the query
+// methods, is not itself safe for unconstrained concurrent use — concurrent
+// callers go through the runtime package, which drives FeedLocal/Escalate
+// from per-site goroutines and wraps queries in Quiesce.
 type Tracker struct {
 	cfg   Config
 	meter wire.Meter
 
+	// escMu serializes the coordinator slow path (Escalate, Quiesce). The
+	// slow path additionally holds every site lock, so coordinator state
+	// that the fast path reads (boot, per-site m/dm resets) only changes
+	// while all fast paths are excluded.
+	escMu   sync.Mutex
+	version atomic.Uint64 // bumped after every slow-path entry (see Version)
+
 	sites []*site
 
-	// Coordinator state.
+	// Coordinator state, touched only on the slow path.
 	cm         int64            // C.m — underestimate of the global count
 	cmx        map[uint64]int64 // C.m_x — underestimates of global frequencies
 	allSignals int              // "all" messages since the last sync
@@ -100,10 +121,16 @@ type Tracker struct {
 	bootTarget int64
 	rounds     int // completed coordinator syncs (for experiments)
 
-	n int64 // true global count (ground truth for tests/experiments)
+	n atomic.Int64 // true global count (ground truth for tests/experiments)
 }
 
 type site struct {
+	// mu guards every field of the site. The owning site goroutine holds it
+	// for the duration of FeedLocal; the coordinator holds every site's mu
+	// during the slow path. It is uncontended unless an escalation is in
+	// flight, so the fast path stays a cheap single-writer update.
+	mu sync.Mutex
+
 	m  int64 // S_j.m — global count at last broadcast
 	dm int64 // Δ(m) — arrivals since the last "all" report
 	nj int64 // exact local count |S_j|
@@ -168,14 +195,29 @@ func (t *Tracker) threshold(s *site) int64 {
 }
 
 // Feed records one arrival of item x at the given site and runs any
-// communication the protocol triggers.
+// communication the protocol triggers. It is the sequential composition of
+// the fast and slow paths — deterministic callers (the harness, the
+// experiments) observe exactly the pre-split behavior, message for message.
 func (t *Tracker) Feed(siteID int, x uint64) {
+	if t.FeedLocal(siteID, x) {
+		t.Escalate(siteID, x)
+	}
+}
+
+// FeedLocal runs the site-local fast path for one arrival of x at the given
+// site: the local counter updates and the threshold checks, with no shared
+// state touched and no communication metered. It reports whether the
+// protocol requires coordinator work — the caller must then invoke Escalate
+// with the same arguments. Safe for concurrent use with one goroutine per
+// site.
+func (t *Tracker) FeedLocal(siteID int, x uint64) (escalate bool) {
 	if siteID < 0 || siteID >= t.cfg.K {
 		panic(fmt.Sprintf("hh: site %d out of range [0,%d)", siteID, t.cfg.K))
 	}
 	s := t.sites[siteID]
+	s.mu.Lock()
 	s.nj++
-	t.n++
+	t.n.Add(1)
 	switch t.cfg.Mode {
 	case ModeSketch:
 		s.ss.Add(x)
@@ -186,31 +228,9 @@ func (t *Tracker) Feed(siteID int, x uint64) {
 	}
 
 	if t.boot {
-		// Bootstrap: forward every arrival; all estimates stay exact.
-		t.meter.Up(siteID, "item", 1)
-		t.cm++
-		t.cmx[x]++
-		if t.cm >= t.bootTarget {
-			t.boot = false
-			t.broadcastM(t.cm)
-			// Everything so far was reported exactly; baseline the sketch
-			// reporting marks so deltas start from here.
-			switch t.cfg.Mode {
-			case ModeSketch:
-				for _, st := range t.sites {
-					for _, e := range st.ss.Top() {
-						st.lastRep[e.Item] = e.Count
-					}
-				}
-			case ModeMGSketch:
-				for _, st := range t.sites {
-					for _, e := range st.mgs.Top() {
-						st.lastRep[e.Item] = e.Count
-					}
-				}
-			}
-		}
-		return
+		// Bootstrap: every arrival is forwarded, so every arrival escalates.
+		s.mu.Unlock()
+		return true
 	}
 
 	thr := t.threshold(s)
@@ -219,6 +239,51 @@ func (t *Tracker) Feed(siteID int, x uint64) {
 	switch t.cfg.Mode {
 	case ModeExact:
 		s.dx[x]++
+		escalate = s.dx[x] >= thr
+	case ModeSketch:
+		escalate = s.ss.Est(x)-s.lastRep[x] >= thr
+	case ModeMGSketch:
+		escalate = s.mgs.Est(x)-s.lastRep[x] >= thr
+	}
+
+	// Total increment Δ(m).
+	s.dm++
+	escalate = escalate || s.dm >= thr
+	s.mu.Unlock()
+	return escalate
+}
+
+// Escalate runs the coordinator slow path for an arrival previously applied
+// by FeedLocal: it re-checks the reporting thresholds under the protocol
+// lock and runs the (rare) communication cascade — delta reports, "all"
+// signals, round syncs — with all wire.Meter accounting. It excludes every
+// site's fast path for its duration. In a sequential Feed the re-checks see
+// exactly the state FeedLocal left, so the combined behavior is identical
+// to the unsplit protocol; under concurrency a report may additionally
+// absorb deltas from arrivals that raced in, which only makes reporting
+// fresher.
+//
+// An arrival that straddles the bootstrap→tracking transition (FeedLocal
+// saw boot, another site's escalation ended it first) contributes to the
+// exact local stores immediately and to the delta accounting not at all; it
+// is absorbed by the next exact collection, costing at most one word of
+// staleness per site, once — within every invariant's slack.
+func (t *Tracker) Escalate(siteID int, x uint64) {
+	t.escMu.Lock()
+	t.lockSites()
+	s := t.sites[siteID]
+
+	if t.boot {
+		t.escalateBoot(siteID, x)
+		t.finishSlowPath()
+		return
+	}
+
+	thr := t.threshold(s)
+
+	// Per-item report Δ(m_x).
+	switch t.cfg.Mode {
+	case ModeExact:
 		if s.dx[x] >= thr {
 			t.meter.Up(siteID, "freq", 2)
 			t.cmx[x] += s.dx[x]
@@ -242,8 +307,7 @@ func (t *Tracker) Feed(siteID int, x uint64) {
 		}
 	}
 
-	// Total increment Δ(m).
-	s.dm++
+	// Total report Δ(m).
 	if s.dm >= thr {
 		t.meter.Up(siteID, "all", 1)
 		t.cm += s.dm
@@ -253,7 +317,79 @@ func (t *Tracker) Feed(siteID int, x uint64) {
 			t.sync()
 		}
 	}
+	t.finishSlowPath()
 }
+
+// escalateBoot forwards one bootstrap arrival and ends the bootstrap once
+// the coordinator holds k/ε items. Caller holds the slow-path locks.
+func (t *Tracker) escalateBoot(siteID int, x uint64) {
+	t.meter.Up(siteID, "item", 1)
+	t.cm++
+	t.cmx[x]++
+	if t.cm >= t.bootTarget {
+		t.boot = false
+		t.broadcastM(t.cm)
+		// Everything so far was reported exactly; baseline the sketch
+		// reporting marks so deltas start from here.
+		switch t.cfg.Mode {
+		case ModeSketch:
+			for _, st := range t.sites {
+				for _, e := range st.ss.Top() {
+					st.lastRep[e.Item] = e.Count
+				}
+			}
+		case ModeMGSketch:
+			for _, st := range t.sites {
+				for _, e := range st.mgs.Top() {
+					st.lastRep[e.Item] = e.Count
+				}
+			}
+		}
+	}
+}
+
+// lockSites acquires every site lock in index order (the lock order is
+// escMu, then sites ascending; FeedLocal takes only its own site lock, so
+// no cycle exists).
+func (t *Tracker) lockSites() {
+	for _, s := range t.sites {
+		s.mu.Lock()
+	}
+}
+
+func (t *Tracker) unlockSites() {
+	for _, s := range t.sites {
+		s.mu.Unlock()
+	}
+}
+
+// finishSlowPath publishes the new coordinator state version and releases
+// the slow-path locks. The version is bumped before release so a reader
+// that still observes the old version is guaranteed the escalation has not
+// yet published — its cached answers correspond to the pre-escalation
+// state, a valid linearization.
+func (t *Tracker) finishSlowPath() {
+	t.version.Add(1)
+	t.unlockSites()
+	t.escMu.Unlock()
+}
+
+// Quiesce runs f with the whole cluster quiescent — no fast path in flight,
+// no escalation — so tracker reads inside f see a consistent coordinator
+// and site state. It is the query entry point for concurrent deployments.
+func (t *Tracker) Quiesce(f func()) {
+	t.escMu.Lock()
+	t.lockSites()
+	f()
+	t.unlockSites()
+	t.escMu.Unlock()
+}
+
+// Version returns the coordinator state version: it changes only when an
+// escalation may have changed coordinator state, so an answer computed
+// under Quiesce remains valid while Version stays the same. Safe for
+// concurrent use; see the service layer's query snapshots.
+func (t *Tracker) Version() uint64 { return t.version.Load() }
 
 // sync runs the coordinator's round refresh: collect the exact global count
 // from every site and broadcast it.
@@ -344,7 +480,7 @@ func (t *Tracker) SiteCount(j int) int64 { return t.sites[j].nj }
 func (t *Tracker) EstTotal() int64 { return t.cm }
 
 // TrueTotal returns the exact global count (not known to the coordinator).
-func (t *Tracker) TrueTotal() int64 { return t.n }
+func (t *Tracker) TrueTotal() int64 { return t.n.Load() }
 
 // Rounds returns the number of completed coordinator syncs.
 func (t *Tracker) Rounds() int { return t.rounds }

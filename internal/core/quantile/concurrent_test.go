@@ -1,0 +1,168 @@
+package quantile
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"disttrack/internal/stream"
+)
+
+// genSiteKeyStreams deals a deterministic perturbed uniform stream out to k
+// per-site streams round-robin (keys globally distinct, as the protocol
+// assumes).
+func genSiteKeyStreams(t *testing.T, k, perSite int, seed int64) [][]uint64 {
+	t.Helper()
+	g := stream.Perturb(stream.Uniform(1<<30, int64(k*perSite), seed))
+	out := make([][]uint64, k)
+	for j := range out {
+		out[j] = make([]uint64, 0, perSite)
+	}
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		out[i%k] = append(out[i%k], x)
+	}
+	return out
+}
+
+func trueRank(sorted []uint64, x uint64) int64 {
+	return int64(sort.Search(len(sorted), func(i int) bool { return sorted[i] >= x }))
+}
+
+// checkQuantContract asserts every tracked M is within ε|A| of its target
+// rank (slack 4k for concurrent boot-straddle arrivals).
+func checkQuantContract(t *testing.T, label string, tr *Tracker, sorted []uint64, k int) {
+	t.Helper()
+	n := float64(len(sorted))
+	bound := tr.Eps()*n + float64(4*k)
+	for i, phi := range tr.Phis() {
+		m := tr.QuantileAt(i)
+		r := float64(trueRank(sorted, m))
+		if diff := r - phi*n; diff > bound || diff < -bound {
+			t.Errorf("%s: phi=%g rank(M)=%g target %g, off by %g > %g",
+				label, phi, r, phi*n, diff, bound)
+		}
+	}
+}
+
+// TestConcurrentFeedLocalStress hammers concurrent FeedLocal + queries +
+// escalations (splits, relocations, round changes) and asserts the final
+// answers satisfy the same contract as a sequential replay of the same
+// per-site streams — run under -race.
+func TestConcurrentFeedLocalStress(t *testing.T) {
+	const (
+		k       = 4
+		perSite = 10000
+		eps     = 0.05
+	)
+	phis := []float64{0.25, 0.5, 0.9}
+	streams := genSiteKeyStreams(t, k, perSite, 11)
+	var all []uint64
+	for _, xs := range streams {
+		all = append(all, xs...)
+	}
+	sorted := append([]uint64(nil), all...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	conc, err := New(Config{K: k, Eps: eps, Phis: phis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var qwg sync.WaitGroup
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = conc.Version()
+			conc.Quiesce(func() {
+				if conc.TrueTotal() > 0 {
+					_ = conc.Quantile()
+					if conc.EstTotal() > conc.TrueTotal() {
+						t.Error("EstTotal overtook TrueTotal mid-stream")
+					}
+				}
+			})
+		}
+	}()
+	var wg sync.WaitGroup
+	for j := range streams {
+		wg.Add(1)
+		go func(site int, xs []uint64) {
+			defer wg.Done()
+			for _, x := range xs {
+				if conc.FeedLocal(site, x) {
+					conc.Escalate(site, x)
+				}
+			}
+		}(j, streams[j])
+	}
+	wg.Wait()
+	close(done)
+	qwg.Wait()
+
+	seq, err := New(Config{K: k, Eps: eps, Phis: phis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < perSite; i++ {
+		for j := 0; j < k; j++ {
+			seq.Feed(j, streams[j][i])
+		}
+	}
+
+	if conc.TrueTotal() != int64(len(all)) || seq.TrueTotal() != int64(len(all)) {
+		t.Fatalf("TrueTotal: concurrent %d, sequential %d, want %d",
+			conc.TrueTotal(), seq.TrueTotal(), len(all))
+	}
+	for j := 0; j < k; j++ {
+		if cg := conc.SiteCount(j); cg != int64(len(streams[j])) {
+			t.Fatalf("site %d count = %d, want %d", j, cg, len(streams[j]))
+		}
+	}
+	conc.Quiesce(func() {
+		checkQuantContract(t, "concurrent", conc, sorted, k)
+	})
+	checkQuantContract(t, "sequential", seq, sorted, k)
+}
+
+// TestFeedMatchesSplitFeed verifies the sequential identity Feed ≡
+// FeedLocal + conditional Escalate, meter included.
+func TestFeedMatchesSplitFeed(t *testing.T) {
+	mk := func() *Tracker {
+		tr, err := New(Config{K: 3, Eps: 0.1, Phis: []float64{0.5, 0.9}, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b := mk(), mk()
+	g := stream.Perturb(stream.Uniform(1<<30, 20000, 17))
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		a.Feed(i%3, x)
+		if b.FeedLocal(i%3, x) {
+			b.Escalate(i%3, x)
+		}
+	}
+	if at, bt := a.Meter().Total(), b.Meter().Total(); at != bt {
+		t.Fatalf("meter diverged: Feed %+v, split %+v", at, bt)
+	}
+	if a.Quantile() != b.Quantile() || a.Rounds() != b.Rounds() ||
+		a.Splits() != b.Splits() || a.Relocations() != b.Relocations() {
+		t.Fatalf("state diverged: M %d/%d rounds %d/%d splits %d/%d relocs %d/%d",
+			a.Quantile(), b.Quantile(), a.Rounds(), b.Rounds(),
+			a.Splits(), b.Splits(), a.Relocations(), b.Relocations())
+	}
+}

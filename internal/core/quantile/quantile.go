@@ -55,6 +55,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"disttrack/internal/rank"
 	"disttrack/internal/wire"
@@ -101,18 +103,31 @@ type quantState struct {
 }
 
 // Tracker continuously tracks one or more φ-quantiles of the union of k
-// site-local streams. Not safe for concurrent use; see the runtime package.
+// site-local streams.
+//
+// Concurrency follows the same two-phase contract as core/hh: FeedLocal is
+// safe with one goroutine per site, Escalate/Quiesce serialize the
+// coordinator slow path against every fast path, and Feed plus the query
+// methods are for sequential callers (or inside Quiesce). See the runtime
+// package for the concurrent driver.
 type Tracker struct {
 	cfg   Config
 	phis  []float64
 	meter wire.Meter
 	sites []*site
 
+	// escMu serializes the coordinator slow path; the slow path also holds
+	// every site lock, so round state read by the fast path (seps,
+	// thresholds, qs[i].m0, boot) only changes while all fast paths are
+	// excluded.
+	escMu   sync.Mutex
+	version atomic.Uint64
+
 	// Bootstrap: until |A| >= k/ε every arrival is forwarded.
 	boot       bool
 	bootTarget int64
 	bootTree   *rank.Tree
-	n          int64 // true |A| (ground truth for tests)
+	n          atomic.Int64 // true |A| (ground truth for tests)
 
 	// Round state (§3.1). m is |A| at round start and fixes all thresholds.
 	m         int64
@@ -135,6 +150,10 @@ type Tracker struct {
 }
 
 type site struct {
+	// mu guards every field: held by the owning site goroutine for the
+	// duration of FeedLocal and by the coordinator for the whole slow path.
+	mu sync.Mutex
+
 	st       store
 	nj       int64      // exact local count
 	ivDelta  []int64    // unreported arrivals per interval
@@ -183,29 +202,83 @@ func New(cfg Config) (*Tracker, error) {
 }
 
 // Feed records one arrival of item x at the given site and runs any
-// communication the protocol triggers.
+// communication the protocol triggers: the sequential composition of
+// FeedLocal and Escalate, message-for-message identical to the unsplit
+// protocol.
 func (t *Tracker) Feed(siteID int, x uint64) {
+	if t.FeedLocal(siteID, x) {
+		t.Escalate(siteID, x)
+	}
+}
+
+// FeedLocal runs the site-local fast path for one arrival: the store
+// insert and the interval/total/drift counter updates, with no shared
+// state touched. It reports whether a batch threshold was reached — the
+// caller must then invoke Escalate with the same arguments. Safe for
+// concurrent use with one goroutine per site.
+func (t *Tracker) FeedLocal(siteID int, x uint64) (escalate bool) {
 	if siteID < 0 || siteID >= t.cfg.K {
 		panic(fmt.Sprintf("quantile: site %d out of range [0,%d)", siteID, t.cfg.K))
 	}
 	s := t.sites[siteID]
+	s.mu.Lock()
 	s.st.Insert(x)
 	s.nj++
-	t.n++
+	t.n.Add(1)
+
+	if t.boot {
+		s.mu.Unlock()
+		return true
+	}
+
+	// Interval arrival counting. The separator structure is stable here:
+	// splits and round changes only happen while every site lock is held.
+	iv := t.ivIndex(x)
+	s.ivDelta[iv]++
+	escalate = s.ivDelta[iv] >= t.thrIv
+
+	// Total counting.
+	s.totDelta++
+	escalate = escalate || s.totDelta >= t.thrTot
+
+	// Per-quantile drift counting.
+	for qi := range t.qs {
+		side := 0
+		if x >= t.qs[qi].m0 {
+			side = 1
+		}
+		s.drift[qi][side]++
+		escalate = escalate || s.drift[qi][side] >= t.thrLR
+	}
+	s.mu.Unlock()
+	return escalate
+}
+
+// Escalate runs the coordinator slow path for an arrival previously applied
+// by FeedLocal: it re-checks the batch thresholds under the protocol lock
+// and runs the communication the protocol triggers — interval reports and
+// splits, total reports and round changes, drift reports and relocations —
+// with all wire.Meter accounting. It excludes every site's fast path for
+// its duration. Arrivals that straddle the bootstrap→tracking transition
+// are absorbed by the next exact collection (see core/hh for the argument).
+func (t *Tracker) Escalate(siteID int, x uint64) {
+	t.escMu.Lock()
+	t.lockSites()
+	s := t.sites[siteID]
 
 	if t.boot {
 		t.meter.Up(siteID, "item", 1)
 		t.bootTree.Insert(x)
-		if t.n >= t.bootTarget {
+		if t.n.Load() >= t.bootTarget {
 			t.boot = false
 			t.newRound()
 		}
+		t.finishSlowPath()
 		return
 	}
 
-	// Interval arrival counting → possible split.
+	// Interval report → possible split.
 	iv := t.ivIndex(x)
-	s.ivDelta[iv]++
 	if s.ivDelta[iv] >= t.thrIv {
 		t.meter.Up(siteID, "iv", 2)
 		t.ivCount[iv] += s.ivDelta[iv]
@@ -215,26 +288,25 @@ func (t *Tracker) Feed(siteID int, x uint64) {
 		}
 	}
 
-	// Total counting → possible round change.
-	s.totDelta++
+	// Total report → possible round change.
 	if s.totDelta >= t.thrTot {
 		t.meter.Up(siteID, "tot", 1)
 		t.totEst += s.totDelta
 		s.totDelta = 0
 		if t.totEst >= 2*t.m {
 			t.newRound()
+			t.finishSlowPath()
 			return
 		}
 	}
 
-	// Per-quantile drift counting → possible relocation.
+	// Per-quantile drift reports → possible relocations.
 	for qi := range t.qs {
 		q := &t.qs[qi]
 		side := 0
 		if x >= q.m0 {
 			side = 1
 		}
-		s.drift[qi][side]++
 		if s.drift[qi][side] < t.thrLR {
 			continue
 		}
@@ -247,7 +319,45 @@ func (t *Tracker) Feed(siteID int, x uint64) {
 		s.drift[qi][side] = 0
 		t.maybeRelocate(qi)
 	}
+	t.finishSlowPath()
 }
+
+// lockSites acquires every site lock in index order (lock order: escMu,
+// then sites ascending; FeedLocal takes only its own site lock).
+func (t *Tracker) lockSites() {
+	for _, s := range t.sites {
+		s.mu.Lock()
+	}
+}
+
+func (t *Tracker) unlockSites() {
+	for _, s := range t.sites {
+		s.mu.Unlock()
+	}
+}
+
+// finishSlowPath publishes the new coordinator state version and releases
+// the slow-path locks.
+func (t *Tracker) finishSlowPath() {
+	t.version.Add(1)
+	t.unlockSites()
+	t.escMu.Unlock()
+}
+
+// Quiesce runs f with no fast path in flight and no escalation, so tracker
+// reads inside f see consistent coordinator and site state. It is the
+// query entry point for concurrent deployments.
+func (t *Tracker) Quiesce(f func()) {
+	t.escMu.Lock()
+	t.lockSites()
+	f()
+	t.unlockSites()
+	t.escMu.Unlock()
+}
+
+// Version returns the coordinator state version; answers computed under
+// Quiesce remain valid while it is unchanged. Safe for concurrent use.
+func (t *Tracker) Version() uint64 { return t.version.Load() }
 
 func driftKind(side int) string {
 	if side == 0 {
@@ -279,12 +389,13 @@ func (t *Tracker) Quantile() uint64 { return t.QuantileAt(0) }
 // QuantileAt returns the i-th tracked quantile (index into Phis).
 func (t *Tracker) QuantileAt(i int) uint64 {
 	if t.boot {
-		if t.n == 0 {
+		n := t.n.Load()
+		if n == 0 {
 			panic("quantile: Quantile before any arrival")
 		}
-		idx := int64(t.phis[i] * float64(t.n))
-		if idx >= t.n {
-			idx = t.n - 1
+		idx := int64(t.phis[i] * float64(n))
+		if idx >= n {
+			idx = n - 1
 		}
 		return t.bootTree.Select(int(idx))
 	}
@@ -312,12 +423,12 @@ func (t *Tracker) Quantiles() []uint64 {
 }
 
 // TrueTotal returns the exact |A| (not known to the coordinator).
-func (t *Tracker) TrueTotal() int64 { return t.n }
+func (t *Tracker) TrueTotal() int64 { return t.n.Load() }
 
 // EstTotal returns the coordinator's estimate of |A|.
 func (t *Tracker) EstTotal() int64 {
 	if t.boot {
-		return t.n
+		return t.n.Load()
 	}
 	return t.totEst
 }

@@ -134,7 +134,11 @@ func (f *Forwarder) AddBatch(tenant string, site int, kind byte, vs []uint64) er
 	f.bufMu.Lock()
 	b := f.bufs[key]
 	if b == nil {
-		b = &fwdBuf{kind: kind, since: time.Now()}
+		// Buffers start from the shared batch pool at full batch capacity,
+		// so a buffer's append path never reallocates before it flushes.
+		// Ownership of the flushed slice passes to the ForwardFunc callee;
+		// callees that feed a Cluster recycle it automatically.
+		b = &fwdBuf{kind: kind, since: time.Now(), vals: GetBatch(f.cfg.BatchSize)}
 		f.bufs[key] = b
 	}
 	b.vals = append(b.vals, vs...)

@@ -1,0 +1,48 @@
+package runtime
+
+import "sync"
+
+// minPooledCap keeps tiny one-off slices out of the pool: recycling them
+// would pin undersized buffers that immediately reallocate on reuse.
+const minPooledCap = 64
+
+// batchPool recycles the value-batch slices that flow through the ingest
+// hot path (service sharder → tenant cluster → site goroutine). SendBatch
+// transfers slice ownership to the cluster, and the site goroutine is the
+// final consumer — the trackers copy what they keep — so the cluster
+// returns every processed batch here and producers allocate from it,
+// making steady-state batched ingest allocation-free.
+//
+// The pool stores *[]uint64 (not []uint64) so Put does not allocate a
+// fresh interface box for the slice header on every cycle.
+var batchPool = sync.Pool{
+	New: func() any {
+		s := make([]uint64, 0, 256)
+		return &s
+	},
+}
+
+// GetBatch returns an empty value slice with at least the given capacity,
+// reusing a pooled buffer when one is available. The slice is owned by the
+// caller until handed to Cluster.SendBatch (or returned with PutBatch).
+func GetBatch(capacity int) []uint64 {
+	p := batchPool.Get().(*[]uint64)
+	if s := *p; cap(s) >= capacity {
+		return s[:0]
+	}
+	// Undersized for this caller: return it for others rather than
+	// draining the pool one oversized request at a time.
+	batchPool.Put(p)
+	return make([]uint64, 0, capacity)
+}
+
+// PutBatch returns a batch slice to the pool. Callers must have exclusive
+// ownership; the slice contents may be overwritten at any time afterwards.
+// Slices below the minimum pooled capacity are dropped.
+func PutBatch(xs []uint64) {
+	if cap(xs) < minPooledCap {
+		return
+	}
+	xs = xs[:0]
+	batchPool.Put(&xs)
+}

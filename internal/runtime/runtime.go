@@ -4,10 +4,14 @@
 //
 // The paper's model assumes communication is instant and atomic — when an
 // arrival triggers a message cascade, the cascade completes before the next
-// arrival is processed. The cluster honours that semantics by serializing
-// protocol transitions with a mutex while keeping ingestion, generation and
-// querying concurrent. (For a deployment across real processes and sockets,
-// see the remote package.)
+// arrival is processed. The paper's central result is that such cascades
+// are rare: almost every arrival is absorbed by site-local counters. The
+// cluster exploits exactly that split. Trackers that implement LocalFeeder
+// (all three core protocols) are driven through their lock-free site-local
+// fast path — k site goroutines ingest fully in parallel, and only the rare
+// escalations and the queries serialize, inside the tracker itself. Legacy
+// Feeders fall back to serializing every Feed under a cluster mutex. (For a
+// deployment across real processes and sockets, see the remote package.)
 package runtime
 
 import (
@@ -24,28 +28,45 @@ type Feeder interface {
 	Feed(site int, x uint64)
 }
 
+// LocalFeeder is the two-phase protocol surface of the site-local fast
+// path. FeedLocal must be safe for concurrent use with one goroutine per
+// site and reports whether the protocol requires coordinator work; Escalate
+// runs that (internally serialized) slow path; Quiesce runs f with the
+// whole tracker quiescent, for consistent queries. The core hh, quantile
+// and allq trackers all implement it.
+type LocalFeeder interface {
+	Feeder
+	FeedLocal(site int, x uint64) (escalate bool)
+	Escalate(site int, x uint64)
+	Quiesce(f func())
+}
+
 // ErrStopped is returned by Send after the cluster has been stopped or its
 // context cancelled.
 var ErrStopped = errors.New("runtime: cluster stopped")
 
 // Cluster runs k site goroutines feeding a shared tracker.
 type Cluster struct {
-	mu sync.Mutex // serializes protocol transitions and queries
+	mu sync.Mutex // serializes Feed and queries on the legacy path
 	tr Feeder
+	lf LocalFeeder // non-nil when tr supports the lock-free fast path
 
-	ingest    []chan uint64
-	batches   []chan []uint64
-	wg        sync.WaitGroup
-	ctx       context.Context
-	cancel    context.CancelFunc
-	processed atomic.Int64
-	batched   atomic.Int64
-	dropped   atomic.Int64
-	stopOnce  sync.Once
+	ingest      []chan uint64
+	batches     []chan []uint64
+	wg          sync.WaitGroup
+	ctx         context.Context
+	cancel      context.CancelFunc
+	processed   atomic.Int64
+	batched     atomic.Int64
+	dropped     atomic.Int64
+	escalations atomic.Int64
+	stopOnce    sync.Once
 }
 
 // New starts a cluster of k sites over tr. buf is the per-site channel
-// capacity (≥ 1). Always call Stop (or Drain) when done.
+// capacity (≥ 1). Always call Stop (or Drain) when done. When tr
+// implements LocalFeeder the sites ingest through the lock-free fast path;
+// otherwise every Feed serializes under a cluster mutex.
 func New(ctx context.Context, tr Feeder, k, buf int) (*Cluster, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("runtime: k must be >= 1, got %d", k)
@@ -55,6 +76,7 @@ func New(ctx context.Context, tr Feeder, k, buf int) (*Cluster, error) {
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	c := &Cluster{tr: tr, ctx: cctx, cancel: cancel}
+	c.lf, _ = tr.(LocalFeeder)
 	for j := 0; j < k; j++ {
 		ch := make(chan uint64, buf)
 		bch := make(chan []uint64, buf)
@@ -66,10 +88,47 @@ func New(ctx context.Context, tr Feeder, k, buf int) (*Cluster, error) {
 	return c, nil
 }
 
+// feedOne processes one arrival at site j through the fastest available
+// path.
+func (c *Cluster) feedOne(j int, x uint64) {
+	if c.lf != nil {
+		if c.lf.FeedLocal(j, x) {
+			c.lf.Escalate(j, x)
+			c.escalations.Add(1)
+		}
+		return
+	}
+	c.mu.Lock()
+	c.tr.Feed(j, x)
+	c.mu.Unlock()
+}
+
+// feedBatch processes a batch at site j. On the fast path the batch runs
+// with no lock at all except for the rare escalations; on the legacy path
+// it pays one mutex acquisition for the whole batch.
+func (c *Cluster) feedBatch(j int, xs []uint64) {
+	if c.lf != nil {
+		esc := int64(0)
+		for _, x := range xs {
+			if c.lf.FeedLocal(j, x) {
+				c.lf.Escalate(j, x)
+				esc++
+			}
+		}
+		c.escalations.Add(esc)
+		return
+	}
+	c.mu.Lock()
+	for _, x := range xs {
+		c.tr.Feed(j, x)
+	}
+	c.mu.Unlock()
+}
+
 // site is the per-site goroutine: it observes its local stream and runs the
 // protocol for each arrival. Single items and batches arrive on separate
-// queues; a batch pays one mutex acquisition for all of its items, which is
-// what makes SendBatch the hot-path ingestion route.
+// queues. Batch slices are returned to the shared batch pool once
+// processed — SendBatch transfers ownership to the cluster.
 func (c *Cluster) site(j int, ch <-chan uint64, bch <-chan []uint64) {
 	defer c.wg.Done()
 	for ch != nil || bch != nil {
@@ -89,22 +148,17 @@ func (c *Cluster) site(j int, ch <-chan uint64, bch <-chan []uint64) {
 				ch = nil
 				continue
 			}
-			c.mu.Lock()
-			c.tr.Feed(j, x)
-			c.mu.Unlock()
+			c.feedOne(j, x)
 			c.processed.Add(1)
 		case xs, ok := <-bch:
 			if !ok {
 				bch = nil
 				continue
 			}
-			c.mu.Lock()
-			for _, x := range xs {
-				c.tr.Feed(j, x)
-			}
-			c.mu.Unlock()
+			c.feedBatch(j, xs)
 			c.processed.Add(int64(len(xs)))
 			c.batched.Add(1)
+			PutBatch(xs)
 		}
 	}
 }
@@ -132,9 +186,9 @@ func (c *Cluster) Send(site int, x uint64) error {
 }
 
 // SendBatch delivers a batch of arrivals to a site's ingestion queue in one
-// channel operation; the site processes the whole batch under a single
-// protocol-lock acquisition, amortizing per-item synchronization. The
-// cluster takes ownership of xs — the caller must not reuse the slice.
+// channel operation; the site processes the whole batch without per-item
+// synchronization. The cluster takes ownership of xs — the caller must not
+// reuse the slice (it is recycled through the batch pool once processed).
 // Empty batches are a no-op. Like Send, it blocks while the queue is full
 // and returns ErrStopped after cancellation or Stop.
 func (c *Cluster) SendBatch(site int, xs []uint64) error {
@@ -158,8 +212,14 @@ func (c *Cluster) SendBatch(site int, xs []uint64) error {
 }
 
 // Query runs f while the protocol is quiescent, so any tracker reads inside
-// f see a consistent coordinator state.
+// f see a consistent coordinator state. On the fast path the tracker's own
+// Quiesce excludes every site's fast path; heavy query traffic should go
+// through a version-keyed snapshot cache instead (see the service layer).
 func (c *Cluster) Query(f func()) {
+	if c.lf != nil {
+		c.lf.Quiesce(f)
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	f()
@@ -210,17 +270,19 @@ func (c *Cluster) Stop() {
 
 // Stats is a point-in-time snapshot of the cluster's ingestion counters.
 type Stats struct {
-	Processed int64 // arrivals fully fed to the tracker
-	Batches   int64 // batch deliveries processed (SendBatch path)
-	Dropped   int64 // queued arrivals discarded by Stop
+	Processed   int64 // arrivals fully fed to the tracker
+	Batches     int64 // batch deliveries processed (SendBatch path)
+	Dropped     int64 // queued arrivals discarded by Stop
+	Escalations int64 // fast-path arrivals that required coordinator work
 }
 
 // Stats returns the current ingestion counters.
 func (c *Cluster) Stats() Stats {
 	return Stats{
-		Processed: c.processed.Load(),
-		Batches:   c.batched.Load(),
-		Dropped:   c.dropped.Load(),
+		Processed:   c.processed.Load(),
+		Batches:     c.batched.Load(),
+		Dropped:     c.dropped.Load(),
+		Escalations: c.escalations.Load(),
 	}
 }
 
@@ -229,6 +291,10 @@ func (c *Cluster) Processed() int64 { return c.processed.Load() }
 
 // Dropped returns how many queued arrivals were discarded by Stop.
 func (c *Cluster) Dropped() int64 { return c.dropped.Load() }
+
+// Escalations returns how many fast-path arrivals escalated to the
+// coordinator slow path (zero on the legacy mutex path).
+func (c *Cluster) Escalations() int64 { return c.escalations.Load() }
 
 // K returns the number of sites.
 func (c *Cluster) K() int { return len(c.ingest) }

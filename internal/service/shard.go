@@ -6,7 +6,32 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"disttrack/internal/runtime"
 )
+
+// recordBatchPool recycles the []Record partitions that carry validated
+// batches from Ingest to the shard workers: Ingest allocates from it, the
+// worker returns the slice once delivered, so steady-state HTTP ingest
+// does not allocate a partition per request per shard.
+var recordBatchPool = sync.Pool{
+	New: func() any {
+		s := make([]Record, 0, 64)
+		return &s
+	},
+}
+
+func getRecordBatch() []Record {
+	return (*recordBatchPool.Get().(*[]Record))[:0]
+}
+
+func putRecordBatch(recs []Record) {
+	if cap(recs) == 0 {
+		return
+	}
+	recs = recs[:0]
+	recordBatchPool.Put(&recs)
+}
 
 // errShuttingDown marks rejections caused by pipeline teardown rather than
 // bad input; the networked ingest path translates it into a connection drop
@@ -111,6 +136,8 @@ func (sh *sharder) Ingest(recs []Record) (int, []RecordError) {
 		return 0, errs
 	}
 	// Partition per shard, preserving submission order within each shard.
+	// Partitions come from the record-batch pool; the shard worker returns
+	// them once delivered.
 	parts := make(map[*shard][]Record)
 	for i, rec := range recs {
 		t := sh.reg.Get(rec.Tenant)
@@ -129,7 +156,11 @@ func (sh *sharder) Ingest(recs []Record) (int, []RecordError) {
 			continue
 		}
 		s := sh.shardOf(rec.Tenant)
-		parts[s] = append(parts[s], rec)
+		part, ok := parts[s]
+		if !ok {
+			part = getRecordBatch()
+		}
+		parts[s] = append(part, rec)
 	}
 	accepted := 0
 	for s, part := range parts {
@@ -200,6 +231,7 @@ func (sh *sharder) worker(s *shard) {
 			continue
 		}
 		sh.deliver(msg.recs)
+		putRecordBatch(msg.recs)
 	}
 }
 
@@ -261,7 +293,9 @@ func (sh *sharder) deliver(recs []Record) {
 		gk := groupKey{rec.Tenant, rec.Site}
 		g := groups[gk]
 		if g == nil {
-			g = &group{t: cur, site: rec.Site}
+			// Key slices come from the runtime batch pool; the cluster's
+			// site goroutine recycles them after feeding.
+			g = &group{t: cur, site: rec.Site, keys: runtime.GetBatch(16)}
 			groups[gk] = g
 			order = append(order, g)
 		}

@@ -117,7 +117,7 @@ func (n *SiteNode) Ingest(recs []Record) (int, []RecordError) {
 			gk := groupKey{rec.Tenant, rec.Site}
 			g := groups[gk]
 			if g == nil {
-				g = &group{key: gk}
+				g = &group{key: gk, values: runtime.GetBatch(16)}
 				groups[gk] = g
 				order = append(order, g)
 			}
@@ -127,7 +127,11 @@ func (n *SiteNode) Ingest(recs []Record) (int, []RecordError) {
 	}
 	accepted := 0
 	for _, g := range order {
-		if err := n.fw.AddBatch(g.key.tenant, g.key.site, remote.TKindUnknown, g.values); err != nil {
+		err := n.fw.AddBatch(g.key.tenant, g.key.site, remote.TKindUnknown, g.values)
+		// AddBatch copies from the slice, so it goes straight back to the
+		// batch pool either way.
+		runtime.PutBatch(g.values)
+		if err != nil {
 			for _, i := range g.idx {
 				errs = append(errs, RecordError{Index: i, Err: err.Error()})
 			}

@@ -11,6 +11,7 @@ import (
 	"disttrack/internal/core/quantile"
 	"disttrack/internal/runtime"
 	"disttrack/internal/stream"
+	"disttrack/internal/wire"
 )
 
 // Kind selects which of the paper's protocols a tenant runs.
@@ -104,6 +105,17 @@ type Tenant struct {
 	// cluster (runtime forbids Send concurrent with Drain).
 	sendMu sync.RWMutex
 	closed bool
+
+	// Query snapshot cache. Coordinator state only changes on protocol
+	// escalations, and the trackers publish a version that ticks exactly
+	// then — so an answer computed under a quiescent query stays valid
+	// while the version is unchanged, and heavy query traffic is served
+	// from this cache without stalling ingest. All entries in the maps
+	// were computed at qcVersion; a version change clears them.
+	qcMu      sync.Mutex
+	qcVersion uint64
+	qcHH      map[float64][]Entry
+	qcQuant   map[float64]uint64
 }
 
 func newTenant(tc TenantConfig, siteBuffer int) (*Tenant, error) {
@@ -143,11 +155,110 @@ func newTenant(tc TenantConfig, siteBuffer int) (*Tenant, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The service only ever reads meter totals (and per-tenant attribution
+	// on the remote path); skip the per-kind map work on every message.
+	t.meter().DisableKindBreakdown()
 	t.cluster, err = runtime.New(context.Background(), feeder, tc.K, siteBuffer)
 	if err != nil {
 		return nil, err
 	}
 	return t, nil
+}
+
+// meter returns the underlying tracker's communication meter.
+func (t *Tenant) meter() *wire.Meter {
+	switch t.cfg.Kind {
+	case KindHH:
+		return t.hh.Meter()
+	case KindQuantile:
+		return t.q.Meter()
+	default:
+		return t.aq.Meter()
+	}
+}
+
+// version returns the underlying tracker's coordinator state version; it
+// changes only when an escalation may have changed coordinator state.
+func (t *Tenant) version() uint64 {
+	switch t.cfg.Kind {
+	case KindHH:
+		return t.hh.Version()
+	case KindQuantile:
+		return t.q.Version()
+	default:
+		return t.aq.Version()
+	}
+}
+
+// cachedHH returns a cached heavy-hitter answer still valid at the current
+// coordinator version. The returned slice is shared — callers must not
+// mutate it (the HTTP handlers only serialize it).
+func (t *Tenant) cachedHH(phi float64) ([]Entry, bool) {
+	cur := t.version()
+	t.qcMu.Lock()
+	defer t.qcMu.Unlock()
+	if t.qcVersion != cur {
+		return nil, false
+	}
+	e, ok := t.qcHH[phi]
+	return e, ok
+}
+
+// qcMaxEntries bounds each snapshot map: phi is client-supplied, so
+// without a cap a scanner probing distinct phis against an idle tenant
+// (whose version never changes) would grow the cache without bound.
+const qcMaxEntries = 1024
+
+// qcAdvance prepares the cache to accept an answer computed at version ver
+// (caller holds qcMu). Tracker versions are monotonic, so an answer older
+// than the cached generation must not clobber fresher ones — it reports
+// false and the caller drops the store. A newer ver starts a fresh
+// generation, clearing both maps.
+func (t *Tenant) qcAdvance(ver uint64) bool {
+	if t.qcHH != nil && ver < t.qcVersion {
+		return false
+	}
+	if t.qcHH == nil || ver > t.qcVersion {
+		t.qcHH = make(map[float64][]Entry)
+		t.qcQuant = make(map[float64]uint64)
+		t.qcVersion = ver
+	}
+	return true
+}
+
+// storeHH records a heavy-hitter answer computed at version ver.
+func (t *Tenant) storeHH(phi float64, ver uint64, out []Entry) {
+	t.qcMu.Lock()
+	defer t.qcMu.Unlock()
+	if t.qcAdvance(ver) {
+		if len(t.qcHH) >= qcMaxEntries {
+			t.qcHH = make(map[float64][]Entry)
+		}
+		t.qcHH[phi] = out
+	}
+}
+
+// cachedQuant and storeQuant are the quantile-answer counterparts.
+func (t *Tenant) cachedQuant(phi float64) (uint64, bool) {
+	cur := t.version()
+	t.qcMu.Lock()
+	defer t.qcMu.Unlock()
+	if t.qcVersion != cur {
+		return 0, false
+	}
+	v, ok := t.qcQuant[phi]
+	return v, ok
+}
+
+func (t *Tenant) storeQuant(phi float64, ver uint64, v uint64) {
+	t.qcMu.Lock()
+	defer t.qcMu.Unlock()
+	if t.qcAdvance(ver) {
+		if len(t.qcQuant) >= qcMaxEntries {
+			t.qcQuant = make(map[float64]uint64)
+		}
+		t.qcQuant[phi] = v
+	}
 }
 
 // perturbed reports whether values are symbolically perturbed on ingest.
@@ -169,16 +280,20 @@ func (t *Tenant) perturb(v uint64) uint64 {
 }
 
 // sendBatch hands a batch of already-perturbed keys for one site to the
-// cluster. It is a no-op returning an error after the tenant closed.
+// cluster; on success the cluster owns (and later recycles) the slice, on
+// failure it is returned to the batch pool here. It is a no-op returning
+// an error after the tenant closed.
 func (t *Tenant) sendBatch(site int, keys []uint64) error {
 	t.sendMu.RLock()
 	defer t.sendMu.RUnlock()
 	if t.closed {
 		t.dropped.Add(int64(len(keys)))
+		runtime.PutBatch(keys)
 		return fmt.Errorf("tenant %q closed", t.cfg.Name)
 	}
 	if err := t.cluster.SendBatch(site, keys); err != nil {
 		t.dropped.Add(int64(len(keys)))
+		runtime.PutBatch(keys)
 		return err
 	}
 	t.sent.Add(int64(len(keys)))
@@ -228,20 +343,35 @@ type Entry struct {
 
 // HeavyHitters answers a φ-heavy-hitter query. Supported by hh tenants
 // (directly) and allq tenants (extracted from ranks); phi must exceed eps.
+// Answers are served from the version-keyed snapshot cache when coordinator
+// state has not changed since they were computed, so query traffic between
+// escalations never stalls ingest. The returned slice is shared with the
+// cache — callers must not mutate it.
 func (t *Tenant) HeavyHitters(phi float64) ([]Entry, error) {
-	if phi <= t.cfg.Eps || phi > 1 {
+	// The negated form also rejects NaN, which would otherwise slip past
+	// the range check and poison the snapshot cache with unmatchable keys.
+	if !(phi > t.cfg.Eps && phi <= 1) {
 		return nil, fmt.Errorf("phi must be in (eps, 1], got %g (eps %g)", phi, t.cfg.Eps)
 	}
+	if t.cfg.Kind != KindHH && t.cfg.Kind != KindAllQ {
+		return nil, fmt.Errorf("tenant kind %q does not answer heavy-hitter queries", t.cfg.Kind)
+	}
+	if out, ok := t.cachedHH(phi); ok {
+		return out, nil
+	}
 	var out []Entry
+	var ver uint64
 	switch t.cfg.Kind {
 	case KindHH:
 		t.cluster.Query(func() {
+			ver = t.version()
 			for _, e := range t.hh.HeavyHitterEntries(phi) {
 				out = append(out, Entry{Item: e.Item, Count: e.Count, Ratio: e.Ratio})
 			}
 		})
 	case KindAllQ:
 		t.cluster.Query(func() {
+			ver = t.version()
 			total := t.aq.EstTotal()
 			if total == 0 {
 				return
@@ -257,24 +387,24 @@ func (t *Tenant) HeavyHitters(phi float64) ([]Entry, error) {
 				out = append(out, Entry{Item: v, Count: c, Ratio: float64(c) / float64(total)})
 			}
 		})
-	default:
-		return nil, fmt.Errorf("tenant kind %q does not answer heavy-hitter queries", t.cfg.Kind)
 	}
+	t.storeHH(phi, ver, out)
 	return out, nil
 }
 
 // Quantile answers a φ-quantile query with the raw (unperturbed) value.
 // Quantile tenants answer only their configured Phis; allq tenants answer
-// any φ in [0,1]. It errors before the first arrival.
+// any φ in [0,1]. It errors before the first arrival. Like HeavyHitters,
+// answers are served from the version-keyed snapshot cache between
+// escalations.
 func (t *Tenant) Quantile(phi float64) (uint64, error) {
-	if phi < 0 || phi > 1 {
+	// The negated form also rejects NaN (see HeavyHitters).
+	if !(phi >= 0 && phi <= 1) {
 		return 0, fmt.Errorf("phi must be in [0,1], got %g", phi)
 	}
-	var key uint64
-	var err error
+	tracked := -1
 	switch t.cfg.Kind {
 	case KindQuantile:
-		tracked := -1
 		for i, p := range t.cfg.Phis {
 			if p == phi {
 				tracked = i
@@ -283,7 +413,20 @@ func (t *Tenant) Quantile(phi float64) (uint64, error) {
 		if tracked < 0 {
 			return 0, fmt.Errorf("phi %g is not tracked (configured: %v)", phi, t.cfg.Phis)
 		}
+	case KindAllQ:
+	default:
+		return 0, fmt.Errorf("tenant kind %q does not answer quantile queries", t.cfg.Kind)
+	}
+	if v, ok := t.cachedQuant(phi); ok {
+		return v, nil
+	}
+	var key uint64
+	var ver uint64
+	var err error
+	switch t.cfg.Kind {
+	case KindQuantile:
 		t.cluster.Query(func() {
+			ver = t.version()
 			if t.q.TrueTotal() == 0 {
 				err = fmt.Errorf("tenant %q has no data", t.cfg.Name)
 				return
@@ -292,19 +435,20 @@ func (t *Tenant) Quantile(phi float64) (uint64, error) {
 		})
 	case KindAllQ:
 		t.cluster.Query(func() {
+			ver = t.version()
 			if t.aq.TrueTotal() == 0 {
 				err = fmt.Errorf("tenant %q has no data", t.cfg.Name)
 				return
 			}
 			key = t.aq.Quantile(phi)
 		})
-	default:
-		return 0, fmt.Errorf("tenant kind %q does not answer quantile queries", t.cfg.Kind)
 	}
 	if err != nil {
 		return 0, err
 	}
-	return stream.Unperturb(key), nil
+	v := stream.Unperturb(key)
+	t.storeQuant(phi, ver, v)
+	return v, nil
 }
 
 // Rank answers "how many ingested values are < v" (allq tenants only),

@@ -28,6 +28,7 @@ func (c Cost) Add(d Cost) Cost { return Cost{c.Msgs + d.Msgs, c.Words + d.Words}
 type Meter struct {
 	up       Cost
 	down     Cost
+	kindsOff bool // skip per-kind accounting (see DisableKindBreakdown)
 	byKind   map[string]Cost
 	bySite   []Cost // grown on demand, indexed by site
 	byTenant map[string]Cost
@@ -106,10 +107,12 @@ func (m *Meter) record(up bool, site int, kind string, words int) {
 	} else {
 		m.down = m.down.Add(c)
 	}
-	if m.byKind == nil {
-		m.byKind = make(map[string]Cost)
+	if !m.kindsOff {
+		if m.byKind == nil {
+			m.byKind = make(map[string]Cost)
+		}
+		m.byKind[kind] = m.byKind[kind].Add(c)
 	}
-	m.byKind[kind] = m.byKind[kind].Add(c)
 	for site >= len(m.bySite) {
 		m.bySite = append(m.bySite, Cost{})
 	}
@@ -120,6 +123,14 @@ func (m *Meter) record(up bool, site int, kind string, words int) {
 		m.trace = append(m.trace, Msg{Up: up, Site: site, Kind: kind, Words: words})
 	}
 }
+
+// DisableKindBreakdown stops per-kind accounting: record skips the map
+// lookup and insert entirely, which matters to deployments that only read
+// Total (the multi-tenant service) — the per-kind map hashes a string on
+// every message. Kind and Kinds return zero values afterwards. Totals,
+// per-site and per-tenant accounting are unaffected. Call it before the
+// first message; it does not clear kinds already recorded.
+func (m *Meter) DisableKindBreakdown() { m.kindsOff = true }
 
 // Total returns the total cost in both directions.
 func (m *Meter) Total() Cost { return m.up.Add(m.down) }
