@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all ci fmt fmt-fix vet build test race bench-smoke bench-race-smoke bench-json staticcheck vuln fuzz-smoke
+.PHONY: all ci fmt fmt-fix vet build test race bench-smoke bench-race-smoke bench-json bench-compare staticcheck vuln fuzz-smoke
 
 all: build
 
@@ -33,22 +33,29 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Exercise the lock-free parallel-ingest fast path once under the race
-# detector (docs/perf.md), so every PR runs it with checking on.
+# Exercise the lock-free parallel-ingest fast path — per-item and batched
+# (FeedLocalBatch) — once under the race detector (docs/perf.md), so every
+# PR runs it with checking on.
 bench-race-smoke:
-	$(GO) test -race -run '^$$' -bench 'FeedParallel|ClusterSendBatchParallel' -benchtime 1x .
+	$(GO) test -race -run '^$$' -bench 'FeedParallel|FeedBatch|ClusterSendBatchParallel' -benchtime 1x .
 	$(GO) test -race -run '^$$' -bench 'ShardedIngest' -benchtime 1x ./internal/service/
 
 # Record the ingest-throughput benchmarks as a JSON trajectory point
 # (BENCH_PR3.json and successors; see cmd/benchjson). Staged through a
 # text file so a benchmark failure fails make instead of silently writing
 # a partial JSON.
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR4.json
 bench-json:
 	$(GO) test -run '^$$' -bench 'Feed|Cluster' -benchtime 1s . > $(BENCH_JSON).txt
 	$(GO) test -run '^$$' -bench 'ShardedIngest' -benchtime 1s ./internal/service/ >> $(BENCH_JSON).txt
 	$(GO) run ./cmd/benchjson < $(BENCH_JSON).txt > $(BENCH_JSON)
 	rm -f $(BENCH_JSON).txt
+
+# Re-run the benchmark suite and print per-benchmark ns/op deltas against
+# the previous PR's recorded trajectory point.
+BENCH_PREV ?= BENCH_PR3.json
+bench-compare: bench-json
+	$(GO) run ./cmd/benchjson -diff $(BENCH_PREV) $(BENCH_JSON)
 
 # Short fuzz pass over the wire-protocol decoders.
 fuzz-smoke:

@@ -315,6 +315,58 @@ func BenchmarkFeedAllQ(b *testing.B) {
 	}
 }
 
+// Batched ingest: per-arrival cost of FeedLocalBatch at batch 256 — one
+// site-lock acquisition and one store bulk-insert per escalation-free run,
+// against the per-item Feed benches above. This is the per-arrival number
+// BENCH_PR4.json tracks for the batched fast path.
+func benchFeedBatch(b *testing.B, tr interface {
+	FeedLocalBatch(site int, xs []uint64) []int
+}, xs []uint64, distinct bool) {
+	b.Helper()
+	const batch = 256
+	bufs := make([][]uint64, 8)
+	for j := range bufs {
+		bufs[j] = make([]uint64, 0, batch)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i & 7
+		x := xs[i&65535]
+		if distinct {
+			x += uint64(i) << 24 // keep keys distinct across laps
+		}
+		bufs[j] = append(bufs[j], x)
+		if len(bufs[j]) == batch {
+			tr.FeedLocalBatch(j, bufs[j])
+			bufs[j] = bufs[j][:0] // the tracker does not retain the batch
+		}
+	}
+}
+
+func BenchmarkFeedBatchHH(b *testing.B) {
+	tr, err := hh.New(hh.Config{K: 8, Eps: 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchFeedBatch(b, tr, preGen(b, false), false)
+}
+
+func BenchmarkFeedBatchQuantile(b *testing.B) {
+	tr, err := quantile.New(quantile.Config{K: 8, Eps: 0.02, Phi: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchFeedBatch(b, tr, preGen(b, true), true)
+}
+
+func BenchmarkFeedBatchAllQ(b *testing.B) {
+	tr, err := allq.New(allq.Config{K: 8, Eps: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchFeedBatch(b, tr, preGen(b, true), true)
+}
+
 // Ingest throughput through the concurrent runtime: per-item Send vs the
 // batched SendBatch path (one channel operation and one protocol-lock
 // acquisition per batch) — the internal/service hot path.

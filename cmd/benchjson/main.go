@@ -4,7 +4,15 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench . ./... | benchjson > BENCH_PR3.json
+//	go test -run '^$' -bench . ./... | benchjson > BENCH_PR4.json
+//	go test -run '^$' -bench . ./... | benchjson -prev BENCH_PR3.json > BENCH_PR4.json
+//	benchjson -diff BENCH_PR3.json BENCH_PR4.json
+//
+// With -prev, the freshly parsed run is additionally diffed against the
+// given older BENCH_*.json and a per-benchmark delta table is printed to
+// stderr (stdout stays pure JSON). With -diff, no stdin is read: the two
+// named documents are compared and the table goes to stdout — what `make
+// bench-compare` runs.
 //
 // Lines that are not benchmark results (headers, PASS/ok, metadata) are
 // captured into the context section when recognized and skipped otherwise.
@@ -13,7 +21,9 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -38,8 +48,50 @@ type Doc struct {
 }
 
 func main() {
+	prev := flag.String("prev", "", "older BENCH_*.json to diff the parsed run against (table on stderr)")
+	diff := flag.Bool("diff", false, "compare two BENCH_*.json files given as arguments (table on stdout, no stdin)")
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff wants exactly two files: OLD.json NEW.json")
+			os.Exit(2)
+		}
+		oldDoc, err := loadDoc(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		newDoc, err := loadDoc(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		printDiff(os.Stdout, flag.Arg(0), flag.Arg(1), oldDoc, newDoc)
+		return
+	}
+
+	doc := parseRun(os.Stdin)
+	if *prev != "" {
+		oldDoc, err := loadDoc(*prev)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		printDiff(os.Stderr, *prev, "this run", oldDoc, doc)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseRun converts `go test -bench` text into a Doc.
+func parseRun(r io.Reader) Doc {
 	doc := Doc{Benchmarks: []Result{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -62,11 +114,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
-		os.Exit(1)
+	return doc
+}
+
+func loadDoc(path string) (Doc, error) {
+	var doc Doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %v", path, err)
+	}
+	return doc, nil
+}
+
+// printDiff writes a per-benchmark ns/op delta table: negative deltas are
+// speedups. Benchmarks present in only one document are listed as added or
+// removed so a silently dropped bench cannot masquerade as unchanged.
+func printDiff(w io.Writer, oldName, newName string, oldDoc, newDoc Doc) {
+	oldBy := make(map[string]Result, len(oldDoc.Benchmarks))
+	for _, r := range oldDoc.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	fmt.Fprintf(w, "benchmark deltas: %s -> %s (ns/op; negative = faster)\n", oldName, newName)
+	seen := make(map[string]bool, len(newDoc.Benchmarks))
+	for _, nr := range newDoc.Benchmarks {
+		seen[nr.Name] = true
+		or, ok := oldBy[nr.Name]
+		switch {
+		case !ok:
+			fmt.Fprintf(w, "  %-44s %10s -> %10.4g  (added)\n", nr.Name, "-", nr.NsPerOp)
+		case or.NsPerOp == 0:
+			fmt.Fprintf(w, "  %-44s %10.4g -> %10.4g\n", nr.Name, or.NsPerOp, nr.NsPerOp)
+		default:
+			pct := (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+			fmt.Fprintf(w, "  %-44s %10.4g -> %10.4g  %+7.1f%%  (%.2fx)\n",
+				nr.Name, or.NsPerOp, nr.NsPerOp, pct, or.NsPerOp/nr.NsPerOp)
+		}
+	}
+	for _, or := range oldDoc.Benchmarks {
+		if !seen[or.Name] {
+			fmt.Fprintf(w, "  %-44s %10.4g -> %10s  (removed)\n", or.Name, or.NsPerOp, "-")
+		}
 	}
 }
 

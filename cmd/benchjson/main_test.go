@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRun(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: disttrack
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFeedHH-8        	26468730	        37.88 ns/op
+BenchmarkFeedBatchQuantile 	 5058351	       234.1 ns/op
+BenchmarkShardedIngest-8   	   40974	     29853 ns/op	       256.0 records/op
+PASS
+ok  	disttrack	14.347s
+`
+	doc := parseRun(strings.NewReader(in))
+	if doc.GoOS != "linux" || doc.CPU == "" || len(doc.Packages) != 1 {
+		t.Fatalf("context not captured: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	if doc.Benchmarks[0].Name != "BenchmarkFeedHH" || doc.Benchmarks[0].NsPerOp != 37.88 {
+		t.Fatalf("GOMAXPROCS suffix not stripped or ns/op wrong: %+v", doc.Benchmarks[0])
+	}
+	if m := doc.Benchmarks[2].Metrics["records/op"]; m != 256 {
+		t.Fatalf("custom metric lost: %+v", doc.Benchmarks[2])
+	}
+}
+
+func TestPrintDiff(t *testing.T) {
+	oldDoc := Doc{Benchmarks: []Result{
+		{Name: "BenchmarkFeedQuantile", NsPerOp: 1005},
+		{Name: "BenchmarkGone", NsPerOp: 7},
+	}}
+	newDoc := Doc{Benchmarks: []Result{
+		{Name: "BenchmarkFeedQuantile", NsPerOp: 234.1},
+		{Name: "BenchmarkFeedBatchQuantile", NsPerOp: 230},
+	}}
+	var sb strings.Builder
+	printDiff(&sb, "old.json", "new.json", oldDoc, newDoc)
+	out := sb.String()
+	for _, want := range []string{
+		"BenchmarkFeedQuantile",
+		"-76.7%", // (234.1-1005)/1005
+		"(4.29x)",
+		"(added)",
+		"(removed)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -25,6 +25,7 @@ package baseline
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"disttrack/internal/rank"
@@ -77,7 +78,7 @@ func (t *Naive) HeavyHitters(phi float64) []uint64 {
 			out = append(out, x)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -224,7 +225,7 @@ func (t *shipper) HeavyHitters(phi float64) []uint64 {
 			out = append(out, x)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -246,7 +247,7 @@ func (t *shipper) Quantile(phi float64) uint64 {
 			vals = append(vals, s.cachedRanks.values...)
 		}
 	}
-	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	slices.Sort(vals)
 	best, bestErr := vals[0], math.Inf(1)
 	for _, v := range vals {
 		var r int64

@@ -44,7 +44,7 @@ package allq
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -52,10 +52,6 @@ import (
 	"disttrack/internal/sitestore"
 	"disttrack/internal/wire"
 )
-
-func sortUint64s(xs []uint64) {
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
-}
 
 // Mode selects the per-site item store.
 type Mode int
@@ -124,6 +120,7 @@ type Tracker struct {
 	leafSplitAt int64   // leaf split trigger: (ε/2 − θ)m
 	root        *node
 	nextID      int
+	pathScratch []*node // reused by Escalate's path walk (under escMu)
 
 	// Statistics.
 	rounds      int
@@ -137,9 +134,16 @@ type site struct {
 	// duration of FeedLocal and by the coordinator for the whole slow path.
 	mu sync.Mutex
 
-	st    sitestore.Store
-	nj    int64
-	delta map[int]int64 // per-node unreported arrival counts
+	st sitestore.Store
+	nj int64
+
+	// delta holds the per-node unreported arrival counts, indexed densely
+	// by node id: gcDeltas renumbers the live tree 0..N-1 after every
+	// structural change, so the fast path's per-node increments are plain
+	// slice ops instead of the map lookups that used to dominate its
+	// profile. deltaScratch is the double buffer the renumbering swaps in.
+	delta        []int64
+	deltaScratch []int64
 }
 
 // New validates cfg and returns a Tracker.
@@ -166,7 +170,7 @@ func New(cfg Config) (*Tracker, error) {
 		} else {
 			st = sitestore.NewExact(cfg.Seed + int64(j) + 1)
 		}
-		t.sites = append(t.sites, &site{st: st, delta: make(map[int]int64)})
+		t.sites = append(t.sites, &site{st: st})
 	}
 	return t, nil
 }
@@ -207,9 +211,10 @@ func (t *Tracker) FeedLocal(siteID int, x uint64) (escalate bool) {
 		return true
 	}
 
+	d := s.delta
 	for u := t.root; ; {
-		s.delta[u.id]++
-		if s.delta[u.id] >= t.thrNode {
+		d[u.id]++
+		if d[u.id] >= t.thrNode {
 			escalate = true
 		}
 		if u.isLeaf() {
@@ -223,6 +228,87 @@ func (t *Tracker) FeedLocal(siteID int, x uint64) (escalate bool) {
 	}
 	s.mu.Unlock()
 	return escalate
+}
+
+// FeedLocalBatch records a batch of arrivals at one site, amortizing the
+// fast path: one site-lock acquisition, one store bulk-insert and one
+// global-count update per escalation-free run, with the per-item tree-path
+// counting applied in arrival order over the dense delta slice. The batch
+// splits at every threshold crossing — Escalate runs inline at exactly the
+// logical positions the sequential Feed loop would, so protocol state and
+// every wire.Meter count are bit-for-bit identical to feeding the items
+// one by one. It returns the (strictly increasing) batch indices that
+// escalated, nil when none did. The tracker does not retain xs.
+//
+// Like FeedLocal, it is safe for concurrent use with one goroutine per
+// site; it must not be interleaved with FeedLocal/Feed calls for the same
+// site from other goroutines.
+func (t *Tracker) FeedLocalBatch(siteID int, xs []uint64) (escalations []int) {
+	if siteID < 0 || siteID >= t.cfg.K {
+		panic(fmt.Sprintf("allq: site %d out of range [0,%d)", siteID, t.cfg.K))
+	}
+	s := t.sites[siteID]
+	for i := 0; i < len(xs); {
+		s.mu.Lock()
+		if t.boot {
+			// Bootstrap forwards every arrival: apply one item and escalate,
+			// exactly the sequential composition.
+			s.st.Insert(xs[i])
+			s.nj++
+			t.n.Add(1)
+			s.mu.Unlock()
+			t.Escalate(siteID, xs[i])
+			escalations = append(escalations, i)
+			i++
+			continue
+		}
+		consumed, crossed := t.feedRunLocked(s, xs[i:])
+		s.mu.Unlock()
+		i += consumed
+		if !crossed {
+			break
+		}
+		escalations = append(escalations, i-1)
+		t.Escalate(siteID, xs[i-1])
+	}
+	return escalations
+}
+
+// feedRunLocked applies the site-local fast path to a prefix of xs under
+// the already-held site lock: root-to-leaf delta counting per item in
+// arrival order until the first threshold crossing (inclusive), then one
+// store bulk-insert and one fold into the site and global counts for the
+// whole consumed prefix. The tree it walks only changes while every site
+// lock is held.
+func (t *Tracker) feedRunLocked(s *site, xs []uint64) (consumed int, crossed bool) {
+	d := s.delta
+	thr := t.thrNode
+	consumed = len(xs)
+	for i, x := range xs {
+		esc := false
+		for u := t.root; ; {
+			d[u.id]++
+			if d[u.id] >= thr {
+				esc = true
+			}
+			if u.isLeaf() {
+				break
+			}
+			if x < u.split {
+				u = u.left
+			} else {
+				u = u.right
+			}
+		}
+		if esc {
+			consumed, crossed = i+1, true
+			break
+		}
+	}
+	s.st.InsertBatch(xs[:consumed])
+	s.nj += int64(consumed)
+	t.n.Add(int64(consumed))
+	return consumed, crossed
 }
 
 // Escalate runs the coordinator slow path for an arrival previously applied
@@ -251,15 +337,17 @@ func (t *Tracker) Escalate(siteID int, x uint64) {
 		return
 	}
 
-	// Walk the root-to-leaf path of x, flushing full per-node batches.
-	path := pathOf(t.root, x)
-	for _, u := range path {
+	// Walk the root-to-leaf path of x, flushing full per-node batches. The
+	// path lives in a tracker-owned scratch buffer (Escalate is serialized
+	// under escMu) instead of a fresh allocation per escalation.
+	t.pathScratch = appendPath(t.pathScratch[:0], t.root, x)
+	for _, u := range t.pathScratch {
 		if s.delta[u.id] < t.thrNode {
 			continue
 		}
 		t.meter.Up(siteID, "nd", 2)
 		u.s += s.delta[u.id]
-		delete(s.delta, u.id)
+		s.delta[u.id] = 0
 		if t.checkConditions(u) {
 			// The subtree containing the deeper path nodes was rebuilt with
 			// exact counts; stop processing stale nodes.
@@ -312,13 +400,13 @@ func (t *Tracker) Quiesce(f func()) {
 // Quiesce remain valid while it is unchanged. Safe for concurrent use.
 func (t *Tracker) Version() uint64 { return t.version.Load() }
 
-// pathOf returns the root-to-leaf path of x.
-func pathOf(root *node, x uint64) []*node {
-	var path []*node
+// appendPath appends the root-to-leaf path of x to dst and returns it,
+// letting callers reuse a scratch buffer across walks.
+func appendPath(dst []*node, root *node, x uint64) []*node {
 	for u := root; ; {
-		path = append(path, u)
+		dst = append(dst, u)
 		if u.isLeaf() {
-			return path
+			return dst
 		}
 		if x < u.split {
 			u = u.left
@@ -348,16 +436,25 @@ func (t *Tracker) Rank(x uint64) int64 {
 }
 
 // Quantile returns a value whose rank is within ~ε|A| of φ|A| (see the
-// package documentation for the exact constant). It panics before any
-// arrival.
+// package documentation for the exact constant). During bootstrap it is
+// exact over the items the coordinator has received; under concurrency an
+// arrival becomes visible only once its escalation has run, so a query
+// racing the very first arrivals may see none yet (it then returns 0). It
+// panics before any arrival.
 func (t *Tracker) Quantile(phi float64) uint64 {
 	if phi < 0 || phi > 1 {
 		panic(fmt.Sprintf("allq: phi must be in [0,1], got %g", phi))
 	}
 	if t.boot {
-		n := t.n.Load()
+		// Index against what was actually forwarded: t.n counts arrivals at
+		// FeedLocal time, but a concurrent arrival reaches the bootstrap
+		// tree only in its Escalate — a quiescent query may run in between.
+		n := int64(t.bootTree.Len())
 		if n == 0 {
-			panic("allq: Quantile before any arrival")
+			if t.n.Load() == 0 {
+				panic("allq: Quantile before any arrival")
+			}
+			return 0 // every arrival so far is still in flight to Escalate
 		}
 		i := int64(phi * float64(n))
 		if i >= n {
@@ -416,7 +513,7 @@ func (t *Tracker) HeavyHittersFromRanks(phi float64, shift uint) []uint64 {
 			out = append(out, v)
 		}
 	}
-	sortUint64s(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -453,9 +550,16 @@ func (t *Tracker) RoundM() int64 { return t.m }
 func (t *Tracker) HeightBound() int { return t.h }
 
 // SiteSpace returns the number of stored entries at site j (store plus
-// pending per-node deltas).
+// pending per-node deltas — the nonzero entries of the dense delta slice,
+// matching what the map representation used to hold).
 func (t *Tracker) SiteSpace(j int) int {
-	return t.sites[j].st.Space() + len(t.sites[j].delta)
+	pending := 0
+	for _, d := range t.sites[j].delta {
+		if d != 0 {
+			pending++
+		}
+	}
+	return t.sites[j].st.Space() + pending
 }
 
 // SiteCount returns the exact number of arrivals observed at site j.

@@ -1,0 +1,206 @@
+package allq
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"sync"
+	"testing"
+
+	"disttrack/internal/stream"
+	"disttrack/internal/wire"
+)
+
+// checkMetersEqual asserts two meters agree in total, per kind and per
+// site — the bit-for-bit pin for batched vs sequential feeding.
+func checkMetersEqual(t *testing.T, label string, a, b *wire.Meter, k int) {
+	t.Helper()
+	if at, bt := a.Total(), b.Total(); at != bt {
+		t.Fatalf("%s: meter total diverged: %+v vs %+v", label, at, bt)
+	}
+	kinds := append(a.Kinds(), b.Kinds()...)
+	for _, kind := range kinds {
+		if ak, bk := a.Kind(kind), b.Kind(kind); ak != bk {
+			t.Fatalf("%s: meter kind %q diverged: %+v vs %+v", label, kind, ak, bk)
+		}
+	}
+	for j := 0; j < k; j++ {
+		if as, bs := a.Site(j), b.Site(j); as != bs {
+			t.Fatalf("%s: meter site %d diverged: %+v vs %+v", label, j, as, bs)
+		}
+	}
+}
+
+// TestFeedLocalBatchMatchesFeed drives one tracker through sequential Feed
+// and a second through FeedLocalBatch over the same random (site, chunk)
+// schedule, asserting the coordinator tree, rank answers and every meter
+// count stay identical — in exact and sketch modes.
+func TestFeedLocalBatchMatchesFeed(t *testing.T) {
+	for _, mode := range []Mode{ModeExact, ModeSketch} {
+		const (
+			k   = 3
+			n   = 25000
+			eps = 0.08
+		)
+		cfg := Config{K: k, Eps: eps, Mode: mode, Seed: 3}
+		seq, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := stream.Perturb(stream.Uniform(1<<30, n, 29))
+		items := make([]uint64, 0, n)
+		for {
+			x, ok := g.Next()
+			if !ok {
+				break
+			}
+			items = append(items, x)
+		}
+		rng := rand.New(rand.NewSource(int64(mode) + 41))
+		for pos := 0; pos < len(items); {
+			site := rng.Intn(k)
+			sz := 1 + rng.Intn(130)
+			if rng.Intn(16) == 0 {
+				sz = 1 + rng.Intn(2000) // occasionally span many thresholds
+			}
+			if pos+sz > len(items) {
+				sz = len(items) - pos
+			}
+			chunk := items[pos : pos+sz]
+			pos += sz
+			for _, x := range chunk {
+				seq.Feed(site, x)
+			}
+			last := -1
+			for _, idx := range bat.FeedLocalBatch(site, chunk) {
+				if idx <= last || idx >= len(chunk) {
+					t.Fatalf("mode %d: escalation index %d out of order (prev %d, chunk %d)",
+						mode, idx, last, len(chunk))
+				}
+				last = idx
+			}
+		}
+		checkMetersEqual(t, "allq", seq.Meter(), bat.Meter(), k)
+		if seq.EstTotal() != bat.EstTotal() || seq.Rounds() != bat.Rounds() ||
+			seq.Rebuilds() != bat.Rebuilds() || seq.LeafSplits() != bat.LeafSplits() {
+			t.Fatalf("mode %d: state diverged: EstTotal %d/%d rounds %d/%d rebuilds %d/%d leafSplits %d/%d",
+				mode, seq.EstTotal(), bat.EstTotal(), seq.Rounds(), bat.Rounds(),
+				seq.Rebuilds(), bat.Rebuilds(), seq.LeafSplits(), bat.LeafSplits())
+		}
+		if ss, bs := seq.TreeStats(), bat.TreeStats(); ss != bs {
+			t.Fatalf("mode %d: tree stats diverged: %+v vs %+v", mode, ss, bs)
+		}
+		for probe := 0; probe < 64; probe++ {
+			x := items[(probe*991)%len(items)]
+			if sr, br := seq.Rank(x), bat.Rank(x); sr != br {
+				t.Fatalf("mode %d: Rank(%d) diverged: %d vs %d", mode, x, sr, br)
+			}
+		}
+		for _, phi := range []float64{0, 0.25, 0.5, 0.75, 0.99} {
+			if sq, bq := seq.Quantile(phi), bat.Quantile(phi); sq != bq {
+				t.Fatalf("mode %d: Quantile(%g) diverged: %d vs %d", mode, phi, sq, bq)
+			}
+		}
+		for j := 0; j < k; j++ {
+			if seq.SiteCount(j) != bat.SiteCount(j) {
+				t.Fatalf("mode %d: site %d count %d vs %d", mode, j, seq.SiteCount(j), bat.SiteCount(j))
+			}
+			if seq.SiteSpace(j) != bat.SiteSpace(j) {
+				t.Fatalf("mode %d: site %d space %d vs %d", mode, j, seq.SiteSpace(j), bat.SiteSpace(j))
+			}
+		}
+	}
+}
+
+// TestConcurrentFeedLocalBatchStress hammers one batched feeder goroutine
+// per site against concurrent quiescent rank/quantile queries, then checks
+// the final rank structure against ground truth — run under -race.
+func TestConcurrentFeedLocalBatchStress(t *testing.T) {
+	const (
+		k       = 4
+		perSite = 8000
+		eps     = 0.08
+	)
+	g := stream.Perturb(stream.Uniform(1<<30, int64(k*perSite), 47))
+	streams := make([][]uint64, k)
+	var all []uint64
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		streams[i%k] = append(streams[i%k], x)
+		all = append(all, x)
+	}
+	sorted := append([]uint64(nil), all...)
+	slices.Sort(sorted)
+	trueRank := func(x uint64) int64 {
+		return int64(sort.Search(len(sorted), func(i int) bool { return sorted[i] >= x }))
+	}
+
+	tr, err := New(Config{K: k, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var qwg sync.WaitGroup
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			tr.Quiesce(func() {
+				if tr.EstTotal() > tr.TrueTotal() {
+					t.Error("EstTotal overtook TrueTotal mid-stream")
+				}
+				if tr.TrueTotal() > 0 {
+					_ = tr.Quantile(0.5)
+				}
+			})
+		}
+	}()
+	var wg sync.WaitGroup
+	for j := range streams {
+		wg.Add(1)
+		go func(site int, xs []uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(site)))
+			for pos := 0; pos < len(xs); {
+				sz := 1 + rng.Intn(600)
+				if pos+sz > len(xs) {
+					sz = len(xs) - pos
+				}
+				tr.FeedLocalBatch(site, xs[pos:pos+sz])
+				pos += sz
+			}
+		}(j, streams[j])
+	}
+	wg.Wait()
+	close(done)
+	qwg.Wait()
+
+	if got := tr.TrueTotal(); got != int64(len(all)) {
+		t.Fatalf("TrueTotal = %d, want %d", got, len(all))
+	}
+	// The rank contract: underestimates by at most ε·|A| (slack 4k for
+	// concurrent boot-straddle arrivals, as the FeedLocal stress allows).
+	bound := eps*float64(len(all)) + float64(4*k)
+	tr.Quiesce(func() {
+		for probe := 0; probe < 200; probe++ {
+			x := sorted[(probe*379)%len(sorted)]
+			got := tr.Rank(x)
+			want := trueRank(x)
+			if got > want || float64(want-got) > bound {
+				t.Errorf("Rank(%d) = %d, want in [%d - %g, %d]", x, got, want, bound, want)
+			}
+		}
+	})
+}

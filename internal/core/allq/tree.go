@@ -1,7 +1,9 @@
 package allq
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -113,7 +115,7 @@ func (t *Tracker) buildSubtree(parent *node, lo, hi uint64) *node {
 			merged = append(merged, wsep{v: v, w: step})
 		}
 	}
-	sort.Slice(merged, func(i, j int) bool { return merged[i].v < merged[j].v })
+	slices.SortFunc(merged, func(a, b wsep) int { return cmp.Compare(a.v, b.v) })
 
 	leafCap := int64(3 * t.cfg.Eps * float64(t.m) / 8)
 	if leafCap < 1 {
@@ -134,20 +136,35 @@ func (t *Tracker) buildSubtree(parent *node, lo, hi uint64) *node {
 	return fresh
 }
 
-// gcDeltas drops pending site deltas for node ids that are no longer in the
-// live tree. Called after a fresh subtree has been attached.
+// gcDeltas renumbers the live tree's node ids to the dense range 0..N-1 and
+// rebuilds every site's delta slice to match, dropping pending deltas for
+// replaced nodes in the process. Called after a fresh subtree has been
+// attached (always with every site lock held), it is what keeps the fast
+// path's per-node counters plain slice indexing: newly built nodes carry
+// provisional ids >= nextID that are compacted here before any fast path
+// can observe them.
 func (t *Tracker) gcDeltas() {
-	live := make(map[int]bool)
-	for _, u := range collectNodes(t.root) {
-		live[u.id] = true
-	}
+	nodes := collectNodes(t.root)
 	for _, s := range t.sites {
-		for id := range s.delta {
-			if !live[id] {
-				delete(s.delta, id)
+		fresh := s.deltaScratch
+		if cap(fresh) < len(nodes) {
+			fresh = make([]int64, len(nodes))
+		} else {
+			fresh = fresh[:len(nodes)]
+		}
+		for i, u := range nodes {
+			if u.id < len(s.delta) {
+				fresh[i] = s.delta[u.id]
+			} else {
+				fresh[i] = 0 // new node (or scratch residue): no pending delta
 			}
 		}
+		s.delta, s.deltaScratch = fresh, s.delta
 	}
+	for i, u := range nodes {
+		u.id = i
+	}
+	t.nextID = len(nodes)
 }
 
 // buildRec recursively splits [lo, hi) at the weighted median of the sample

@@ -1,0 +1,176 @@
+package hh
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"disttrack/internal/stream"
+	"disttrack/internal/wire"
+)
+
+// checkMetersEqual asserts two meters agree in total, per kind and per
+// site — the bit-for-bit pin for batched vs sequential feeding.
+func checkMetersEqual(t *testing.T, label string, a, b *wire.Meter, k int) {
+	t.Helper()
+	if at, bt := a.Total(), b.Total(); at != bt {
+		t.Fatalf("%s: meter total diverged: %+v vs %+v", label, at, bt)
+	}
+	kinds := append(a.Kinds(), b.Kinds()...)
+	for _, kind := range kinds {
+		if ak, bk := a.Kind(kind), b.Kind(kind); ak != bk {
+			t.Fatalf("%s: meter kind %q diverged: %+v vs %+v", label, kind, ak, bk)
+		}
+	}
+	for j := 0; j < k; j++ {
+		if as, bs := a.Site(j), b.Site(j); as != bs {
+			t.Fatalf("%s: meter site %d diverged: %+v vs %+v", label, j, as, bs)
+		}
+	}
+}
+
+// TestFeedLocalBatchMatchesFeed drives one tracker through sequential Feed
+// and a second through FeedLocalBatch over the same random (site, chunk)
+// schedule, asserting coordinator state and every meter count stay
+// identical — for every site-store mode.
+func TestFeedLocalBatchMatchesFeed(t *testing.T) {
+	for _, mode := range []Mode{ModeExact, ModeSketch, ModeMGSketch} {
+		const (
+			k   = 3
+			n   = 40000
+			eps = 0.05
+		)
+		seq, err := New(Config{K: k, Eps: eps, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, err := New(Config{K: k, Eps: eps, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := stream.Zipf(1<<18, n, 1.2, 17)
+		items := make([]uint64, 0, n)
+		for {
+			x, ok := g.Next()
+			if !ok {
+				break
+			}
+			items = append(items, x)
+		}
+		rng := rand.New(rand.NewSource(int64(mode) + 31))
+		for pos := 0; pos < len(items); {
+			site := rng.Intn(k)
+			sz := 1 + rng.Intn(130)
+			if rng.Intn(16) == 0 {
+				sz = 1 + rng.Intn(2000) // occasionally span many thresholds
+			}
+			if pos+sz > len(items) {
+				sz = len(items) - pos
+			}
+			chunk := items[pos : pos+sz]
+			pos += sz
+			for _, x := range chunk {
+				seq.Feed(site, x)
+			}
+			last := -1
+			for _, idx := range bat.FeedLocalBatch(site, chunk) {
+				if idx <= last || idx >= len(chunk) {
+					t.Fatalf("mode %d: escalation index %d out of order (prev %d, chunk %d)",
+						mode, idx, last, len(chunk))
+				}
+				last = idx
+			}
+		}
+		checkMetersEqual(t, "hh", seq.Meter(), bat.Meter(), k)
+		if seq.EstTotal() != bat.EstTotal() || seq.Rounds() != bat.Rounds() {
+			t.Fatalf("mode %d: state diverged: EstTotal %d/%d rounds %d/%d",
+				mode, seq.EstTotal(), bat.EstTotal(), seq.Rounds(), bat.Rounds())
+		}
+		for j := 0; j < k; j++ {
+			if seq.SiteCount(j) != bat.SiteCount(j) {
+				t.Fatalf("mode %d: site %d count %d vs %d", mode, j, seq.SiteCount(j), bat.SiteCount(j))
+			}
+		}
+		sh := seq.HeavyHitters(0.1)
+		bh := bat.HeavyHitters(0.1)
+		if len(sh) != len(bh) {
+			t.Fatalf("mode %d: heavy hitter sets diverged: %d vs %d", mode, len(sh), len(bh))
+		}
+		for i := range sh {
+			if sh[i] != bh[i] {
+				t.Fatalf("mode %d: heavy hitter %d diverged: %d vs %d", mode, i, sh[i], bh[i])
+			}
+			if seq.EstFrequency(sh[i]) != bat.EstFrequency(bh[i]) {
+				t.Fatalf("mode %d: EstFrequency(%d) diverged", mode, sh[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentFeedLocalBatchStress hammers one batched feeder goroutine
+// per site against concurrent quiescent queries, then checks the final
+// answers against exact ground truth — run under -race.
+func TestConcurrentFeedLocalBatchStress(t *testing.T) {
+	const (
+		k       = 4
+		perSite = 20000
+		eps     = 0.05
+		phi     = 0.1
+	)
+	streams := genSiteStreams(t, k, perSite, 43)
+	n := int64(0)
+	truth := make(map[uint64]int64)
+	for _, xs := range streams {
+		n += int64(len(xs))
+		for _, x := range xs {
+			truth[x]++
+		}
+	}
+	tr, err := New(Config{K: k, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var qwg sync.WaitGroup
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			tr.Quiesce(func() {
+				if tr.EstTotal() > tr.TrueTotal() {
+					t.Error("EstTotal overtook TrueTotal mid-stream")
+				}
+				_ = tr.HeavyHitters(phi)
+			})
+		}
+	}()
+	var wg sync.WaitGroup
+	for j := range streams {
+		wg.Add(1)
+		go func(site int, xs []uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(site)))
+			for pos := 0; pos < len(xs); {
+				sz := 1 + rng.Intn(600)
+				if pos+sz > len(xs) {
+					sz = len(xs) - pos
+				}
+				tr.FeedLocalBatch(site, xs[pos:pos+sz])
+				pos += sz
+			}
+		}(j, streams[j])
+	}
+	wg.Wait()
+	close(done)
+	qwg.Wait()
+
+	tr.Quiesce(func() {
+		checkHHContract(t, "batched", tr, truth, n, eps, phi, k)
+	})
+}

@@ -37,9 +37,10 @@
 package hh
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -218,6 +219,22 @@ func (t *Tracker) FeedLocal(siteID int, x uint64) (escalate bool) {
 	s.mu.Lock()
 	s.nj++
 	t.n.Add(1)
+	t.applyStoreLocked(s, x)
+
+	if t.boot {
+		// Bootstrap: every arrival is forwarded, so every arrival escalates.
+		s.mu.Unlock()
+		return true
+	}
+
+	escalate = t.bumpDeltasLocked(s, x, t.threshold(s))
+	s.mu.Unlock()
+	return escalate
+}
+
+// applyStoreLocked records one arrival of x in site s's frequency store.
+// Caller holds the site lock.
+func (t *Tracker) applyStoreLocked(s *site, x uint64) {
 	switch t.cfg.Mode {
 	case ModeSketch:
 		s.ss.Add(x)
@@ -226,15 +243,14 @@ func (t *Tracker) FeedLocal(siteID int, x uint64) (escalate bool) {
 	default:
 		s.local[x]++
 	}
+}
 
-	if t.boot {
-		// Bootstrap: every arrival is forwarded, so every arrival escalates.
-		s.mu.Unlock()
-		return true
-	}
-
-	thr := t.threshold(s)
-
+// bumpDeltasLocked applies one arrival's Δ(m_x) and Δ(m) accounting and
+// reports whether a reporting threshold was reached. Caller holds the site
+// lock; thr is the site's current threshold, constant while it is held.
+// Shared by the per-item and batched fast paths so their semantics cannot
+// drift.
+func (t *Tracker) bumpDeltasLocked(s *site, x uint64, thr int64) (escalate bool) {
 	// Per-item increment Δ(m_x).
 	switch t.cfg.Mode {
 	case ModeExact:
@@ -248,9 +264,65 @@ func (t *Tracker) FeedLocal(siteID int, x uint64) (escalate bool) {
 
 	// Total increment Δ(m).
 	s.dm++
-	escalate = escalate || s.dm >= thr
-	s.mu.Unlock()
-	return escalate
+	return escalate || s.dm >= thr
+}
+
+// FeedLocalBatch records a batch of arrivals at one site, amortizing the
+// fast path: one site-lock acquisition, one global-count update and one
+// hoisted threshold computation per escalation-free run, with the per-item
+// counter updates applied in arrival order. The batch splits at every
+// threshold crossing — Escalate runs inline at exactly the logical
+// positions the sequential Feed loop would, so coordinator state and every
+// wire.Meter count are bit-for-bit identical to feeding the items one by
+// one. It returns the (strictly increasing) batch indices that escalated,
+// nil when none did. The tracker does not retain xs.
+//
+// Like FeedLocal, it is safe for concurrent use with one goroutine per
+// site; it must not be interleaved with FeedLocal/Feed calls for the same
+// site from other goroutines.
+func (t *Tracker) FeedLocalBatch(siteID int, xs []uint64) (escalations []int) {
+	if siteID < 0 || siteID >= t.cfg.K {
+		panic(fmt.Sprintf("hh: site %d out of range [0,%d)", siteID, t.cfg.K))
+	}
+	s := t.sites[siteID]
+	for i := 0; i < len(xs); {
+		s.mu.Lock()
+		if t.boot {
+			// Bootstrap forwards every arrival: apply one item and escalate,
+			// exactly the sequential composition.
+			x := xs[i]
+			s.nj++
+			t.n.Add(1)
+			t.applyStoreLocked(s, x)
+			s.mu.Unlock()
+			t.Escalate(siteID, x)
+			escalations = append(escalations, i)
+			i++
+			continue
+		}
+		// The reporting threshold depends only on S_j.m, which changes only
+		// under every site lock — constant for the whole run.
+		thr := t.threshold(s)
+		start := i
+		crossed := false
+		for ; i < len(xs); i++ {
+			t.applyStoreLocked(s, xs[i])
+			if t.bumpDeltasLocked(s, xs[i], thr) {
+				crossed = true
+				i++
+				break
+			}
+		}
+		s.nj += int64(i - start)
+		t.n.Add(int64(i - start))
+		s.mu.Unlock()
+		if !crossed {
+			break
+		}
+		escalations = append(escalations, i-1)
+		t.Escalate(siteID, xs[i-1])
+	}
+	return escalations
 }
 
 // Escalate runs the coordinator slow path for an arrival previously applied
@@ -435,7 +507,7 @@ func (t *Tracker) HeavyHitters(phi float64) []uint64 {
 			out = append(out, x)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -461,11 +533,11 @@ func (t *Tracker) HeavyHitterEntries(phi float64) []Entry {
 		c := t.cmx[x]
 		out = append(out, Entry{Item: x, Count: c, Ratio: float64(c) / float64(t.cm)})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
+	slices.SortFunc(out, func(a, b Entry) int {
+		if a.Count != b.Count {
+			return cmp.Compare(b.Count, a.Count)
 		}
-		return out[i].Item < out[j].Item
+		return cmp.Compare(a.Item, b.Item)
 	})
 	return out
 }

@@ -1,0 +1,177 @@
+package quantile
+
+import (
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+
+	"disttrack/internal/stream"
+	"disttrack/internal/wire"
+)
+
+// checkMetersEqual asserts two meters agree in total, per kind and per
+// site — the bit-for-bit pin for batched vs sequential feeding.
+func checkMetersEqual(t *testing.T, label string, a, b *wire.Meter, k int) {
+	t.Helper()
+	if at, bt := a.Total(), b.Total(); at != bt {
+		t.Fatalf("%s: meter total diverged: %+v vs %+v", label, at, bt)
+	}
+	kinds := append(a.Kinds(), b.Kinds()...)
+	for _, kind := range kinds {
+		if ak, bk := a.Kind(kind), b.Kind(kind); ak != bk {
+			t.Fatalf("%s: meter kind %q diverged: %+v vs %+v", label, kind, ak, bk)
+		}
+	}
+	for j := 0; j < k; j++ {
+		if as, bs := a.Site(j), b.Site(j); as != bs {
+			t.Fatalf("%s: meter site %d diverged: %+v vs %+v", label, j, as, bs)
+		}
+	}
+}
+
+// TestFeedLocalBatchMatchesFeed drives one tracker through sequential Feed
+// and a second through FeedLocalBatch over the same random (site, chunk)
+// schedule, asserting round state, tracked quantiles and every meter count
+// stay identical — in exact and sketch modes, with multiple tracked phis.
+func TestFeedLocalBatchMatchesFeed(t *testing.T) {
+	for _, mode := range []Mode{ModeExact, ModeSketch} {
+		const (
+			k   = 3
+			n   = 30000
+			eps = 0.05
+		)
+		phis := []float64{0.25, 0.5, 0.9}
+		cfg := Config{K: k, Eps: eps, Phis: phis, Mode: mode, Seed: 5}
+		seq, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := stream.Perturb(stream.Uniform(1<<30, n, 19))
+		items := make([]uint64, 0, n)
+		for {
+			x, ok := g.Next()
+			if !ok {
+				break
+			}
+			items = append(items, x)
+		}
+		rng := rand.New(rand.NewSource(int64(mode) + 37))
+		for pos := 0; pos < len(items); {
+			site := rng.Intn(k)
+			sz := 1 + rng.Intn(130)
+			if rng.Intn(16) == 0 {
+				sz = 1 + rng.Intn(2000) // occasionally span many thresholds
+			}
+			if pos+sz > len(items) {
+				sz = len(items) - pos
+			}
+			chunk := items[pos : pos+sz]
+			pos += sz
+			for _, x := range chunk {
+				seq.Feed(site, x)
+			}
+			last := -1
+			for _, idx := range bat.FeedLocalBatch(site, chunk) {
+				if idx <= last || idx >= len(chunk) {
+					t.Fatalf("mode %d: escalation index %d out of order (prev %d, chunk %d)",
+						mode, idx, last, len(chunk))
+				}
+				last = idx
+			}
+		}
+		checkMetersEqual(t, "quantile", seq.Meter(), bat.Meter(), k)
+		if seq.EstTotal() != bat.EstTotal() || seq.Rounds() != bat.Rounds() ||
+			seq.Relocations() != bat.Relocations() || seq.Splits() != bat.Splits() ||
+			seq.Intervals() != bat.Intervals() {
+			t.Fatalf("mode %d: state diverged: EstTotal %d/%d rounds %d/%d reloc %d/%d splits %d/%d ivs %d/%d",
+				mode, seq.EstTotal(), bat.EstTotal(), seq.Rounds(), bat.Rounds(),
+				seq.Relocations(), bat.Relocations(), seq.Splits(), bat.Splits(),
+				seq.Intervals(), bat.Intervals())
+		}
+		if !slices.Equal(seq.Quantiles(), bat.Quantiles()) {
+			t.Fatalf("mode %d: tracked quantiles diverged: %v vs %v",
+				mode, seq.Quantiles(), bat.Quantiles())
+		}
+		for j := 0; j < k; j++ {
+			if seq.SiteCount(j) != bat.SiteCount(j) {
+				t.Fatalf("mode %d: site %d count %d vs %d", mode, j, seq.SiteCount(j), bat.SiteCount(j))
+			}
+		}
+	}
+}
+
+// TestConcurrentFeedLocalBatchStress hammers one batched feeder goroutine
+// per site against concurrent quiescent queries, then checks every tracked
+// quantile against ground truth — run under -race.
+func TestConcurrentFeedLocalBatchStress(t *testing.T) {
+	const (
+		k       = 4
+		perSite = 10000
+		eps     = 0.05
+	)
+	phis := []float64{0.25, 0.5, 0.9}
+	streams := genSiteKeyStreams(t, k, perSite, 13)
+	var all []uint64
+	for _, xs := range streams {
+		all = append(all, xs...)
+	}
+	sorted := append([]uint64(nil), all...)
+	slices.Sort(sorted)
+
+	tr, err := New(Config{K: k, Eps: eps, Phis: phis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var qwg sync.WaitGroup
+	qwg.Add(1)
+	go func() {
+		defer qwg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			tr.Quiesce(func() {
+				if tr.EstTotal() > tr.TrueTotal() {
+					t.Error("EstTotal overtook TrueTotal mid-stream")
+				}
+				if tr.TrueTotal() > 0 {
+					_ = tr.Quantile()
+				}
+			})
+		}
+	}()
+	var wg sync.WaitGroup
+	for j := range streams {
+		wg.Add(1)
+		go func(site int, xs []uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(site)))
+			for pos := 0; pos < len(xs); {
+				sz := 1 + rng.Intn(600)
+				if pos+sz > len(xs) {
+					sz = len(xs) - pos
+				}
+				tr.FeedLocalBatch(site, xs[pos:pos+sz])
+				pos += sz
+			}
+		}(j, streams[j])
+	}
+	wg.Wait()
+	close(done)
+	qwg.Wait()
+
+	if got := tr.TrueTotal(); got != int64(len(all)) {
+		t.Fatalf("TrueTotal = %d, want %d", got, len(all))
+	}
+	tr.Quiesce(func() {
+		checkQuantContract(t, "batched", tr, sorted, k)
+	})
+}

@@ -254,6 +254,92 @@ func (t *Tracker) FeedLocal(siteID int, x uint64) (escalate bool) {
 	return escalate
 }
 
+// FeedLocalBatch records a batch of arrivals at one site, amortizing the
+// fast path: one site-lock acquisition, one store bulk-insert and one
+// global-count update per escalation-free run, with per-item interval and
+// drift counting in arrival order. The batch splits at every threshold
+// crossing — the coordinator slow path runs inline at exactly the logical
+// positions the sequential Feed loop would, so protocol state and every
+// wire.Meter count are bit-for-bit identical to feeding the items one by
+// one. It returns the (strictly increasing) batch indices that escalated,
+// nil when none did. The tracker does not retain xs.
+//
+// Like FeedLocal, it is safe for concurrent use with one goroutine per
+// site; it must not be interleaved with FeedLocal/Feed calls for the same
+// site from other goroutines.
+func (t *Tracker) FeedLocalBatch(siteID int, xs []uint64) (escalations []int) {
+	if siteID < 0 || siteID >= t.cfg.K {
+		panic(fmt.Sprintf("quantile: site %d out of range [0,%d)", siteID, t.cfg.K))
+	}
+	s := t.sites[siteID]
+	for i := 0; i < len(xs); {
+		s.mu.Lock()
+		if t.boot {
+			// Bootstrap forwards every arrival: apply one item and escalate,
+			// exactly the sequential composition.
+			s.st.Insert(xs[i])
+			s.nj++
+			t.n.Add(1)
+			s.mu.Unlock()
+			t.Escalate(siteID, xs[i])
+			escalations = append(escalations, i)
+			i++
+			continue
+		}
+		consumed, crossed := t.feedRunLocked(s, xs[i:])
+		s.mu.Unlock()
+		i += consumed
+		if !crossed {
+			break
+		}
+		escalations = append(escalations, i-1)
+		t.Escalate(siteID, xs[i-1])
+	}
+	return escalations
+}
+
+// feedRunLocked applies the site-local fast path to a prefix of xs under
+// the already-held site lock: counters are updated per item in arrival
+// order until the first threshold crossing (inclusive), then the consumed
+// prefix is bulk-inserted into the store and folded into the site and
+// global counts once. It returns how many items were consumed and whether
+// the last one crossed a threshold. The round state it reads (seps,
+// thresholds, m0) is stable: it only changes while every site lock is held.
+func (t *Tracker) feedRunLocked(s *site, xs []uint64) (consumed int, crossed bool) {
+	ivIdx := -1
+	var ivLo, ivHi uint64 // cached bounds of interval ivIdx: [ivLo, ivHi)
+	consumed = len(xs)
+	for i, x := range xs {
+		// Run-group the interval lookup: consecutive arrivals that stay in
+		// the same interval skip the binary search entirely.
+		if ivIdx < 0 || x < ivLo || x >= ivHi {
+			ivIdx = t.ivIndex(x)
+			ivLo, ivHi = t.ivBounds(ivIdx)
+		}
+		s.ivDelta[ivIdx]++
+		s.totDelta++
+		esc := s.ivDelta[ivIdx] >= t.thrIv || s.totDelta >= t.thrTot
+		for qi := range t.qs {
+			side := 0
+			if x >= t.qs[qi].m0 {
+				side = 1
+			}
+			s.drift[qi][side]++
+			if s.drift[qi][side] >= t.thrLR {
+				esc = true
+			}
+		}
+		if esc {
+			consumed, crossed = i+1, true
+			break
+		}
+	}
+	s.st.InsertBatch(xs[:consumed])
+	s.nj += int64(consumed)
+	t.n.Add(int64(consumed))
+	return consumed, crossed
+}
+
 // Escalate runs the coordinator slow path for an arrival previously applied
 // by FeedLocal: it re-checks the batch thresholds under the protocol lock
 // and runs the communication the protocol triggers — interval reports and
@@ -383,15 +469,24 @@ func (t *Tracker) maybeRelocate(qi int) {
 }
 
 // Quantile returns the first tracked quantile (Config.Phi, or Phis[0]).
-// During bootstrap it is exact. It panics before any item has arrived.
+// During bootstrap it is exact over the items the coordinator has received;
+// under concurrency an arrival becomes visible only once its escalation has
+// run, so a query racing the very first arrivals may see none yet (it then
+// returns 0). It panics before any item has arrived.
 func (t *Tracker) Quantile() uint64 { return t.QuantileAt(0) }
 
 // QuantileAt returns the i-th tracked quantile (index into Phis).
 func (t *Tracker) QuantileAt(i int) uint64 {
 	if t.boot {
-		n := t.n.Load()
+		// Index against what was actually forwarded: t.n counts arrivals at
+		// FeedLocal time, but a concurrent arrival reaches the bootstrap
+		// tree only in its Escalate — a quiescent query may run in between.
+		n := int64(t.bootTree.Len())
 		if n == 0 {
-			panic("quantile: Quantile before any arrival")
+			if t.n.Load() == 0 {
+				panic("quantile: Quantile before any arrival")
+			}
+			return 0 // every arrival so far is still in flight to Escalate
 		}
 		idx := int64(t.phis[i] * float64(n))
 		if idx >= n {

@@ -1,7 +1,9 @@
 package quantile
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -36,7 +38,7 @@ func (t *Tracker) sepSamples(lo, hi uint64, denom float64, kind string) (merged 
 			merged = append(merged, wsep{v: v, w: step})
 		}
 	}
-	sort.Slice(merged, func(i, j int) bool { return merged[i].v < merged[j].v })
+	slices.SortFunc(merged, func(a, b wsep) int { return cmp.Compare(a.v, b.v) })
 	return merged, total, maxStep
 }
 

@@ -21,7 +21,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"disttrack/internal/wire"
 )
@@ -176,7 +176,7 @@ func (t *Tracker) HeavyHitters(phi float64) []uint64 {
 			out = append(out, x)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -187,7 +187,7 @@ func (t *Tracker) Quantile(phi float64) uint64 {
 		panic("sampling: Quantile before any sampled arrival")
 	}
 	xs := t.Sample()
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	slices.Sort(xs)
 	i := int(phi * float64(len(xs)))
 	if i >= len(xs) {
 		i = len(xs) - 1

@@ -16,7 +16,7 @@ package window
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"disttrack/internal/core/allq"
 	"disttrack/internal/core/hh"
@@ -132,7 +132,7 @@ func (t *HH) HeavyHitters(phi float64) []uint64 {
 			out = append(out, x)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -7,7 +7,7 @@
 package oracle
 
 import (
-	"sort"
+	"slices"
 
 	"disttrack/internal/rank"
 )
@@ -59,7 +59,7 @@ func (o *Oracle) HeavyHitters(phi float64) []uint64 {
 			out = append(out, x)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -1,0 +1,159 @@
+package rank
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// checkTreap verifies the structural invariants: BST order on keys, heap
+// order on priorities, and consistent subtree sizes.
+func checkTreap(t *testing.T, tr *Tree) {
+	t.Helper()
+	var walk func(n *node) (lo, hi uint64, size int)
+	walk = func(n *node) (uint64, uint64, int) {
+		lo, hi, size := n.key, n.key, n.cnt
+		if n.cnt < 1 {
+			t.Fatalf("node %d has multiplicity %d", n.key, n.cnt)
+		}
+		if n.left != nil {
+			llo, lhi, ls := walk(n.left)
+			if lhi >= n.key {
+				t.Fatalf("BST violated: left max %d >= %d", lhi, n.key)
+			}
+			if n.left.prio > n.prio {
+				t.Fatalf("heap violated at %d", n.key)
+			}
+			lo, size = llo, size+ls
+		}
+		if n.right != nil {
+			rlo, rhi, rs := walk(n.right)
+			if rlo <= n.key {
+				t.Fatalf("BST violated: right min %d <= %d", rlo, n.key)
+			}
+			if n.right.prio > n.prio {
+				t.Fatalf("heap violated at %d", n.key)
+			}
+			hi, size = rhi, size+rs
+		}
+		if n.size != size {
+			t.Fatalf("size at %d = %d, want %d", n.key, n.size, size)
+		}
+		return lo, hi, size
+	}
+	if tr.root != nil {
+		walk(tr.root)
+	}
+}
+
+// TestInsertSortedMatchesSequential checks InsertSorted against sequential
+// Insert of the same multiset: identical Items, ranks, selects and range
+// counts, plus internal invariants, across random batch sizes with
+// duplicates inside and across batches.
+func TestInsertSortedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bulk, seq := New(1), New(2)
+	var all []uint64
+	for round := 0; round < 60; round++ {
+		batch := make([]uint64, rng.Intn(300))
+		for i := range batch {
+			batch[i] = uint64(rng.Intn(500)) // dense domain forces duplicates
+		}
+		slices.Sort(batch)
+		bulk.InsertSorted(batch)
+		for _, x := range batch {
+			seq.Insert(x)
+		}
+		all = append(all, batch...)
+	}
+	checkTreap(t, bulk)
+	checkTreap(t, seq)
+
+	if bulk.Len() != len(all) || seq.Len() != len(all) {
+		t.Fatalf("Len = %d/%d, want %d", bulk.Len(), seq.Len(), len(all))
+	}
+	if got, want := bulk.Items(), seq.Items(); !slices.Equal(got, want) {
+		t.Fatalf("Items diverged: %d vs %d entries", len(got), len(want))
+	}
+	for probe := uint64(0); probe <= 501; probe++ {
+		if b, s := bulk.Rank(probe), seq.Rank(probe); b != s {
+			t.Fatalf("Rank(%d) = %d, sequential %d", probe, b, s)
+		}
+		if b, s := bulk.Count(probe), seq.Count(probe); b != s {
+			t.Fatalf("Count(%d) = %d, sequential %d", probe, b, s)
+		}
+	}
+	for i := 0; i < len(all); i += 97 {
+		if b, s := bulk.Select(i), seq.Select(i); b != s {
+			t.Fatalf("Select(%d) = %d, sequential %d", i, b, s)
+		}
+	}
+	if b, s := bulk.CountRange(100, 400), seq.CountRange(100, 400); b != s {
+		t.Fatalf("CountRange = %d, sequential %d", b, s)
+	}
+	bs := bulk.Separators(0, ^uint64(0), 37)
+	ss := seq.Separators(0, ^uint64(0), 37)
+	if !slices.Equal(bs, ss) {
+		t.Fatalf("Separators diverged: %v vs %v", bs, ss)
+	}
+}
+
+// TestInsertSortedIntoExisting unions batches into a tree that already holds
+// interleaved keys, including keys shared between tree and batch.
+func TestInsertSortedIntoExisting(t *testing.T) {
+	tr := New(3)
+	want := make(map[uint64]int)
+	for i := 0; i < 1000; i++ {
+		k := uint64(i * 3)
+		tr.Insert(k)
+		want[k]++
+	}
+	batch := []uint64{0, 0, 2, 3, 3, 3, 500, 999, 999, 3000, 5000}
+	tr.InsertSorted(batch)
+	for _, k := range batch {
+		want[k]++
+	}
+	checkTreap(t, tr)
+	for k, c := range want {
+		if got := tr.Count(k); got != c {
+			t.Fatalf("Count(%d) = %d, want %d", k, got, c)
+		}
+	}
+}
+
+func TestInsertSortedEdgeCases(t *testing.T) {
+	tr := New(4)
+	tr.InsertSorted(nil) // no-op
+	if tr.Len() != 0 {
+		t.Fatal("empty InsertSorted changed the tree")
+	}
+	tr.InsertSorted([]uint64{9})
+	tr.InsertSorted([]uint64{9, 9, 9})
+	if tr.Len() != 4 || tr.Count(9) != 4 {
+		t.Fatalf("Len/Count = %d/%d, want 4/4", tr.Len(), tr.Count(9))
+	}
+	checkTreap(t, tr)
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted input did not panic")
+		}
+	}()
+	tr.InsertSorted([]uint64{2, 1})
+}
+
+func BenchmarkInsertSorted(b *testing.B) {
+	const batch = 256
+	tr := New(1)
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]uint64, 0, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = append(buf, rng.Uint64())
+		if len(buf) == batch {
+			slices.Sort(buf)
+			tr.InsertSorted(buf)
+			buf = buf[:0]
+		}
+	}
+}

@@ -1,10 +1,11 @@
 package remote
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"net"
-	"sort"
+	"slices"
 	"sync"
 
 	"disttrack/internal/wire"
@@ -143,7 +144,7 @@ func (c *Coordinator) serveQuery(conn net.Conn, first Msg) {
 		}
 		total := c.cm
 		c.mu.Unlock()
-		sort.Slice(rows, func(i, j int) bool { return rows[i].A < rows[j].A })
+		slices.SortFunc(rows, func(a, b Msg) int { return cmp.Compare(a.A, b.A) })
 		for _, r := range rows {
 			if WriteMsg(conn, r) != nil {
 				return
@@ -309,7 +310,7 @@ func (c *Coordinator) HeavyHitters(phi float64) []uint64 {
 			out = append(out, x)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"disttrack/internal/runtime"
 )
 
 // Multi-tenant transport frames (site node ↔ coordinator node).
@@ -104,7 +106,12 @@ func WriteTFrame(w io.Writer, f TFrame) error {
 }
 
 // ReadTFrame reads one multi-tenant frame, rejecting malformed or oversized
-// input without unbounded allocation.
+// input without unbounded allocation. Batch value slices are drawn from the
+// shared runtime batch pool, so a decoded frame can flow through the ingest
+// pipeline (sharder → cluster → site goroutine) and be recycled at the end
+// without a per-frame allocation; whoever consumes the frame takes
+// ownership of f.Values and must hand it on or return it with
+// runtime.PutBatch.
 func ReadTFrame(r io.Reader) (TFrame, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -136,7 +143,7 @@ func ReadTFrame(r io.Reader) (TFrame, error) {
 	}
 	f.Tenant = string(p[19 : 19+tlen])
 	if count > 0 {
-		f.Values = make([]uint64, count)
+		f.Values = runtime.GetBatch(count)[:count]
 		vals := p[19+tlen:]
 		for i := range f.Values {
 			f.Values[i] = binary.BigEndian.Uint64(vals[8*i:])

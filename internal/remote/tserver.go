@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"disttrack/internal/runtime"
 )
 
 // ErrIngestUnavailable signals from OnBatch that the pipeline cannot take
@@ -22,7 +24,9 @@ type IngestServerConfig struct {
 	// TypeBatchReject carrying the error text, and the frame still counts
 	// as consumed (it is not redelivered on reconnect) — except
 	// ErrIngestUnavailable, which drops the connection with the frame
-	// unconsumed so the sender replays it later.
+	// unconsumed so the sender replays it later. OnBatch takes ownership of
+	// f.Values in every case (the slice comes from the runtime batch pool;
+	// hand it down the pipeline or return it with runtime.PutBatch).
 	OnBatch func(node string, f TFrame) error
 	// OnFlush runs the pipeline barrier backing a TypeNetFlush: when it
 	// returns, everything delivered via OnBatch before the flush frame must
@@ -105,6 +109,9 @@ func (s *IngestServer) serve(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
 	hello, err := ReadTFrame(conn)
+	// No first frame legitimately carries values (a hello has none, and a
+	// batch before the handshake is rejected): recycle unconditionally.
+	runtime.PutBatch(hello.Values)
 	if err != nil || hello.Type != TypeNodeHello || hello.Tenant == "" {
 		return
 	}
@@ -142,6 +149,12 @@ func (s *IngestServer) serve(conn net.Conn) {
 		if err != nil {
 			s.removeConn(node, conn)
 			return
+		}
+		if f.Type != TypeBatch {
+			// Only batch frames legitimately carry values, but the decoder
+			// accepts a payload on any type — recycle it so a buggy or
+			// adversarial sender cannot bypass the pool cycle.
+			runtime.PutBatch(f.Values)
 		}
 		switch f.Type {
 		case TypeBatch:
@@ -192,10 +205,13 @@ func (s *IngestServer) applyBatch(node string, conn net.Conn, f TFrame, lk *sync
 	s.mu.Unlock()
 	if f.Seq <= last {
 		// Replay of an already-applied frame (the ack was lost in a
-		// disconnect): acknowledge again, apply nothing.
+		// disconnect): acknowledge again, apply nothing. The decoded values
+		// go straight back to the batch pool.
 		s.dups.Add(1)
+		runtime.PutBatch(f.Values)
 		return WriteTFrame(conn, TFrame{Type: TypeBatchAck, Seq: f.Seq}) == nil
 	}
+	nvalues := len(f.Values) // OnBatch takes ownership of f.Values
 	err := s.cfg.OnBatch(node, f)
 	if errors.Is(err, ErrIngestUnavailable) {
 		// Nothing recorded: the frame stays buffered at the sender and is
@@ -212,7 +228,7 @@ func (s *IngestServer) applyBatch(node string, conn net.Conn, f TFrame, lk *sync
 		return WriteTFrame(conn, TFrame{Type: TypeBatchReject, Seq: f.Seq, Tenant: err.Error()}) == nil
 	}
 	s.frames.Add(1)
-	s.values.Add(int64(len(f.Values)))
+	s.values.Add(int64(nvalues))
 	return WriteTFrame(conn, TFrame{Type: TypeBatchAck, Seq: f.Seq}) == nil
 }
 

@@ -6,6 +6,13 @@ import "sync"
 // would pin undersized buffers that immediately reallocate on reuse.
 const minPooledCap = 64
 
+// maxPooledCap keeps huge one-off slices out of the pool: the remote
+// transport decodes frames of up to 2^20 values into pooled slices, and
+// without an upper bound a peer sending near-limit batches would leave
+// multi-megabyte backing arrays circulating among the 16-value groups the
+// sharder draws. Oversized slices fall back to the garbage collector.
+const maxPooledCap = 1 << 16
+
 // batchPool recycles the value-batch slices that flow through the ingest
 // hot path (service sharder → tenant cluster → site goroutine). SendBatch
 // transfers slice ownership to the cluster, and the site goroutine is the
@@ -38,9 +45,9 @@ func GetBatch(capacity int) []uint64 {
 
 // PutBatch returns a batch slice to the pool. Callers must have exclusive
 // ownership; the slice contents may be overwritten at any time afterwards.
-// Slices below the minimum pooled capacity are dropped.
+// Slices outside the pooled capacity band are dropped.
 func PutBatch(xs []uint64) {
-	if cap(xs) < minPooledCap {
+	if cap(xs) < minPooledCap || cap(xs) > maxPooledCap {
 		return
 	}
 	xs = xs[:0]

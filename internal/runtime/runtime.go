@@ -9,9 +9,12 @@
 // cluster exploits exactly that split. Trackers that implement LocalFeeder
 // (all three core protocols) are driven through their lock-free site-local
 // fast path — k site goroutines ingest fully in parallel, and only the rare
-// escalations and the queries serialize, inside the tracker itself. Legacy
-// Feeders fall back to serializing every Feed under a cluster mutex. (For a
-// deployment across real processes and sockets, see the remote package.)
+// escalations and the queries serialize, inside the tracker itself; batches
+// delivered via SendBatch additionally flow through FeedLocalBatch
+// (BatchLocalFeeder), amortizing the per-arrival lock and store costs over
+// each escalation-free run. Legacy Feeders fall back to serializing every
+// Feed under a cluster mutex. (For a deployment across real processes and
+// sockets, see the remote package.)
 package runtime
 
 import (
@@ -41,15 +44,29 @@ type LocalFeeder interface {
 	Quiesce(f func())
 }
 
+// BatchLocalFeeder is the amortized batch surface over the fast path.
+// FeedLocalBatch applies a whole batch of arrivals at one site — one site
+// lock acquisition and one store bulk-insert per escalation-free run,
+// running the slow path inline at exactly the positions a sequential Feed
+// loop would — and returns the batch indices that escalated. It must not
+// retain xs, and like FeedLocal it is safe with one goroutine per site.
+// The core hh, quantile and allq trackers all implement it; the cluster's
+// SendBatch path feeds through it when available.
+type BatchLocalFeeder interface {
+	LocalFeeder
+	FeedLocalBatch(site int, xs []uint64) (escalations []int)
+}
+
 // ErrStopped is returned by Send after the cluster has been stopped or its
 // context cancelled.
 var ErrStopped = errors.New("runtime: cluster stopped")
 
 // Cluster runs k site goroutines feeding a shared tracker.
 type Cluster struct {
-	mu sync.Mutex // serializes Feed and queries on the legacy path
-	tr Feeder
-	lf LocalFeeder // non-nil when tr supports the lock-free fast path
+	mu  sync.Mutex // serializes Feed and queries on the legacy path
+	tr  Feeder
+	lf  LocalFeeder      // non-nil when tr supports the lock-free fast path
+	blf BatchLocalFeeder // non-nil when tr additionally batches the fast path
 
 	ingest      []chan uint64
 	batches     []chan []uint64
@@ -77,6 +94,7 @@ func New(ctx context.Context, tr Feeder, k, buf int) (*Cluster, error) {
 	cctx, cancel := context.WithCancel(ctx)
 	c := &Cluster{tr: tr, ctx: cctx, cancel: cancel}
 	c.lf, _ = tr.(LocalFeeder)
+	c.blf, _ = tr.(BatchLocalFeeder)
 	for j := 0; j < k; j++ {
 		ch := make(chan uint64, buf)
 		bch := make(chan []uint64, buf)
@@ -103,10 +121,16 @@ func (c *Cluster) feedOne(j int, x uint64) {
 	c.mu.Unlock()
 }
 
-// feedBatch processes a batch at site j. On the fast path the batch runs
-// with no lock at all except for the rare escalations; on the legacy path
-// it pays one mutex acquisition for the whole batch.
+// feedBatch processes a batch at site j through the fastest available
+// path: the tracker's amortized FeedLocalBatch when it has one (one site
+// lock and one store bulk-insert per escalation-free run), else per-item
+// FeedLocal with no lock except for the rare escalations, else the legacy
+// path's one mutex acquisition for the whole batch.
 func (c *Cluster) feedBatch(j int, xs []uint64) {
+	if c.blf != nil {
+		c.escalations.Add(int64(len(c.blf.FeedLocalBatch(j, xs))))
+		return
+	}
 	if c.lf != nil {
 		esc := int64(0)
 		for _, x := range xs {

@@ -1,9 +1,10 @@
 package service
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -81,7 +82,7 @@ func (r *Registry) List() []TenantConfig {
 		out = append(out, t.cfg)
 	}
 	r.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	slices.SortFunc(out, func(a, b TenantConfig) int { return cmp.Compare(a.Name, b.Name) })
 	return out
 }
 

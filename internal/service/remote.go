@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"disttrack/internal/remote"
+	"disttrack/internal/runtime"
 	"disttrack/internal/wire"
 )
 
@@ -50,9 +51,14 @@ func (ri *RemoteIngest) Addr() string { return ri.srv.Addr() }
 // non-nil return refuses the whole frame (the transport sends a reject) —
 // except during shutdown, where ErrIngestUnavailable makes the transport
 // drop the connection with the frame unconsumed, so the site node keeps it
-// buffered and resyncs against the coordinator's replacement.
+// buffered and resyncs against the coordinator's replacement. The frame's
+// pooled values slice is owned here: on success it flows through the
+// sharder into the tenant's cluster (which recycles it), on failure it
+// goes back to the batch pool.
 func (ri *RemoteIngest) onBatch(node string, f remote.TFrame) error {
+	words := f.Words()
 	if ri.s.closing.Load() {
+		runtime.PutBatch(f.Values)
 		return remote.ErrIngestUnavailable
 	}
 	_, rejected, err := ri.s.sh.IngestGrouped(f.Tenant, int(f.Site), f.Values)
@@ -65,7 +71,7 @@ func (ri *RemoteIngest) onBatch(node string, f remote.TFrame) error {
 		// unvalidated values would let a bad sender grow them without
 		// bound. Refused traffic is accounted unattributed.
 		ri.mu.Lock()
-		ri.meter.Up(-1, "tbatch", f.Words())
+		ri.meter.Up(-1, "tbatch", words)
 		ri.meter.Down(-1, "treject", 1)
 		ri.mu.Unlock()
 		return err
@@ -74,7 +80,7 @@ func (ri *RemoteIngest) onBatch(node string, f remote.TFrame) error {
 	// meter keys.
 	ri.mu.Lock()
 	ri.rejected += int64(rejected)
-	ri.meter.UpTenant(f.Tenant, int(f.Site), "tbatch", f.Words())
+	ri.meter.UpTenant(f.Tenant, int(f.Site), "tbatch", words)
 	ri.meter.DownTenant(f.Tenant, int(f.Site), "tack", 1)
 	ri.mu.Unlock()
 	return nil

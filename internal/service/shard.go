@@ -176,23 +176,29 @@ func (sh *sharder) Ingest(recs []Record) (int, []RecordError) {
 // already-grouped (tenant, site) value batch — typically decoded from a
 // network frame — validates it against the tenant's configuration, and
 // enqueues it on the tenant's owning shard in a single channel operation.
-// Out-of-range values for perturbed kinds are filtered and counted
-// rejected; a nil tenant or out-of-range site refuses the whole batch with
-// a non-nil error (accepted = 0) so the transport can reject the frame.
-// The sharder takes ownership of values.
+// The batch then flows intact into the tenant's cluster, where the
+// tracker's FeedLocalBatch ingests it with one site-lock acquisition per
+// escalation-free run. Out-of-range values for perturbed kinds are
+// filtered and counted rejected; a nil tenant or out-of-range site refuses
+// the whole batch with a non-nil error (accepted = 0) so the transport can
+// reject the frame. The sharder takes ownership of values in every case:
+// batches it cannot deliver go back to the runtime batch pool.
 func (sh *sharder) IngestGrouped(tenant string, site int, values []uint64) (accepted, rejected int, err error) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	if sh.closed {
+		runtime.PutBatch(values)
 		return 0, 0, errShuttingDown
 	}
 	t := sh.reg.Get(tenant)
 	if t == nil {
 		sh.rejected.Add(int64(len(values)))
+		runtime.PutBatch(values)
 		return 0, len(values), fmt.Errorf("tenant %q not found", tenant)
 	}
 	if site < 0 || site >= t.cfg.K {
 		sh.rejected.Add(int64(len(values)))
+		runtime.PutBatch(values)
 		return 0, len(values), fmt.Errorf("site %d out of range [0,%d)", site, t.cfg.K)
 	}
 	if t.perturbed() {
@@ -208,6 +214,7 @@ func (sh *sharder) IngestGrouped(tenant string, site int, values []uint64) (acce
 	}
 	sh.rejected.Add(int64(rejected))
 	if len(values) == 0 {
+		runtime.PutBatch(values)
 		return 0, rejected, nil
 	}
 	s := sh.shardOf(tenant)
@@ -218,9 +225,12 @@ func (sh *sharder) IngestGrouped(tenant string, site int, values []uint64) (acce
 
 // worker drains one shard queue: group each batch by (tenant, site), apply
 // the tenant's perturbation, and feed each group through the cluster's
-// batched path. Pre-grouped remote batches skip the grouping pass.
+// batched path. Pre-grouped remote batches skip the grouping pass. The
+// grouping scratch (map, order, group structs) lives per worker and is
+// reused across batches, so steady-state delivery does not allocate.
 func (sh *sharder) worker(s *shard) {
 	defer s.wg.Done()
+	scratch := &deliverScratch{groups: make(map[groupKey]*group)}
 	for msg := range s.ch {
 		if msg.barrier != nil {
 			msg.barrier <- struct{}{}
@@ -230,9 +240,51 @@ func (sh *sharder) worker(s *shard) {
 			sh.deliverGroup(msg.group)
 			continue
 		}
-		sh.deliver(msg.recs)
+		sh.deliver(msg.recs, scratch)
 		putRecordBatch(msg.recs)
 	}
+}
+
+// groupKey addresses one (tenant, site) sub-batch within a shard delivery.
+type groupKey struct {
+	tenant string
+	site   int
+}
+
+// group is one (tenant, site) sub-batch being assembled for SendBatch.
+type group struct {
+	t    *Tenant
+	site int
+	keys []uint64
+}
+
+// deliverScratch is a shard worker's reusable grouping state.
+type deliverScratch struct {
+	groups map[groupKey]*group
+	order  []*group // encounter order, for deterministic delivery
+	free   []*group // recycled group structs
+}
+
+// take returns a zeroed group struct, recycling one when available.
+func (ds *deliverScratch) take() *group {
+	if n := len(ds.free); n > 0 {
+		g := ds.free[n-1]
+		ds.free = ds.free[:n-1]
+		return g
+	}
+	return &group{}
+}
+
+// reset recycles the round's group structs and clears the index for the
+// next batch. Key slices are not touched: their ownership passed to the
+// clusters on delivery.
+func (ds *deliverScratch) reset() {
+	for _, g := range ds.order {
+		g.t, g.keys = nil, nil
+		ds.free = append(ds.free, g)
+	}
+	ds.order = ds.order[:0]
+	clear(ds.groups)
 }
 
 // deliverGroup feeds one pre-grouped remote batch: perturb in place on the
@@ -242,6 +294,7 @@ func (sh *sharder) deliverGroup(g *remoteGroup) {
 	t := sh.reg.Get(g.tenant)
 	if t == nil {
 		sh.lost.Add(int64(len(g.values))) // tenant deleted between accept and delivery
+		runtime.PutBatch(g.values)
 		return
 	}
 	if t.perturbed() {
@@ -260,18 +313,7 @@ func (sh *sharder) deliverGroup(g *remoteGroup) {
 // group. Record order is preserved within each (tenant, site) pair — the
 // only order the runtime observes, since each site has its own ingestion
 // queue.
-func (sh *sharder) deliver(recs []Record) {
-	type groupKey struct {
-		tenant string
-		site   int
-	}
-	type group struct {
-		t    *Tenant
-		site int
-		keys []uint64
-	}
-	groups := make(map[groupKey]*group)
-	var order []*group // encounter order, for deterministic delivery
+func (sh *sharder) deliver(recs []Record, ds *deliverScratch) {
 	var (
 		cur     *Tenant
 		curName string
@@ -291,22 +333,24 @@ func (sh *sharder) deliver(recs []Record) {
 			v = cur.perturb(v)
 		}
 		gk := groupKey{rec.Tenant, rec.Site}
-		g := groups[gk]
+		g := ds.groups[gk]
 		if g == nil {
 			// Key slices come from the runtime batch pool; the cluster's
 			// site goroutine recycles them after feeding.
-			g = &group{t: cur, site: rec.Site, keys: runtime.GetBatch(16)}
-			groups[gk] = g
-			order = append(order, g)
+			g = ds.take()
+			g.t, g.site, g.keys = cur, rec.Site, runtime.GetBatch(16)
+			ds.groups[gk] = g
+			ds.order = append(ds.order, g)
 		}
 		g.keys = append(g.keys, v)
 	}
-	for _, g := range order {
+	for _, g := range ds.order {
 		// Ownership of keys passes to the cluster.
 		if err := g.t.sendBatch(g.site, g.keys); err != nil {
 			sh.lost.Add(int64(len(g.keys)))
 		}
 	}
+	ds.reset()
 }
 
 // Flush blocks until every record accepted before the call is visible to

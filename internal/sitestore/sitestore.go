@@ -7,6 +7,8 @@
 package sitestore
 
 import (
+	"slices"
+
 	"disttrack/internal/rank"
 	"disttrack/internal/summary/gk"
 )
@@ -15,6 +17,13 @@ import (
 type Store interface {
 	// Insert records one local item.
 	Insert(x uint64)
+	// InsertBatch records a batch of local items given in arrival order,
+	// equivalent to calling Insert for each in sequence (order matters for
+	// the GK summary, whose state is insertion-order dependent). The exact
+	// store sorts a scratch copy and bulk-merges it into the treap, which
+	// is what makes the trackers' FeedLocalBatch fast. The store does not
+	// retain xs.
+	InsertBatch(xs []uint64)
 	// RankOf returns (an estimate of) the number of local items < x.
 	RankOf(x uint64) int64
 	// CountRange returns (an estimate of) the number of local items in [lo, hi).
@@ -30,9 +39,24 @@ type Store interface {
 // internal balancing derived from seed.
 func NewExact(seed int64) Store { return &exactStore{tree: rank.New(seed)} }
 
-type exactStore struct{ tree *rank.Tree }
+type exactStore struct {
+	tree    *rank.Tree
+	scratch []uint64 // reused sort buffer for InsertBatch
+}
 
-func (s *exactStore) Insert(x uint64)       { s.tree.Insert(x) }
+func (s *exactStore) Insert(x uint64) { s.tree.Insert(x) }
+
+func (s *exactStore) InsertBatch(xs []uint64) {
+	if len(xs) == 0 {
+		return
+	}
+	// The treap's answers are content-determined, so inserting the batch in
+	// sorted rather than arrival order is unobservable — and unlocks the
+	// O(B)-build + union bulk path.
+	s.scratch = append(s.scratch[:0], xs...)
+	slices.Sort(s.scratch)
+	s.tree.InsertSorted(s.scratch)
+}
 func (s *exactStore) RankOf(x uint64) int64 { return int64(s.tree.Rank(x)) }
 func (s *exactStore) CountRange(lo, hi uint64) int64 {
 	return int64(s.tree.CountRange(lo, hi))
@@ -47,7 +71,15 @@ func NewGK(eps float64) Store { return &gkStore{sum: gk.New(eps)} }
 
 type gkStore struct{ sum *gk.Summary }
 
-func (s *gkStore) Insert(x uint64)       { s.sum.Add(x) }
+func (s *gkStore) Insert(x uint64) { s.sum.Add(x) }
+
+func (s *gkStore) InsertBatch(xs []uint64) {
+	// GK summary state depends on insertion order; keep arrival order so
+	// batched and sequential feeding answer identically.
+	for _, x := range xs {
+		s.sum.Add(x)
+	}
+}
 func (s *gkStore) RankOf(x uint64) int64 { return s.sum.RankEst(x) }
 
 func (s *gkStore) CountRange(lo, hi uint64) int64 {

@@ -66,6 +66,50 @@ func TestGKStoreRankWithinEps(t *testing.T) {
 	}
 }
 
+// TestInsertBatchMatchesSequential checks that batched and sequential
+// insertion answer identically — exactly for the exact store, and
+// tuple-for-tuple for the order-sensitive GK summary (same arrival order).
+func TestInsertBatchMatchesSequential(t *testing.T) {
+	xs := randomItems(12000, 21)
+	for name, mk := range map[string]func() Store{
+		"exact": func() Store { return NewExact(7) },
+		"gk":    func() Store { return NewGK(0.01) },
+	} {
+		seq, bat := mk(), mk()
+		fill(seq, xs)
+		rng := rand.New(rand.NewSource(22))
+		for pos := 0; pos < len(xs); {
+			n := 1 + rng.Intn(500)
+			if pos+n > len(xs) {
+				n = len(xs) - pos
+			}
+			bat.InsertBatch(xs[pos : pos+n])
+			pos += n
+		}
+		bat.InsertBatch(nil) // no-op
+		if seq.Space() == 0 || bat.RankOf(math.MaxUint64) != int64(len(xs)) {
+			t.Fatalf("%s: batched store lost items", name)
+		}
+		qrng := rand.New(rand.NewSource(23))
+		for i := 0; i < 200; i++ {
+			q := qrng.Uint64() % (1 << 40)
+			if a, b := seq.RankOf(q), bat.RankOf(q); a != b {
+				t.Fatalf("%s: RankOf(%d) sequential %d, batched %d", name, q, a, b)
+			}
+		}
+		sa := seq.Separators(0, math.MaxUint64, 100)
+		sb := bat.Separators(0, math.MaxUint64, 100)
+		if len(sa) != len(sb) {
+			t.Fatalf("%s: separator counts diverged: %d vs %d", name, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("%s: separator %d diverged: %d vs %d", name, i, sa[i], sb[i])
+			}
+		}
+	}
+}
+
 func TestCountRangeConsistent(t *testing.T) {
 	xs := randomItems(3000, 5)
 	for name, s := range map[string]Store{"exact": NewExact(1), "gk": NewGK(0.02)} {

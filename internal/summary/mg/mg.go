@@ -11,7 +11,10 @@
 // i.e. an underestimate with error at most ε·n for c = ⌈1/ε⌉ counters.
 package mg
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // Summary is a Misra–Gries summary. Not safe for concurrent use.
 type Summary struct {
@@ -78,11 +81,11 @@ func (s *Summary) Top() []Entry {
 	for x, c := range s.counters {
 		out = append(out, Entry{Item: x, Count: c})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
+	slices.SortFunc(out, func(a, b Entry) int {
+		if a.Count != b.Count {
+			return cmp.Compare(b.Count, a.Count)
 		}
-		return out[i].Item < out[j].Item
+		return cmp.Compare(a.Item, b.Item)
 	})
 	return out
 }
@@ -100,6 +103,6 @@ func (s *Summary) HeavyHitters(phi float64) []uint64 {
 			out = append(out, x)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -11,7 +11,10 @@
 // where n is the number of arrivals. Updates run in O(log c) via a min-heap.
 package spacesaving
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // Sketch is a Space-Saving summary. Not safe for concurrent use.
 type Sketch struct {
@@ -133,11 +136,11 @@ func (s *Sketch) Top() []Entry {
 	for _, e := range s.entries {
 		out = append(out, Entry{Item: e.item, Count: e.count, Err: e.err})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
+	slices.SortFunc(out, func(a, b Entry) int {
+		if a.Count != b.Count {
+			return cmp.Compare(b.Count, a.Count)
 		}
-		return out[i].Item < out[j].Item
+		return cmp.Compare(a.Item, b.Item)
 	})
 	return out
 }
@@ -155,7 +158,7 @@ func (s *Sketch) HeavyHitters(phi float64) []uint64 {
 			out = append(out, e.item)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
