@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: all ci fmt fmt-fix vet build test race bench-smoke bench-race-smoke bench-json bench-compare staticcheck vuln fuzz-smoke
+.PHONY: all ci fmt fmt-fix vet build test test-shuffle race bench-smoke bench-race-smoke bench-json bench-compare staticcheck vuln fuzz-smoke
 
 all: build
 
-ci: fmt vet build test race bench-smoke bench-race-smoke
+ci: fmt vet build test test-shuffle race bench-smoke bench-race-smoke
 
 # fmt fails if any file needs formatting (what CI runs); fmt-fix rewrites.
 fmt:
@@ -25,6 +25,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Randomize test execution order (mirrors the CI shuffle job), to catch
+# inter-test ordering assumptions — e.g. state the engine refactor could
+# accidentally share across conformance subtests.
+test-shuffle:
+	$(GO) test -shuffle=on -count=1 ./...
 
 race:
 	$(GO) test -race ./...

@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 
+	"disttrack/internal/cli"
 	"disttrack/internal/core/hh"
 	"disttrack/internal/oracle"
 	"disttrack/internal/stream"
@@ -83,14 +84,7 @@ func main() {
 	}
 
 	o := oracle.New()
-	for i := 0; ; i++ {
-		x, ok := gen.Next()
-		if !ok {
-			break
-		}
-		tr.Feed(assign.Site(i, x), x)
-		o.Add(x)
-	}
+	cli.Ingest(tr, gen, assign, o)
 
 	fmt.Printf("tracked %d items across %d sites (eps=%g, phi=%g, %s mode)\n",
 		o.Len(), *k, *eps, *phi, map[bool]string{false: "exact", true: "sketch"}[*sketch])
@@ -111,9 +105,7 @@ func main() {
 		fmt.Printf("%-12d %-12s %-12d MISSED (contract violation!)\n", x, "-", o.Count(x))
 	}
 
-	c := tr.Meter().Total()
-	fmt.Printf("\ncommunication: %d msgs, %d words (naive forwarding: %d words, %.1fx more)\n",
-		c.Msgs, c.Words, o.Len(), float64(o.Len())/float64(c.Words))
-	fmt.Printf("coordinator count estimate %d vs true %d; %d sync rounds\n",
-		tr.EstTotal(), tr.TrueTotal(), tr.Rounds())
+	fmt.Printf("\n%s\n", cli.CommSummary(tr, o.Len()))
+	fmt.Printf("coordinator count estimate %d vs true %d\n",
+		tr.EstTotal(), tr.TrueTotal())
 }

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 
+	"disttrack/internal/cli"
 	"disttrack/internal/core/allq"
 	"disttrack/internal/core/quantile"
 	"disttrack/internal/histogram"
@@ -46,14 +47,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		for i := 0; ; i++ {
-			x, ok := gen.Next()
-			if !ok {
-				break
-			}
-			tr.Feed(assign.Site(i, x), x)
-			o.Add(x)
-		}
+		cli.Ingest(tr, gen, assign, o)
 		fmt.Printf("all-quantile tracking of %d items (k=%d, eps=%g)\n\n", o.Len(), *k, *eps)
 		fmt.Printf("%-6s %-14s %-14s %s\n", "phi", "tracked", "exact", "rank err/|A|")
 		for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
@@ -67,8 +61,7 @@ func main() {
 			st.Nodes, st.Leaves, st.Height, st.HeightCap)
 		h := histogram.Build(tr, 10)
 		fmt.Printf("equal-height histogram skew: %.3f\n", h.MaxSkew())
-		c := tr.Meter().Total()
-		fmt.Printf("communication: %d msgs, %d words (naive: %d words)\n", c.Msgs, c.Words, o.Len())
+		fmt.Println(cli.CommSummary(tr, o.Len()))
 		return
 	}
 
@@ -90,14 +83,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i := 0; ; i++ {
-		x, ok := gen.Next()
-		if !ok {
-			break
-		}
-		tr.Feed(assign.Site(i, x), x)
-		o.Add(x)
-	}
+	cli.Ingest(tr, gen, assign, o)
 	if len(cfg.Phis) > 0 {
 		fmt.Printf("tracking %d quantiles in one tracker (k=%d, eps=%g, |A|=%d)\n\n",
 			len(cfg.Phis), *k, *eps, o.Len())
@@ -108,9 +94,8 @@ func main() {
 				p, stream.Unperturb(v), stream.Unperturb(o.Quantile(p)),
 				o.QuantileRankError(v, p))
 		}
-		c := tr.Meter().Total()
-		fmt.Printf("\ncommunication: %d msgs, %d words (naive: %d); %d rounds, %d splits, %d relocations\n",
-			c.Msgs, c.Words, o.Len(), tr.Rounds(), tr.Splits(), tr.Relocations())
+		fmt.Printf("\n%s; %d splits, %d relocations\n",
+			cli.CommSummary(tr, o.Len()), tr.Splits(), tr.Relocations())
 		return
 	}
 	v := tr.Quantile()
@@ -118,7 +103,6 @@ func main() {
 	fmt.Printf("tracked %d, exact %d, rank error %.5f of |A| (budget %g)\n",
 		stream.Unperturb(v), stream.Unperturb(o.Quantile(*phi)),
 		o.QuantileRankError(v, *phi), *eps)
-	c := tr.Meter().Total()
-	fmt.Printf("communication: %d msgs, %d words (naive: %d); %d rounds, %d splits, %d relocations\n",
-		c.Msgs, c.Words, o.Len(), tr.Rounds(), tr.Splits(), tr.Relocations())
+	fmt.Printf("%s; %d splits, %d relocations\n",
+		cli.CommSummary(tr, o.Len()), tr.Splits(), tr.Relocations())
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 
+	"disttrack/internal/core"
 	"disttrack/internal/core/allq"
 	"disttrack/internal/core/hh"
 	"disttrack/internal/core/quantile"
@@ -59,7 +60,18 @@ func main() {
 	fmt.Println("p99:   ", stream.Unperturb(allTr.Quantile(0.99)))
 
 	// Costs amortize with stream length (the paper assumes n large); see
-	// cmd/experiments for the scaling tables.
-	fmt.Printf("communication: heavy hitters %d words, median %d, all quantiles %d (stream: 100000 items)\n",
-		hhTr.Meter().Total().Words, medTr.Meter().Total().Words, allTr.Meter().Total().Words)
+	// cmd/experiments for the scaling tables. All three trackers share the
+	// engine-provided core.Tracker surface, so the report loop is uniform.
+	for _, e := range []struct {
+		name string
+		tr   core.Tracker
+	}{
+		{"heavy hitters", hhTr},
+		{"median", medTr},
+		{"all quantiles", allTr},
+	} {
+		c := e.tr.Meter().Total()
+		fmt.Printf("communication: %-13s %6d words over %d items (%d rounds)\n",
+			e.name, c.Words, e.tr.TrueTotal(), e.tr.Rounds())
+	}
 }

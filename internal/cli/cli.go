@@ -1,0 +1,45 @@
+// Package cli holds the small pieces the command-line front ends (cmd/ and
+// examples/) share across tracker kinds. Everything here is typed against
+// the unified core.Tracker surface, so the same ingest loop and report
+// lines drive heavy-hitter, single-quantile and all-quantile trackers — a
+// new engine policy gets CLI support for free.
+package cli
+
+import (
+	"fmt"
+
+	"disttrack/internal/core"
+	"disttrack/internal/oracle"
+	"disttrack/internal/stream"
+)
+
+// Ingest feeds a generated distributed stream into any core tracker
+// sequentially, optionally mirroring every item into an exact oracle for
+// accuracy reporting. It returns the number of items fed.
+func Ingest(tr core.Tracker, gen stream.Generator, assign stream.Assigner, o *oracle.Oracle) int64 {
+	var n int64
+	for i := 0; ; i++ {
+		x, ok := gen.Next()
+		if !ok {
+			return n
+		}
+		tr.Feed(assign.Site(i, x), x)
+		if o != nil {
+			o.Add(x)
+		}
+		n++
+	}
+}
+
+// CommSummary formats the standard communication report for any core
+// tracker: metered messages and words against what naive forwarding (one
+// word per arrival) would have cost, plus the protocol round count.
+func CommSummary(tr core.Tracker, naiveWords int64) string {
+	c := tr.Meter().Total()
+	ratio := "n/a"
+	if c.Words > 0 {
+		ratio = fmt.Sprintf("%.1fx", float64(naiveWords)/float64(c.Words))
+	}
+	return fmt.Sprintf("communication: %d msgs, %d words (naive forwarding: %d words, %s); %d rounds",
+		c.Msgs, c.Words, naiveWords, ratio, tr.Rounds())
+}

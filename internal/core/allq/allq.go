@@ -39,18 +39,23 @@
 //
 // Items are assumed distinct (stream.Perturb); see the package quantile
 // documentation for how ties degrade and are reported.
+//
+// # Concurrency
+//
+// The two-phase ingest surface (Feed, FeedLocal, FeedLocalBatch, Escalate,
+// Quiesce, Version) is owned by the shared core/engine skeleton; this
+// package supplies only the §4 algorithm as an engine policy. See package
+// engine for the concurrency contract.
 package allq
 
 import (
 	"fmt"
 	"math"
 	"slices"
-	"sync"
-	"sync/atomic"
 
+	"disttrack/internal/core/engine"
 	"disttrack/internal/rank"
 	"disttrack/internal/sitestore"
-	"disttrack/internal/wire"
 )
 
 // Mode selects the per-site item store.
@@ -89,28 +94,23 @@ type node struct {
 func (u *node) isLeaf() bool { return u.left == nil }
 
 // Tracker continuously tracks all quantiles of the union of k site-local
-// streams.
-//
-// Concurrency follows the same two-phase contract as core/hh: FeedLocal is
-// safe with one goroutine per site, Escalate/Quiesce serialize the
-// coordinator slow path against every fast path, and Feed plus the query
-// methods are for sequential callers (or inside Quiesce). See the runtime
-// package for the concurrent driver.
+// streams. The embedded engine provides the whole ingest and quiescence
+// surface; the methods defined here are the §4 queries.
 type Tracker struct {
-	cfg   Config
-	meter wire.Meter
+	*engine.Engine
+	p *policy
+}
+
+// policy is the §4 algorithm as an engine policy: all methods run under the
+// engine's locks (see engine.Policy), so no field needs locking of its own.
+type policy struct {
+	eng *engine.Engine
+	cfg Config
+
 	sites []*site
 
-	// escMu serializes the coordinator slow path; the slow path also holds
-	// every site lock, so the tree structure the fast path walks only
-	// changes while all fast paths are excluded.
-	escMu   sync.Mutex
-	version atomic.Uint64
-
-	boot       bool
 	bootTarget int64
 	bootTree   *rank.Tree
-	n          atomic.Int64 // true |A|
 
 	// Round state.
 	m           int64   // |A| at round start
@@ -120,7 +120,7 @@ type Tracker struct {
 	leafSplitAt int64   // leaf split trigger: (ε/2 − θ)m
 	root        *node
 	nextID      int
-	pathScratch []*node // reused by Escalate's path walk (under escMu)
+	pathScratch []*node // reused by OnEscalate's path walk (under escMu)
 
 	// Statistics.
 	rounds      int
@@ -129,13 +129,9 @@ type Tracker struct {
 	cannotSplit int
 }
 
+// site is the per-site protocol state, guarded by the engine's site locks.
 type site struct {
-	// mu guards every field: held by the owning site goroutine for the
-	// duration of FeedLocal and by the coordinator for the whole slow path.
-	mu sync.Mutex
-
 	st sitestore.Store
-	nj int64
 
 	// delta holds the per-node unreported arrival counts, indexed densely
 	// by node id: gcDeltas renumbers the live tree 0..N-1 after every
@@ -148,18 +144,14 @@ type site struct {
 
 // New validates cfg and returns a Tracker.
 func New(cfg Config) (*Tracker, error) {
-	if cfg.K < 1 {
-		return nil, fmt.Errorf("allq: K must be >= 1, got %d", cfg.K)
+	p := &policy{cfg: cfg}
+	eng, err := engine.New(engine.Config{Name: "allq", K: cfg.K, Eps: cfg.Eps}, p)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Eps <= 0 || cfg.Eps >= 1 {
-		return nil, fmt.Errorf("allq: Eps must be in (0,1), got %g", cfg.Eps)
-	}
-	t := &Tracker{
-		cfg:        cfg,
-		boot:       true,
-		bootTarget: int64(math.Ceil(float64(cfg.K) / cfg.Eps)),
-		bootTree:   rank.New(cfg.Seed ^ 0xA11),
-	}
+	p.eng = eng
+	p.bootTarget = eng.BootTarget()
+	p.bootTree = rank.New(cfg.Seed ^ 0xA11)
 	for j := 0; j < cfg.K; j++ {
 		var st sitestore.Store
 		if cfg.Mode == ModeSketch {
@@ -170,9 +162,9 @@ func New(cfg Config) (*Tracker, error) {
 		} else {
 			st = sitestore.NewExact(cfg.Seed + int64(j) + 1)
 		}
-		t.sites = append(t.sites, &site{st: st})
+		p.sites = append(p.sites, &site{st: st})
 	}
-	return t, nil
+	return &Tracker{Engine: eng, p: p}, nil
 }
 
 // heightCap returns the height bound h = ⌈1.5·log₂(16/ε)⌉ + 4.
@@ -180,41 +172,21 @@ func heightCap(eps float64) int {
 	return int(math.Ceil(1.5*math.Log2(16/eps))) + 4
 }
 
-// Feed records one arrival of item x at the given site and runs any
-// communication the protocol triggers: the sequential composition of
-// FeedLocal and Escalate, message-for-message identical to the unsplit
-// protocol.
-func (t *Tracker) Feed(siteID int, x uint64) {
-	if t.FeedLocal(siteID, x) {
-		t.Escalate(siteID, x)
-	}
+// ApplyBoot records one bootstrap arrival in site j's item store.
+func (p *policy) ApplyBoot(siteID int, x uint64) {
+	p.sites[siteID].st.Insert(x)
 }
 
-// FeedLocal runs the site-local fast path for one arrival: the store
-// insert and the per-node counter updates along the root-to-leaf path of
-// x, with no shared state touched. It reports whether a node batch reached
-// its threshold — the caller must then invoke Escalate with the same
-// arguments. Safe for concurrent use with one goroutine per site; the tree
-// it walks only changes while every site lock is held.
-func (t *Tracker) FeedLocal(siteID int, x uint64) (escalate bool) {
-	if siteID < 0 || siteID >= t.cfg.K {
-		panic(fmt.Sprintf("allq: site %d out of range [0,%d)", siteID, t.cfg.K))
-	}
-	s := t.sites[siteID]
-	s.mu.Lock()
+// ApplyLocal runs the site-local fast path for one arrival: the store
+// insert and the per-node counter updates along the root-to-leaf path of x.
+// The tree it walks only changes while every site lock is held.
+func (p *policy) ApplyLocal(siteID int, x uint64) (escalate bool) {
+	s := p.sites[siteID]
 	s.st.Insert(x)
-	s.nj++
-	t.n.Add(1)
-
-	if t.boot {
-		s.mu.Unlock()
-		return true
-	}
-
 	d := s.delta
-	for u := t.root; ; {
+	for u := p.root; ; {
 		d[u.id]++
-		if d[u.id] >= t.thrNode {
+		if d[u.id] >= p.thrNode {
 			escalate = true
 		}
 		if u.isLeaf() {
@@ -226,67 +198,22 @@ func (t *Tracker) FeedLocal(siteID int, x uint64) (escalate bool) {
 			u = u.right
 		}
 	}
-	s.mu.Unlock()
 	return escalate
 }
 
-// FeedLocalBatch records a batch of arrivals at one site, amortizing the
-// fast path: one site-lock acquisition, one store bulk-insert and one
-// global-count update per escalation-free run, with the per-item tree-path
-// counting applied in arrival order over the dense delta slice. The batch
-// splits at every threshold crossing — Escalate runs inline at exactly the
-// logical positions the sequential Feed loop would, so protocol state and
-// every wire.Meter count are bit-for-bit identical to feeding the items
-// one by one. It returns the (strictly increasing) batch indices that
-// escalated, nil when none did. The tracker does not retain xs.
-//
-// Like FeedLocal, it is safe for concurrent use with one goroutine per
-// site; it must not be interleaved with FeedLocal/Feed calls for the same
-// site from other goroutines.
-func (t *Tracker) FeedLocalBatch(siteID int, xs []uint64) (escalations []int) {
-	if siteID < 0 || siteID >= t.cfg.K {
-		panic(fmt.Sprintf("allq: site %d out of range [0,%d)", siteID, t.cfg.K))
-	}
-	s := t.sites[siteID]
-	for i := 0; i < len(xs); {
-		s.mu.Lock()
-		if t.boot {
-			// Bootstrap forwards every arrival: apply one item and escalate,
-			// exactly the sequential composition.
-			s.st.Insert(xs[i])
-			s.nj++
-			t.n.Add(1)
-			s.mu.Unlock()
-			t.Escalate(siteID, xs[i])
-			escalations = append(escalations, i)
-			i++
-			continue
-		}
-		consumed, crossed := t.feedRunLocked(s, xs[i:])
-		s.mu.Unlock()
-		i += consumed
-		if !crossed {
-			break
-		}
-		escalations = append(escalations, i-1)
-		t.Escalate(siteID, xs[i-1])
-	}
-	return escalations
-}
-
-// feedRunLocked applies the site-local fast path to a prefix of xs under
-// the already-held site lock: root-to-leaf delta counting per item in
-// arrival order until the first threshold crossing (inclusive), then one
-// store bulk-insert and one fold into the site and global counts for the
-// whole consumed prefix. The tree it walks only changes while every site
-// lock is held.
-func (t *Tracker) feedRunLocked(s *site, xs []uint64) (consumed int, crossed bool) {
+// ApplyRun applies the site-local fast path to a prefix of xs:
+// root-to-leaf delta counting per item in arrival order until the first
+// threshold crossing (inclusive), then one store bulk-insert for the whole
+// consumed prefix. The tree it walks only changes while every site lock is
+// held.
+func (p *policy) ApplyRun(siteID int, xs []uint64) (consumed int, crossed bool) {
+	s := p.sites[siteID]
 	d := s.delta
-	thr := t.thrNode
+	thr := p.thrNode
 	consumed = len(xs)
 	for i, x := range xs {
 		esc := false
-		for u := t.root; ; {
+		for u := p.root; ; {
 			d[u.id]++
 			if d[u.id] >= thr {
 				esc = true
@@ -306,49 +233,32 @@ func (t *Tracker) feedRunLocked(s *site, xs []uint64) (consumed int, crossed boo
 		}
 	}
 	s.st.InsertBatch(xs[:consumed])
-	s.nj += int64(consumed)
-	t.n.Add(int64(consumed))
 	return consumed, crossed
 }
 
-// Escalate runs the coordinator slow path for an arrival previously applied
-// by FeedLocal: it re-checks the per-node thresholds under the protocol
-// lock and runs the communication the protocol triggers — node reports,
-// condition (6) maintenance and rebuilds, leaf splits, round changes — with
-// all wire.Meter accounting. It excludes every site's fast path for its
-// duration. When a rebuild replaces a subtree, pending deltas for the
-// replaced nodes (including ones this arrival just incremented) are
+// OnEscalate re-checks the per-node thresholds under the protocol lock and
+// runs the communication the protocol triggers — node reports, condition
+// (6) maintenance and rebuilds, leaf splits, round changes — with all
+// wire.Meter accounting. When a rebuild replaces a subtree, pending deltas
+// for the replaced nodes (including ones this arrival just incremented) are
 // garbage-collected; the rebuild's exact counts already cover them.
-// Arrivals that straddle the bootstrap→tracking transition are absorbed by
-// the next exact collection (see core/hh for the argument).
-func (t *Tracker) Escalate(siteID int, x uint64) {
-	t.escMu.Lock()
-	t.lockSites()
-	s := t.sites[siteID]
-
-	if t.boot {
-		t.meter.Up(siteID, "item", 1)
-		t.bootTree.Insert(x)
-		if t.n.Load() >= t.bootTarget {
-			t.boot = false
-			t.newRound()
-		}
-		t.finishSlowPath()
-		return
-	}
+func (p *policy) OnEscalate(siteID int, x uint64) {
+	s := p.sites[siteID]
+	meter := p.eng.Meter()
 
 	// Walk the root-to-leaf path of x, flushing full per-node batches. The
-	// path lives in a tracker-owned scratch buffer (Escalate is serialized
-	// under escMu) instead of a fresh allocation per escalation.
-	t.pathScratch = appendPath(t.pathScratch[:0], t.root, x)
-	for _, u := range t.pathScratch {
-		if s.delta[u.id] < t.thrNode {
+	// path lives in a policy-owned scratch buffer (the slow path is
+	// serialized under the engine's escMu) instead of a fresh allocation
+	// per escalation.
+	p.pathScratch = appendPath(p.pathScratch[:0], p.root, x)
+	for _, u := range p.pathScratch {
+		if s.delta[u.id] < p.thrNode {
 			continue
 		}
-		t.meter.Up(siteID, "nd", 2)
+		meter.Up(siteID, "nd", 2)
 		u.s += s.delta[u.id]
 		s.delta[u.id] = 0
-		if t.checkConditions(u) {
+		if p.checkConditions(u) {
 			// The subtree containing the deeper path nodes was rebuilt with
 			// exact counts; stop processing stale nodes.
 			break
@@ -357,48 +267,20 @@ func (t *Tracker) Escalate(siteID int, x uint64) {
 
 	// Round change: the root's count doubles. s_root underestimates |A|, so
 	// the trigger never fires early.
-	if t.root.s >= 2*t.m {
-		t.newRound()
-	}
-	t.finishSlowPath()
-}
-
-// lockSites acquires every site lock in index order (lock order: escMu,
-// then sites ascending; FeedLocal takes only its own site lock).
-func (t *Tracker) lockSites() {
-	for _, s := range t.sites {
-		s.mu.Lock()
+	if p.root.s >= 2*p.m {
+		p.newRound()
 	}
 }
 
-func (t *Tracker) unlockSites() {
-	for _, s := range t.sites {
-		s.mu.Unlock()
-	}
+// OnBootEscalate forwards one bootstrap arrival into the coordinator's
+// exact tree; the bootstrap ends once |A| reaches k/ε.
+func (p *policy) OnBootEscalate(_ int, x uint64) (done bool) {
+	p.bootTree.Insert(x)
+	return p.eng.TrueTotal() >= p.bootTarget
 }
 
-// finishSlowPath publishes the new coordinator state version and releases
-// the slow-path locks.
-func (t *Tracker) finishSlowPath() {
-	t.version.Add(1)
-	t.unlockSites()
-	t.escMu.Unlock()
-}
-
-// Quiesce runs f with no fast path in flight and no escalation, so tracker
-// reads inside f see consistent coordinator and site state. It is the
-// query entry point for concurrent deployments.
-func (t *Tracker) Quiesce(f func()) {
-	t.escMu.Lock()
-	t.lockSites()
-	f()
-	t.unlockSites()
-	t.escMu.Unlock()
-}
-
-// Version returns the coordinator state version; answers computed under
-// Quiesce remain valid while it is unchanged. Safe for concurrent use.
-func (t *Tracker) Version() uint64 { return t.version.Load() }
+// OnBootDone builds the first round.
+func (p *policy) OnBootDone() { p.newRound() }
 
 // appendPath appends the root-to-leaf path of x to dst and returns it,
 // letting callers reuse a scratch buffer across walks.
@@ -420,11 +302,12 @@ func appendPath(dst []*node, root *node, x uint64) []*node {
 // The estimate underestimates by at most ε·max(m, |A|-ish): formally,
 // rank(x) − ε|A| ≤ Rank(x) ≤ rank(x) at all times.
 func (t *Tracker) Rank(x uint64) int64 {
-	if t.boot {
-		return int64(t.bootTree.Rank(x))
+	p := t.p
+	if t.Bootstrapping() {
+		return int64(p.bootTree.Rank(x))
 	}
 	var acc int64
-	for u := t.root; !u.isLeaf(); {
+	for u := p.root; !u.isLeaf(); {
 		if x < u.split {
 			u = u.left
 		} else {
@@ -445,13 +328,15 @@ func (t *Tracker) Quantile(phi float64) uint64 {
 	if phi < 0 || phi > 1 {
 		panic(fmt.Sprintf("allq: phi must be in [0,1], got %g", phi))
 	}
-	if t.boot {
-		// Index against what was actually forwarded: t.n counts arrivals at
-		// FeedLocal time, but a concurrent arrival reaches the bootstrap
-		// tree only in its Escalate — a quiescent query may run in between.
-		n := int64(t.bootTree.Len())
+	p := t.p
+	if t.Bootstrapping() {
+		// Index against what was actually forwarded: TrueTotal counts
+		// arrivals at FeedLocal time, but a concurrent arrival reaches the
+		// bootstrap tree only in its Escalate — a quiescent query may run
+		// in between.
+		n := int64(p.bootTree.Len())
 		if n == 0 {
-			if t.n.Load() == 0 {
+			if t.TrueTotal() == 0 {
 				panic("allq: Quantile before any arrival")
 			}
 			return 0 // every arrival so far is still in flight to Escalate
@@ -460,10 +345,10 @@ func (t *Tracker) Quantile(phi float64) uint64 {
 		if i >= n {
 			i = n - 1
 		}
-		return t.bootTree.Select(int(i))
+		return p.bootTree.Select(int(i))
 	}
-	target := phi * float64(t.root.s)
-	u := t.root
+	target := phi * float64(p.root.s)
+	u := p.root
 	for !u.isLeaf() {
 		if ls := float64(u.left.s); target < ls {
 			u = u.left
@@ -483,7 +368,8 @@ func (t *Tracker) Quantile(phi float64) uint64 {
 // stream.Perturb with the given shift; the result contains every value with
 // frequency ≥ φ|A| and nothing below (φ − ~3ε)|A|. Requires phi > eps.
 func (t *Tracker) HeavyHittersFromRanks(phi float64, shift uint) []uint64 {
-	if phi <= t.cfg.Eps || phi > 1 {
+	p := t.p
+	if phi <= p.cfg.Eps || phi > 1 {
 		panic(fmt.Sprintf("allq: phi must be in (eps, 1], got %g", phi))
 	}
 	total := t.EstTotal()
@@ -494,18 +380,18 @@ func (t *Tracker) HeavyHittersFromRanks(phi float64, shift uint) []uint64 {
 	// key range contains a leaf boundary: leaf left edges are a complete
 	// candidate set.
 	cand := make(map[uint64]bool)
-	if t.boot {
-		for _, key := range t.bootTree.Items() {
+	if t.Bootstrapping() {
+		for _, key := range p.bootTree.Items() {
 			cand[key>>shift] = true
 		}
 	} else {
-		for _, u := range collectNodes(t.root) {
+		for _, u := range collectNodes(p.root) {
 			if u.isLeaf() {
 				cand[u.lo>>shift] = true
 			}
 		}
 	}
-	thresh := (phi - 2*t.cfg.Eps) * float64(total)
+	thresh := (phi - 2*p.cfg.Eps) * float64(total)
 	var out []uint64
 	for v := range cand {
 		freq := t.Rank((v+1)<<shift) - t.Rank(v<<shift)
@@ -519,51 +405,38 @@ func (t *Tracker) HeavyHittersFromRanks(phi float64, shift uint) []uint64 {
 
 // EstTotal returns the coordinator's estimate of |A| (s_root).
 func (t *Tracker) EstTotal() int64 {
-	if t.boot {
-		return t.n.Load()
+	if t.Bootstrapping() {
+		return t.TrueTotal()
 	}
-	return t.root.s
+	return t.p.root.s
 }
 
-// TrueTotal returns the exact |A| (not known to the coordinator).
-func (t *Tracker) TrueTotal() int64 { return t.n.Load() }
-
-// Meter returns the communication meter.
-func (t *Tracker) Meter() *wire.Meter { return &t.meter }
-
-// K returns the number of sites; Eps the error parameter.
-func (t *Tracker) K() int       { return t.cfg.K }
-func (t *Tracker) Eps() float64 { return t.cfg.Eps }
-
 // Rounds, Rebuilds and LeafSplits return protocol statistics.
-func (t *Tracker) Rounds() int     { return t.rounds }
-func (t *Tracker) Rebuilds() int   { return t.rebuilds }
-func (t *Tracker) LeafSplits() int { return t.leafSplits }
+func (t *Tracker) Rounds() int     { return t.p.rounds }
+func (t *Tracker) Rebuilds() int   { return t.p.rebuilds }
+func (t *Tracker) LeafSplits() int { return t.p.leafSplits }
 
 // CannotSplit counts build steps defeated by ties.
-func (t *Tracker) CannotSplit() int { return t.cannotSplit }
+func (t *Tracker) CannotSplit() int { return t.p.cannotSplit }
 
 // RoundM returns m, the |A| snapshot the current round's thresholds use.
-func (t *Tracker) RoundM() int64 { return t.m }
+func (t *Tracker) RoundM() int64 { return t.p.m }
 
 // HeightBound returns the current round's height cap h.
-func (t *Tracker) HeightBound() int { return t.h }
+func (t *Tracker) HeightBound() int { return t.p.h }
 
 // SiteSpace returns the number of stored entries at site j (store plus
 // pending per-node deltas — the nonzero entries of the dense delta slice,
 // matching what the map representation used to hold).
 func (t *Tracker) SiteSpace(j int) int {
 	pending := 0
-	for _, d := range t.sites[j].delta {
+	for _, d := range t.p.sites[j].delta {
 		if d != 0 {
 			pending++
 		}
 	}
-	return t.sites[j].st.Space() + pending
+	return t.p.sites[j].st.Space() + pending
 }
-
-// SiteCount returns the exact number of arrivals observed at site j.
-func (t *Tracker) SiteCount(j int) int64 { return t.sites[j].nj }
 
 // Stats describes the current tree shape — the Figure 1 invariants.
 type Stats struct {
@@ -578,8 +451,9 @@ type Stats struct {
 
 // TreeStats reports the current structure statistics (F1 experiment).
 func (t *Tracker) TreeStats() Stats {
-	st := Stats{RoundM: t.m, HeightCap: t.h, MinLeafS: math.MaxInt64}
-	if t.boot || t.root == nil {
+	p := t.p
+	st := Stats{RoundM: p.m, HeightCap: p.h, MinLeafS: math.MaxInt64}
+	if t.Bootstrapping() || p.root == nil {
 		return Stats{}
 	}
 	var walk func(u *node, d int)
@@ -601,6 +475,6 @@ func (t *Tracker) TreeStats() Stats {
 		walk(u.left, d+1)
 		walk(u.right, d+1)
 	}
-	walk(t.root, 0)
+	walk(p.root, 0)
 	return st
 }

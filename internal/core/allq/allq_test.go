@@ -156,7 +156,7 @@ func TestTreeInvariants(t *testing.T) {
 			}
 			return walk(u.left) && walk(u.right)
 		}
-		if !walk(tr.root) {
+		if !walk(tr.p.root) {
 			t.Fatalf("step %d: condition (6) violated somewhere in the tree", i)
 		}
 	}
@@ -180,13 +180,13 @@ func TestLeafLoadInvariant(t *testing.T) {
 		}
 		// True leaf loads ≤ εm/2 (+ reporting slack θm + one site batch).
 		em := cfg.Eps * float64(tr.RoundM())
-		slack := em/2 + 2*tr.theta*float64(tr.RoundM()) + float64(tr.thrNode)
-		for _, u := range collectNodes(tr.root) {
+		slack := em/2 + 2*tr.p.theta*float64(tr.RoundM()) + float64(tr.p.thrNode)
+		for _, u := range collectNodes(tr.p.root) {
 			if !u.isLeaf() {
 				continue
 			}
 			var trueCount int64
-			for _, s := range tr.sites {
+			for _, s := range tr.p.sites {
 				trueCount += s.st.CountRange(u.lo, u.hi)
 			}
 			if float64(trueCount) > slack+1 {
@@ -212,16 +212,16 @@ func TestNodeCountErrorInvariant(t *testing.T) {
 		if i%2500 != 2499 || tr.RoundM() == 0 {
 			continue
 		}
-		thetaM := tr.theta * float64(tr.RoundM())
-		for _, u := range collectNodes(tr.root) {
+		thetaM := tr.p.theta * float64(tr.RoundM())
+		for _, u := range collectNodes(tr.p.root) {
 			var trueCount int64
-			for _, s := range tr.sites {
+			for _, s := range tr.p.sites {
 				trueCount += s.st.CountRange(u.lo, u.hi)
 			}
 			if u.s > trueCount {
 				t.Fatalf("step %d: node %d s=%d above true %d", i, u.id, u.s, trueCount)
 			}
-			if float64(trueCount-u.s) > thetaM+float64(tr.cfg.K) {
+			if float64(trueCount-u.s) > thetaM+float64(tr.p.cfg.K) {
 				t.Fatalf("step %d: node %d s=%d lags true %d beyond θm=%.1f",
 					i, u.id, u.s, trueCount, thetaM)
 			}

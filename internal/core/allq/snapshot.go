@@ -27,7 +27,7 @@ type snapNode struct {
 // tracker until the first round starts).
 func (t *Tracker) Snapshot() *Snapshot {
 	sn := &Snapshot{total: t.EstTotal()}
-	if t.boot || t.root == nil {
+	if t.Bootstrapping() || t.p.root == nil {
 		return sn
 	}
 	var walk func(u *node) int32
@@ -42,7 +42,7 @@ func (t *Tracker) Snapshot() *Snapshot {
 		}
 		return idx
 	}
-	walk(t.root)
+	walk(t.p.root)
 	return sn
 }
 

@@ -22,18 +22,18 @@ type wsep struct {
 //     splits it).
 //
 // It reports whether a rebuild happened.
-func (t *Tracker) checkConditions(u *node) bool {
-	if p := u.parent; p != nil && violated(p, u) {
-		t.rebuild(p)
+func (p *policy) checkConditions(u *node) bool {
+	if par := u.parent; par != nil && violated(par, u) {
+		p.rebuild(par)
 		return true
 	}
 	if !u.isLeaf() && (violated(u, u.left) || violated(u, u.right)) {
-		t.rebuild(u)
+		p.rebuild(u)
 		return true
 	}
-	if u.isLeaf() && u.s > t.leafSplitAt {
-		t.rebuild(u)
-		t.leafSplits++
+	if u.isLeaf() && u.s > p.leafSplitAt {
+		p.rebuild(u)
+		p.leafSplits++
 		return true
 	}
 	return false
@@ -47,46 +47,47 @@ func violated(p, c *node) bool {
 
 // newRound starts a fresh round: collect the exact |A|, fix the round
 // parameters, and rebuild the whole tree. Cost O(k/ε).
-func (t *Tracker) newRound() {
+func (p *policy) newRound() {
+	meter := p.eng.Meter()
 	var total int64
-	for j, s := range t.sites {
-		t.meter.Down(j, "round-req", 1)
-		total += s.nj
-		t.meter.Up(j, "round-resp", 1)
+	for j := range p.sites {
+		meter.Down(j, "round-req", 1)
+		total += p.eng.SiteCount(j)
+		meter.Up(j, "round-resp", 1)
 	}
-	t.m = total
-	t.rounds++
-	t.h = heightCap(t.cfg.Eps)
-	t.theta = t.cfg.Eps / (2 * float64(t.h))
-	t.thrNode = maxi64(1, int64(t.theta*float64(t.m)/float64(t.cfg.K)))
-	t.leafSplitAt = maxi64(1, int64((t.cfg.Eps/2-t.theta)*float64(t.m)))
+	p.m = total
+	p.rounds++
+	p.h = heightCap(p.cfg.Eps)
+	p.theta = p.cfg.Eps / (2 * float64(p.h))
+	p.thrNode = maxi64(1, int64(p.theta*float64(p.m)/float64(p.cfg.K)))
+	p.leafSplitAt = maxi64(1, int64((p.cfg.Eps/2-p.theta)*float64(p.m)))
 
-	t.root = t.buildSubtree(nil, 0, math.MaxUint64)
-	t.gcDeltas()
+	p.root = p.buildSubtree(nil, 0, math.MaxUint64)
+	p.gcDeltas()
 }
 
 // rebuild replaces the subtree rooted at u — the paper's partial rebuilding,
 // also used for leaf splits. Cost O(k·|A ∩ I_u|/(εm) + k·h) words.
-func (t *Tracker) rebuild(u *node) {
-	fresh := t.buildSubtree(u.parent, u.lo, u.hi)
-	if p := u.parent; p == nil {
-		t.root = fresh
-	} else if p.left == u {
-		p.left = fresh
+func (p *policy) rebuild(u *node) {
+	fresh := p.buildSubtree(u.parent, u.lo, u.hi)
+	if par := u.parent; par == nil {
+		p.root = fresh
+	} else if par.left == u {
+		par.left = fresh
 	} else {
-		p.right = fresh
+		par.right = fresh
 	}
-	t.rebuilds++
-	t.gcDeltas()
+	p.rebuilds++
+	p.gcDeltas()
 
 	// Setting s_u exact can only increase it, which can newly violate the
 	// parent edge; restore (6) upward.
-	for p := fresh.parent; p != nil; p = p.parent {
-		if violated(p, fresh) {
-			t.rebuild(p)
+	for par := fresh.parent; par != nil; par = par.parent {
+		if violated(par, fresh) {
+			p.rebuild(par)
 			return
 		}
-		fresh = p
+		fresh = par
 	}
 }
 
@@ -98,18 +99,19 @@ func (t *Tracker) rebuild(u *node) {
 //     exceeds 3εm/8, keeping invariant (5);
 //  3. broadcast the new structure to the sites;
 //  4. collect exact counts for every new node.
-func (t *Tracker) buildSubtree(parent *node, lo, hi uint64) *node {
-	step := maxi64(1, int64(t.cfg.Eps*float64(t.m)/(64*float64(t.cfg.K))))
+func (p *policy) buildSubtree(parent *node, lo, hi uint64) *node {
+	meter := p.eng.Meter()
+	step := maxi64(1, int64(p.cfg.Eps*float64(p.m)/(64*float64(p.cfg.K))))
 	var merged []wsep
 	var exact int64
-	for j, s := range t.sites {
-		t.meter.Down(j, "rb-req", 2)
+	for j, s := range p.sites {
+		meter.Down(j, "rb-req", 2)
 		c := s.st.CountRange(lo, hi)
 		var ss []uint64
 		if c > 0 {
 			ss = s.st.Separators(lo, hi, step)
 		}
-		t.meter.Up(j, "rb-seps", len(ss)+2)
+		meter.Up(j, "rb-seps", len(ss)+2)
 		exact += c
 		for _, v := range ss {
 			merged = append(merged, wsep{v: v, w: step})
@@ -117,21 +119,21 @@ func (t *Tracker) buildSubtree(parent *node, lo, hi uint64) *node {
 	}
 	slices.SortFunc(merged, func(a, b wsep) int { return cmp.Compare(a.v, b.v) })
 
-	leafCap := int64(3 * t.cfg.Eps * float64(t.m) / 8)
+	leafCap := int64(3 * p.cfg.Eps * float64(p.m) / 8)
 	if leafCap < 1 {
 		leafCap = 1
 	}
-	fresh := t.buildRec(parent, lo, hi, merged, leafCap)
+	fresh := p.buildRec(parent, lo, hi, merged, leafCap)
 
 	// Broadcast the new structure (id, lo, hi, split per node) and collect
 	// exact per-node counts.
 	nodes := collectNodes(fresh)
-	t.meter.Broadcast("rb-tree", 4*len(nodes), t.cfg.K)
-	for j, s := range t.sites {
+	meter.Broadcast("rb-tree", 4*len(nodes), p.cfg.K)
+	for j, s := range p.sites {
 		for _, u := range nodes {
 			u.s += s.st.CountRange(u.lo, u.hi)
 		}
-		t.meter.Up(j, "rb-counts", len(nodes))
+		meter.Up(j, "rb-counts", len(nodes))
 	}
 	return fresh
 }
@@ -143,9 +145,9 @@ func (t *Tracker) buildSubtree(parent *node, lo, hi uint64) *node {
 // path's per-node counters plain slice indexing: newly built nodes carry
 // provisional ids >= nextID that are compacted here before any fast path
 // can observe them.
-func (t *Tracker) gcDeltas() {
-	nodes := collectNodes(t.root)
-	for _, s := range t.sites {
+func (p *policy) gcDeltas() {
+	nodes := collectNodes(p.root)
+	for _, s := range p.sites {
 		fresh := s.deltaScratch
 		if cap(fresh) < len(nodes) {
 			fresh = make([]int64, len(nodes))
@@ -164,14 +166,14 @@ func (t *Tracker) gcDeltas() {
 	for i, u := range nodes {
 		u.id = i
 	}
-	t.nextID = len(nodes)
+	p.nextID = len(nodes)
 }
 
 // buildRec recursively splits [lo, hi) at the weighted median of the sample
 // segment until the estimated count is at most leafCap.
-func (t *Tracker) buildRec(parent *node, lo, hi uint64, merged []wsep, leafCap int64) *node {
-	u := &node{id: t.nextID, lo: lo, hi: hi, parent: parent}
-	t.nextID++
+func (p *policy) buildRec(parent *node, lo, hi uint64, merged []wsep, leafCap int64) *node {
+	u := &node{id: p.nextID, lo: lo, hi: hi, parent: parent}
+	p.nextID++
 
 	var weight int64
 	for _, ws := range merged {
@@ -195,13 +197,13 @@ func (t *Tracker) buildRec(parent *node, lo, hi uint64, merged []wsep, leafCap i
 	if !found {
 		// All samples collapse onto the interval edge (massive ties): leave
 		// a fat leaf rather than recurse forever.
-		t.cannotSplit++
+		p.cannotSplit++
 		return u
 	}
 	cut := sort.Search(len(merged), func(i int) bool { return merged[i].v >= split })
 	u.split = split
-	u.left = t.buildRec(u, lo, split, merged[:cut], leafCap)
-	u.right = t.buildRec(u, split, hi, merged[cut:], leafCap)
+	u.left = p.buildRec(u, lo, split, merged[:cut], leafCap)
+	u.right = p.buildRec(u, split, hi, merged[cut:], leafCap)
 	return u
 }
 

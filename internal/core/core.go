@@ -4,7 +4,61 @@
 //   - core/quantile: continuous single-φ-quantile tracking (§3.1, Theorem 3.1)
 //   - core/allq: continuous all-quantile tracking (§4, Theorem 4.1)
 //
-// All three share the same engine model: a deterministic, in-process
-// simulation of k sites and one coordinator, where Feed(site, item) runs the
-// site logic and any communication it triggers, metered by wire.Meter.
+// All three are policies over the same engine (core/engine): a
+// deterministic, in-process simulation of k sites and one coordinator,
+// where Feed(site, item) runs the site logic and any communication it
+// triggers, metered by wire.Meter. The Tracker interface below is the
+// engine-provided surface they consequently share.
 package core
+
+import "disttrack/internal/wire"
+
+// Tracker is the protocol surface common to all three core trackers. The
+// ingest and quiescence half (Feed through Version) is implemented by the
+// shared core/engine skeleton; the stats half is uniform across protocols.
+// Deployments that need no per-kind queries — runtime.Cluster, the
+// multi-tenant service's ingest/stats paths, the CLIs' progress output —
+// program against this interface and switch on nothing.
+//
+// Concurrency: FeedLocal/FeedLocalBatch are safe with one goroutine per
+// site; Escalate, Quiesce and Version are safe for concurrent use; Feed and
+// the stats methods are for sequential callers or inside Quiesce. EstTotal
+// never overestimates TrueTotal.
+type Tracker interface {
+	// Feed records one arrival sequentially: FeedLocal plus, when the
+	// protocol requires coordinator work, Escalate.
+	Feed(site int, x uint64)
+	// FeedLocal runs the site-local fast path and reports whether the
+	// caller must invoke Escalate with the same arguments.
+	FeedLocal(site int, x uint64) (escalate bool)
+	// FeedLocalBatch amortizes the fast path over a batch, running the
+	// slow path inline at exactly the sequential positions; it returns the
+	// strictly increasing batch indices that escalated.
+	FeedLocalBatch(site int, xs []uint64) (escalations []int)
+	// Escalate runs the serialized coordinator slow path for an arrival
+	// previously applied by FeedLocal.
+	Escalate(site int, x uint64)
+	// Quiesce runs f with no fast path in flight and no escalation.
+	Quiesce(f func())
+	// Version is the coordinator state version; answers computed under
+	// Quiesce stay valid while it is unchanged.
+	Version() uint64
+
+	// Meter returns the communication meter.
+	Meter() *wire.Meter
+	// K returns the number of sites; Eps the approximation error.
+	K() int
+	Eps() float64
+	// EstTotal is the coordinator's underestimate of the global count;
+	// TrueTotal the exact count (ground truth, unknown to the coordinator).
+	EstTotal() int64
+	TrueTotal() int64
+	// SiteCount returns the exact number of arrivals observed at site j.
+	SiteCount(j int) int64
+	// SiteSpace returns the number of state entries held at site j.
+	SiteSpace(j int) int
+	// Rounds returns the number of completed protocol rounds.
+	Rounds() int
+	// Bootstrapping reports whether every arrival is still forwarded.
+	Bootstrapping() bool
+}

@@ -1,0 +1,346 @@
+// Package engine owns the two-phase coordinator/k-site concurrency skeleton
+// shared by the paper's three tracking protocols (core/hh, core/quantile,
+// core/allq). Each protocol used to carry its own copy of the skeleton —
+// per-site locks, the escalation mutex, the coordinator state version, the
+// bootstrap handoff, the batched-ingest run splitting, Quiesce — with only
+// the algorithm in the middle differing. The engine hoists all of it behind
+// a small Policy interface, so a tracker is just a policy: the site-local
+// counter updates, the coordinator communication cascade, and the queries.
+//
+// # Concurrency model
+//
+// The engine exposes the same two-phase ingest contract the trackers always
+// had:
+//
+//   - FeedLocal is the site-local fast path. It takes only the one site's
+//     lock, applies the policy's local accounting, and reports whether the
+//     protocol requires coordinator work. Safe for concurrent use with one
+//     goroutine per site (per-site state is single-writer).
+//   - Escalate is the coordinator slow path. It serializes internally
+//     (escMu) and additionally holds every site lock for its duration, so
+//     the rare communication cascades see a quiescent cluster exactly as
+//     the paper's atomic-message model assumes. Coordinator and round state
+//     that the fast path reads therefore only changes while every fast path
+//     is excluded.
+//   - Feed is the sequential composition of the two; like queries outside
+//     Quiesce it is for single-threaded callers.
+//   - FeedLocalBatch amortizes the fast path over escalation-free runs: one
+//     site-lock acquisition and one fold into the site/global counts per
+//     run, with Escalate run inline at exactly the logical positions a
+//     sequential Feed loop would choose — protocol state and every
+//     wire.Meter count stay bit-for-bit identical to feeding one by one.
+//
+// The lock order is escMu, then site locks in ascending index order;
+// FeedLocal takes only its own site lock, so no cycle exists.
+//
+// # Versioned snapshots
+//
+// The engine bumps a coordinator state version after every slow-path entry,
+// before releasing the locks: a reader that still observes the old version
+// is guaranteed the escalation has not yet published, so answers computed
+// under Quiesce remain valid while Version is unchanged (the service
+// layer's query snapshot cache builds on this).
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"disttrack/internal/wire"
+)
+
+// Policy is the per-protocol algorithm the engine drives. All methods are
+// invoked by the engine under its locks — Apply* under the one site's lock,
+// On* under escMu plus every site lock — so policy state needs no locking
+// of its own: per-site state is guarded by the engine's site locks and
+// coordinator state by the slow path's total exclusion.
+//
+// Policies meter their own protocol messages through Engine.Meter; the
+// engine itself meters only the bootstrap "item" forwards, which are
+// identical across protocols.
+type Policy interface {
+	// ApplyBoot records one bootstrap arrival in site j's local store.
+	// During bootstrap every arrival is forwarded to the coordinator, so no
+	// delta accounting happens here; the engine escalates unconditionally.
+	ApplyBoot(site int, x uint64)
+
+	// ApplyLocal records one arrival in site j's local state — the store
+	// insert plus the protocol's delta/counter accounting — and reports
+	// whether a reporting threshold was reached (the caller must then run
+	// the slow path via Engine.Escalate).
+	ApplyLocal(site int, x uint64) (escalate bool)
+
+	// ApplyRun records a prefix of xs at site j, stopping at (and
+	// including) the first arrival that reaches a reporting threshold. It
+	// returns how many items were consumed and whether the last one
+	// crossed. Contract (engine-enforced): xs is non-empty, consumed is in
+	// [1, len(xs)], and crossed=false means the whole slice was consumed.
+	// Policies hoist per-run invariants here (thresholds only change under
+	// every site lock, so they are constant for a run) and may bulk-insert
+	// the consumed prefix into the site store. The engine folds the
+	// consumed count into the site and global totals.
+	ApplyRun(site int, xs []uint64) (consumed int, crossed bool)
+
+	// OnBootEscalate forwards one bootstrap arrival to the coordinator
+	// (the engine has already metered the "item" message) and reports
+	// whether the bootstrap phase is complete.
+	OnBootEscalate(site int, x uint64) (done bool)
+
+	// OnBootDone runs the bootstrap→tracking handoff — the first round
+	// build, broadcast, baselining — immediately after the engine has
+	// marked bootstrap over.
+	OnBootDone()
+
+	// OnEscalate runs the coordinator slow path for an arrival previously
+	// applied by ApplyLocal/ApplyRun: re-check the reporting thresholds and
+	// run the (rare) communication cascade with all wire.Meter accounting.
+	// In a sequential Feed the re-checks see exactly the state the fast
+	// path left, so the combined behavior is identical to the unsplit
+	// protocol; under concurrency a report may additionally absorb deltas
+	// from arrivals that raced in, which only makes reporting fresher.
+	OnEscalate(site int, x uint64)
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	Name string  // protocol name, used in panics and validation errors
+	K    int     // number of sites, >= 1
+	Eps  float64 // approximation error, in (0, 1)
+}
+
+// site is the engine-owned per-site core: the lock that guards both the
+// engine's and the policy's per-site state, plus the exact local count.
+type site struct {
+	mu sync.Mutex
+	nj int64 // exact local count |S_j|
+}
+
+// Engine runs the two-phase protocol skeleton over a Policy.
+type Engine struct {
+	name  string
+	k     int
+	eps   float64
+	meter wire.Meter
+	pol   Policy
+
+	// escMu serializes the coordinator slow path (Escalate, Quiesce). The
+	// slow path additionally holds every site lock, so coordinator state
+	// read by the fast path only changes while all fast paths are excluded.
+	escMu   sync.Mutex
+	version atomic.Uint64 // bumped after every slow-path entry (see Version)
+
+	sites []site
+
+	// boot is the initial forward-everything phase: until the coordinator
+	// holds ~k/ε items, every arrival escalates. Read on the fast path,
+	// changed only on the slow path.
+	boot bool
+
+	n atomic.Int64 // true global count (ground truth for tests/experiments)
+}
+
+// New validates cfg and returns an Engine driving pol. The engine starts in
+// the bootstrap phase.
+func New(cfg Config, pol Policy) (*Engine, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("%s: K must be >= 1, got %d", cfg.Name, cfg.K)
+	}
+	if cfg.Eps <= 0 || cfg.Eps >= 1 {
+		return nil, fmt.Errorf("%s: Eps must be in (0,1), got %g", cfg.Name, cfg.Eps)
+	}
+	return &Engine{
+		name:  cfg.Name,
+		k:     cfg.K,
+		eps:   cfg.Eps,
+		pol:   pol,
+		sites: make([]site, cfg.K),
+		boot:  true,
+	}, nil
+}
+
+// BootTarget returns ⌈k/ε⌉ — the coordinator item count at which the
+// protocols end their bootstrap phase. The engine does not apply it itself;
+// policies check it in OnBootEscalate (core/hh against the coordinator's
+// count, core/quantile and core/allq against the true total).
+func (e *Engine) BootTarget() int64 {
+	return int64(math.Ceil(float64(e.k) / e.eps))
+}
+
+// siteAt bounds-checks and returns site j.
+func (e *Engine) siteAt(j int) *site {
+	if j < 0 || j >= e.k {
+		panic(fmt.Sprintf("%s: site %d out of range [0,%d)", e.name, j, e.k))
+	}
+	return &e.sites[j]
+}
+
+// Feed records one arrival of item x at the given site and runs any
+// communication the protocol triggers. It is the sequential composition of
+// the fast and slow paths — deterministic callers (the harness, the
+// experiments) observe exactly the pre-split behavior, message for message.
+func (e *Engine) Feed(siteID int, x uint64) {
+	if e.FeedLocal(siteID, x) {
+		e.Escalate(siteID, x)
+	}
+}
+
+// FeedLocal runs the site-local fast path for one arrival of x at the given
+// site, with no shared state touched and no communication metered. It
+// reports whether the protocol requires coordinator work — the caller must
+// then invoke Escalate with the same arguments. Safe for concurrent use
+// with one goroutine per site.
+func (e *Engine) FeedLocal(siteID int, x uint64) (escalate bool) {
+	s := e.siteAt(siteID)
+	s.mu.Lock()
+	s.nj++
+	e.n.Add(1)
+	if e.boot {
+		// Bootstrap: every arrival is forwarded, so every arrival escalates.
+		e.pol.ApplyBoot(siteID, x)
+		s.mu.Unlock()
+		return true
+	}
+	escalate = e.pol.ApplyLocal(siteID, x)
+	s.mu.Unlock()
+	return escalate
+}
+
+// FeedLocalBatch records a batch of arrivals at one site, amortizing the
+// fast path: one site-lock acquisition and one global-count update per
+// escalation-free run, with the policy's per-item accounting applied in
+// arrival order. The batch splits at every threshold crossing — Escalate
+// runs inline at exactly the logical positions the sequential Feed loop
+// would, so coordinator state and every wire.Meter count are bit-for-bit
+// identical to feeding the items one by one. It returns the (strictly
+// increasing) batch indices that escalated, nil when none did. The engine
+// does not retain xs.
+//
+// Like FeedLocal, it is safe for concurrent use with one goroutine per
+// site; it must not be interleaved with FeedLocal/Feed calls for the same
+// site from other goroutines.
+func (e *Engine) FeedLocalBatch(siteID int, xs []uint64) (escalations []int) {
+	s := e.siteAt(siteID)
+	for i := 0; i < len(xs); {
+		s.mu.Lock()
+		if e.boot {
+			// Bootstrap forwards every arrival: apply one item and escalate,
+			// exactly the sequential composition.
+			x := xs[i]
+			s.nj++
+			e.n.Add(1)
+			e.pol.ApplyBoot(siteID, x)
+			s.mu.Unlock()
+			e.Escalate(siteID, x)
+			escalations = append(escalations, i)
+			i++
+			continue
+		}
+		consumed, crossed := e.pol.ApplyRun(siteID, xs[i:])
+		if consumed < 1 || consumed > len(xs)-i || (!crossed && consumed != len(xs)-i) {
+			// A nonconforming policy would otherwise corrupt the counts or
+			// drop the batch tail silently; fail loudly instead.
+			s.mu.Unlock()
+			panic(fmt.Sprintf("%s: ApplyRun contract violation: consumed %d of %d, crossed %v",
+				e.name, consumed, len(xs)-i, crossed))
+		}
+		s.nj += int64(consumed)
+		e.n.Add(int64(consumed))
+		s.mu.Unlock()
+		i += consumed
+		if !crossed {
+			break
+		}
+		escalations = append(escalations, i-1)
+		e.Escalate(siteID, xs[i-1])
+	}
+	return escalations
+}
+
+// Escalate runs the coordinator slow path for an arrival previously applied
+// by FeedLocal: under escMu plus every site lock it either forwards a
+// bootstrap arrival (running the bootstrap→tracking handoff when the policy
+// reports it complete) or hands the arrival to Policy.OnEscalate. It
+// excludes every site's fast path for its duration.
+//
+// An arrival that straddles the bootstrap→tracking transition (FeedLocal
+// saw boot, another site's escalation ended it first) contributes to the
+// site-local stores immediately and to the delta accounting not at all; it
+// is absorbed by the protocol's next exact collection, costing at most one
+// word of staleness per site, once — within every invariant's slack.
+func (e *Engine) Escalate(siteID int, x uint64) {
+	e.escMu.Lock()
+	e.lockSites()
+	if e.boot {
+		e.meter.Up(siteID, "item", 1)
+		if e.pol.OnBootEscalate(siteID, x) {
+			e.boot = false
+			e.pol.OnBootDone()
+		}
+	} else {
+		e.pol.OnEscalate(siteID, x)
+	}
+	e.finishSlowPath()
+}
+
+// lockSites acquires every site lock in index order.
+func (e *Engine) lockSites() {
+	for i := range e.sites {
+		e.sites[i].mu.Lock()
+	}
+}
+
+func (e *Engine) unlockSites() {
+	for i := range e.sites {
+		e.sites[i].mu.Unlock()
+	}
+}
+
+// finishSlowPath publishes the new coordinator state version and releases
+// the slow-path locks. The version is bumped before release so a reader
+// that still observes the old version is guaranteed the escalation has not
+// yet published — its cached answers correspond to the pre-escalation
+// state, a valid linearization.
+func (e *Engine) finishSlowPath() {
+	e.version.Add(1)
+	e.unlockSites()
+	e.escMu.Unlock()
+}
+
+// Quiesce runs f with the whole cluster quiescent — no fast path in flight,
+// no escalation — so tracker reads inside f see a consistent coordinator
+// and site state. It is the query entry point for concurrent deployments.
+func (e *Engine) Quiesce(f func()) {
+	e.escMu.Lock()
+	e.lockSites()
+	f()
+	e.unlockSites()
+	e.escMu.Unlock()
+}
+
+// Version returns the coordinator state version: it changes only when an
+// escalation may have changed coordinator state, so an answer computed
+// under Quiesce remains valid while Version stays the same. Safe for
+// concurrent use; see the service layer's query snapshots.
+func (e *Engine) Version() uint64 { return e.version.Load() }
+
+// Meter returns the communication meter. Policies record their protocol
+// messages through it; it is not safe for concurrent use outside the
+// engine's locks.
+func (e *Engine) Meter() *wire.Meter { return &e.meter }
+
+// K returns the number of sites. Eps returns the error parameter.
+func (e *Engine) K() int       { return e.k }
+func (e *Engine) Eps() float64 { return e.eps }
+
+// Bootstrapping reports whether the engine is still forwarding every item.
+func (e *Engine) Bootstrapping() bool { return e.boot }
+
+// TrueTotal returns the exact global count (not known to the coordinator).
+// Safe for concurrent use.
+func (e *Engine) TrueTotal() int64 { return e.n.Load() }
+
+// SiteCount returns the exact number of arrivals observed at site j. Like
+// the query methods it is consistent only under Quiesce (or sequentially).
+func (e *Engine) SiteCount(j int) int64 { return e.sites[j].nj }

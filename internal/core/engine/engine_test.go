@@ -1,0 +1,139 @@
+package engine_test
+
+import (
+	"testing"
+
+	"disttrack/internal/core"
+	"disttrack/internal/core/engine"
+	"disttrack/internal/core/engine/enginetest"
+)
+
+// countPolicy is the smallest useful engine policy: each site accumulates a
+// pending arrival count and reports it to the coordinator (one "cnt"
+// message) whenever it reaches a fixed threshold. It exists to conformance-
+// test the engine skeleton itself, independent of the three real protocols,
+// and doubles as the reference example for authoring a policy.
+type countPolicy struct {
+	eng        *engine.Engine
+	thr        int64
+	bootTarget int64
+
+	pending []int64 // per-site unreported arrivals (engine site locks guard)
+	total   int64   // coordinator's count — an underestimate of TrueTotal
+	flushes int     // completed "cnt" reports (the mock's "rounds")
+}
+
+func (p *countPolicy) ApplyBoot(int, uint64) {}
+
+func (p *countPolicy) ApplyLocal(site int, _ uint64) bool {
+	p.pending[site]++
+	return p.pending[site] >= p.thr
+}
+
+func (p *countPolicy) ApplyRun(site int, xs []uint64) (consumed int, crossed bool) {
+	for i := range xs {
+		p.pending[site]++
+		if p.pending[site] >= p.thr {
+			return i + 1, true
+		}
+	}
+	return len(xs), false
+}
+
+func (p *countPolicy) OnBootEscalate(int, uint64) (done bool) {
+	p.total++
+	return p.total >= p.bootTarget
+}
+
+func (p *countPolicy) OnBootDone() {}
+
+func (p *countPolicy) OnEscalate(site int, _ uint64) {
+	if p.pending[site] >= p.thr {
+		p.eng.Meter().Up(site, "cnt", 1)
+		p.total += p.pending[site]
+		p.pending[site] = 0
+		p.flushes++
+	}
+}
+
+// countTracker assembles the mock policy into the same shape as the real
+// trackers: engine embed for the ingest surface, plus the stats methods
+// core.Tracker requires.
+type countTracker struct {
+	*engine.Engine
+	p *countPolicy
+}
+
+var _ core.Tracker = (*countTracker)(nil)
+
+func (t *countTracker) EstTotal() int64   { return t.p.total }
+func (t *countTracker) Rounds() int       { return t.p.flushes }
+func (t *countTracker) SiteSpace(int) int { return 1 }
+
+func newCountTracker(tb testing.TB, k int, eps float64, thr int64) *countTracker {
+	p := &countPolicy{thr: thr, pending: make([]int64, k)}
+	eng, err := engine.New(engine.Config{Name: "count", K: k, Eps: eps}, p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p.eng = eng
+	p.bootTarget = eng.BootTarget()
+	return &countTracker{Engine: eng, p: p}
+}
+
+// TestEngineConformanceMockPolicy runs the shared conformance suite over
+// the minimal policy: everything the suite checks here (split/batch
+// equivalence, versions, concurrent conservation, meter consistency) is
+// engine behavior, with no protocol logic to hide behind.
+func TestEngineConformanceMockPolicy(t *testing.T) {
+	const (
+		k   = 4
+		eps = 0.1
+		thr = 64
+	)
+	enginetest.Run(t, enginetest.Config{
+		New: func(tb testing.TB) core.Tracker {
+			return newCountTracker(tb, k, eps, thr)
+		},
+		K:       k,
+		PerSite: 6000,
+		CheckEquiv: func(t *testing.T, a, b core.Tracker) {
+			// Everything observable about the mock is engine state, already
+			// compared by the suite; re-assert the policy-side flush count.
+			if fa, fb := a.Rounds(), b.Rounds(); fa != fb {
+				t.Fatalf("flush counts diverged: %d vs %d", fa, fb)
+			}
+		},
+		CheckFinal: func(t *testing.T, label string, tr core.Tracker, streams [][]uint64) {
+			// Conservation: the coordinator total plus every site's pending
+			// count must be exactly the items ingested.
+			ct := tr.(*countTracker)
+			sum := ct.p.total
+			for _, pend := range ct.p.pending {
+				sum += pend
+			}
+			if sum != ct.TrueTotal() {
+				t.Fatalf("%s: total %d + pending = %d, want %d",
+					label, ct.p.total, sum, ct.TrueTotal())
+			}
+		},
+	})
+}
+
+// TestEngineValidation pins the constructor errors and the site bounds
+// panic that the engine now produces on behalf of every tracker.
+func TestEngineValidation(t *testing.T) {
+	if _, err := engine.New(engine.Config{Name: "count", K: 0, Eps: 0.1}, &countPolicy{}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := engine.New(engine.Config{Name: "count", K: 1, Eps: 1.5}, &countPolicy{}); err == nil {
+		t.Fatal("Eps=1.5 accepted")
+	}
+	tr := newCountTracker(t, 2, 0.1, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range site did not panic")
+		}
+	}()
+	tr.FeedLocal(2, 1)
+}

@@ -1,0 +1,337 @@
+// Package enginetest is the reusable conformance suite for trackers built
+// on the core/engine two-phase skeleton. It pins the engine contract that
+// the per-protocol test suites used to re-implement three times over:
+//
+//   - sequential equivalence: Feed ≡ FeedLocal + conditional Escalate,
+//     meter and version included;
+//   - batch equivalence: FeedLocalBatch over a random (site, chunk)
+//     schedule matches sequential Feed bit-for-bit — every meter count,
+//     per kind and per site — with strictly increasing, in-range
+//     escalation indices;
+//   - concurrent stress: one fast-path goroutine per site racing quiescent
+//     queries (run the package's tests under -race), with exact
+//     conservation of TrueTotal and per-site counts afterwards;
+//   - meter conservation: up+down, per-site and per-kind accounting all
+//     sum to the same totals.
+//
+// Protocol-specific accuracy contracts plug in through the Check* hooks;
+// the suite runs against all three core trackers and a minimal mock policy
+// (see the engine package's tests).
+package enginetest
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"disttrack/internal/core"
+	"disttrack/internal/stream"
+)
+
+// Config describes one tracker configuration under conformance test.
+type Config struct {
+	// New returns a fresh tracker; every call must produce an identically
+	// configured instance (the equivalence tests feed two in lockstep).
+	New func(t testing.TB) core.Tracker
+	// K is the site count the tracker was configured with.
+	K int
+	// Distinct requests globally distinct keys (symbolic perturbation) in
+	// the generated streams, as the quantile protocols assume.
+	Distinct bool
+	// PerSite is the per-site stream length for the stress tests
+	// (default 8000); the sequential tests use K*PerSite items.
+	PerSite int
+
+	// Query, if non-nil, is executed inside Quiesce by the concurrent
+	// stress tests to exercise the protocol's read surface mid-stream.
+	Query func(tb testing.TB, tr core.Tracker)
+	// CheckEquiv, if non-nil, asserts protocol-specific state equality
+	// between two trackers that ingested identical input (meters and
+	// engine state are always compared by the suite itself).
+	CheckEquiv func(t *testing.T, a, b core.Tracker)
+	// CheckFinal, if non-nil, asserts the protocol's accuracy contract on
+	// a tracker that ingested exactly streams[j] at site j (concurrently;
+	// it runs inside Quiesce).
+	CheckFinal func(t *testing.T, label string, tr core.Tracker, streams [][]uint64)
+}
+
+// Run executes the conformance suite as subtests of t.
+func Run(t *testing.T, cfg Config) {
+	if cfg.PerSite == 0 {
+		cfg.PerSite = 8000
+	}
+	t.Run("SplitFeedMatchesFeed", func(t *testing.T) { runSplitFeed(t, cfg) })
+	t.Run("BatchMatchesFeed", func(t *testing.T) { runBatchMatch(t, cfg) })
+	t.Run("ConcurrentStress", func(t *testing.T) { runConcurrent(t, cfg, false) })
+	t.Run("ConcurrentBatchStress", func(t *testing.T) { runConcurrent(t, cfg, true) })
+	t.Run("MeterConservation", func(t *testing.T) { runMeterConservation(t, cfg) })
+}
+
+// genStream returns n deterministic items: a Zipf stream, or a perturbed
+// uniform stream (globally distinct keys) when cfg.Distinct is set.
+func genStream(cfg Config, n int, seed int64) []uint64 {
+	var g stream.Generator
+	if cfg.Distinct {
+		g = stream.Perturb(stream.Uniform(1<<30, int64(n), seed))
+	} else {
+		g = stream.Zipf(1<<20, int64(n), 1.2, seed)
+	}
+	out := make([]uint64, 0, n)
+	for {
+		x, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, x)
+	}
+}
+
+// dealStreams deals one deterministic stream out to k per-site streams
+// round-robin, so a concurrent run and a sequential replay see exactly the
+// same per-site inputs.
+func dealStreams(cfg Config, seed int64) [][]uint64 {
+	items := genStream(cfg, cfg.K*cfg.PerSite, seed)
+	out := make([][]uint64, cfg.K)
+	for j := range out {
+		out[j] = make([]uint64, 0, cfg.PerSite)
+	}
+	for i, x := range items {
+		out[i%cfg.K] = append(out[i%cfg.K], x)
+	}
+	return out
+}
+
+// checkMetersEqual asserts two trackers' meters agree in total, per kind
+// and per site — the bit-for-bit pin for split/batched vs sequential
+// feeding.
+func checkMetersEqual(t *testing.T, label string, a, b core.Tracker, k int) {
+	t.Helper()
+	am, bm := a.Meter(), b.Meter()
+	if at, bt := am.Total(), bm.Total(); at != bt {
+		t.Fatalf("%s: meter total diverged: %+v vs %+v", label, at, bt)
+	}
+	kinds := append(am.Kinds(), bm.Kinds()...)
+	for _, kind := range kinds {
+		if ak, bk := am.Kind(kind), bm.Kind(kind); ak != bk {
+			t.Fatalf("%s: meter kind %q diverged: %+v vs %+v", label, kind, ak, bk)
+		}
+	}
+	for j := 0; j < k; j++ {
+		if as, bs := am.Site(j), bm.Site(j); as != bs {
+			t.Fatalf("%s: meter site %d diverged: %+v vs %+v", label, j, as, bs)
+		}
+	}
+}
+
+// checkEngineEqual asserts the engine-owned state of two identically fed
+// trackers agrees: totals, per-site counts, version (escalation count) and
+// round counters.
+func checkEngineEqual(t *testing.T, label string, a, b core.Tracker, k int) {
+	t.Helper()
+	if a.TrueTotal() != b.TrueTotal() {
+		t.Fatalf("%s: TrueTotal diverged: %d vs %d", label, a.TrueTotal(), b.TrueTotal())
+	}
+	if a.EstTotal() != b.EstTotal() {
+		t.Fatalf("%s: EstTotal diverged: %d vs %d", label, a.EstTotal(), b.EstTotal())
+	}
+	if a.Rounds() != b.Rounds() {
+		t.Fatalf("%s: Rounds diverged: %d vs %d", label, a.Rounds(), b.Rounds())
+	}
+	if a.Version() != b.Version() {
+		t.Fatalf("%s: Version diverged: %d vs %d — escalation positions differ",
+			label, a.Version(), b.Version())
+	}
+	for j := 0; j < k; j++ {
+		if a.SiteCount(j) != b.SiteCount(j) {
+			t.Fatalf("%s: site %d count diverged: %d vs %d", label, j, a.SiteCount(j), b.SiteCount(j))
+		}
+	}
+}
+
+// runSplitFeed verifies the sequential identity Feed ≡ FeedLocal +
+// conditional Escalate, meter and version included.
+func runSplitFeed(t *testing.T, cfg Config) {
+	a, b := cfg.New(t), cfg.New(t)
+	items := genStream(cfg, cfg.K*cfg.PerSite, 17)
+	for i, x := range items {
+		site := i % cfg.K
+		a.Feed(site, x)
+		if b.FeedLocal(site, x) {
+			b.Escalate(site, x)
+		}
+	}
+	checkMetersEqual(t, "split", a, b, cfg.K)
+	checkEngineEqual(t, "split", a, b, cfg.K)
+	if cfg.CheckEquiv != nil {
+		cfg.CheckEquiv(t, a, b)
+	}
+}
+
+// runBatchMatch drives one tracker through sequential Feed and a second
+// through FeedLocalBatch over the same random (site, chunk) schedule,
+// asserting coordinator state and every meter count stay identical, and
+// that escalation indices are strictly increasing and in range.
+func runBatchMatch(t *testing.T, cfg Config) {
+	seq, bat := cfg.New(t), cfg.New(t)
+	items := genStream(cfg, cfg.K*cfg.PerSite, 19)
+	rng := rand.New(rand.NewSource(31))
+	for pos := 0; pos < len(items); {
+		site := rng.Intn(cfg.K)
+		sz := 1 + rng.Intn(130)
+		if rng.Intn(16) == 0 {
+			sz = 1 + rng.Intn(2000) // occasionally span many thresholds
+		}
+		if pos+sz > len(items) {
+			sz = len(items) - pos
+		}
+		chunk := items[pos : pos+sz]
+		pos += sz
+		for _, x := range chunk {
+			seq.Feed(site, x)
+		}
+		last := -1
+		for _, idx := range bat.FeedLocalBatch(site, chunk) {
+			if idx <= last || idx >= len(chunk) {
+				t.Fatalf("escalation index %d out of order (prev %d, chunk %d)", idx, last, len(chunk))
+			}
+			last = idx
+		}
+	}
+	checkMetersEqual(t, "batch", seq, bat, cfg.K)
+	checkEngineEqual(t, "batch", seq, bat, cfg.K)
+	if cfg.CheckEquiv != nil {
+		cfg.CheckEquiv(t, seq, bat)
+	}
+}
+
+// runConcurrent hammers one fast-path goroutine per site (per-item, or
+// batched when batch is set) against two query goroutines doing quiescent
+// reads, then asserts exact conservation and the protocol contract.
+func runConcurrent(t *testing.T, cfg Config, batch bool) {
+	streams := dealStreams(cfg, 42+int64(boolToInt(batch)))
+	tr := cfg.New(t)
+
+	done := make(chan struct{})
+	var qwg sync.WaitGroup
+	for q := 0; q < 2; q++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = tr.Version()
+				tr.Quiesce(func() {
+					if tr.EstTotal() > tr.TrueTotal() {
+						t.Error("EstTotal overtook TrueTotal mid-stream")
+					}
+					if cfg.Query != nil {
+						cfg.Query(t, tr)
+					}
+				})
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for j := range streams {
+		wg.Add(1)
+		go func(site int, xs []uint64) {
+			defer wg.Done()
+			if !batch {
+				for _, x := range xs {
+					if tr.FeedLocal(site, x) {
+						tr.Escalate(site, x)
+					}
+				}
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(site)))
+			for pos := 0; pos < len(xs); {
+				sz := 1 + rng.Intn(600)
+				if pos+sz > len(xs) {
+					sz = len(xs) - pos
+				}
+				tr.FeedLocalBatch(site, xs[pos:pos+sz])
+				pos += sz
+			}
+		}(j, streams[j])
+	}
+	wg.Wait()
+	close(done)
+	qwg.Wait()
+
+	var n int64
+	for _, xs := range streams {
+		n += int64(len(xs))
+	}
+	if got := tr.TrueTotal(); got != n {
+		t.Fatalf("TrueTotal = %d, want %d", got, n)
+	}
+	for j := 0; j < cfg.K; j++ {
+		if got := tr.SiteCount(j); got != int64(len(streams[j])) {
+			t.Fatalf("site %d count = %d, want %d", j, got, len(streams[j]))
+		}
+	}
+	if est := tr.EstTotal(); est > n {
+		t.Fatalf("EstTotal = %d overestimates TrueTotal %d", est, n)
+	}
+	if cfg.CheckFinal != nil {
+		tr.Quiesce(func() {
+			cfg.CheckFinal(t, label(batch), tr, streams)
+		})
+	}
+}
+
+func label(batch bool) string {
+	if batch {
+		return "concurrent-batch"
+	}
+	return "concurrent"
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// runMeterConservation feeds a sequential stream and asserts the meter's
+// directional, per-site and per-kind breakdowns all account for the same
+// totals — no message is lost or double-counted by any view.
+func runMeterConservation(t *testing.T, cfg Config) {
+	tr := cfg.New(t)
+	for i, x := range genStream(cfg, cfg.K*cfg.PerSite/2, 23) {
+		tr.Feed(i%cfg.K, x)
+	}
+	m := tr.Meter()
+	total := m.Total()
+	if total.Msgs == 0 {
+		t.Fatal("no communication recorded")
+	}
+	if got := m.UpCost().Add(m.DownCost()); got != total {
+		t.Fatalf("up+down = %+v, total %+v", got, total)
+	}
+	var bySite, byKind struct{ msgs, words int64 }
+	for j := 0; j < cfg.K; j++ {
+		c := m.Site(j)
+		bySite.msgs += c.Msgs
+		bySite.words += c.Words
+	}
+	if bySite.msgs != total.Msgs || bySite.words != total.Words {
+		t.Fatalf("per-site sums (%d msgs, %d words) != total %+v — messages unattributed to sites",
+			bySite.msgs, bySite.words, total)
+	}
+	for _, kind := range m.Kinds() {
+		c := m.Kind(kind)
+		byKind.msgs += c.Msgs
+		byKind.words += c.Words
+	}
+	if byKind.msgs != total.Msgs || byKind.words != total.Words {
+		t.Fatalf("per-kind sums (%d msgs, %d words) != total %+v — messages unattributed to kinds",
+			byKind.msgs, byKind.words, total)
+	}
+}

@@ -34,19 +34,23 @@
 // space). In ModeSketch each site stores a Space-Saving sketch with error
 // ε/8 (the "implementing with small space" remark), keeping site space at
 // O(1/ε) counters while preserving the guarantees with adjusted constants.
+//
+// # Concurrency
+//
+// The two-phase ingest surface (Feed, FeedLocal, FeedLocalBatch, Escalate,
+// Quiesce, Version) is owned by the shared core/engine skeleton; this
+// package supplies only the §2.1 algorithm as an engine policy. See package
+// engine for the concurrency contract.
 package hh
 
 import (
 	"cmp"
 	"fmt"
-	"math"
 	"slices"
-	"sync"
-	"sync/atomic"
 
+	"disttrack/internal/core/engine"
 	"disttrack/internal/summary/mg"
 	"disttrack/internal/summary/spacesaving"
-	"disttrack/internal/wire"
 )
 
 // Mode selects the per-site frequency store.
@@ -87,30 +91,21 @@ type Config struct {
 	ThresholdDivisor float64
 }
 
-// Tracker tracks heavy hitters across K sites.
-//
-// # Concurrency
-//
-// The tracker has a two-phase ingest API. FeedLocal is the site-local fast
-// path: it may be called concurrently as long as each site is driven by at
-// most one goroutine at a time (per-site state is single-writer). Escalate
-// is the coordinator slow path; it serializes internally and excludes every
-// site's fast path for its duration, so the rare communication cascades see
-// a quiescent cluster exactly as the paper's atomic-message model assumes.
-// Feed is the sequential composition of the two and, like the query
-// methods, is not itself safe for unconstrained concurrent use — concurrent
-// callers go through the runtime package, which drives FeedLocal/Escalate
-// from per-site goroutines and wraps queries in Quiesce.
+// Tracker tracks heavy hitters across K sites. The embedded engine provides
+// the whole ingest and quiescence surface (Feed, FeedLocal, FeedLocalBatch,
+// Escalate, Quiesce, Version, Meter, TrueTotal, SiteCount, Bootstrapping);
+// the methods defined here are the §2.1 queries.
 type Tracker struct {
-	cfg   Config
-	meter wire.Meter
+	*engine.Engine
+	p *policy
+}
 
-	// escMu serializes the coordinator slow path (Escalate, Quiesce). The
-	// slow path additionally holds every site lock, so coordinator state
-	// that the fast path reads (boot, per-site m/dm resets) only changes
-	// while all fast paths are excluded.
-	escMu   sync.Mutex
-	version atomic.Uint64 // bumped after every slow-path entry (see Version)
+// policy is the §2.1 algorithm as an engine policy: all methods run under
+// the engine's locks (see engine.Policy), so no field needs locking of its
+// own.
+type policy struct {
+	eng *engine.Engine
+	cfg Config
 
 	sites []*site
 
@@ -118,23 +113,14 @@ type Tracker struct {
 	cm         int64            // C.m — underestimate of the global count
 	cmx        map[uint64]int64 // C.m_x — underestimates of global frequencies
 	allSignals int              // "all" messages since the last sync
-	boot       bool             // still in the initial forward-everything phase
 	bootTarget int64
 	rounds     int // completed coordinator syncs (for experiments)
-
-	n atomic.Int64 // true global count (ground truth for tests/experiments)
 }
 
+// site is the per-site protocol state, guarded by the engine's site locks.
 type site struct {
-	// mu guards every field of the site. The owning site goroutine holds it
-	// for the duration of FeedLocal; the coordinator holds every site's mu
-	// during the slow path. It is uncontended unless an escalation is in
-	// flight, so the fast path stays a cheap single-writer update.
-	mu sync.Mutex
-
 	m  int64 // S_j.m — global count at last broadcast
 	dm int64 // Δ(m) — arrivals since the last "all" report
-	nj int64 // exact local count |S_j|
 
 	// ModeExact state.
 	local map[uint64]int64 // exact m_{x,j}
@@ -148,21 +134,16 @@ type site struct {
 
 // New validates cfg and returns a Tracker.
 func New(cfg Config) (*Tracker, error) {
-	if cfg.K < 1 {
-		return nil, fmt.Errorf("hh: K must be >= 1, got %d", cfg.K)
-	}
-	if cfg.Eps <= 0 || cfg.Eps >= 1 {
-		return nil, fmt.Errorf("hh: Eps must be in (0,1), got %g", cfg.Eps)
-	}
-	t := &Tracker{
-		cfg:        cfg,
-		cmx:        make(map[uint64]int64),
-		boot:       true,
-		bootTarget: int64(math.Ceil(float64(cfg.K) / cfg.Eps)),
+	p := &policy{cfg: cfg, cmx: make(map[uint64]int64)}
+	eng, err := engine.New(engine.Config{Name: "hh", K: cfg.K, Eps: cfg.Eps}, p)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.ThresholdDivisor < 0 {
 		return nil, fmt.Errorf("hh: ThresholdDivisor must be >= 0, got %g", cfg.ThresholdDivisor)
 	}
+	p.eng = eng
+	p.bootTarget = eng.BootTarget()
 	for j := 0; j < cfg.K; j++ {
 		s := &site{}
 		switch cfg.Mode {
@@ -176,66 +157,57 @@ func New(cfg Config) (*Tracker, error) {
 			s.local = make(map[uint64]int64)
 			s.dx = make(map[uint64]int64)
 		}
-		t.sites = append(t.sites, s)
+		p.sites = append(p.sites, s)
 	}
-	return t, nil
+	return &Tracker{Engine: eng, p: p}, nil
 }
 
 // threshold returns site s's current reporting threshold ε·S_j.m/3k
 // (ThresholdDivisor replacing the 3 when set), floored at one item.
-func (t *Tracker) threshold(s *site) int64 {
-	div := t.cfg.ThresholdDivisor
+func (p *policy) threshold(s *site) int64 {
+	div := p.cfg.ThresholdDivisor
 	if div == 0 {
 		div = 3
 	}
-	thr := int64(t.cfg.Eps * float64(s.m) / (div * float64(t.cfg.K)))
+	thr := int64(p.cfg.Eps * float64(s.m) / (div * float64(p.cfg.K)))
 	if thr < 1 {
 		thr = 1
 	}
 	return thr
 }
 
-// Feed records one arrival of item x at the given site and runs any
-// communication the protocol triggers. It is the sequential composition of
-// the fast and slow paths — deterministic callers (the harness, the
-// experiments) observe exactly the pre-split behavior, message for message.
-func (t *Tracker) Feed(siteID int, x uint64) {
-	if t.FeedLocal(siteID, x) {
-		t.Escalate(siteID, x)
-	}
+// ApplyBoot records one bootstrap arrival in site j's frequency store.
+func (p *policy) ApplyBoot(siteID int, x uint64) {
+	p.applyStore(p.sites[siteID], x)
 }
 
-// FeedLocal runs the site-local fast path for one arrival of x at the given
-// site: the local counter updates and the threshold checks, with no shared
-// state touched and no communication metered. It reports whether the
-// protocol requires coordinator work — the caller must then invoke Escalate
-// with the same arguments. Safe for concurrent use with one goroutine per
-// site.
-func (t *Tracker) FeedLocal(siteID int, x uint64) (escalate bool) {
-	if siteID < 0 || siteID >= t.cfg.K {
-		panic(fmt.Sprintf("hh: site %d out of range [0,%d)", siteID, t.cfg.K))
-	}
-	s := t.sites[siteID]
-	s.mu.Lock()
-	s.nj++
-	t.n.Add(1)
-	t.applyStoreLocked(s, x)
-
-	if t.boot {
-		// Bootstrap: every arrival is forwarded, so every arrival escalates.
-		s.mu.Unlock()
-		return true
-	}
-
-	escalate = t.bumpDeltasLocked(s, x, t.threshold(s))
-	s.mu.Unlock()
-	return escalate
+// ApplyLocal runs the site-local fast path for one arrival: the store
+// update plus the Δ(m_x)/Δ(m) accounting and threshold checks.
+func (p *policy) ApplyLocal(siteID int, x uint64) (escalate bool) {
+	s := p.sites[siteID]
+	p.applyStore(s, x)
+	return p.bumpDeltas(s, x, p.threshold(s))
 }
 
-// applyStoreLocked records one arrival of x in site s's frequency store.
-// Caller holds the site lock.
-func (t *Tracker) applyStoreLocked(s *site, x uint64) {
-	switch t.cfg.Mode {
+// ApplyRun applies the fast path to a prefix of xs with the threshold
+// hoisted once per run: it depends only on S_j.m, which changes only under
+// every site lock — constant for the whole run.
+func (p *policy) ApplyRun(siteID int, xs []uint64) (consumed int, crossed bool) {
+	s := p.sites[siteID]
+	thr := p.threshold(s)
+	consumed = len(xs)
+	for i, x := range xs {
+		p.applyStore(s, x)
+		if p.bumpDeltas(s, x, thr) {
+			return i + 1, true
+		}
+	}
+	return consumed, false
+}
+
+// applyStore records one arrival of x in site s's frequency store.
+func (p *policy) applyStore(s *site, x uint64) {
+	switch p.cfg.Mode {
 	case ModeSketch:
 		s.ss.Add(x)
 	case ModeMGSketch:
@@ -245,14 +217,13 @@ func (t *Tracker) applyStoreLocked(s *site, x uint64) {
 	}
 }
 
-// bumpDeltasLocked applies one arrival's Δ(m_x) and Δ(m) accounting and
-// reports whether a reporting threshold was reached. Caller holds the site
-// lock; thr is the site's current threshold, constant while it is held.
-// Shared by the per-item and batched fast paths so their semantics cannot
-// drift.
-func (t *Tracker) bumpDeltasLocked(s *site, x uint64, thr int64) (escalate bool) {
+// bumpDeltas applies one arrival's Δ(m_x) and Δ(m) accounting and reports
+// whether a reporting threshold was reached; thr is the site's current
+// threshold, constant while the site lock is held. Shared by the per-item
+// and batched fast paths so their semantics cannot drift.
+func (p *policy) bumpDeltas(s *site, x uint64, thr int64) (escalate bool) {
 	// Per-item increment Δ(m_x).
-	switch t.cfg.Mode {
+	switch p.cfg.Mode {
 	case ModeExact:
 		s.dx[x]++
 		escalate = s.dx[x] >= thr
@@ -267,105 +238,27 @@ func (t *Tracker) bumpDeltasLocked(s *site, x uint64, thr int64) (escalate bool)
 	return escalate || s.dm >= thr
 }
 
-// FeedLocalBatch records a batch of arrivals at one site, amortizing the
-// fast path: one site-lock acquisition, one global-count update and one
-// hoisted threshold computation per escalation-free run, with the per-item
-// counter updates applied in arrival order. The batch splits at every
-// threshold crossing — Escalate runs inline at exactly the logical
-// positions the sequential Feed loop would, so coordinator state and every
-// wire.Meter count are bit-for-bit identical to feeding the items one by
-// one. It returns the (strictly increasing) batch indices that escalated,
-// nil when none did. The tracker does not retain xs.
-//
-// Like FeedLocal, it is safe for concurrent use with one goroutine per
-// site; it must not be interleaved with FeedLocal/Feed calls for the same
-// site from other goroutines.
-func (t *Tracker) FeedLocalBatch(siteID int, xs []uint64) (escalations []int) {
-	if siteID < 0 || siteID >= t.cfg.K {
-		panic(fmt.Sprintf("hh: site %d out of range [0,%d)", siteID, t.cfg.K))
-	}
-	s := t.sites[siteID]
-	for i := 0; i < len(xs); {
-		s.mu.Lock()
-		if t.boot {
-			// Bootstrap forwards every arrival: apply one item and escalate,
-			// exactly the sequential composition.
-			x := xs[i]
-			s.nj++
-			t.n.Add(1)
-			t.applyStoreLocked(s, x)
-			s.mu.Unlock()
-			t.Escalate(siteID, x)
-			escalations = append(escalations, i)
-			i++
-			continue
-		}
-		// The reporting threshold depends only on S_j.m, which changes only
-		// under every site lock — constant for the whole run.
-		thr := t.threshold(s)
-		start := i
-		crossed := false
-		for ; i < len(xs); i++ {
-			t.applyStoreLocked(s, xs[i])
-			if t.bumpDeltasLocked(s, xs[i], thr) {
-				crossed = true
-				i++
-				break
-			}
-		}
-		s.nj += int64(i - start)
-		t.n.Add(int64(i - start))
-		s.mu.Unlock()
-		if !crossed {
-			break
-		}
-		escalations = append(escalations, i-1)
-		t.Escalate(siteID, xs[i-1])
-	}
-	return escalations
-}
-
-// Escalate runs the coordinator slow path for an arrival previously applied
-// by FeedLocal: it re-checks the reporting thresholds under the protocol
-// lock and runs the (rare) communication cascade — delta reports, "all"
-// signals, round syncs — with all wire.Meter accounting. It excludes every
-// site's fast path for its duration. In a sequential Feed the re-checks see
-// exactly the state FeedLocal left, so the combined behavior is identical
-// to the unsplit protocol; under concurrency a report may additionally
-// absorb deltas from arrivals that raced in, which only makes reporting
-// fresher.
-//
-// An arrival that straddles the bootstrap→tracking transition (FeedLocal
-// saw boot, another site's escalation ended it first) contributes to the
-// exact local stores immediately and to the delta accounting not at all; it
-// is absorbed by the next exact collection, costing at most one word of
-// staleness per site, once — within every invariant's slack.
-func (t *Tracker) Escalate(siteID int, x uint64) {
-	t.escMu.Lock()
-	t.lockSites()
-	s := t.sites[siteID]
-
-	if t.boot {
-		t.escalateBoot(siteID, x)
-		t.finishSlowPath()
-		return
-	}
-
-	thr := t.threshold(s)
+// OnEscalate re-checks the reporting thresholds under the protocol lock and
+// runs the (rare) communication cascade — delta reports, "all" signals,
+// round syncs — with all wire.Meter accounting.
+func (p *policy) OnEscalate(siteID int, x uint64) {
+	s := p.sites[siteID]
+	meter := p.eng.Meter()
+	thr := p.threshold(s)
 
 	// Per-item report Δ(m_x).
-	switch t.cfg.Mode {
+	switch p.cfg.Mode {
 	case ModeExact:
 		if s.dx[x] >= thr {
-			t.meter.Up(siteID, "freq", 2)
-			t.cmx[x] += s.dx[x]
+			meter.Up(siteID, "freq", 2)
+			p.cmx[x] += s.dx[x]
 			delete(s.dx, x)
 		}
 	case ModeSketch:
 		est := s.ss.Est(x)
 		if d := est - s.lastRep[x]; d >= thr {
-			t.meter.Up(siteID, "freq", 2)
-			t.cmx[x] += d
+			meter.Up(siteID, "freq", 2)
+			p.cmx[x] += d
 			s.lastRep[x] = est
 		}
 	case ModeMGSketch:
@@ -373,118 +266,76 @@ func (t *Tracker) Escalate(siteID int, x uint64) {
 		// reporting (d < thr); reported deltas stay valid lower bounds.
 		est := s.mgs.Est(x)
 		if d := est - s.lastRep[x]; d >= thr {
-			t.meter.Up(siteID, "freq", 2)
-			t.cmx[x] += d
+			meter.Up(siteID, "freq", 2)
+			p.cmx[x] += d
 			s.lastRep[x] = est
 		}
 	}
 
 	// Total report Δ(m).
 	if s.dm >= thr {
-		t.meter.Up(siteID, "all", 1)
-		t.cm += s.dm
+		meter.Up(siteID, "all", 1)
+		p.cm += s.dm
 		s.dm = 0
-		t.allSignals++
-		if t.allSignals >= t.cfg.K {
-			t.sync()
-		}
-	}
-	t.finishSlowPath()
-}
-
-// escalateBoot forwards one bootstrap arrival and ends the bootstrap once
-// the coordinator holds k/ε items. Caller holds the slow-path locks.
-func (t *Tracker) escalateBoot(siteID int, x uint64) {
-	t.meter.Up(siteID, "item", 1)
-	t.cm++
-	t.cmx[x]++
-	if t.cm >= t.bootTarget {
-		t.boot = false
-		t.broadcastM(t.cm)
-		// Everything so far was reported exactly; baseline the sketch
-		// reporting marks so deltas start from here.
-		switch t.cfg.Mode {
-		case ModeSketch:
-			for _, st := range t.sites {
-				for _, e := range st.ss.Top() {
-					st.lastRep[e.Item] = e.Count
-				}
-			}
-		case ModeMGSketch:
-			for _, st := range t.sites {
-				for _, e := range st.mgs.Top() {
-					st.lastRep[e.Item] = e.Count
-				}
-			}
+		p.allSignals++
+		if p.allSignals >= p.cfg.K {
+			p.sync()
 		}
 	}
 }
 
-// lockSites acquires every site lock in index order (the lock order is
-// escMu, then sites ascending; FeedLocal takes only its own site lock, so
-// no cycle exists).
-func (t *Tracker) lockSites() {
-	for _, s := range t.sites {
-		s.mu.Lock()
+// OnBootEscalate forwards one bootstrap arrival; the bootstrap ends once
+// the coordinator holds k/ε items.
+func (p *policy) OnBootEscalate(_ int, x uint64) (done bool) {
+	p.cm++
+	p.cmx[x]++
+	return p.cm >= p.bootTarget
+}
+
+// OnBootDone broadcasts the exact count collected during bootstrap and
+// baselines the sketch reporting marks: everything so far was reported
+// exactly, so deltas start from here.
+func (p *policy) OnBootDone() {
+	p.broadcastM(p.cm)
+	switch p.cfg.Mode {
+	case ModeSketch:
+		for _, st := range p.sites {
+			for _, e := range st.ss.Top() {
+				st.lastRep[e.Item] = e.Count
+			}
+		}
+	case ModeMGSketch:
+		for _, st := range p.sites {
+			for _, e := range st.mgs.Top() {
+				st.lastRep[e.Item] = e.Count
+			}
+		}
 	}
 }
-
-func (t *Tracker) unlockSites() {
-	for _, s := range t.sites {
-		s.mu.Unlock()
-	}
-}
-
-// finishSlowPath publishes the new coordinator state version and releases
-// the slow-path locks. The version is bumped before release so a reader
-// that still observes the old version is guaranteed the escalation has not
-// yet published — its cached answers correspond to the pre-escalation
-// state, a valid linearization.
-func (t *Tracker) finishSlowPath() {
-	t.version.Add(1)
-	t.unlockSites()
-	t.escMu.Unlock()
-}
-
-// Quiesce runs f with the whole cluster quiescent — no fast path in flight,
-// no escalation — so tracker reads inside f see a consistent coordinator
-// and site state. It is the query entry point for concurrent deployments.
-func (t *Tracker) Quiesce(f func()) {
-	t.escMu.Lock()
-	t.lockSites()
-	f()
-	t.unlockSites()
-	t.escMu.Unlock()
-}
-
-// Version returns the coordinator state version: it changes only when an
-// escalation may have changed coordinator state, so an answer computed
-// under Quiesce remains valid while Version stays the same. Safe for
-// concurrent use; see the service layer's query snapshots.
-func (t *Tracker) Version() uint64 { return t.version.Load() }
 
 // sync runs the coordinator's round refresh: collect the exact global count
 // from every site and broadcast it.
-func (t *Tracker) sync() {
+func (p *policy) sync() {
+	meter := p.eng.Meter()
 	var m int64
-	for j, s := range t.sites {
-		t.meter.Down(j, "sync", 1) // request
-		t.meter.Up(j, "sync", 1)   // exact local count
-		m += s.nj
+	for j := range p.sites {
+		meter.Down(j, "sync", 1) // request
+		meter.Up(j, "sync", 1)   // exact local count
+		m += p.eng.SiteCount(j)
 	}
 	// The collected count also covers each site's unreported Δ(m).
-	for _, s := range t.sites {
+	for _, s := range p.sites {
 		s.dm = 0
 	}
-	t.broadcastM(m)
-	t.allSignals = 0
-	t.rounds++
+	p.broadcastM(m)
+	p.allSignals = 0
+	p.rounds++
 }
 
-func (t *Tracker) broadcastM(m int64) {
-	t.cm = m
-	t.meter.Broadcast("newm", 1, t.cfg.K)
-	for _, s := range t.sites {
+func (p *policy) broadcastM(m int64) {
+	p.cm = m
+	p.eng.Meter().Broadcast("newm", 1, p.cfg.K)
+	for _, s := range p.sites {
 		s.m = m
 		s.dm = 0
 	}
@@ -494,15 +345,16 @@ func (t *Tracker) broadcastM(m int64) {
 // The result contains every x with m_x ≥ φ|A| and nothing with
 // m_x < (φ−ε)|A|. phi must satisfy ε ≤ phi ≤ 1 (the paper's precondition).
 func (t *Tracker) HeavyHitters(phi float64) []uint64 {
-	if phi < t.cfg.Eps || phi > 1 {
-		panic(fmt.Sprintf("hh: phi must be in [eps, 1], got %g (eps %g)", phi, t.cfg.Eps))
+	p := t.p
+	if phi < p.cfg.Eps || phi > 1 {
+		panic(fmt.Sprintf("hh: phi must be in [eps, 1], got %g (eps %g)", phi, p.cfg.Eps))
 	}
-	if t.cm == 0 {
+	if p.cm == 0 {
 		return nil
 	}
-	tau := (phi - classifySlack*t.cfg.Eps) * float64(t.cm)
+	tau := (phi - classifySlack*p.cfg.Eps) * float64(p.cm)
 	var out []uint64
-	for x, c := range t.cmx {
+	for x, c := range p.cmx {
 		if float64(c) >= tau {
 			out = append(out, x)
 		}
@@ -530,8 +382,8 @@ func (t *Tracker) HeavyHitterEntries(phi float64) []Entry {
 	}
 	out := make([]Entry, 0, len(items))
 	for _, x := range items {
-		c := t.cmx[x]
-		out = append(out, Entry{Item: x, Count: c, Ratio: float64(c) / float64(t.cm)})
+		c := t.p.cmx[x]
+		out = append(out, Entry{Item: x, Count: c, Ratio: float64(c) / float64(t.p.cm)})
 	}
 	slices.SortFunc(out, func(a, b Entry) int {
 		if a.Count != b.Count {
@@ -543,34 +395,20 @@ func (t *Tracker) HeavyHitterEntries(phi float64) []Entry {
 }
 
 // EstFrequency returns the coordinator's estimate C.m_x.
-func (t *Tracker) EstFrequency(x uint64) int64 { return t.cmx[x] }
-
-// SiteCount returns the exact number of arrivals observed at site j.
-func (t *Tracker) SiteCount(j int) int64 { return t.sites[j].nj }
+func (t *Tracker) EstFrequency(x uint64) int64 { return t.p.cmx[x] }
 
 // EstTotal returns the coordinator's estimate C.m.
-func (t *Tracker) EstTotal() int64 { return t.cm }
-
-// TrueTotal returns the exact global count (not known to the coordinator).
-func (t *Tracker) TrueTotal() int64 { return t.n.Load() }
+func (t *Tracker) EstTotal() int64 { return t.p.cm }
 
 // Rounds returns the number of completed coordinator syncs.
-func (t *Tracker) Rounds() int { return t.rounds }
-
-// Bootstrapping reports whether the tracker is still forwarding every item.
-func (t *Tracker) Bootstrapping() bool { return t.boot }
-
-// K returns the number of sites. Eps returns the error parameter.
-func (t *Tracker) K() int             { return t.cfg.K }
-func (t *Tracker) Eps() float64       { return t.cfg.Eps }
-func (t *Tracker) Meter() *wire.Meter { return &t.meter }
+func (t *Tracker) Rounds() int { return t.p.rounds }
 
 // SiteSpace returns the number of state entries held at site j — frequency
 // counters plus pending deltas in exact mode, sketch counters plus reporting
 // marks in sketch mode. Used by the space experiments (E9).
 func (t *Tracker) SiteSpace(j int) int {
-	s := t.sites[j]
-	switch t.cfg.Mode {
+	s := t.p.sites[j]
+	switch t.p.cfg.Mode {
 	case ModeSketch:
 		return s.ss.Space() + len(s.lastRep)
 	case ModeMGSketch:
@@ -584,13 +422,14 @@ func (t *Tracker) SiteSpace(j int) int {
 // before it sends its next message — the "triggering threshold" n_j the
 // Lemma 2.3 adversary inspects. During bootstrap it is 1.
 func (t *Tracker) ItemThreshold(j int, x uint64) int64 {
-	if t.boot {
+	if t.Bootstrapping() {
 		return 1
 	}
-	s := t.sites[j]
-	thr := t.threshold(s)
+	p := t.p
+	s := p.sites[j]
+	thr := p.threshold(s)
 	var dx int64
-	switch t.cfg.Mode {
+	switch p.cfg.Mode {
 	case ModeSketch:
 		dx = s.ss.Est(x) - s.lastRep[x]
 	case ModeMGSketch:

@@ -49,17 +49,22 @@
 // ModeSketch stores a Greenwald–Khanna summary per site (space
 // O(1/ε·log εn)), answering the same queries with an extra, budgeted,
 // ε/32-relative error — the paper's "implementing with small space" remark.
+//
+// # Concurrency
+//
+// The two-phase ingest surface (Feed, FeedLocal, FeedLocalBatch, Escalate,
+// Quiesce, Version) is owned by the shared core/engine skeleton; this
+// package supplies only the §3.1 algorithm as an engine policy. See package
+// engine for the concurrency contract.
 package quantile
 
 import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
-	"sync/atomic"
 
+	"disttrack/internal/core/engine"
 	"disttrack/internal/rank"
-	"disttrack/internal/wire"
 )
 
 // Mode selects the per-site item store.
@@ -103,31 +108,26 @@ type quantState struct {
 }
 
 // Tracker continuously tracks one or more φ-quantiles of the union of k
-// site-local streams.
-//
-// Concurrency follows the same two-phase contract as core/hh: FeedLocal is
-// safe with one goroutine per site, Escalate/Quiesce serialize the
-// coordinator slow path against every fast path, and Feed plus the query
-// methods are for sequential callers (or inside Quiesce). See the runtime
-// package for the concurrent driver.
+// site-local streams. The embedded engine provides the whole ingest and
+// quiescence surface; the methods defined here are the §3.1 queries.
 type Tracker struct {
-	cfg   Config
-	phis  []float64
-	meter wire.Meter
+	*engine.Engine
+	p *policy
+}
+
+// policy is the §3.1 algorithm as an engine policy: all methods run under
+// the engine's locks (see engine.Policy), so no field needs locking of its
+// own.
+type policy struct {
+	eng  *engine.Engine
+	cfg  Config
+	phis []float64
+
 	sites []*site
 
-	// escMu serializes the coordinator slow path; the slow path also holds
-	// every site lock, so round state read by the fast path (seps,
-	// thresholds, qs[i].m0, boot) only changes while all fast paths are
-	// excluded.
-	escMu   sync.Mutex
-	version atomic.Uint64
-
 	// Bootstrap: until |A| >= k/ε every arrival is forwarded.
-	boot       bool
 	bootTarget int64
 	bootTree   *rank.Tree
-	n          atomic.Int64 // true |A| (ground truth for tests)
 
 	// Round state (§3.1). m is |A| at round start and fixes all thresholds.
 	m         int64
@@ -149,13 +149,9 @@ type Tracker struct {
 	cannotSplit int
 }
 
+// site is the per-site protocol state, guarded by the engine's site locks.
 type site struct {
-	// mu guards every field: held by the owning site goroutine for the
-	// duration of FeedLocal and by the coordinator for the whole slow path.
-	mu sync.Mutex
-
 	st       store
-	nj       int64      // exact local count
 	ivDelta  []int64    // unreported arrivals per interval
 	totDelta int64      // unreported arrivals (total)
 	drift    [][2]int64 // per-quantile unreported arrivals [left, right] of M
@@ -163,31 +159,26 @@ type site struct {
 
 // New validates cfg and returns a Tracker.
 func New(cfg Config) (*Tracker, error) {
-	if cfg.K < 1 {
-		return nil, fmt.Errorf("quantile: K must be >= 1, got %d", cfg.K)
-	}
-	if cfg.Eps <= 0 || cfg.Eps >= 1 {
-		return nil, fmt.Errorf("quantile: Eps must be in (0,1), got %g", cfg.Eps)
-	}
 	phis := cfg.Phis
 	if len(phis) == 0 {
 		phis = []float64{cfg.Phi}
+	}
+	p := &policy{cfg: cfg, phis: phis}
+	eng, err := engine.New(engine.Config{Name: "quantile", K: cfg.K, Eps: cfg.Eps}, p)
+	if err != nil {
+		return nil, err
 	}
 	for _, phi := range phis {
 		if phi < 0 || phi > 1 {
 			return nil, fmt.Errorf("quantile: every phi must be in [0,1], got %g", phi)
 		}
 	}
-	t := &Tracker{
-		cfg:        cfg,
-		phis:       phis,
-		boot:       true,
-		bootTarget: int64(math.Ceil(float64(cfg.K) / cfg.Eps)),
-		bootTree:   rank.New(cfg.Seed ^ 0x5EED),
-		qs:         make([]quantState, len(phis)),
-	}
+	p.eng = eng
+	p.bootTarget = eng.BootTarget()
+	p.bootTree = rank.New(cfg.Seed ^ 0x5EED)
+	p.qs = make([]quantState, len(phis))
 	for i, phi := range phis {
-		t.qs[i].phi = phi
+		p.qs[i].phi = phi
 	}
 	for j := 0; j < cfg.K; j++ {
 		var st store
@@ -196,116 +187,52 @@ func New(cfg Config) (*Tracker, error) {
 		} else {
 			st = newExactStore(cfg.Seed + int64(j) + 1)
 		}
-		t.sites = append(t.sites, &site{st: st, drift: make([][2]int64, len(phis))})
+		p.sites = append(p.sites, &site{st: st, drift: make([][2]int64, len(phis))})
 	}
-	return t, nil
+	return &Tracker{Engine: eng, p: p}, nil
 }
 
-// Feed records one arrival of item x at the given site and runs any
-// communication the protocol triggers: the sequential composition of
-// FeedLocal and Escalate, message-for-message identical to the unsplit
-// protocol.
-func (t *Tracker) Feed(siteID int, x uint64) {
-	if t.FeedLocal(siteID, x) {
-		t.Escalate(siteID, x)
-	}
+// ApplyBoot records one bootstrap arrival in site j's item store.
+func (p *policy) ApplyBoot(siteID int, x uint64) {
+	p.sites[siteID].st.Insert(x)
 }
 
-// FeedLocal runs the site-local fast path for one arrival: the store
-// insert and the interval/total/drift counter updates, with no shared
-// state touched. It reports whether a batch threshold was reached — the
-// caller must then invoke Escalate with the same arguments. Safe for
-// concurrent use with one goroutine per site.
-func (t *Tracker) FeedLocal(siteID int, x uint64) (escalate bool) {
-	if siteID < 0 || siteID >= t.cfg.K {
-		panic(fmt.Sprintf("quantile: site %d out of range [0,%d)", siteID, t.cfg.K))
-	}
-	s := t.sites[siteID]
-	s.mu.Lock()
+// ApplyLocal runs the site-local fast path for one arrival: the store
+// insert and the interval/total/drift counter updates. The separator
+// structure it reads is stable: splits and round changes only happen while
+// every site lock is held.
+func (p *policy) ApplyLocal(siteID int, x uint64) (escalate bool) {
+	s := p.sites[siteID]
 	s.st.Insert(x)
-	s.nj++
-	t.n.Add(1)
 
-	if t.boot {
-		s.mu.Unlock()
-		return true
-	}
-
-	// Interval arrival counting. The separator structure is stable here:
-	// splits and round changes only happen while every site lock is held.
-	iv := t.ivIndex(x)
+	// Interval arrival counting.
+	iv := p.ivIndex(x)
 	s.ivDelta[iv]++
-	escalate = s.ivDelta[iv] >= t.thrIv
+	escalate = s.ivDelta[iv] >= p.thrIv
 
 	// Total counting.
 	s.totDelta++
-	escalate = escalate || s.totDelta >= t.thrTot
+	escalate = escalate || s.totDelta >= p.thrTot
 
 	// Per-quantile drift counting.
-	for qi := range t.qs {
+	for qi := range p.qs {
 		side := 0
-		if x >= t.qs[qi].m0 {
+		if x >= p.qs[qi].m0 {
 			side = 1
 		}
 		s.drift[qi][side]++
-		escalate = escalate || s.drift[qi][side] >= t.thrLR
+		escalate = escalate || s.drift[qi][side] >= p.thrLR
 	}
-	s.mu.Unlock()
 	return escalate
 }
 
-// FeedLocalBatch records a batch of arrivals at one site, amortizing the
-// fast path: one site-lock acquisition, one store bulk-insert and one
-// global-count update per escalation-free run, with per-item interval and
-// drift counting in arrival order. The batch splits at every threshold
-// crossing — the coordinator slow path runs inline at exactly the logical
-// positions the sequential Feed loop would, so protocol state and every
-// wire.Meter count are bit-for-bit identical to feeding the items one by
-// one. It returns the (strictly increasing) batch indices that escalated,
-// nil when none did. The tracker does not retain xs.
-//
-// Like FeedLocal, it is safe for concurrent use with one goroutine per
-// site; it must not be interleaved with FeedLocal/Feed calls for the same
-// site from other goroutines.
-func (t *Tracker) FeedLocalBatch(siteID int, xs []uint64) (escalations []int) {
-	if siteID < 0 || siteID >= t.cfg.K {
-		panic(fmt.Sprintf("quantile: site %d out of range [0,%d)", siteID, t.cfg.K))
-	}
-	s := t.sites[siteID]
-	for i := 0; i < len(xs); {
-		s.mu.Lock()
-		if t.boot {
-			// Bootstrap forwards every arrival: apply one item and escalate,
-			// exactly the sequential composition.
-			s.st.Insert(xs[i])
-			s.nj++
-			t.n.Add(1)
-			s.mu.Unlock()
-			t.Escalate(siteID, xs[i])
-			escalations = append(escalations, i)
-			i++
-			continue
-		}
-		consumed, crossed := t.feedRunLocked(s, xs[i:])
-		s.mu.Unlock()
-		i += consumed
-		if !crossed {
-			break
-		}
-		escalations = append(escalations, i-1)
-		t.Escalate(siteID, xs[i-1])
-	}
-	return escalations
-}
-
-// feedRunLocked applies the site-local fast path to a prefix of xs under
-// the already-held site lock: counters are updated per item in arrival
-// order until the first threshold crossing (inclusive), then the consumed
-// prefix is bulk-inserted into the store and folded into the site and
-// global counts once. It returns how many items were consumed and whether
-// the last one crossed a threshold. The round state it reads (seps,
-// thresholds, m0) is stable: it only changes while every site lock is held.
-func (t *Tracker) feedRunLocked(s *site, xs []uint64) (consumed int, crossed bool) {
+// ApplyRun applies the site-local fast path to a prefix of xs: counters are
+// updated per item in arrival order until the first threshold crossing
+// (inclusive), then the consumed prefix is bulk-inserted into the store
+// once. The round state it reads (seps, thresholds, m0) is stable: it only
+// changes while every site lock is held.
+func (p *policy) ApplyRun(siteID int, xs []uint64) (consumed int, crossed bool) {
+	s := p.sites[siteID]
 	ivIdx := -1
 	var ivLo, ivHi uint64 // cached bounds of interval ivIdx: [ivLo, ivHi)
 	consumed = len(xs)
@@ -313,19 +240,19 @@ func (t *Tracker) feedRunLocked(s *site, xs []uint64) (consumed int, crossed boo
 		// Run-group the interval lookup: consecutive arrivals that stay in
 		// the same interval skip the binary search entirely.
 		if ivIdx < 0 || x < ivLo || x >= ivHi {
-			ivIdx = t.ivIndex(x)
-			ivLo, ivHi = t.ivBounds(ivIdx)
+			ivIdx = p.ivIndex(x)
+			ivLo, ivHi = p.ivBounds(ivIdx)
 		}
 		s.ivDelta[ivIdx]++
 		s.totDelta++
-		esc := s.ivDelta[ivIdx] >= t.thrIv || s.totDelta >= t.thrTot
-		for qi := range t.qs {
+		esc := s.ivDelta[ivIdx] >= p.thrIv || s.totDelta >= p.thrTot
+		for qi := range p.qs {
 			side := 0
-			if x >= t.qs[qi].m0 {
+			if x >= p.qs[qi].m0 {
 				side = 1
 			}
 			s.drift[qi][side]++
-			if s.drift[qi][side] >= t.thrLR {
+			if s.drift[qi][side] >= p.thrLR {
 				esc = true
 			}
 		}
@@ -335,115 +262,69 @@ func (t *Tracker) feedRunLocked(s *site, xs []uint64) (consumed int, crossed boo
 		}
 	}
 	s.st.InsertBatch(xs[:consumed])
-	s.nj += int64(consumed)
-	t.n.Add(int64(consumed))
 	return consumed, crossed
 }
 
-// Escalate runs the coordinator slow path for an arrival previously applied
-// by FeedLocal: it re-checks the batch thresholds under the protocol lock
-// and runs the communication the protocol triggers — interval reports and
+// OnEscalate re-checks the batch thresholds under the protocol lock and
+// runs the communication the protocol triggers — interval reports and
 // splits, total reports and round changes, drift reports and relocations —
-// with all wire.Meter accounting. It excludes every site's fast path for
-// its duration. Arrivals that straddle the bootstrap→tracking transition
-// are absorbed by the next exact collection (see core/hh for the argument).
-func (t *Tracker) Escalate(siteID int, x uint64) {
-	t.escMu.Lock()
-	t.lockSites()
-	s := t.sites[siteID]
-
-	if t.boot {
-		t.meter.Up(siteID, "item", 1)
-		t.bootTree.Insert(x)
-		if t.n.Load() >= t.bootTarget {
-			t.boot = false
-			t.newRound()
-		}
-		t.finishSlowPath()
-		return
-	}
+// with all wire.Meter accounting.
+func (p *policy) OnEscalate(siteID int, x uint64) {
+	s := p.sites[siteID]
+	meter := p.eng.Meter()
 
 	// Interval report → possible split.
-	iv := t.ivIndex(x)
-	if s.ivDelta[iv] >= t.thrIv {
-		t.meter.Up(siteID, "iv", 2)
-		t.ivCount[iv] += s.ivDelta[iv]
+	iv := p.ivIndex(x)
+	if s.ivDelta[iv] >= p.thrIv {
+		meter.Up(siteID, "iv", 2)
+		p.ivCount[iv] += s.ivDelta[iv]
 		s.ivDelta[iv] = 0
-		if t.ivCount[iv] >= t.splitAt {
-			t.split(iv)
+		if p.ivCount[iv] >= p.splitAt {
+			p.split(iv)
 		}
 	}
 
 	// Total report → possible round change.
-	if s.totDelta >= t.thrTot {
-		t.meter.Up(siteID, "tot", 1)
-		t.totEst += s.totDelta
+	if s.totDelta >= p.thrTot {
+		meter.Up(siteID, "tot", 1)
+		p.totEst += s.totDelta
 		s.totDelta = 0
-		if t.totEst >= 2*t.m {
-			t.newRound()
-			t.finishSlowPath()
+		if p.totEst >= 2*p.m {
+			p.newRound()
 			return
 		}
 	}
 
 	// Per-quantile drift reports → possible relocations.
-	for qi := range t.qs {
-		q := &t.qs[qi]
+	for qi := range p.qs {
+		q := &p.qs[qi]
 		side := 0
 		if x >= q.m0 {
 			side = 1
 		}
-		if s.drift[qi][side] < t.thrLR {
+		if s.drift[qi][side] < p.thrLR {
 			continue
 		}
-		t.meter.Up(siteID, driftKind(side), 2)
+		meter.Up(siteID, driftKind(side), 2)
 		if side == 0 {
 			q.dL += s.drift[qi][side]
 		} else {
 			q.dR += s.drift[qi][side]
 		}
 		s.drift[qi][side] = 0
-		t.maybeRelocate(qi)
-	}
-	t.finishSlowPath()
-}
-
-// lockSites acquires every site lock in index order (lock order: escMu,
-// then sites ascending; FeedLocal takes only its own site lock).
-func (t *Tracker) lockSites() {
-	for _, s := range t.sites {
-		s.mu.Lock()
+		p.maybeRelocate(qi)
 	}
 }
 
-func (t *Tracker) unlockSites() {
-	for _, s := range t.sites {
-		s.mu.Unlock()
-	}
+// OnBootEscalate forwards one bootstrap arrival into the coordinator's
+// exact tree; the bootstrap ends once |A| reaches k/ε.
+func (p *policy) OnBootEscalate(_ int, x uint64) (done bool) {
+	p.bootTree.Insert(x)
+	return p.eng.TrueTotal() >= p.bootTarget
 }
 
-// finishSlowPath publishes the new coordinator state version and releases
-// the slow-path locks.
-func (t *Tracker) finishSlowPath() {
-	t.version.Add(1)
-	t.unlockSites()
-	t.escMu.Unlock()
-}
-
-// Quiesce runs f with no fast path in flight and no escalation, so tracker
-// reads inside f see consistent coordinator and site state. It is the
-// query entry point for concurrent deployments.
-func (t *Tracker) Quiesce(f func()) {
-	t.escMu.Lock()
-	t.lockSites()
-	f()
-	t.unlockSites()
-	t.escMu.Unlock()
-}
-
-// Version returns the coordinator state version; answers computed under
-// Quiesce remain valid while it is unchanged. Safe for concurrent use.
-func (t *Tracker) Version() uint64 { return t.version.Load() }
+// OnBootDone builds the first round.
+func (p *policy) OnBootDone() { p.newRound() }
 
 func driftKind(side int) string {
 	if side == 0 {
@@ -453,18 +334,18 @@ func driftKind(side int) string {
 }
 
 // ivIndex returns the interval index of x: the number of separators <= x.
-func (t *Tracker) ivIndex(x uint64) int {
-	return sort.Search(len(t.seps), func(i int) bool { return t.seps[i] > x })
+func (p *policy) ivIndex(x uint64) int {
+	return sort.Search(len(p.seps), func(i int) bool { return p.seps[i] > x })
 }
 
 // maybeRelocate fires the paper's |Δ(L) − Δ(R)| ≥ εm/2 trigger, generalized
 // to arbitrary φ as a rank-drift condition.
-func (t *Tracker) maybeRelocate(qi int) {
-	q := &t.qs[qi]
+func (p *policy) maybeRelocate(qi int) {
+	q := &p.qs[qi]
 	estRank := float64(q.lBase + q.dL)
 	estTot := float64(q.tBase + q.dL + q.dR)
-	if math.Abs(estRank-q.phi*estTot) >= t.driftTrig {
-		t.relocate(qi)
+	if math.Abs(estRank-q.phi*estTot) >= p.driftTrig {
+		p.relocate(qi)
 	}
 }
 
@@ -477,91 +358,85 @@ func (t *Tracker) Quantile() uint64 { return t.QuantileAt(0) }
 
 // QuantileAt returns the i-th tracked quantile (index into Phis).
 func (t *Tracker) QuantileAt(i int) uint64 {
-	if t.boot {
-		// Index against what was actually forwarded: t.n counts arrivals at
-		// FeedLocal time, but a concurrent arrival reaches the bootstrap
-		// tree only in its Escalate — a quiescent query may run in between.
-		n := int64(t.bootTree.Len())
+	p := t.p
+	if t.Bootstrapping() {
+		// Index against what was actually forwarded: TrueTotal counts
+		// arrivals at FeedLocal time, but a concurrent arrival reaches the
+		// bootstrap tree only in its Escalate — a quiescent query may run
+		// in between.
+		n := int64(p.bootTree.Len())
 		if n == 0 {
-			if t.n.Load() == 0 {
+			if t.TrueTotal() == 0 {
 				panic("quantile: Quantile before any arrival")
 			}
 			return 0 // every arrival so far is still in flight to Escalate
 		}
-		idx := int64(t.phis[i] * float64(n))
+		idx := int64(p.phis[i] * float64(n))
 		if idx >= n {
 			idx = n - 1
 		}
-		return t.bootTree.Select(int(idx))
+		return p.bootTree.Select(int(idx))
 	}
-	return t.qs[i].m0
+	return p.qs[i].m0
 }
 
 // QuantileOf returns the tracked quantile for the given φ, which must be
 // one of the configured Phis.
 func (t *Tracker) QuantileOf(phi float64) uint64 {
-	for i, p := range t.phis {
+	for i, p := range t.p.phis {
 		if p == phi {
 			return t.QuantileAt(i)
 		}
 	}
-	panic(fmt.Sprintf("quantile: phi %g is not tracked (configured: %v)", phi, t.phis))
+	panic(fmt.Sprintf("quantile: phi %g is not tracked (configured: %v)", phi, t.p.phis))
 }
 
 // Quantiles returns all tracked quantiles, parallel to Phis().
 func (t *Tracker) Quantiles() []uint64 {
-	out := make([]uint64, len(t.phis))
-	for i := range t.phis {
+	out := make([]uint64, len(t.p.phis))
+	for i := range t.p.phis {
 		out[i] = t.QuantileAt(i)
 	}
 	return out
 }
 
-// TrueTotal returns the exact |A| (not known to the coordinator).
-func (t *Tracker) TrueTotal() int64 { return t.n.Load() }
-
 // EstTotal returns the coordinator's estimate of |A|.
 func (t *Tracker) EstTotal() int64 {
-	if t.boot {
-		return t.n.Load()
+	if t.Bootstrapping() {
+		return t.TrueTotal()
 	}
-	return t.totEst
+	return t.p.totEst
 }
 
-// Meter returns the communication meter.
-func (t *Tracker) Meter() *wire.Meter { return &t.meter }
-
-// K returns the number of sites; Eps the error; Phi the first tracked
-// quantile; Phis all of them.
-func (t *Tracker) K() int          { return t.cfg.K }
-func (t *Tracker) Eps() float64    { return t.cfg.Eps }
-func (t *Tracker) Phi() float64    { return t.phis[0] }
-func (t *Tracker) Phis() []float64 { return append([]float64(nil), t.phis...) }
+// Phi returns the first tracked quantile's φ; Phis all of them.
+func (t *Tracker) Phi() float64    { return t.p.phis[0] }
+func (t *Tracker) Phis() []float64 { return append([]float64(nil), t.p.phis...) }
 
 // Rounds, Relocations and Splits return protocol statistics.
-func (t *Tracker) Rounds() int      { return t.rounds }
-func (t *Tracker) Relocations() int { return t.relocations }
-func (t *Tracker) Splits() int      { return t.splits }
+func (t *Tracker) Rounds() int      { return t.p.rounds }
+func (t *Tracker) Relocations() int { return t.p.relocations }
+func (t *Tracker) Splits() int      { return t.p.splits }
 
 // CannotSplit counts split attempts defeated by ties (see the distinctness
 // note in the package documentation).
-func (t *Tracker) CannotSplit() int { return t.cannotSplit }
+func (t *Tracker) CannotSplit() int { return t.p.cannotSplit }
 
 // Intervals returns the current number of coordinator intervals.
-func (t *Tracker) Intervals() int { return len(t.seps) + 1 }
+func (t *Tracker) Intervals() int { return len(t.p.seps) + 1 }
 
 // IntervalTrueCounts returns the exact current count of every interval,
 // computed from ground truth — used by the invariant tests, not part of the
 // protocol.
 func (t *Tracker) IntervalTrueCounts() []int64 {
-	counts := make([]int64, len(t.seps)+1)
-	for _, s := range t.sites {
+	p := t.p
+	counts := make([]int64, len(p.seps)+1)
+	for _, s := range p.sites {
 		prev := uint64(0)
-		for i, sep := range t.seps {
+		for i, sep := range p.seps {
 			counts[i] += s.localTrueCount(prev, sep)
 			prev = sep
 		}
-		counts[len(t.seps)] += s.localTrueCount(prev, math.MaxUint64)
+		counts[len(p.seps)] += s.localTrueCount(prev, math.MaxUint64)
 	}
 	return counts
 }
@@ -570,10 +445,7 @@ func (t *Tracker) IntervalTrueCounts() []int64 {
 func (s *site) localTrueCount(lo, hi uint64) int64 { return s.st.CountRange(lo, hi) }
 
 // SiteSpace returns the number of stored entries at site j.
-func (t *Tracker) SiteSpace(j int) int { return t.sites[j].st.Space() }
-
-// SiteCount returns the exact number of arrivals observed at site j.
-func (t *Tracker) SiteCount(j int) int64 { return t.sites[j].nj }
+func (t *Tracker) SiteSpace(j int) int { return t.p.sites[j].st.Space() }
 
 // RoundM returns m, the |A| snapshot the current round's thresholds use.
-func (t *Tracker) RoundM() int64 { return t.m }
+func (t *Tracker) RoundM() int64 { return t.p.m }

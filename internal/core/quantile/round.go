@@ -17,9 +17,10 @@ type wsep struct {
 // site, metering the exchange under the given kind. Each returned separator
 // from site j carries weight step_j, so cumulative weights estimate global
 // ranks within Σ_j step_j.
-func (t *Tracker) sepSamples(lo, hi uint64, denom float64, kind string) (merged []wsep, total int64, maxStep int64) {
-	for j, s := range t.sites {
-		t.meter.Down(j, kind+"-req", 1)
+func (p *policy) sepSamples(lo, hi uint64, denom float64, kind string) (merged []wsep, total int64, maxStep int64) {
+	meter := p.eng.Meter()
+	for j, s := range p.sites {
+		meter.Down(j, kind+"-req", 1)
 		nLocal := s.st.CountRange(lo, hi)
 		step := int64(math.Ceil(float64(nLocal) / denom))
 		if step < 1 {
@@ -32,7 +33,7 @@ func (t *Tracker) sepSamples(lo, hi uint64, denom float64, kind string) (merged 
 		if nLocal > 0 {
 			ss = s.st.Separators(lo, hi, step)
 		}
-		t.meter.Up(j, kind+"-resp", len(ss)+1)
+		meter.Up(j, kind+"-resp", len(ss)+1)
 		total += nLocal
 		for _, v := range ss {
 			merged = append(merged, wsep{v: v, w: step})
@@ -67,41 +68,41 @@ func cutsEvery(merged []wsep, target int64) []uint64 {
 // newRound rebuilds all round state: fresh separators sized for the new m,
 // exact interval counts, exact quantile baselines, new thresholds. Cost
 // O(k/ε) — the paper's per-round initialization.
-func (t *Tracker) newRound() {
+func (p *policy) newRound() {
 	// 1. Collect weighted separator samples over the whole universe, each
 	// site cutting its local items every ε·n_j/32.
-	merged, total, _ := t.sepSamples(0, math.MaxUint64, 32/t.cfg.Eps, "round")
-	t.m = total
-	t.rounds++
+	merged, total, _ := p.sepSamples(0, math.MaxUint64, 32/p.cfg.Eps, "round")
+	p.m = total
+	p.rounds++
 
 	// Fix thresholds for the round.
-	em := t.cfg.Eps * float64(t.m)
-	div := t.cfg.BatchDivisor
+	em := p.cfg.Eps * float64(p.m)
+	div := p.cfg.BatchDivisor
 	if div == 0 {
 		div = 8
 	}
-	t.thrIv = maxi64(1, int64(em/(div*float64(t.cfg.K))))
-	t.thrTot = t.thrIv
-	t.thrLR = t.thrIv
-	t.splitAt = maxi64(1, int64(3*em/8))
-	t.driftTrig = em / 2
+	p.thrIv = maxi64(1, int64(em/(div*float64(p.cfg.K))))
+	p.thrTot = p.thrIv
+	p.thrLR = p.thrIv
+	p.splitAt = maxi64(1, int64(3*em/8))
+	p.driftTrig = em / 2
 
 	// 2. Build separators targeting ~3εm/16 items per interval.
-	t.seps = cutsEvery(merged, int64(3*em/16))
-	if len(t.seps) == 0 {
+	p.seps = cutsEvery(merged, int64(3*em/16))
+	if len(p.seps) == 0 {
 		// Degenerate round (tiny m or massive ties): fall back to the
 		// median of the merged samples so M has a candidate.
 		if len(merged) > 0 {
-			t.seps = []uint64{merged[len(merged)/2].v}
+			p.seps = []uint64{merged[len(merged)/2].v}
 		} else {
-			t.seps = []uint64{0}
+			p.seps = []uint64{0}
 		}
 	}
 
 	// 3. Broadcast separators; sites reset their per-interval state.
-	t.meter.Broadcast("seps", len(t.seps)+1, t.cfg.K)
-	for _, s := range t.sites {
-		s.ivDelta = make([]int64, len(t.seps)+1)
+	p.eng.Meter().Broadcast("seps", len(p.seps)+1, p.cfg.K)
+	for _, s := range p.sites {
+		s.ivDelta = make([]int64, len(p.seps)+1)
 		s.totDelta = 0
 		for qi := range s.drift {
 			s.drift[qi] = [2]int64{}
@@ -110,42 +111,42 @@ func (t *Tracker) newRound() {
 
 	// 4. Pick each M: the separator whose estimated rank is nearest φm,
 	// then collect exact interval counts and the exact rank of every M.
-	for qi := range t.qs {
-		q := &t.qs[qi]
-		q.m0 = t.nearestSepByWeight(merged, q.phi*float64(t.m))
-		q.lBase, q.tBase = 0, t.m
+	for qi := range p.qs {
+		q := &p.qs[qi]
+		q.m0 = p.nearestSepByWeight(merged, q.phi*float64(p.m))
+		q.lBase, q.tBase = 0, p.m
 		q.dL, q.dR = 0, 0
 	}
-	t.ivCount = make([]int64, len(t.seps)+1)
-	for j, s := range t.sites {
-		counts := t.localIntervalCounts(s)
-		t.meter.Up(j, "round-counts", len(counts)+1+len(t.qs))
+	p.ivCount = make([]int64, len(p.seps)+1)
+	for j, s := range p.sites {
+		counts := p.localIntervalCounts(s)
+		p.eng.Meter().Up(j, "round-counts", len(counts)+1+len(p.qs))
 		for i, c := range counts {
-			t.ivCount[i] += c
+			p.ivCount[i] += c
 		}
-		for qi := range t.qs {
-			t.qs[qi].lBase += s.st.RankOf(t.qs[qi].m0)
+		for qi := range p.qs {
+			p.qs[qi].lBase += s.st.RankOf(p.qs[qi].m0)
 		}
 	}
-	t.totEst = t.m
+	p.totEst = p.m
 
 	// 5. Relocate any M that starts the round off target (still O(k) each).
-	for qi := range t.qs {
-		q := &t.qs[qi]
+	for qi := range p.qs {
+		q := &p.qs[qi]
 		if math.Abs(float64(q.lBase)-q.phi*float64(q.tBase)) > em/4 {
-			t.relocate(qi)
+			p.relocate(qi)
 		}
 	}
 }
 
 // nearestSepByWeight picks the separator whose cumulative-weight rank
 // estimate is closest to target.
-func (t *Tracker) nearestSepByWeight(merged []wsep, target float64) uint64 {
-	best := t.seps[0]
+func (p *policy) nearestSepByWeight(merged []wsep, target float64) uint64 {
+	best := p.seps[0]
 	bestErr := math.Inf(1)
 	var acc int64
 	mi := 0
-	for _, sep := range t.seps {
+	for _, sep := range p.seps {
 		for mi < len(merged) && merged[mi].v <= sep {
 			acc += merged[mi].w
 			mi++
@@ -158,14 +159,14 @@ func (t *Tracker) nearestSepByWeight(merged []wsep, target float64) uint64 {
 	return best
 }
 
-func (t *Tracker) localIntervalCounts(s *site) []int64 {
-	counts := make([]int64, len(t.seps)+1)
+func (p *policy) localIntervalCounts(s *site) []int64 {
+	counts := make([]int64, len(p.seps)+1)
 	prev := uint64(0)
-	for i, sep := range t.seps {
+	for i, sep := range p.seps {
 		counts[i] = s.st.CountRange(prev, sep)
 		prev = sep
 	}
-	counts[len(t.seps)] = s.st.CountRange(prev, math.MaxUint64)
+	counts[len(p.seps)] = s.st.CountRange(prev, math.MaxUint64)
 	return counts
 }
 
@@ -173,11 +174,11 @@ func (t *Tracker) localIntervalCounts(s *site) []int64 {
 // two, via the paper's localized rebuild: collect local separators of the
 // interval, choose a weighted median, then collect exact half counts. Cost
 // O(k).
-func (t *Tracker) split(iv int) {
-	lo, hi := t.ivBounds(iv)
-	merged, totalEst, _ := t.sepSamples(lo, hi, 9, "split")
+func (p *policy) split(iv int) {
+	lo, hi := p.ivBounds(iv)
+	merged, totalEst, _ := p.sepSamples(lo, hi, 9, "split")
 	if len(merged) == 0 {
-		t.cannotSplit++
+		p.cannotSplit++
 		return
 	}
 	// Weighted median of the interval's items.
@@ -195,50 +196,51 @@ func (t *Tracker) split(iv int) {
 		y = lo + 1
 	}
 	if y >= hi {
-		t.cannotSplit++
+		p.cannotSplit++
 		return
 	}
 
 	// Collect exact half counts (these include all unreported deltas, so
 	// site deltas for both halves restart at zero).
+	meter := p.eng.Meter()
 	var c1, c2 int64
-	for j, s := range t.sites {
-		t.meter.Down(j, "split-apply", 2)
+	for j, s := range p.sites {
+		meter.Down(j, "split-apply", 2)
 		a := s.st.CountRange(lo, y)
 		b := s.st.CountRange(y, hi)
-		t.meter.Up(j, "split-counts", 2)
+		meter.Up(j, "split-counts", 2)
 		c1 += a
 		c2 += b
 	}
 
 	// Install the new separator everywhere.
-	t.seps = append(t.seps, 0)
-	copy(t.seps[iv+1:], t.seps[iv:])
-	t.seps[iv] = y
+	p.seps = append(p.seps, 0)
+	copy(p.seps[iv+1:], p.seps[iv:])
+	p.seps[iv] = y
 
-	t.ivCount = append(t.ivCount, 0)
-	copy(t.ivCount[iv+1:], t.ivCount[iv:])
-	t.ivCount[iv] = c1
-	t.ivCount[iv+1] = c2
+	p.ivCount = append(p.ivCount, 0)
+	copy(p.ivCount[iv+1:], p.ivCount[iv:])
+	p.ivCount[iv] = c1
+	p.ivCount[iv+1] = c2
 
-	for _, s := range t.sites {
+	for _, s := range p.sites {
 		s.ivDelta = append(s.ivDelta, 0)
 		copy(s.ivDelta[iv+1:], s.ivDelta[iv:])
 		s.ivDelta[iv] = 0
 		s.ivDelta[iv+1] = 0
 	}
-	t.splits++
+	p.splits++
 }
 
 // ivBounds returns interval iv as [lo, hi).
-func (t *Tracker) ivBounds(iv int) (lo, hi uint64) {
+func (p *policy) ivBounds(iv int) (lo, hi uint64) {
 	lo = uint64(0)
 	hi = uint64(math.MaxUint64)
 	if iv > 0 {
-		lo = t.seps[iv-1]
+		lo = p.seps[iv-1]
 	}
-	if iv < len(t.seps) {
-		hi = t.seps[iv]
+	if iv < len(p.seps) {
+		hi = p.seps[iv]
 	}
 	return lo, hi
 }
@@ -246,15 +248,16 @@ func (t *Tracker) ivBounds(iv int) (lo, hi uint64) {
 // relocate is the paper's M-update: collect exact rank/total (step 1), walk
 // separators toward the target rank with O(1) exact-count probes (step 2),
 // reset the drift counters (step 3).
-func (t *Tracker) relocate(qi int) {
-	q := &t.qs[qi]
+func (p *policy) relocate(qi int) {
+	q := &p.qs[qi]
+	meter := p.eng.Meter()
 	// Step 1: exact L = rank(M) and T = |A| (2 words per site).
 	var l, total int64
-	for j, s := range t.sites {
-		t.meter.Down(j, "reloc-req", 1)
+	for j, s := range p.sites {
+		meter.Down(j, "reloc-req", 1)
 		l += s.st.RankOf(q.m0)
-		total += s.nj
-		t.meter.Up(j, "reloc-resp", 2)
+		total += p.eng.SiteCount(j)
+		meter.Up(j, "reloc-resp", 2)
 	}
 	target := int64(q.phi * float64(total))
 
@@ -263,12 +266,12 @@ func (t *Tracker) relocate(qi int) {
 	// best separator lands within εm/4 of the target, after O(1) probes.
 	bestV, bestErr := q.m0, math.Abs(float64(l-target))
 	newRank := l
-	pos := sort.Search(len(t.seps), func(i int) bool { return t.seps[i] > q.m0 })
+	pos := sort.Search(len(p.seps), func(i int) bool { return p.seps[i] > q.m0 })
 	if target > l {
-		for i := pos; i < len(t.seps); i++ {
-			r := l + t.collectRange(q.m0, t.seps[i])
+		for i := pos; i < len(p.seps); i++ {
+			r := l + p.collectRange(q.m0, p.seps[i])
 			if err := math.Abs(float64(r - target)); err < bestErr {
-				bestV, bestErr, newRank = t.seps[i], err, r
+				bestV, bestErr, newRank = p.seps[i], err, r
 			}
 			if r >= target {
 				break
@@ -276,12 +279,12 @@ func (t *Tracker) relocate(qi int) {
 		}
 	} else if target < l {
 		for i := pos - 1; i >= 0; i-- {
-			if t.seps[i] >= q.m0 {
+			if p.seps[i] >= q.m0 {
 				continue
 			}
-			r := l - t.collectRange(t.seps[i], q.m0)
+			r := l - p.collectRange(p.seps[i], q.m0)
 			if err := math.Abs(float64(r - target)); err < bestErr {
-				bestV, bestErr, newRank = t.seps[i], err, r
+				bestV, bestErr, newRank = p.seps[i], err, r
 			}
 			if r <= target {
 				break
@@ -293,21 +296,22 @@ func (t *Tracker) relocate(qi int) {
 	q.m0 = bestV
 	q.lBase, q.tBase = newRank, total
 	q.dL, q.dR = 0, 0
-	t.meter.Broadcast("newM", 2, t.cfg.K)
-	for _, s := range t.sites {
+	meter.Broadcast("newM", 2, p.cfg.K)
+	for _, s := range p.sites {
 		s.drift[qi] = [2]int64{}
 	}
-	t.relocations++
+	p.relocations++
 }
 
 // collectRange collects the exact global count of [lo, hi) — one probe of
 // the paper's step 2, O(k) words.
-func (t *Tracker) collectRange(lo, hi uint64) int64 {
+func (p *policy) collectRange(lo, hi uint64) int64 {
 	var c int64
-	for j, s := range t.sites {
-		t.meter.Down(j, "probe-req", 2)
+	meter := p.eng.Meter()
+	for j, s := range p.sites {
+		meter.Down(j, "probe-req", 2)
 		c += s.st.CountRange(lo, hi)
-		t.meter.Up(j, "probe-resp", 1)
+		meter.Up(j, "probe-resp", 1)
 	}
 	return c
 }

@@ -9,22 +9,9 @@ import (
 	"disttrack/internal/stream"
 )
 
-// feederOnly hides the LocalFeeder methods, forcing the legacy global-mutex
-// path for comparison tests and benchmarks.
-type feederOnly struct{ f Feeder }
-
-func (w feederOnly) Feed(site int, x uint64) { w.f.Feed(site, x) }
-
-// localOnly hides FeedLocalBatch, forcing the per-item fast path so the
-// batch-capability fallback stays covered.
-type localOnly struct{ lf LocalFeeder }
-
-func (w localOnly) Feed(site int, x uint64) { w.lf.Feed(site, x) }
-func (w localOnly) FeedLocal(site int, x uint64) bool {
-	return w.lf.FeedLocal(site, x)
-}
-func (w localOnly) Escalate(site int, x uint64) { w.lf.Escalate(site, x) }
-func (w localOnly) Quiesce(f func())            { w.lf.Quiesce(f) }
+// All three core trackers expose the engine's two-phase surface; the
+// cluster requires it, with no capability triage.
+var _ Tracker = (*hh.Tracker)(nil)
 
 // TestClusterFastPath runs the full concurrent runtime over the lock-free
 // fast path with concurrent queries, then checks the result against a
@@ -43,13 +30,6 @@ func TestClusterFastPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.lf == nil {
-		t.Fatal("hh.Tracker should be detected as a LocalFeeder")
-	}
-	if c.blf == nil {
-		t.Fatal("hh.Tracker should be detected as a BatchLocalFeeder")
-	}
-
 	streams := make([][]uint64, k)
 	g := stream.Zipf(1<<20, int64(k*perSite), 1.2, 5)
 	for i := 0; ; i++ {
@@ -141,66 +121,16 @@ func TestClusterFastPath(t *testing.T) {
 	}
 }
 
-// TestClusterLocalOnlyPath verifies LocalFeeders without FeedLocalBatch
-// still ingest batches through the per-item fast path, escalations counted.
-func TestClusterLocalOnlyPath(t *testing.T) {
-	tr, err := hh.New(hh.Config{K: 2, Eps: 0.05})
-	if err != nil {
-		t.Fatal(err)
-	}
-	c, err := New(context.Background(), localOnly{tr}, 2, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if c.lf == nil {
-		t.Fatal("wrapped feeder should still be a LocalFeeder")
-	}
-	if c.blf != nil {
-		t.Fatal("wrapped feeder must not be detected as BatchLocalFeeder")
-	}
-	g := stream.Zipf(1<<16, 20000, 1.2, 3)
-	bufs := [2][]uint64{GetBatch(64), GetBatch(64)}
-	for i := 0; ; i++ {
-		x, ok := g.Next()
-		if !ok {
-			break
-		}
-		j := i % 2
-		bufs[j] = append(bufs[j], x)
-		if len(bufs[j]) == 64 {
-			if err := c.SendBatch(j, bufs[j]); err != nil {
-				t.Fatal(err)
-			}
-			bufs[j] = GetBatch(64)
-		}
-	}
-	for j, buf := range bufs {
-		if err := c.SendBatch(j, buf); err != nil {
-			t.Fatal(err)
-		}
-	}
-	c.Drain()
-	if got := tr.TrueTotal(); got != 20000 {
-		t.Fatalf("TrueTotal = %d, want 20000", got)
-	}
-	if esc := c.Escalations(); esc == 0 {
-		t.Fatal("per-item fast path recorded no escalations")
-	}
-}
-
-// TestClusterLegacyPath verifies Feeders without the fast path still run
-// serialized under the cluster mutex.
-func TestClusterLegacyPath(t *testing.T) {
+// TestClusterSendPath verifies the per-item Send queue ingests through the
+// FeedLocal fast path with escalations counted.
+func TestClusterSendPath(t *testing.T) {
 	tr, err := hh.New(hh.Config{K: 2, Eps: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := New(context.Background(), feederOnly{tr}, 2, 8)
+	c, err := New(context.Background(), tr, 2, 8)
 	if err != nil {
 		t.Fatal(err)
-	}
-	if c.lf != nil {
-		t.Fatal("wrapped feeder must not be detected as LocalFeeder")
 	}
 	for i := 0; i < 5000; i++ {
 		if err := c.Send(i%2, uint64(i%37)); err != nil {
@@ -211,7 +141,7 @@ func TestClusterLegacyPath(t *testing.T) {
 	if got := tr.TrueTotal(); got != 5000 {
 		t.Fatalf("TrueTotal = %d, want 5000", got)
 	}
-	if esc := c.Escalations(); esc != 0 {
-		t.Fatalf("legacy path recorded %d escalations", esc)
+	if esc := c.Escalations(); esc == 0 {
+		t.Fatal("per-item fast path recorded no escalations")
 	}
 }

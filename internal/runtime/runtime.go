@@ -6,15 +6,13 @@
 // arrival triggers a message cascade, the cascade completes before the next
 // arrival is processed. The paper's central result is that such cascades
 // are rare: almost every arrival is absorbed by site-local counters. The
-// cluster exploits exactly that split. Trackers that implement LocalFeeder
-// (all three core protocols) are driven through their lock-free site-local
-// fast path — k site goroutines ingest fully in parallel, and only the rare
-// escalations and the queries serialize, inside the tracker itself; batches
-// delivered via SendBatch additionally flow through FeedLocalBatch
-// (BatchLocalFeeder), amortizing the per-arrival lock and store costs over
-// each escalation-free run. Legacy Feeders fall back to serializing every
-// Feed under a cluster mutex. (For a deployment across real processes and
-// sockets, see the remote package.)
+// cluster exploits exactly that split: every tracker exposes the engine's
+// two-phase surface (core.Tracker), so k site goroutines ingest fully in
+// parallel through the lock-free site-local fast path, and only the rare
+// escalations and the queries serialize, inside the tracker itself. Batches
+// delivered via SendBatch flow through FeedLocalBatch, amortizing the
+// per-arrival lock and store costs over each escalation-free run. (For a
+// deployment across real processes and sockets, see the remote package.)
 package runtime
 
 import (
@@ -25,36 +23,18 @@ import (
 	"sync/atomic"
 )
 
-// Feeder is the protocol surface the cluster drives; every tracker in this
-// module implements it.
-type Feeder interface {
+// Tracker is the two-phase protocol surface the cluster drives — the feed
+// half of core.Tracker, which every core tracker implements via the shared
+// engine. FeedLocal and FeedLocalBatch must be safe for concurrent use with
+// one goroutine per site; Escalate runs the (internally serialized)
+// coordinator slow path; Quiesce runs f with the whole tracker quiescent,
+// for consistent queries.
+type Tracker interface {
 	Feed(site int, x uint64)
-}
-
-// LocalFeeder is the two-phase protocol surface of the site-local fast
-// path. FeedLocal must be safe for concurrent use with one goroutine per
-// site and reports whether the protocol requires coordinator work; Escalate
-// runs that (internally serialized) slow path; Quiesce runs f with the
-// whole tracker quiescent, for consistent queries. The core hh, quantile
-// and allq trackers all implement it.
-type LocalFeeder interface {
-	Feeder
 	FeedLocal(site int, x uint64) (escalate bool)
+	FeedLocalBatch(site int, xs []uint64) (escalations []int)
 	Escalate(site int, x uint64)
 	Quiesce(f func())
-}
-
-// BatchLocalFeeder is the amortized batch surface over the fast path.
-// FeedLocalBatch applies a whole batch of arrivals at one site — one site
-// lock acquisition and one store bulk-insert per escalation-free run,
-// running the slow path inline at exactly the positions a sequential Feed
-// loop would — and returns the batch indices that escalated. It must not
-// retain xs, and like FeedLocal it is safe with one goroutine per site.
-// The core hh, quantile and allq trackers all implement it; the cluster's
-// SendBatch path feeds through it when available.
-type BatchLocalFeeder interface {
-	LocalFeeder
-	FeedLocalBatch(site int, xs []uint64) (escalations []int)
 }
 
 // ErrStopped is returned by Send after the cluster has been stopped or its
@@ -63,10 +43,7 @@ var ErrStopped = errors.New("runtime: cluster stopped")
 
 // Cluster runs k site goroutines feeding a shared tracker.
 type Cluster struct {
-	mu  sync.Mutex // serializes Feed and queries on the legacy path
-	tr  Feeder
-	lf  LocalFeeder      // non-nil when tr supports the lock-free fast path
-	blf BatchLocalFeeder // non-nil when tr additionally batches the fast path
+	tr Tracker
 
 	ingest      []chan uint64
 	batches     []chan []uint64
@@ -81,10 +58,8 @@ type Cluster struct {
 }
 
 // New starts a cluster of k sites over tr. buf is the per-site channel
-// capacity (≥ 1). Always call Stop (or Drain) when done. When tr
-// implements LocalFeeder the sites ingest through the lock-free fast path;
-// otherwise every Feed serializes under a cluster mutex.
-func New(ctx context.Context, tr Feeder, k, buf int) (*Cluster, error) {
+// capacity (≥ 1). Always call Stop (or Drain) when done.
+func New(ctx context.Context, tr Tracker, k, buf int) (*Cluster, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("runtime: k must be >= 1, got %d", k)
 	}
@@ -93,8 +68,6 @@ func New(ctx context.Context, tr Feeder, k, buf int) (*Cluster, error) {
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	c := &Cluster{tr: tr, ctx: cctx, cancel: cancel}
-	c.lf, _ = tr.(LocalFeeder)
-	c.blf, _ = tr.(BatchLocalFeeder)
 	for j := 0; j < k; j++ {
 		ch := make(chan uint64, buf)
 		bch := make(chan []uint64, buf)
@@ -106,47 +79,19 @@ func New(ctx context.Context, tr Feeder, k, buf int) (*Cluster, error) {
 	return c, nil
 }
 
-// feedOne processes one arrival at site j through the fastest available
-// path.
+// feedOne processes one arrival at site j through the fast path.
 func (c *Cluster) feedOne(j int, x uint64) {
-	if c.lf != nil {
-		if c.lf.FeedLocal(j, x) {
-			c.lf.Escalate(j, x)
-			c.escalations.Add(1)
-		}
-		return
+	if c.tr.FeedLocal(j, x) {
+		c.tr.Escalate(j, x)
+		c.escalations.Add(1)
 	}
-	c.mu.Lock()
-	c.tr.Feed(j, x)
-	c.mu.Unlock()
 }
 
-// feedBatch processes a batch at site j through the fastest available
-// path: the tracker's amortized FeedLocalBatch when it has one (one site
-// lock and one store bulk-insert per escalation-free run), else per-item
-// FeedLocal with no lock except for the rare escalations, else the legacy
-// path's one mutex acquisition for the whole batch.
+// feedBatch processes a batch at site j through the tracker's amortized
+// FeedLocalBatch: one site lock and one store bulk-insert per
+// escalation-free run.
 func (c *Cluster) feedBatch(j int, xs []uint64) {
-	if c.blf != nil {
-		c.escalations.Add(int64(len(c.blf.FeedLocalBatch(j, xs))))
-		return
-	}
-	if c.lf != nil {
-		esc := int64(0)
-		for _, x := range xs {
-			if c.lf.FeedLocal(j, x) {
-				c.lf.Escalate(j, x)
-				esc++
-			}
-		}
-		c.escalations.Add(esc)
-		return
-	}
-	c.mu.Lock()
-	for _, x := range xs {
-		c.tr.Feed(j, x)
-	}
-	c.mu.Unlock()
+	c.escalations.Add(int64(len(c.tr.FeedLocalBatch(j, xs))))
 }
 
 // site is the per-site goroutine: it observes its local stream and runs the
@@ -236,17 +181,11 @@ func (c *Cluster) SendBatch(site int, xs []uint64) error {
 }
 
 // Query runs f while the protocol is quiescent, so any tracker reads inside
-// f see a consistent coordinator state. On the fast path the tracker's own
-// Quiesce excludes every site's fast path; heavy query traffic should go
-// through a version-keyed snapshot cache instead (see the service layer).
+// f see a consistent coordinator state: the tracker's own Quiesce excludes
+// every site's fast path. Heavy query traffic should go through a
+// version-keyed snapshot cache instead (see the service layer).
 func (c *Cluster) Query(f func()) {
-	if c.lf != nil {
-		c.lf.Quiesce(f)
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	f()
+	c.tr.Quiesce(f)
 }
 
 // Drain closes the ingestion queues and waits for the sites to finish
@@ -317,7 +256,7 @@ func (c *Cluster) Processed() int64 { return c.processed.Load() }
 func (c *Cluster) Dropped() int64 { return c.dropped.Load() }
 
 // Escalations returns how many fast-path arrivals escalated to the
-// coordinator slow path (zero on the legacy mutex path).
+// coordinator slow path.
 func (c *Cluster) Escalations() int64 { return c.escalations.Load() }
 
 // K returns the number of sites.

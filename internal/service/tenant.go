@@ -3,9 +3,11 @@ package service
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 
+	"disttrack/internal/core"
 	"disttrack/internal/core/allq"
 	"disttrack/internal/core/hh"
 	"disttrack/internal/core/quantile"
@@ -77,19 +79,34 @@ func (tc TenantConfig) validate() error {
 	return nil
 }
 
+// queryAdapter is the per-kind query shape over a tenant's tracker: a fixed
+// set of closures built once at construction — the single place the service
+// switches on kind. A nil closure means the kind does not answer that query
+// shape; the closures themselves must run inside cluster.Query (they read
+// tracker state), except checkQuantile, which only validates phi.
+type queryAdapter struct {
+	heavyHitters func(phi float64) []Entry          // hh, allq
+	quantile     func(phi float64) (uint64, error)  // quantile, allq; returns the perturbed key
+	rank         func(v uint64) (rank, total int64) // allq
+	frequency    func(item uint64) int64            // hh
+
+	// checkQuantile validates phi BEFORE the quiescent section (quantile
+	// kind: the tracked-phi restriction). phi is untrusted client input, so
+	// rejecting it must not cost a cluster-wide quiesce that stalls ingest.
+	checkQuantile func(phi float64) error
+}
+
 // Tenant is one named tracker instance: a core tracker wrapped in a
 // runtime.Cluster, plus the service-side perturbation and send bookkeeping.
 // Ingestion for a tenant is owned by exactly one shard goroutine (tenants
 // are hashed across shards), which is what makes the perturbation sequence
-// map safe without a lock.
+// map safe without a lock. All kind-independent state flows through the
+// unified core.Tracker handle; the per-kind query shapes live in qa.
 type Tenant struct {
 	cfg     TenantConfig
 	cluster *runtime.Cluster
-
-	// Exactly one of these is non-nil, per cfg.Kind.
-	hh *hh.Tracker
-	q  *quantile.Tracker
-	aq *allq.Tracker
+	tr      core.Tracker
+	qa      queryAdapter
 
 	// seq is the symbolic-perturbation state for quantile/allq tenants:
 	// per-value occurrence counters (see stream.Perturb). Touched only by
@@ -120,7 +137,6 @@ type Tenant struct {
 
 func newTenant(tc TenantConfig, siteBuffer int) (*Tenant, error) {
 	t := &Tenant{cfg: tc}
-	var feeder runtime.Feeder
 	var err error
 	switch tc.Kind {
 	case KindHH:
@@ -128,8 +144,22 @@ func newTenant(tc TenantConfig, siteBuffer int) (*Tenant, error) {
 		if tc.Sketch {
 			mode = hh.ModeSketch
 		}
-		t.hh, err = hh.New(hh.Config{K: tc.K, Eps: tc.Eps, Mode: mode})
-		feeder = t.hh
+		var tr *hh.Tracker
+		tr, err = hh.New(hh.Config{K: tc.K, Eps: tc.Eps, Mode: mode})
+		if err != nil {
+			break
+		}
+		t.tr = tr
+		t.qa = queryAdapter{
+			heavyHitters: func(phi float64) []Entry {
+				var out []Entry
+				for _, e := range tr.HeavyHitterEntries(phi) {
+					out = append(out, Entry{Item: e.Item, Count: e.Count, Ratio: e.Ratio})
+				}
+				return out
+			},
+			frequency: tr.EstFrequency,
+		}
 	case KindQuantile:
 		mode := quantile.ModeExact
 		if tc.Sketch {
@@ -140,17 +170,70 @@ func newTenant(tc TenantConfig, siteBuffer int) (*Tenant, error) {
 			phis = []float64{0.5}
 			t.cfg.Phis = phis
 		}
-		t.q, err = quantile.New(quantile.Config{K: tc.K, Eps: tc.Eps, Phis: phis, Mode: mode})
-		feeder = t.q
+		var tr *quantile.Tracker
+		tr, err = quantile.New(quantile.Config{K: tc.K, Eps: tc.Eps, Phis: phis, Mode: mode})
+		if err != nil {
+			break
+		}
+		t.tr = tr
 		t.seq = make(map[uint64]uint32)
+		t.qa = queryAdapter{
+			checkQuantile: func(phi float64) error {
+				if slices.Index(phis, phi) < 0 {
+					return fmt.Errorf("phi %g is not tracked (configured: %v)", phi, phis)
+				}
+				return nil
+			},
+			quantile: func(phi float64) (uint64, error) {
+				if tr.TrueTotal() == 0 {
+					return 0, fmt.Errorf("tenant %q has no data", tc.Name)
+				}
+				// checkQuantile admitted phi, so the index exists.
+				return tr.QuantileAt(slices.Index(phis, phi)), nil
+			},
+		}
 	case KindAllQ:
 		mode := allq.ModeExact
 		if tc.Sketch {
 			mode = allq.ModeSketch
 		}
-		t.aq, err = allq.New(allq.Config{K: tc.K, Eps: tc.Eps, Mode: mode})
-		feeder = t.aq
+		var tr *allq.Tracker
+		tr, err = allq.New(allq.Config{K: tc.K, Eps: tc.Eps, Mode: mode})
+		if err != nil {
+			break
+		}
+		t.tr = tr
 		t.seq = make(map[uint64]uint32)
+		t.qa = queryAdapter{
+			heavyHitters: func(phi float64) []Entry {
+				total := tr.EstTotal()
+				if total == 0 {
+					return nil
+				}
+				var out []Entry
+				for _, v := range tr.HeavyHittersFromRanks(phi, stream.PerturbBits) {
+					// For the maximum valid value, (v+1)<<PerturbBits would
+					// wrap to 0; every key >= v<<PerturbBits carries value v
+					// then.
+					hi := total
+					if v+1 < MaxPerturbedValue {
+						hi = tr.Rank((v + 1) << stream.PerturbBits)
+					}
+					c := hi - tr.Rank(v<<stream.PerturbBits)
+					out = append(out, Entry{Item: v, Count: c, Ratio: float64(c) / float64(total)})
+				}
+				return out
+			},
+			quantile: func(phi float64) (uint64, error) {
+				if tr.TrueTotal() == 0 {
+					return 0, fmt.Errorf("tenant %q has no data", tc.Name)
+				}
+				return tr.Quantile(phi), nil
+			},
+			rank: func(v uint64) (int64, int64) {
+				return tr.Rank(stream.PerturbValue(v)), tr.EstTotal()
+			},
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -158,7 +241,7 @@ func newTenant(tc TenantConfig, siteBuffer int) (*Tenant, error) {
 	// The service only ever reads meter totals (and per-tenant attribution
 	// on the remote path); skip the per-kind map work on every message.
 	t.meter().DisableKindBreakdown()
-	t.cluster, err = runtime.New(context.Background(), feeder, tc.K, siteBuffer)
+	t.cluster, err = runtime.New(context.Background(), t.tr, tc.K, siteBuffer)
 	if err != nil {
 		return nil, err
 	}
@@ -166,29 +249,11 @@ func newTenant(tc TenantConfig, siteBuffer int) (*Tenant, error) {
 }
 
 // meter returns the underlying tracker's communication meter.
-func (t *Tenant) meter() *wire.Meter {
-	switch t.cfg.Kind {
-	case KindHH:
-		return t.hh.Meter()
-	case KindQuantile:
-		return t.q.Meter()
-	default:
-		return t.aq.Meter()
-	}
-}
+func (t *Tenant) meter() *wire.Meter { return t.tr.Meter() }
 
 // version returns the underlying tracker's coordinator state version; it
 // changes only when an escalation may have changed coordinator state.
-func (t *Tenant) version() uint64 {
-	switch t.cfg.Kind {
-	case KindHH:
-		return t.hh.Version()
-	case KindQuantile:
-		return t.q.Version()
-	default:
-		return t.aq.Version()
-	}
-}
+func (t *Tenant) version() uint64 { return t.tr.Version() }
 
 // cachedHH returns a cached heavy-hitter answer still valid at the current
 // coordinator version. The returned slice is shared — callers must not
@@ -262,7 +327,7 @@ func (t *Tenant) storeQuant(phi float64, ver uint64, v uint64) {
 }
 
 // perturbed reports whether values are symbolically perturbed on ingest.
-func (t *Tenant) perturbed() bool { return t.cfg.Kind != KindHH }
+func (t *Tenant) perturbed() bool { return t.seq != nil }
 
 // perturb maps a raw value to a distinct key (stream.Perturb semantics).
 // Only the owning shard goroutine may call it. Past 2^PerturbBits copies of
@@ -353,7 +418,7 @@ func (t *Tenant) HeavyHitters(phi float64) ([]Entry, error) {
 	if !(phi > t.cfg.Eps && phi <= 1) {
 		return nil, fmt.Errorf("phi must be in (eps, 1], got %g (eps %g)", phi, t.cfg.Eps)
 	}
-	if t.cfg.Kind != KindHH && t.cfg.Kind != KindAllQ {
+	if t.qa.heavyHitters == nil {
 		return nil, fmt.Errorf("tenant kind %q does not answer heavy-hitter queries", t.cfg.Kind)
 	}
 	if out, ok := t.cachedHH(phi); ok {
@@ -361,33 +426,10 @@ func (t *Tenant) HeavyHitters(phi float64) ([]Entry, error) {
 	}
 	var out []Entry
 	var ver uint64
-	switch t.cfg.Kind {
-	case KindHH:
-		t.cluster.Query(func() {
-			ver = t.version()
-			for _, e := range t.hh.HeavyHitterEntries(phi) {
-				out = append(out, Entry{Item: e.Item, Count: e.Count, Ratio: e.Ratio})
-			}
-		})
-	case KindAllQ:
-		t.cluster.Query(func() {
-			ver = t.version()
-			total := t.aq.EstTotal()
-			if total == 0 {
-				return
-			}
-			for _, v := range t.aq.HeavyHittersFromRanks(phi, stream.PerturbBits) {
-				// For the maximum valid value, (v+1)<<PerturbBits would wrap
-				// to 0; every key >= v<<PerturbBits carries value v then.
-				hi := total
-				if v+1 < MaxPerturbedValue {
-					hi = t.aq.Rank((v + 1) << stream.PerturbBits)
-				}
-				c := hi - t.aq.Rank(v<<stream.PerturbBits)
-				out = append(out, Entry{Item: v, Count: c, Ratio: float64(c) / float64(total)})
-			}
-		})
-	}
+	t.cluster.Query(func() {
+		ver = t.version()
+		out = t.qa.heavyHitters(phi)
+	})
 	t.storeHH(phi, ver, out)
 	return out, nil
 }
@@ -402,20 +444,13 @@ func (t *Tenant) Quantile(phi float64) (uint64, error) {
 	if !(phi >= 0 && phi <= 1) {
 		return 0, fmt.Errorf("phi must be in [0,1], got %g", phi)
 	}
-	tracked := -1
-	switch t.cfg.Kind {
-	case KindQuantile:
-		for i, p := range t.cfg.Phis {
-			if p == phi {
-				tracked = i
-			}
-		}
-		if tracked < 0 {
-			return 0, fmt.Errorf("phi %g is not tracked (configured: %v)", phi, t.cfg.Phis)
-		}
-	case KindAllQ:
-	default:
+	if t.qa.quantile == nil {
 		return 0, fmt.Errorf("tenant kind %q does not answer quantile queries", t.cfg.Kind)
+	}
+	if t.qa.checkQuantile != nil {
+		if err := t.qa.checkQuantile(phi); err != nil {
+			return 0, err
+		}
 	}
 	if v, ok := t.cachedQuant(phi); ok {
 		return v, nil
@@ -423,26 +458,10 @@ func (t *Tenant) Quantile(phi float64) (uint64, error) {
 	var key uint64
 	var ver uint64
 	var err error
-	switch t.cfg.Kind {
-	case KindQuantile:
-		t.cluster.Query(func() {
-			ver = t.version()
-			if t.q.TrueTotal() == 0 {
-				err = fmt.Errorf("tenant %q has no data", t.cfg.Name)
-				return
-			}
-			key = t.q.QuantileAt(tracked)
-		})
-	case KindAllQ:
-		t.cluster.Query(func() {
-			ver = t.version()
-			if t.aq.TrueTotal() == 0 {
-				err = fmt.Errorf("tenant %q has no data", t.cfg.Name)
-				return
-			}
-			key = t.aq.Quantile(phi)
-		})
-	}
+	t.cluster.Query(func() {
+		ver = t.version()
+		key, err = t.qa.quantile(phi)
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -454,15 +473,14 @@ func (t *Tenant) Quantile(phi float64) (uint64, error) {
 // Rank answers "how many ingested values are < v" (allq tenants only),
 // together with the coordinator's total estimate.
 func (t *Tenant) Rank(v uint64) (rank, total int64, err error) {
-	if t.cfg.Kind != KindAllQ {
+	if t.qa.rank == nil {
 		return 0, 0, fmt.Errorf("tenant kind %q does not answer rank queries", t.cfg.Kind)
 	}
 	if v >= MaxPerturbedValue {
 		return 0, 0, fmt.Errorf("value %d out of range [0, 2^%d)", v, 64-stream.PerturbBits)
 	}
 	t.cluster.Query(func() {
-		rank = t.aq.Rank(stream.PerturbValue(v))
-		total = t.aq.EstTotal()
+		rank, total = t.qa.rank(v)
 	})
 	return rank, total, nil
 }
@@ -470,11 +488,11 @@ func (t *Tenant) Rank(v uint64) (rank, total int64, err error) {
 // Frequency answers a point frequency query (hh tenants only): the
 // coordinator's underestimate of the item's global count.
 func (t *Tenant) Frequency(item uint64) (int64, error) {
-	if t.cfg.Kind != KindHH {
+	if t.qa.frequency == nil {
 		return 0, fmt.Errorf("tenant kind %q does not answer frequency queries", t.cfg.Kind)
 	}
 	var c int64
-	t.cluster.Query(func() { c = t.hh.EstFrequency(item) })
+	t.cluster.Query(func() { c = t.qa.frequency(item) })
 	return c, nil
 }
 
@@ -498,7 +516,8 @@ type TenantStats struct {
 }
 
 // Stats captures the tenant's current statistics under a consistent
-// coordinator snapshot.
+// coordinator snapshot. The whole snapshot reads through the unified
+// core.Tracker surface — no per-kind dispatch.
 func (t *Tenant) Stats() TenantStats {
 	st := TenantStats{
 		Name:   t.cfg.Name,
@@ -515,31 +534,12 @@ func (t *Tenant) Stats() TenantStats {
 	st.Ties = t.ties.Load()
 	st.SiteCounts = make([]int64, t.cfg.K)
 	t.cluster.Query(func() {
-		switch t.cfg.Kind {
-		case KindHH:
-			st.EstTotal = t.hh.EstTotal()
-			st.Rounds = t.hh.Rounds()
-			c := t.hh.Meter().Total()
-			st.Msgs, st.Words = c.Msgs, c.Words
-			for j := 0; j < t.cfg.K; j++ {
-				st.SiteCounts[j] = t.hh.SiteCount(j)
-			}
-		case KindQuantile:
-			st.EstTotal = t.q.EstTotal()
-			st.Rounds = t.q.Rounds()
-			c := t.q.Meter().Total()
-			st.Msgs, st.Words = c.Msgs, c.Words
-			for j := 0; j < t.cfg.K; j++ {
-				st.SiteCounts[j] = t.q.SiteCount(j)
-			}
-		case KindAllQ:
-			st.EstTotal = t.aq.EstTotal()
-			st.Rounds = t.aq.Rounds()
-			c := t.aq.Meter().Total()
-			st.Msgs, st.Words = c.Msgs, c.Words
-			for j := 0; j < t.cfg.K; j++ {
-				st.SiteCounts[j] = t.aq.SiteCount(j)
-			}
+		st.EstTotal = t.tr.EstTotal()
+		st.Rounds = t.tr.Rounds()
+		c := t.tr.Meter().Total()
+		st.Msgs, st.Words = c.Msgs, c.Words
+		for j := 0; j < t.cfg.K; j++ {
+			st.SiteCounts[j] = t.tr.SiteCount(j)
 		}
 	})
 	return st

@@ -19,7 +19,8 @@ import (
 const benchSites = 8
 
 // parallelTracker is the two-phase surface the benchmarks drive; all three
-// core trackers implement it (it mirrors runtime.LocalFeeder).
+// core trackers implement it via the shared engine (a subset of
+// core.Tracker).
 type parallelTracker interface {
 	Feed(site int, x uint64)
 	FeedLocal(site int, x uint64) bool
