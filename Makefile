@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: all ci fmt fmt-fix vet build test test-shuffle race bench-smoke bench-race-smoke bench-json bench-compare staticcheck vuln fuzz-smoke
+.PHONY: all ci fmt fmt-fix vet build test test-shuffle race bench-smoke bench-race-smoke bench-json bench-compare obs-smoke staticcheck vuln fuzz-smoke
 
 all: build
 
-ci: fmt vet build test test-shuffle race bench-smoke bench-race-smoke
+ci: fmt vet build test test-shuffle race bench-smoke bench-race-smoke obs-smoke
 
 # fmt fails if any file needs formatting (what CI runs); fmt-fix rewrites.
 fmt:
@@ -41,16 +41,24 @@ bench-smoke:
 
 # Exercise the lock-free parallel-ingest fast path — per-item and batched
 # (FeedLocalBatch) — once under the race detector (docs/perf.md), so every
-# PR runs it with checking on.
+# PR runs it with checking on. The FeedBatch pattern also matches the
+# metrics-enabled *Obs twins, so the instrumented fast path runs with
+# checking on too.
 bench-race-smoke:
 	$(GO) test -race -run '^$$' -bench 'FeedParallel|FeedBatch|ClusterSendBatchParallel' -benchtime 1x .
 	$(GO) test -race -run '^$$' -bench 'ShardedIngest' -benchtime 1x ./internal/service/
+
+# End-to-end metrics-plane smoke: boot a live coord + site pair, push data
+# through the networked ingest path and grep both /metrics endpoints for
+# the required families (docs/observability.md).
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 # Record the ingest-throughput benchmarks as a JSON trajectory point
 # (BENCH_PR3.json and successors; see cmd/benchjson). Staged through a
 # text file so a benchmark failure fails make instead of silently writing
 # a partial JSON.
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR6.json
 bench-json:
 	$(GO) test -run '^$$' -bench 'Feed|Cluster' -benchtime 1s . > $(BENCH_JSON).txt
 	$(GO) test -run '^$$' -bench 'ShardedIngest' -benchtime 1s ./internal/service/ >> $(BENCH_JSON).txt
@@ -59,7 +67,7 @@ bench-json:
 
 # Re-run the benchmark suite and print per-benchmark ns/op deltas against
 # the previous PR's recorded trajectory point.
-BENCH_PREV ?= BENCH_PR3.json
+BENCH_PREV ?= BENCH_PR5.json
 bench-compare: bench-json
 	$(GO) run ./cmd/benchjson -diff $(BENCH_PREV) $(BENCH_JSON)
 

@@ -11,10 +11,12 @@ import (
 	"testing"
 
 	"disttrack/internal/core/allq"
+	"disttrack/internal/core/engine"
 	"disttrack/internal/core/hh"
 	"disttrack/internal/core/quantile"
 	"disttrack/internal/harness"
 	"disttrack/internal/lowerbound"
+	"disttrack/internal/obs"
 	"disttrack/internal/runtime"
 	"disttrack/internal/stream"
 )
@@ -364,6 +366,53 @@ func BenchmarkFeedBatchAllQ(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	benchFeedBatch(b, tr, preGen(b, true), true)
+}
+
+// fullEngineMetrics resolves every engine.Metrics field on a fresh obs
+// registry, exactly as the service layer wires one tenant — the worst case
+// for fast-path overhead (every counter attached, histograms armed).
+func fullEngineMetrics() *engine.Metrics {
+	reg := obs.NewRegistry()
+	return &engine.Metrics{
+		Feeds:        reg.NewCounter("bench_feeds_total", "bench"),
+		BatchRuns:    reg.NewCounter("bench_batch_runs_total", "bench"),
+		BatchSplits:  reg.NewCounter("bench_batch_splits_total", "bench"),
+		Escalations:  reg.NewCounter("bench_escalations_total", "bench"),
+		BootHandoffs: reg.NewCounter("bench_boot_handoffs_total", "bench"),
+		SlowPathHold: reg.NewHistogram("bench_slow_path_hold_seconds", "bench", obs.DurationBuckets()),
+		QuiesceHold:  reg.NewHistogram("bench_quiesce_hold_seconds", "bench", obs.DurationBuckets()),
+	}
+}
+
+// Instrumented twins of the FeedBatch benches: identical workload with full
+// engine.Metrics attached. The A/B against the plain benches (same session,
+// make bench-compare) pins the instrumentation overhead; the acceptance gate
+// is within 5%.
+func BenchmarkFeedBatchHHObs(b *testing.B) {
+	tr, err := hh.New(hh.Config{K: 8, Eps: 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.SetMetrics(fullEngineMetrics())
+	benchFeedBatch(b, tr, preGen(b, false), false)
+}
+
+func BenchmarkFeedBatchQuantileObs(b *testing.B) {
+	tr, err := quantile.New(quantile.Config{K: 8, Eps: 0.02, Phi: 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.SetMetrics(fullEngineMetrics())
+	benchFeedBatch(b, tr, preGen(b, true), true)
+}
+
+func BenchmarkFeedBatchAllQObs(b *testing.B) {
+	tr, err := allq.New(allq.Config{K: 8, Eps: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.SetMetrics(fullEngineMetrics())
 	benchFeedBatch(b, tr, preGen(b, true), true)
 }
 

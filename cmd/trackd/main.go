@@ -1,8 +1,9 @@
 // Command trackd runs the multi-tenant tracking service (internal/service)
 // as an HTTP daemon: many named tracker instances — heavy-hitter, quantile
 // and all-quantile tenants — behind one batched, sharded ingest pipeline
-// and a JSON query API. See docs/service.md for the wire protocol and
-// docs/distributed.md for the distributed topology.
+// and a JSON query API. See docs/service.md for the wire protocol,
+// docs/distributed.md for the distributed topology, and
+// docs/observability.md for the metrics plane.
 //
 // trackd runs in one of three roles:
 //
@@ -12,6 +13,11 @@
 //   - site: an edge node accepting the same HTTP ingest API, batching
 //     records per (tenant, site) and pushing delta frames upstream to a
 //     coordinator (-upstream), with reconnect-and-resync.
+//
+// Every role serves Prometheus metrics at GET /metrics on its main
+// listener; -metrics additionally serves them on a dedicated address (the
+// same pattern as -pprof). Logs are structured (log/slog); -log-format
+// selects text (default) or json.
 //
 // Usage:
 //
@@ -25,6 +31,7 @@
 //	curl -X POST localhost:8081/v1/ingest -d '{"records":[{"tenant":"clicks","site":0,"value":7}]}'
 //	curl -X POST localhost:8081/v1/flush
 //	curl 'localhost:8080/v1/tenants/clicks/heavy?phi=0.1'
+//	curl localhost:8080/metrics
 //
 // On SIGINT/SIGTERM every role drains gracefully: a server stops accepting
 // requests and flushes its pipeline into the tenants' clusters; a site node
@@ -37,7 +44,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -45,14 +52,29 @@ import (
 	"syscall"
 	"time"
 
+	"disttrack/internal/obs"
 	"disttrack/internal/runtime"
 	"disttrack/internal/service"
 )
 
+// setupLogger installs the process-wide structured logger. Handlers write
+// to stderr, keeping stdout free for any future machine-readable output.
+func setupLogger(format string) *slog.Logger {
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(h)
+	slog.SetDefault(logger)
+	return logger
+}
+
 // startPprof serves the net/http/pprof handlers on their own listener when
 // -pprof is set, so profiling never shares a port (or a mux) with the
 // public API. Off by default.
-func startPprof(addr string) {
+func startPprof(addr string, logger *slog.Logger) {
 	if addr == "" {
 		return
 	}
@@ -63,22 +85,42 @@ func startPprof(addr string) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	go func() {
-		log.Printf("trackd pprof listening on %s", addr)
+		logger.Info("pprof listening", "addr", addr)
 		if err := http.ListenAndServe(addr, mux); err != nil {
-			log.Printf("pprof: %v", err)
+			logger.Error("pprof serve failed", "addr", addr, "err", err)
+		}
+	}()
+}
+
+// startMetrics serves GET /metrics on its own listener when -metrics is
+// set — the same dedicated-listener pattern as -pprof, for deployments that
+// keep the scrape endpoint off the public API port. The main listener
+// serves /metrics in every role regardless.
+func startMetrics(addr string, reg *obs.Registry, logger *slog.Logger) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	go func() {
+		logger.Info("metrics listening", "addr", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			logger.Error("metrics serve failed", "addr", addr, "err", err)
 		}
 	}()
 }
 
 // config is trackd's parsed command line.
 type config struct {
-	role       string
-	listen     string
-	pprofAddr  string
-	shards     int
-	shardQueue int
-	siteBuffer int
-	grace      time.Duration
+	role        string
+	listen      string
+	pprofAddr   string
+	metricsAddr string
+	logFormat   string
+	shards      int
+	shardQueue  int
+	siteBuffer  int
+	grace       time.Duration
 
 	// coord role
 	ingestListen string
@@ -98,6 +140,8 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.role, "role", "standalone", "standalone | coord | site")
 	fs.StringVar(&cfg.listen, "listen", "127.0.0.1:8080", "HTTP listen address")
 	fs.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+	fs.StringVar(&cfg.metricsAddr, "metrics", "", "serve GET /metrics on a dedicated address too (empty = main listener only)")
+	fs.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text | json")
 	fs.IntVar(&cfg.shards, "shards", 4, "ingest worker shards (standalone/coord)")
 	fs.IntVar(&cfg.shardQueue, "shard-queue", 64, "per-shard queue capacity (batches)")
 	fs.IntVar(&cfg.siteBuffer, "site-buffer", 128, "per-site cluster channel capacity")
@@ -122,6 +166,11 @@ func (c config) validate() error {
 	case "standalone", "coord", "site":
 	default:
 		return fmt.Errorf("unknown -role %q (want standalone, coord or site)", c.role)
+	}
+	switch c.logFormat {
+	case "text", "json":
+	default:
+		return fmt.Errorf("unknown -log-format %q (want text or json)", c.logFormat)
 	}
 	if c.role == "site" {
 		if c.upstream == "" {
@@ -152,38 +201,42 @@ func main() {
 		if errors.Is(err, flag.ErrHelp) {
 			return
 		}
-		log.Fatal(err)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
+	logger := setupLogger(cfg.logFormat)
 	switch cfg.role {
 	case "site":
-		err = runSite(cfg)
+		err = runSite(cfg, logger)
 	default:
-		err = runServer(cfg)
+		err = runServer(cfg, logger)
 	}
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("trackd failed", "role", cfg.role, "err", err)
+		os.Exit(1)
 	}
 }
 
 // runServer runs the standalone and coord roles.
-func runServer(cfg config) error {
-	startPprof(cfg.pprofAddr)
+func runServer(cfg config, logger *slog.Logger) error {
+	startPprof(cfg.pprofAddr, logger)
 	svc := service.New(service.Config{
 		Shards:     cfg.shards,
 		ShardQueue: cfg.shardQueue,
 		SiteBuffer: cfg.siteBuffer,
 	})
+	startMetrics(cfg.metricsAddr, svc.Metrics(), logger)
 	if cfg.role == "coord" {
 		ri, err := svc.ServeRemote(cfg.ingestListen)
 		if err != nil {
 			return err
 		}
-		log.Printf("trackd coord ingest listening on %s", ri.Addr())
+		logger.Info("coord ingest listening", "addr", ri.Addr())
 	}
 	hs := &http.Server{Addr: cfg.listen, Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("trackd %s listening on %s (shards=%d)", cfg.role, cfg.listen, cfg.shards)
+		logger.Info("trackd listening", "role", cfg.role, "addr", cfg.listen, "shards", cfg.shards)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -191,7 +244,7 @@ func runServer(cfg config) error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-stop:
-		log.Printf("received %v, draining", sig)
+		logger.Info("draining", "signal", sig.String())
 	case err := <-errc:
 		return fmt.Errorf("serve: %w", err)
 	}
@@ -199,16 +252,16 @@ func runServer(cfg config) error {
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.grace)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	svc.Close()
-	log.Printf("drained, bye")
+	logger.Info("drained, bye")
 	return nil
 }
 
 // runSite runs the site role: HTTP ingest in, batched frames upstream.
-func runSite(cfg config) error {
-	startPprof(cfg.pprofAddr)
+func runSite(cfg config, logger *slog.Logger) error {
+	startPprof(cfg.pprofAddr, logger)
 	node, err := service.NewSiteNode(service.SiteNodeConfig{
 		Node:         cfg.node,
 		Upstream:     cfg.upstream,
@@ -222,10 +275,11 @@ func runSite(cfg config) error {
 	if err != nil {
 		return err
 	}
+	startMetrics(cfg.metricsAddr, node.Metrics(), logger)
 	hs := &http.Server{Addr: cfg.listen, Handler: node.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("trackd site %q listening on %s, upstream %s", cfg.node, cfg.listen, cfg.upstream)
+		logger.Info("trackd site listening", "node", cfg.node, "addr", cfg.listen, "upstream", cfg.upstream)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -233,7 +287,7 @@ func runSite(cfg config) error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-stop:
-		log.Printf("received %v, draining upstream", sig)
+		logger.Info("draining upstream", "signal", sig.String())
 	case err := <-errc:
 		node.Close()
 		return fmt.Errorf("serve: %w", err)
@@ -242,15 +296,15 @@ func runSite(cfg config) error {
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.grace)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	// Close flushes buffered batches upstream and fences the coordinator,
 	// so everything this node acknowledged is visible there.
 	if err := node.Close(); err != nil {
-		log.Printf("drain: %v", err)
+		logger.Warn("drain", "err", err)
 	}
 	st := node.Stats()
-	log.Printf("drained: %d accepted, %d batches, %d reconnects, bye",
-		st.Accepted, st.Batches, st.Reconnects)
+	logger.Info("drained, bye",
+		"accepted", st.Accepted, "batches", st.Batches, "reconnects", st.Reconnects)
 	return nil
 }

@@ -26,6 +26,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.grace != 10*time.Second {
 		t.Fatalf("default grace = %v", cfg.grace)
 	}
+	if cfg.logFormat != "text" || cfg.metricsAddr != "" {
+		t.Fatalf("default observability flags = %q / %q", cfg.logFormat, cfg.metricsAddr)
+	}
 }
 
 func TestParseFlagsRoles(t *testing.T) {
@@ -44,6 +47,8 @@ func TestParseFlagsRoles(t *testing.T) {
 		{"bad window", []string{"-role", "site", "-upstream", "h:1", "-node", "e", "-window", "0"}, "must be >= 1"},
 		{"bad grace", []string{"-grace", "-1s"}, "must be positive"},
 		{"bad forward delay", []string{"-forward-delay", "0s"}, "must be positive"},
+		{"json logs ok", []string{"-log-format", "json"}, ""},
+		{"bad log format", []string{"-log-format", "xml"}, "unknown -log-format"},
 		{"unknown flag", []string{"-nope"}, "flag provided but not defined"},
 		{"positional junk", []string{"extra"}, "unexpected arguments"},
 	}

@@ -11,7 +11,10 @@
 // engine-provided surface they consequently share.
 package core
 
-import "disttrack/internal/wire"
+import (
+	"disttrack/internal/core/engine"
+	"disttrack/internal/wire"
+)
 
 // Tracker is the protocol surface common to all three core trackers. The
 // ingest and quiescence half (Feed through Version) is implemented by the
@@ -46,6 +49,9 @@ type Tracker interface {
 
 	// Meter returns the communication meter.
 	Meter() *wire.Meter
+	// SetMetrics attaches (or detaches, with nil) the engine's obs
+	// instrumentation; call before concurrent use. See engine.Metrics.
+	SetMetrics(m *engine.Metrics)
 	// K returns the number of sites; Eps the approximation error.
 	K() int
 	Eps() float64

@@ -47,6 +47,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"disttrack/internal/wire"
 )
@@ -133,6 +134,12 @@ type Engine struct {
 
 	sites []site
 
+	// met, when non-nil, receives the engine's observability counters.
+	// Written by SetMetrics before concurrent use, read on both paths; the
+	// fast path pays one nil check plus an atomic add per arrival (per run
+	// on the batched path) — see Metrics.
+	met *Metrics
+
 	// boot is the initial forward-everything phase: until the coordinator
 	// holds ~k/ε items, every arrival escalates. Read on the fast path,
 	// changed only on the slow path.
@@ -200,10 +207,16 @@ func (e *Engine) FeedLocal(siteID int, x uint64) (escalate bool) {
 		// Bootstrap: every arrival is forwarded, so every arrival escalates.
 		e.pol.ApplyBoot(siteID, x)
 		s.mu.Unlock()
+		if m := e.met; m != nil {
+			m.countFeeds(1)
+		}
 		return true
 	}
 	escalate = e.pol.ApplyLocal(siteID, x)
 	s.mu.Unlock()
+	if m := e.met; m != nil {
+		m.countFeeds(1)
+	}
 	return escalate
 }
 
@@ -232,6 +245,9 @@ func (e *Engine) FeedLocalBatch(siteID int, xs []uint64) (escalations []int) {
 			e.n.Add(1)
 			e.pol.ApplyBoot(siteID, x)
 			s.mu.Unlock()
+			if m := e.met; m != nil {
+				m.countFeeds(1)
+			}
 			e.Escalate(siteID, x)
 			escalations = append(escalations, i)
 			i++
@@ -248,6 +264,9 @@ func (e *Engine) FeedLocalBatch(siteID int, xs []uint64) (escalations []int) {
 		s.nj += int64(consumed)
 		e.n.Add(int64(consumed))
 		s.mu.Unlock()
+		if m := e.met; m != nil {
+			m.countRun(int64(consumed), crossed)
+		}
 		i += consumed
 		if !crossed {
 			break
@@ -270,16 +289,30 @@ func (e *Engine) FeedLocalBatch(siteID int, xs []uint64) (escalations []int) {
 // is absorbed by the protocol's next exact collection, costing at most one
 // word of staleness per site, once — within every invariant's slack.
 func (e *Engine) Escalate(siteID int, x uint64) {
+	m := e.met
 	e.escMu.Lock()
 	e.lockSites()
+	var t0 time.Time
+	if m != nil {
+		t0 = slowPathStart(m.SlowPathHold)
+	}
 	if e.boot {
 		e.meter.Up(siteID, "item", 1)
 		if e.pol.OnBootEscalate(siteID, x) {
 			e.boot = false
 			e.pol.OnBootDone()
+			if m != nil && m.BootHandoffs != nil {
+				m.BootHandoffs.Inc()
+			}
 		}
 	} else {
 		e.pol.OnEscalate(siteID, x)
+	}
+	if m != nil {
+		if m.Escalations != nil {
+			m.Escalations.Inc()
+		}
+		slowPathDone(m.SlowPathHold, t0)
 	}
 	e.finishSlowPath()
 }
@@ -312,9 +345,17 @@ func (e *Engine) finishSlowPath() {
 // no escalation — so tracker reads inside f see a consistent coordinator
 // and site state. It is the query entry point for concurrent deployments.
 func (e *Engine) Quiesce(f func()) {
+	m := e.met
 	e.escMu.Lock()
 	e.lockSites()
+	var t0 time.Time
+	if m != nil {
+		t0 = slowPathStart(m.QuiesceHold)
+	}
 	f()
+	if m != nil {
+		slowPathDone(m.QuiesceHold, t0)
+	}
 	e.unlockSites()
 	e.escMu.Unlock()
 }

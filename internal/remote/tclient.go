@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -74,6 +75,12 @@ type NodeClient struct {
 	rejected   int64
 	lastReject string
 
+	// Transport byte counters (encoded frame sizes, both directions), for
+	// the metrics plane. Atomics: writes happen under mu, but reads
+	// (readAcks) and scrapes do not take it.
+	bytesUp   atomic.Int64
+	bytesDown atomic.Int64
+
 	wg sync.WaitGroup
 }
 
@@ -117,6 +124,7 @@ func (c *NodeClient) establish() (net.Conn, error) {
 		}
 		return nil, err
 	}
+	c.bytesDown.Add(int64(welcome.EncodedSize()))
 	conn.SetReadDeadline(time.Time{})
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -189,6 +197,7 @@ func (c *NodeClient) readAcks(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		c.bytesDown.Add(int64(f.EncodedSize()))
 		switch f.Type {
 		case TypeBatchAck:
 			c.mu.Lock()
@@ -326,7 +335,11 @@ func (c *NodeClient) FlushContext(ctx context.Context) error {
 // sender forever.
 func (c *NodeClient) writeFrame(conn net.Conn, f TFrame) error {
 	conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
-	return WriteTFrame(conn, f)
+	if err := WriteTFrame(conn, f); err != nil {
+		return err
+	}
+	c.bytesUp.Add(int64(f.EncodedSize()))
+	return nil
 }
 
 // Pending returns how many batch frames await acknowledgement.
@@ -334,6 +347,16 @@ func (c *NodeClient) Pending() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.pending)
+}
+
+// Window returns the configured in-flight frame bound; Pending()/Window()
+// is the transport window occupancy.
+func (c *NodeClient) Window() int { return c.cfg.Window }
+
+// Bytes returns the encoded transport bytes written to (up) and read from
+// (down) the coordinator, across all connections. Safe for concurrent use.
+func (c *NodeClient) Bytes() (up, down int64) {
+	return c.bytesUp.Load(), c.bytesDown.Load()
 }
 
 // Reconnects returns how many times the client re-established the

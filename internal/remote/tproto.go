@@ -74,6 +74,13 @@ const (
 // (sequencing, addressing, count).
 func (f TFrame) Words() int { return 3 + len(f.Values) }
 
+// EncodedSize returns the frame's exact on-the-wire size in bytes (type
+// byte, length prefix and payload) — the currency of the transport-level
+// byte counters, as opposed to Words, the paper's model currency.
+func (f TFrame) EncodedSize() int {
+	return 1 + 4 + tframeFixed + len(f.Tenant) + 8*len(f.Values)
+}
+
 // WriteTFrame writes one multi-tenant frame: a type byte, a 32-bit payload
 // length, and the payload.
 func WriteTFrame(w io.Writer, f TFrame) error {

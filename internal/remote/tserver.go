@@ -42,6 +42,8 @@ type IngestStats struct {
 	Duplicates int64 `json:"duplicates"` // replayed frames dropped by seq dedupe
 	Rejected   int64 `json:"rejected"`   // frames refused by OnBatch
 	Flushes    int64 `json:"flushes"`    // network flush barriers served
+	BytesIn    int64 `json:"bytes_in"`   // encoded frame bytes read from nodes
+	BytesOut   int64 `json:"bytes_out"`  // encoded frame bytes written to nodes
 }
 
 // IngestServer terminates multi-tenant site-node connections on the
@@ -59,11 +61,13 @@ type IngestServer struct {
 	locks   map[string]*sync.Mutex // serializes apply/welcome per node
 	closed  bool
 
-	frames  atomic.Int64
-	values  atomic.Int64
-	dups    atomic.Int64
-	rejects atomic.Int64
-	flushes atomic.Int64
+	frames   atomic.Int64
+	values   atomic.Int64
+	dups     atomic.Int64
+	rejects  atomic.Int64
+	flushes  atomic.Int64
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -115,6 +119,7 @@ func (s *IngestServer) serve(conn net.Conn) {
 	if err != nil || hello.Type != TypeNodeHello || hello.Tenant == "" {
 		return
 	}
+	s.bytesIn.Add(int64(hello.EncodedSize()))
 	node := hello.Tenant
 	// The per-node lock serializes this handshake against any apply still
 	// in flight on the node's previous connection: the welcome must carry
@@ -137,7 +142,7 @@ func (s *IngestServer) serve(conn net.Conn) {
 	s.conns[node] = conn
 	last := s.lastSeq[node]
 	s.mu.Unlock()
-	err = WriteTFrame(conn, TFrame{Type: TypeNodeWelcome, Seq: last})
+	err = s.writeFrame(conn, TFrame{Type: TypeNodeWelcome, Seq: last})
 	lk.Unlock()
 	if err != nil {
 		s.removeConn(node, conn)
@@ -150,6 +155,7 @@ func (s *IngestServer) serve(conn net.Conn) {
 			s.removeConn(node, conn)
 			return
 		}
+		s.bytesIn.Add(int64(f.EncodedSize()))
 		if f.Type != TypeBatch {
 			// Only batch frames legitimately carry values, but the decoder
 			// accepts a payload on any type — recycle it so a buggy or
@@ -167,7 +173,7 @@ func (s *IngestServer) serve(conn net.Conn) {
 				s.cfg.OnFlush(node)
 			}
 			s.flushes.Add(1)
-			if WriteTFrame(conn, TFrame{Type: TypeNetFlushAck, Seq: f.Seq}) != nil {
+			if s.writeFrame(conn, TFrame{Type: TypeNetFlushAck, Seq: f.Seq}) != nil {
 				s.removeConn(node, conn)
 				return
 			}
@@ -209,7 +215,7 @@ func (s *IngestServer) applyBatch(node string, conn net.Conn, f TFrame, lk *sync
 		// go straight back to the batch pool.
 		s.dups.Add(1)
 		runtime.PutBatch(f.Values)
-		return WriteTFrame(conn, TFrame{Type: TypeBatchAck, Seq: f.Seq}) == nil
+		return s.writeFrame(conn, TFrame{Type: TypeBatchAck, Seq: f.Seq}) == nil
 	}
 	nvalues := len(f.Values) // OnBatch takes ownership of f.Values
 	err := s.cfg.OnBatch(node, f)
@@ -225,11 +231,20 @@ func (s *IngestServer) applyBatch(node string, conn net.Conn, f TFrame, lk *sync
 	s.mu.Unlock()
 	if err != nil {
 		s.rejects.Add(1)
-		return WriteTFrame(conn, TFrame{Type: TypeBatchReject, Seq: f.Seq, Tenant: err.Error()}) == nil
+		return s.writeFrame(conn, TFrame{Type: TypeBatchReject, Seq: f.Seq, Tenant: err.Error()}) == nil
 	}
 	s.frames.Add(1)
 	s.values.Add(int64(nvalues))
-	return WriteTFrame(conn, TFrame{Type: TypeBatchAck, Seq: f.Seq}) == nil
+	return s.writeFrame(conn, TFrame{Type: TypeBatchAck, Seq: f.Seq}) == nil
+}
+
+// writeFrame writes one frame to a node, counting its encoded bytes.
+func (s *IngestServer) writeFrame(conn net.Conn, f TFrame) error {
+	if err := WriteTFrame(conn, f); err != nil {
+		return err
+	}
+	s.bytesOut.Add(int64(f.EncodedSize()))
+	return nil
 }
 
 // removeConn forgets a connection if it is still the registered one for the
@@ -280,6 +295,8 @@ func (s *IngestServer) Stats() IngestStats {
 		Duplicates: s.dups.Load(),
 		Rejected:   s.rejects.Load(),
 		Flushes:    s.flushes.Load(),
+		BytesIn:    s.bytesIn.Load(),
+		BytesOut:   s.bytesOut.Load(),
 	}
 }
 

@@ -5,7 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
-	"strings"
+	"time"
 )
 
 // Error codes returned in the JSON error body (see docs/service.md).
@@ -34,10 +34,27 @@ func writeErr(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, errBody{Error: msg, Code: code})
 }
 
+// writeQueryErr maps a tenant query error onto its HTTP status by sentinel:
+// the tenant's constructor-built adapters encode kind capability
+// (ErrUnsupported) and data availability (ErrNoData), so the handlers never
+// switch on kind.
+func writeQueryErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnsupported):
+		writeErr(w, http.StatusUnprocessableEntity, codeUnsupported, err.Error())
+	case errors.Is(err, ErrNoData):
+		writeErr(w, http.StatusConflict, codeNoData, err.Error())
+	default:
+		writeErr(w, http.StatusBadRequest, codeInvalid, err.Error())
+	}
+}
+
 // newMux wires the HTTP API onto a fresh ServeMux.
 func newMux(s *Server) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.met.reg.Handler())
 	mux.HandleFunc("GET /v1/tenants", s.handleListTenants)
 	mux.HandleFunc("POST /v1/tenants", s.handleCreateTenant)
 	mux.HandleFunc("GET /v1/tenants/{name}", s.handleTenantStats)
@@ -63,12 +80,19 @@ func (s *Server) handleRemote(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	version, goVersion := buildMeta()
+	depths := s.sh.QueueDepths()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":       !s.closing.Load(),
-		"tenants":  len(s.reg.List()),
-		"accepted": s.sh.Accepted(),
-		"rejected": s.sh.Rejected(),
-		"lost":     s.sh.Lost(),
+		"ok":                !s.closing.Load(),
+		"tenants":           s.reg.Count(),
+		"accepted":          s.sh.Accepted(),
+		"rejected":          s.sh.Rejected(),
+		"lost":              s.sh.Lost(),
+		"uptime_seconds":    time.Since(s.met.start).Seconds(),
+		"version":           version,
+		"go":                goVersion,
+		"shards":            len(depths),
+		"shard_queue_depth": depths,
 	})
 }
 
@@ -154,11 +178,7 @@ func (s *Server) handleHeavy(w http.ResponseWriter, r *http.Request) {
 	}
 	entries, err := t.HeavyHitters(phi)
 	if err != nil {
-		if t.cfg.Kind == KindQuantile {
-			writeErr(w, http.StatusUnprocessableEntity, codeUnsupported, err.Error())
-		} else {
-			writeErr(w, http.StatusBadRequest, codeInvalid, err.Error())
-		}
+		writeQueryErr(w, err)
 		return
 	}
 	if entries == nil {
@@ -178,14 +198,7 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 	}
 	v, err := t.Quantile(phi)
 	if err != nil {
-		switch {
-		case t.cfg.Kind == KindHH:
-			writeErr(w, http.StatusUnprocessableEntity, codeUnsupported, err.Error())
-		case strings.Contains(err.Error(), "no data"):
-			writeErr(w, http.StatusConflict, codeNoData, err.Error())
-		default:
-			writeErr(w, http.StatusBadRequest, codeInvalid, err.Error())
-		}
+		writeQueryErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"phi": phi, "value": v})
@@ -208,11 +221,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	rank, total, err := t.Rank(v)
 	if err != nil {
-		if t.cfg.Kind != KindAllQ {
-			writeErr(w, http.StatusUnprocessableEntity, codeUnsupported, err.Error())
-		} else {
-			writeErr(w, http.StatusBadRequest, codeInvalid, err.Error())
-		}
+		writeQueryErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"value": v, "rank": rank, "total": total})
@@ -235,7 +244,7 @@ func (s *Server) handleFreq(w http.ResponseWriter, r *http.Request) {
 	}
 	c, err := t.Frequency(item)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, codeUnsupported, err.Error())
+		writeQueryErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"item": item, "count": c})

@@ -1,0 +1,390 @@
+package service
+
+import (
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"disttrack/internal/core/engine"
+	"disttrack/internal/obs"
+	"disttrack/internal/obs/wireobs"
+	"disttrack/internal/remote"
+	"disttrack/internal/runtime"
+)
+
+// serverMetrics is the server's obs instrumentation: one registry exposed at
+// GET /metrics, every family registered up front (so scrapes always see the
+// full catalog), and children resolved once per labeled entity. Three update
+// disciplines coexist, chosen by path cost:
+//
+//   - Inline atomics for the engine fast path (engine.Metrics children,
+//     resolved per tenant at creation) and the HTTP middleware — lock-free,
+//     one atomic per event.
+//   - Direct histogram observes on the per-request ingest paths, where one
+//     time.Now pair per batch is noise.
+//   - Scrape-time mirrors for counters owned elsewhere (cluster stats,
+//     sharder totals, wire meters, transport byte counts): a hook runs
+//     before each exposition, serialized by the registry, and adds monotone
+//     deltas — zero cost off the scrape path.
+//
+// mu guards the mirror state shared between the scrape hook and tenant
+// deletion (bridge delta maps, last-seen totals).
+type serverMetrics struct {
+	reg   *obs.Registry
+	start time.Time
+
+	// Engine fast-path instrumentation, per tenant (see engine.Metrics).
+	engFeeds   *obs.CounterVec   // {tenant}
+	engRuns    *obs.CounterVec   // {tenant}
+	engSplits  *obs.CounterVec   // {tenant}
+	engEsc     *obs.CounterVec   // {tenant}
+	engBoot    *obs.CounterVec   // {tenant}
+	engSlow    *obs.HistogramVec // {tenant}
+	engQuiesce *obs.HistogramVec // {tenant}
+
+	// Cluster and tenant bookkeeping mirrors, per tenant.
+	clProcessed *obs.CounterVec // {tenant}
+	clBatches   *obs.CounterVec // {tenant}
+	clDropped   *obs.CounterVec // {tenant}
+	clEsc       *obs.CounterVec // {tenant}
+	clQueue     *obs.GaugeVec   // {tenant}
+	tenSent     *obs.CounterVec // {tenant}
+	tenDropped  *obs.CounterVec // {tenant}
+	tenTies     *obs.CounterVec // {tenant}
+
+	// Query-path instrumentation.
+	queries     *obs.CounterVec // {tenant, query}
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+
+	// bridge mirrors each tenant's wire.Meter (the paper's word-cost
+	// accounting) under that tenant's quiescent query lock.
+	bridge *wireobs.Bridge
+
+	// Ingest pipeline (sharder) instrumentation.
+	shardDepth   []*obs.Gauge // per shard, resolved at construction
+	accepted     *obs.Counter
+	rejected     *obs.Counter
+	lost         *obs.Counter
+	batchRecords *obs.Histogram
+	ingestSecs   *obs.Histogram
+
+	// Networked ingest mirrors (coord role; zero-valued otherwise).
+	remoteNodes     *obs.Gauge
+	remoteFrames    *obs.Counter
+	remoteValues    *obs.Counter
+	remoteDups      *obs.Counter
+	remoteRejFrames *obs.Counter
+	remoteFlushes   *obs.Counter
+	remoteRejValues *obs.Counter
+	remoteBytesIn   *obs.Counter
+	remoteBytesOut  *obs.Counter
+	remoteBridge    *wireobs.Bridge
+
+	// HTTP API instrumentation.
+	httpReqs     *obs.CounterVec   // {route, method, code}
+	httpSecs     *obs.HistogramVec // {route}
+	httpInflight *obs.Gauge
+
+	// Scrape-hook mirror state (guarded by the registry's hook serialization
+	// plus forgetTenant, see syncObs).
+	lastAccepted    int64
+	lastRejected    int64
+	lastLost        int64
+	lastRemote      remote.IngestStats
+	lastRemoteRejVs int64
+}
+
+// newServerMetrics registers the server's full metric catalog on a fresh
+// registry. shards fixes the shard-depth gauge set.
+func newServerMetrics(shards int) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{reg: reg, start: time.Now()}
+
+	m.engFeeds = reg.NewCounterVec("disttrack_engine_feeds_total",
+		"Fast-path arrivals applied by the tracker engine.", "tenant")
+	m.engRuns = reg.NewCounterVec("disttrack_engine_batch_runs_total",
+		"Escalation-free runs consumed by FeedLocalBatch.", "tenant")
+	m.engSplits = reg.NewCounterVec("disttrack_engine_batch_splits_total",
+		"Batch runs ended early by a threshold crossing.", "tenant")
+	m.engEsc = reg.NewCounterVec("disttrack_engine_escalations_total",
+		"Coordinator slow-path entries.", "tenant")
+	m.engBoot = reg.NewCounterVec("disttrack_engine_boot_handoffs_total",
+		"Bootstrap-to-tracking transitions.", "tenant")
+	m.engSlow = reg.NewHistogramVec("disttrack_engine_slow_path_hold_seconds",
+		"Seconds each escalation held the coordinator and every site lock.",
+		obs.DurationBuckets(), "tenant")
+	m.engQuiesce = reg.NewHistogramVec("disttrack_engine_quiesce_hold_seconds",
+		"Seconds each quiescent section (consistent query) held the protocol locks.",
+		obs.DurationBuckets(), "tenant")
+
+	m.clProcessed = reg.NewCounterVec("disttrack_cluster_processed_total",
+		"Arrivals fully fed to the tracker by the cluster's site goroutines.", "tenant")
+	m.clBatches = reg.NewCounterVec("disttrack_cluster_batches_total",
+		"Batch deliveries processed by the cluster.", "tenant")
+	m.clDropped = reg.NewCounterVec("disttrack_cluster_dropped_total",
+		"Queued arrivals discarded by a cluster stop.", "tenant")
+	m.clEsc = reg.NewCounterVec("disttrack_cluster_escalations_total",
+		"Fast-path arrivals that escalated, as observed by the cluster.", "tenant")
+	m.clQueue = reg.NewGaugeVec("disttrack_cluster_queue_depth",
+		"Deliveries currently queued across the tenant's site channels.", "tenant")
+	m.tenSent = reg.NewCounterVec("disttrack_tenant_sent_total",
+		"Arrivals successfully enqueued to the tenant's cluster.", "tenant")
+	m.tenDropped = reg.NewCounterVec("disttrack_tenant_dropped_total",
+		"Arrivals lost because the tenant closed mid-send.", "tenant")
+	m.tenTies = reg.NewCounterVec("disttrack_tenant_ties_total",
+		"Symbolic-perturbation overflows (ε guarantee degrades past 2^24 copies).", "tenant")
+
+	m.queries = reg.NewCounterVec("disttrack_queries_total",
+		"Tenant queries served, by query shape.", "tenant", "query")
+	m.cacheHits = reg.NewCounter("disttrack_query_cache_hits_total",
+		"Queries answered from the version-keyed snapshot cache.")
+	m.cacheMisses = reg.NewCounter("disttrack_query_cache_misses_total",
+		"Queries that required a quiescent read of coordinator state.")
+
+	m.bridge = wireobs.New(reg, "disttrack_wire")
+
+	m.shardDepth = make([]*obs.Gauge, shards)
+	depth := reg.NewGaugeVec("disttrack_shard_queue_depth",
+		"Messages queued on each ingest worker shard.", "shard")
+	for i := range m.shardDepth {
+		m.shardDepth[i] = depth.With(strconv.Itoa(i))
+	}
+	m.accepted = reg.NewCounter("disttrack_ingest_accepted_total",
+		"Records accepted by the ingest pipeline.")
+	m.rejected = reg.NewCounter("disttrack_ingest_rejected_total",
+		"Records rejected at validation.")
+	m.lost = reg.NewCounter("disttrack_ingest_lost_total",
+		"Records accepted but undeliverable (tenant deleted mid-flight).")
+	m.batchRecords = reg.NewHistogram("disttrack_ingest_batch_records",
+		"Records per ingest batch.", obs.SizeBuckets())
+	m.ingestSecs = reg.NewHistogram("disttrack_ingest_seconds",
+		"Seconds spent validating and enqueuing one ingest batch.", obs.DurationBuckets())
+
+	m.remoteNodes = reg.NewGauge("disttrack_remote_nodes",
+		"Live site-node connections on the networked ingest listener.")
+	m.remoteFrames = reg.NewCounter("disttrack_remote_frames_total",
+		"Batch frames applied by the networked ingest path.")
+	m.remoteValues = reg.NewCounter("disttrack_remote_values_total",
+		"Values delivered to the pipeline by the networked ingest path.")
+	m.remoteDups = reg.NewCounter("disttrack_remote_duplicates_total",
+		"Replayed frames dropped by sequence deduplication.")
+	m.remoteRejFrames = reg.NewCounter("disttrack_remote_rejected_frames_total",
+		"Frames refused by the ingest pipeline.")
+	m.remoteFlushes = reg.NewCounter("disttrack_remote_flushes_total",
+		"Network flush barriers served.")
+	m.remoteRejValues = reg.NewCounter("disttrack_remote_rejected_values_total",
+		"Values filtered by per-value validation on the networked ingest path.")
+	m.remoteBytesIn = reg.NewCounter("disttrack_remote_bytes_in_total",
+		"Encoded frame bytes read from site nodes.")
+	m.remoteBytesOut = reg.NewCounter("disttrack_remote_bytes_out_total",
+		"Encoded frame bytes written to site nodes.")
+	m.remoteBridge = wireobs.New(reg, "disttrack_remote_wire")
+
+	m.httpReqs = reg.NewCounterVec("disttrack_http_requests_total",
+		"HTTP API requests, by mux route, method and status code.", "route", "method", "code")
+	m.httpSecs = reg.NewHistogramVec("disttrack_http_request_seconds",
+		"HTTP API request latency by mux route.", obs.DurationBuckets(), "route")
+	m.httpInflight = reg.NewGauge("disttrack_http_inflight_requests",
+		"HTTP API requests currently being served.")
+
+	reg.NewGaugeFunc("disttrack_uptime_seconds",
+		"Seconds since the server's metrics plane was created.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	registerBuildInfo(reg)
+	return m
+}
+
+// registerBuildInfo exports a constant-1 gauge labeled with the binary's
+// embedded build metadata (shared by server and site-node registries).
+func registerBuildInfo(reg *obs.Registry) {
+	version, goVersion := buildMeta()
+	reg.NewGaugeVec("disttrack_build_info",
+		"Constant 1, labeled with the binary's build metadata.",
+		"version", "goversion").With(version, goVersion).Set(1)
+}
+
+// buildMeta returns the module version and Go toolchain version from the
+// binary's embedded build info ("unknown" when absent).
+func buildMeta() (version, goVersion string) {
+	version, goVersion = "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+	}
+	return version, goVersion
+}
+
+// addDelta adds the monotone delta between cur and *last to c and advances
+// *last. A source reset (cur below last) re-bases without a negative add, so
+// the exported counter stays monotone.
+func addDelta(c *obs.Counter, last *int64, cur int64) {
+	if cur > *last {
+		c.Add(cur - *last)
+	}
+	*last = cur
+}
+
+// tenantMetrics is one tenant's resolved instrumentation: the engine's
+// fast-path children (updated inline by the tracker), the cluster mirror
+// state, and the query counters. Children are resolved exactly once here, at
+// tenant creation, so no hot path ever touches a family map.
+type tenantMetrics struct {
+	sm  *serverMetrics
+	eng engine.Metrics
+	cl  runtime.ClusterMetrics
+
+	sent    *obs.Counter
+	dropped *obs.Counter
+	ties    *obs.Counter
+
+	qHeavy    *obs.Counter
+	qQuantile *obs.Counter
+	qRank     *obs.Counter
+	qFreq     *obs.Counter
+
+	lastSent, lastDropped, lastTies int64
+}
+
+// tenant resolves the per-tenant children for name.
+func (m *serverMetrics) tenant(name string) *tenantMetrics {
+	return &tenantMetrics{
+		sm: m,
+		eng: engine.Metrics{
+			Feeds:        m.engFeeds.With(name),
+			BatchRuns:    m.engRuns.With(name),
+			BatchSplits:  m.engSplits.With(name),
+			Escalations:  m.engEsc.With(name),
+			BootHandoffs: m.engBoot.With(name),
+			SlowPathHold: m.engSlow.With(name),
+			QuiesceHold:  m.engQuiesce.With(name),
+		},
+		cl: runtime.ClusterMetrics{
+			Processed:   m.clProcessed.With(name),
+			Batches:     m.clBatches.With(name),
+			Dropped:     m.clDropped.With(name),
+			Escalations: m.clEsc.With(name),
+			QueueDepth:  m.clQueue.With(name),
+		},
+		sent:      m.tenSent.With(name),
+		dropped:   m.tenDropped.With(name),
+		ties:      m.tenTies.With(name),
+		qHeavy:    m.queries.With(name, "heavy"),
+		qQuantile: m.queries.With(name, "quantile"),
+		qRank:     m.queries.With(name, "rank"),
+		qFreq:     m.queries.With(name, "frequency"),
+	}
+}
+
+// forgetTenant removes a deleted tenant's exported series and mirror state,
+// so the families do not grow without bound under tenant churn. The bridge
+// cleanup runs under the registry's hook lock because the delta map is
+// otherwise owned by the scrape hook.
+func (m *serverMetrics) forgetTenant(name string) {
+	for _, v := range []*obs.CounterVec{
+		m.engFeeds, m.engRuns, m.engSplits, m.engEsc, m.engBoot,
+		m.clProcessed, m.clBatches, m.clDropped, m.clEsc,
+		m.tenSent, m.tenDropped, m.tenTies,
+	} {
+		v.Remove(name)
+	}
+	m.engSlow.Remove(name)
+	m.engQuiesce.Remove(name)
+	m.clQueue.Remove(name)
+	for _, q := range []string{"heavy", "quantile", "rank", "frequency"} {
+		m.queries.Remove(name, q)
+	}
+	m.reg.WithHookLock(func() { m.bridge.Forget(name) })
+}
+
+// syncObs is the server's scrape hook: it mirrors every externally-owned
+// counter into the metrics plane immediately before an exposition. The
+// registry serializes hooks, so the mirror state needs no locking of its
+// own. Per-tenant meter reads run under each tenant's quiescent query lock —
+// the only safe way to read a wire.Meter — which briefly stalls that
+// tenant's ingest, same as a stats request.
+func (s *Server) syncObs() {
+	m := s.met
+	for _, t := range s.reg.all() {
+		t.syncObs()
+	}
+	addDelta(m.accepted, &m.lastAccepted, s.sh.Accepted())
+	addDelta(m.rejected, &m.lastRejected, s.sh.Rejected())
+	addDelta(m.lost, &m.lastLost, s.sh.Lost())
+	for i, d := range s.sh.QueueDepths() {
+		m.shardDepth[i].SetInt(int64(d))
+	}
+	if ri := s.remote.Load(); ri != nil {
+		ri.syncObs(m)
+	}
+}
+
+// syncObs mirrors the tenant's cluster counters, send bookkeeping and
+// communication meter. Runs only from the registry's scrape hook.
+func (t *Tenant) syncObs() {
+	tm := t.tm
+	if tm == nil {
+		return
+	}
+	t.cluster.SyncMetrics(&tm.cl)
+	addDelta(tm.sent, &tm.lastSent, t.sent.Load())
+	addDelta(tm.dropped, &tm.lastDropped, t.dropped.Load())
+	addDelta(tm.ties, &tm.lastTies, t.ties.Load())
+	t.cluster.Query(func() {
+		tm.sm.bridge.Sync(t.cfg.Name, t.meter())
+	})
+}
+
+// syncObs mirrors the networked ingest path's transport counters and its
+// per-tenant wire meter. Runs only from the registry's scrape hook.
+func (ri *RemoteIngest) syncObs(m *serverMetrics) {
+	st := ri.srv.Stats()
+	m.remoteNodes.SetInt(int64(st.Nodes))
+	addDelta(m.remoteFrames, &m.lastRemote.Frames, st.Frames)
+	addDelta(m.remoteValues, &m.lastRemote.Values, st.Values)
+	addDelta(m.remoteDups, &m.lastRemote.Duplicates, st.Duplicates)
+	addDelta(m.remoteRejFrames, &m.lastRemote.Rejected, st.Rejected)
+	addDelta(m.remoteFlushes, &m.lastRemote.Flushes, st.Flushes)
+	addDelta(m.remoteBytesIn, &m.lastRemote.BytesIn, st.BytesIn)
+	addDelta(m.remoteBytesOut, &m.lastRemote.BytesOut, st.BytesOut)
+	ri.mu.Lock()
+	addDelta(m.remoteRejValues, &m.lastRemoteRejVs, ri.rejected)
+	m.remoteBridge.Sync("ingest", &ri.meter)
+	ri.mu.Unlock()
+}
+
+// instrumentHTTP wraps the API mux with request counting, latency and
+// in-flight instrumentation. The route label is the mux pattern that will
+// serve the request (resolved without dispatching), so label cardinality is
+// bounded by the route table, not by client-chosen paths.
+func (m *serverMetrics) instrumentHTTP(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, route := mux.Handler(r)
+		if route == "" {
+			route = "none"
+		}
+		m.httpInflight.Add(1)
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		mux.ServeHTTP(sw, r)
+		m.httpInflight.Add(-1)
+		m.httpSecs.With(route).Observe(time.Since(t0).Seconds())
+		m.httpReqs.With(route, r.Method, strconv.Itoa(sw.status)).Inc()
+	})
+}
+
+// statusWriter records the status code written by a handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -16,6 +16,11 @@ var ErrExists = errors.New("tenant already exists")
 type Registry struct {
 	siteBuffer int
 
+	// met, when set (by service.New), instruments every tenant the registry
+	// creates and cleans its series up on delete. Nil registries (direct
+	// NewRegistry callers, tests) run uninstrumented.
+	met *serverMetrics
+
 	mu      sync.RWMutex
 	tenants map[string]*Tenant
 }
@@ -37,7 +42,7 @@ func (r *Registry) Create(tc TenantConfig) (*Tenant, error) {
 	}
 	// Build outside the lock (tracker construction allocates per-site
 	// state), then insert; racing creates of the same name lose cleanly.
-	t, err := newTenant(tc, r.siteBuffer)
+	t, err := newTenant(tc, r.siteBuffer, r.met)
 	if err != nil {
 		return nil, err
 	}
@@ -71,7 +76,17 @@ func (r *Registry) Delete(name string, drain bool) bool {
 		return false
 	}
 	t.close(drain)
+	if r.met != nil {
+		r.met.forgetTenant(name)
+	}
 	return true
+}
+
+// Count returns the number of live tenants.
+func (r *Registry) Count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tenants)
 }
 
 // List returns the configurations of all tenants, sorted by name.

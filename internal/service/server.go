@@ -3,16 +3,20 @@ package service
 import (
 	"net/http"
 	"sync/atomic"
+
+	"disttrack/internal/obs"
 )
 
-// Server ties the registry, the sharded ingest pipeline and the HTTP API
-// together. Create one with New, mount Handler on any http.Server (or use
-// cmd/trackd), and Close it for a graceful drain.
+// Server ties the registry, the sharded ingest pipeline, the metrics plane
+// and the HTTP API together. Create one with New, mount Handler on any
+// http.Server (or use cmd/trackd), and Close it for a graceful drain.
 type Server struct {
 	cfg     Config
 	reg     *Registry
 	sh      *sharder
+	met     *serverMetrics
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the HTTP instrumentation
 	closing atomic.Bool
 	remote  atomic.Pointer[RemoteIngest] // set by ServeRemote
 }
@@ -21,17 +25,28 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg}
+	s.met = newServerMetrics(cfg.Shards)
 	s.reg = NewRegistry(cfg.SiteBuffer)
-	s.sh = newSharder(s.reg, cfg.Shards, cfg.ShardQueue)
+	s.reg.met = s.met
+	s.sh = newSharder(s.reg, cfg.Shards, cfg.ShardQueue, s.met)
 	s.mux = newMux(s)
+	s.handler = s.met.instrumentHTTP(s.mux)
+	s.met.reg.OnScrape(s.syncObs)
+	s.met.reg.NewGaugeFunc("disttrack_tenants",
+		"Live tenants in the registry.",
+		func() float64 { return float64(s.reg.Count()) })
 	return s
 }
 
-// Handler returns the HTTP API handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP API handler (instrumented; see GET /metrics).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Registry exposes tenant lifecycle for embedding and tests.
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics returns the server's obs registry — the one exposed at
+// GET /metrics — so embedders can add their own instrumentation to it.
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
 
 // Ingest feeds records through the pipeline without HTTP (embedded use).
 func (s *Server) Ingest(recs []Record) (int, []RecordError) { return s.sh.Ingest(recs) }

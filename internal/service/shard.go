@@ -60,6 +60,7 @@ type RecordError struct {
 // single-writer.
 type sharder struct {
 	reg    *Registry
+	met    *serverMetrics // nil when uninstrumented (direct construction in tests)
 	shards []*shard
 
 	accepted atomic.Int64
@@ -95,8 +96,8 @@ type remoteGroup struct {
 	values []uint64
 }
 
-func newSharder(reg *Registry, n, queue int) *sharder {
-	sh := &sharder{reg: reg}
+func newSharder(reg *Registry, n, queue int, met *serverMetrics) *sharder {
+	sh := &sharder{reg: reg, met: met}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		s := &shard{ch: make(chan shardMsg, queue), wg: &wg}
@@ -125,6 +126,12 @@ func (sh *sharder) shardOf(tenant string) *shard {
 // for the visibility barrier). Returns the number accepted and the
 // per-record rejections.
 func (sh *sharder) Ingest(recs []Record) (int, []RecordError) {
+	if m := sh.met; m != nil {
+		m.batchRecords.Observe(float64(len(recs)))
+		defer func(t0 time.Time) {
+			m.ingestSecs.Observe(time.Since(t0).Seconds())
+		}(time.Now())
+	}
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	var errs []RecordError
@@ -184,6 +191,12 @@ func (sh *sharder) Ingest(recs []Record) (int, []RecordError) {
 // reject the frame. The sharder takes ownership of values in every case:
 // batches it cannot deliver go back to the runtime batch pool.
 func (sh *sharder) IngestGrouped(tenant string, site int, values []uint64) (accepted, rejected int, err error) {
+	if m := sh.met; m != nil {
+		m.batchRecords.Observe(float64(len(values)))
+		defer func(t0 time.Time) {
+			m.ingestSecs.Observe(time.Since(t0).Seconds())
+		}(time.Now())
+	}
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	if sh.closed {
@@ -401,3 +414,14 @@ func (sh *sharder) Close() {
 func (sh *sharder) Accepted() int64 { return sh.accepted.Load() }
 func (sh *sharder) Rejected() int64 { return sh.rejected.Load() }
 func (sh *sharder) Lost() int64     { return sh.lost.Load() }
+
+// QueueDepths returns the current queue length of each shard, in shard
+// order. The snapshot is inherently racy against the workers — gauge
+// material, not an invariant.
+func (sh *sharder) QueueDepths() []int {
+	out := make([]int, len(sh.shards))
+	for i, s := range sh.shards {
+		out[i] = len(s.ch)
+	}
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"disttrack/internal/obs"
 	"disttrack/internal/remote"
 	"disttrack/internal/runtime"
 )
@@ -46,6 +47,7 @@ type SiteNode struct {
 	cl  *remote.NodeClient
 	fw  *runtime.Forwarder
 	mux *http.ServeMux
+	met *nodeMetrics
 
 	accepted atomic.Int64
 	rejected atomic.Int64
@@ -72,12 +74,18 @@ func NewSiteNode(cfg SiteNodeConfig) (*SiteNode, error) {
 		cl.Close()
 		return nil, err
 	}
+	n.met = newNodeMetrics(n)
 	n.mux = http.NewServeMux()
 	n.mux.HandleFunc("GET /healthz", n.handleHealth)
+	n.mux.HandleFunc("GET /v1/healthz", n.handleHealth)
+	n.mux.Handle("GET /metrics", n.met.reg.Handler())
 	n.mux.HandleFunc("POST /v1/ingest", n.handleIngest)
 	n.mux.HandleFunc("POST /v1/flush", n.handleFlush)
 	return n, nil
 }
+
+// Metrics returns the node's obs registry (mounted at GET /metrics).
+func (n *SiteNode) Metrics() *obs.Registry { return n.met.reg }
 
 // Ingest accepts records for upstream delivery. Validation is local-only
 // (the tenant registry lives at the coordinator): empty tenant names and
@@ -201,8 +209,81 @@ func (n *SiteNode) Stats() SiteNodeStats {
 	}
 }
 
+// nodeMetrics is the site node's obs instrumentation. The node has no
+// per-arrival hot path worth inline counters — Ingest already batches — so
+// everything is mirrored from the transport and forwarder counters by a
+// scrape hook, plus gauge funcs for the instantaneous window state.
+type nodeMetrics struct {
+	reg *obs.Registry
+
+	accepted    *obs.Counter
+	rejected    *obs.Counter
+	batches     *obs.Counter
+	reconnects  *obs.Counter
+	resent      *obs.Counter
+	upstreamRej *obs.Counter
+	bytesUp     *obs.Counter
+	bytesDown   *obs.Counter
+
+	last struct {
+		accepted, rejected, batches, reconnects, resent, upstreamRej int64
+		bytesUp, bytesDown                                           int64
+	}
+}
+
+// newNodeMetrics registers the node's metric catalog and its scrape hook.
+func newNodeMetrics(n *SiteNode) *nodeMetrics {
+	reg := obs.NewRegistry()
+	m := &nodeMetrics{reg: reg}
+	start := time.Now()
+	m.accepted = reg.NewCounter("disttrack_node_accepted_total",
+		"Records accepted locally for upstream delivery.")
+	m.rejected = reg.NewCounter("disttrack_node_rejected_total",
+		"Records refused by local validation.")
+	m.batches = reg.NewCounter("disttrack_node_batches_total",
+		"Batches handed to the upstream transport.")
+	m.reconnects = reg.NewCounter("disttrack_node_reconnects_total",
+		"Healed upstream transport failures.")
+	m.resent = reg.NewCounter("disttrack_node_resent_frames_total",
+		"Frames replayed during reconnect resyncs.")
+	m.upstreamRej = reg.NewCounter("disttrack_node_upstream_rejects_total",
+		"Frames the coordinator refused.")
+	bytes := reg.NewCounterVec("disttrack_node_bytes_total",
+		"Encoded transport bytes by direction (up = toward the coordinator).", "dir")
+	m.bytesUp = bytes.With("up")
+	m.bytesDown = bytes.With("down")
+	reg.NewGaugeFunc("disttrack_node_pending_frames",
+		"Batch frames awaiting coordinator acknowledgement.",
+		func() float64 { return float64(n.cl.Pending()) })
+	reg.NewGaugeFunc("disttrack_node_window_occupancy",
+		"Pending frames over the transport window bound (1 = saturated, ingest stalls).",
+		func() float64 { return float64(n.cl.Pending()) / float64(n.cl.Window()) })
+	reg.NewGaugeFunc("disttrack_node_uptime_seconds",
+		"Seconds since the site node was created.",
+		func() float64 { return time.Since(start).Seconds() })
+	registerBuildInfo(reg)
+	reg.OnScrape(n.syncObs)
+	return m
+}
+
+// syncObs mirrors the node's counters into the metrics plane. Runs only
+// from the registry's scrape hook (serialized).
+func (n *SiteNode) syncObs() {
+	m := n.met
+	rej, _ := n.cl.Rejected()
+	up, down := n.cl.Bytes()
+	addDelta(m.accepted, &m.last.accepted, n.accepted.Load())
+	addDelta(m.rejected, &m.last.rejected, n.rejected.Load())
+	addDelta(m.batches, &m.last.batches, n.fw.Batches())
+	addDelta(m.reconnects, &m.last.reconnects, n.cl.Reconnects())
+	addDelta(m.resent, &m.last.resent, n.cl.Resent())
+	addDelta(m.upstreamRej, &m.last.upstreamRej, rej)
+	addDelta(m.bytesUp, &m.last.bytesUp, up)
+	addDelta(m.bytesDown, &m.last.bytesDown, down)
+}
+
 // Handler returns the node's HTTP API: the same /v1/ingest and /v1/flush
-// contract as a standalone server, plus /healthz.
+// contract as a standalone server, plus /healthz and /metrics.
 func (n *SiteNode) Handler() http.Handler { return n.mux }
 
 func (n *SiteNode) handleHealth(w http.ResponseWriter, r *http.Request) {

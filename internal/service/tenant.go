@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
@@ -15,6 +16,16 @@ import (
 	"disttrack/internal/stream"
 	"disttrack/internal/wire"
 )
+
+// ErrUnsupported marks (wrapped) a query shape the tenant's kind cannot
+// answer. The HTTP layer maps it to 422 by sentinel, so adding a kind never
+// touches the handlers: capability lives entirely in the constructor-built
+// query adapters.
+var ErrUnsupported = errors.New("query not supported by tenant kind")
+
+// ErrNoData marks (wrapped) a query that needs at least one ingested
+// arrival; the HTTP layer maps it to 409.
+var ErrNoData = errors.New("no data")
 
 // Kind selects which of the paper's protocols a tenant runs.
 type Kind string
@@ -107,6 +118,7 @@ type Tenant struct {
 	cluster *runtime.Cluster
 	tr      core.Tracker
 	qa      queryAdapter
+	tm      *tenantMetrics // nil when the owning registry is uninstrumented
 
 	// seq is the symbolic-perturbation state for quantile/allq tenants:
 	// per-value occurrence counters (see stream.Perturb). Touched only by
@@ -135,7 +147,7 @@ type Tenant struct {
 	qcQuant   map[float64]uint64
 }
 
-func newTenant(tc TenantConfig, siteBuffer int) (*Tenant, error) {
+func newTenant(tc TenantConfig, siteBuffer int, sm *serverMetrics) (*Tenant, error) {
 	t := &Tenant{cfg: tc}
 	var err error
 	switch tc.Kind {
@@ -186,7 +198,7 @@ func newTenant(tc TenantConfig, siteBuffer int) (*Tenant, error) {
 			},
 			quantile: func(phi float64) (uint64, error) {
 				if tr.TrueTotal() == 0 {
-					return 0, fmt.Errorf("tenant %q has no data", tc.Name)
+					return 0, fmt.Errorf("tenant %q has %w", tc.Name, ErrNoData)
 				}
 				// checkQuantile admitted phi, so the index exists.
 				return tr.QuantileAt(slices.Index(phis, phi)), nil
@@ -226,7 +238,7 @@ func newTenant(tc TenantConfig, siteBuffer int) (*Tenant, error) {
 			},
 			quantile: func(phi float64) (uint64, error) {
 				if tr.TrueTotal() == 0 {
-					return 0, fmt.Errorf("tenant %q has no data", tc.Name)
+					return 0, fmt.Errorf("tenant %q has %w", tc.Name, ErrNoData)
 				}
 				return tr.Quantile(phi), nil
 			},
@@ -241,6 +253,13 @@ func newTenant(tc TenantConfig, siteBuffer int) (*Tenant, error) {
 	// The service only ever reads meter totals (and per-tenant attribution
 	// on the remote path); skip the per-kind map work on every message.
 	t.meter().DisableKindBreakdown()
+	if sm != nil {
+		// Resolve the tenant's metric children once, and attach the engine's
+		// fast-path instrumentation before the cluster goroutines start
+		// (SetMetrics must precede concurrent use).
+		t.tm = sm.tenant(tc.Name)
+		t.tr.SetMetrics(&t.tm.eng)
+	}
 	t.cluster, err = runtime.New(context.Background(), t.tr, tc.K, siteBuffer)
 	if err != nil {
 		return nil, err
@@ -323,6 +342,19 @@ func (t *Tenant) storeQuant(phi float64, ver uint64, v uint64) {
 			t.qcQuant = make(map[float64]uint64)
 		}
 		t.qcQuant[phi] = v
+	}
+}
+
+// countCache records a snapshot-cache hit or miss.
+func (t *Tenant) countCache(hit bool) {
+	tm := t.tm
+	if tm == nil {
+		return
+	}
+	if hit {
+		tm.sm.cacheHits.Inc()
+	} else {
+		tm.sm.cacheMisses.Inc()
 	}
 }
 
@@ -413,17 +445,25 @@ type Entry struct {
 // escalations never stalls ingest. The returned slice is shared with the
 // cache — callers must not mutate it.
 func (t *Tenant) HeavyHitters(phi float64) ([]Entry, error) {
+	if tm := t.tm; tm != nil {
+		tm.qHeavy.Inc()
+	}
+	// Capability before argument validation: a kind that cannot answer at
+	// all reports ErrUnsupported whatever the arguments.
+	if t.qa.heavyHitters == nil {
+		return nil, fmt.Errorf("tenant kind %q does not answer heavy-hitter queries: %w",
+			t.cfg.Kind, ErrUnsupported)
+	}
 	// The negated form also rejects NaN, which would otherwise slip past
 	// the range check and poison the snapshot cache with unmatchable keys.
 	if !(phi > t.cfg.Eps && phi <= 1) {
 		return nil, fmt.Errorf("phi must be in (eps, 1], got %g (eps %g)", phi, t.cfg.Eps)
 	}
-	if t.qa.heavyHitters == nil {
-		return nil, fmt.Errorf("tenant kind %q does not answer heavy-hitter queries", t.cfg.Kind)
-	}
 	if out, ok := t.cachedHH(phi); ok {
+		t.countCache(true)
 		return out, nil
 	}
+	t.countCache(false)
 	var out []Entry
 	var ver uint64
 	t.cluster.Query(func() {
@@ -440,12 +480,17 @@ func (t *Tenant) HeavyHitters(phi float64) ([]Entry, error) {
 // answers are served from the version-keyed snapshot cache between
 // escalations.
 func (t *Tenant) Quantile(phi float64) (uint64, error) {
+	if tm := t.tm; tm != nil {
+		tm.qQuantile.Inc()
+	}
+	// Capability before argument validation (see HeavyHitters).
+	if t.qa.quantile == nil {
+		return 0, fmt.Errorf("tenant kind %q does not answer quantile queries: %w",
+			t.cfg.Kind, ErrUnsupported)
+	}
 	// The negated form also rejects NaN (see HeavyHitters).
 	if !(phi >= 0 && phi <= 1) {
 		return 0, fmt.Errorf("phi must be in [0,1], got %g", phi)
-	}
-	if t.qa.quantile == nil {
-		return 0, fmt.Errorf("tenant kind %q does not answer quantile queries", t.cfg.Kind)
 	}
 	if t.qa.checkQuantile != nil {
 		if err := t.qa.checkQuantile(phi); err != nil {
@@ -453,8 +498,10 @@ func (t *Tenant) Quantile(phi float64) (uint64, error) {
 		}
 	}
 	if v, ok := t.cachedQuant(phi); ok {
+		t.countCache(true)
 		return v, nil
 	}
+	t.countCache(false)
 	var key uint64
 	var ver uint64
 	var err error
@@ -473,8 +520,12 @@ func (t *Tenant) Quantile(phi float64) (uint64, error) {
 // Rank answers "how many ingested values are < v" (allq tenants only),
 // together with the coordinator's total estimate.
 func (t *Tenant) Rank(v uint64) (rank, total int64, err error) {
+	if tm := t.tm; tm != nil {
+		tm.qRank.Inc()
+	}
 	if t.qa.rank == nil {
-		return 0, 0, fmt.Errorf("tenant kind %q does not answer rank queries", t.cfg.Kind)
+		return 0, 0, fmt.Errorf("tenant kind %q does not answer rank queries: %w",
+			t.cfg.Kind, ErrUnsupported)
 	}
 	if v >= MaxPerturbedValue {
 		return 0, 0, fmt.Errorf("value %d out of range [0, 2^%d)", v, 64-stream.PerturbBits)
@@ -488,8 +539,12 @@ func (t *Tenant) Rank(v uint64) (rank, total int64, err error) {
 // Frequency answers a point frequency query (hh tenants only): the
 // coordinator's underestimate of the item's global count.
 func (t *Tenant) Frequency(item uint64) (int64, error) {
+	if tm := t.tm; tm != nil {
+		tm.qFreq.Inc()
+	}
 	if t.qa.frequency == nil {
-		return 0, fmt.Errorf("tenant kind %q does not answer frequency queries", t.cfg.Kind)
+		return 0, fmt.Errorf("tenant kind %q does not answer frequency queries: %w",
+			t.cfg.Kind, ErrUnsupported)
 	}
 	var c int64
 	t.cluster.Query(func() { c = t.qa.frequency(item) })
