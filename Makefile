@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: all ci fmt fmt-fix vet build test test-shuffle race bench-smoke bench-race-smoke bench-json bench-compare obs-smoke staticcheck vuln fuzz-smoke
+.PHONY: all ci fmt fmt-fix vet build test test-shuffle race bench-smoke bench-race-smoke bench-json bench-compare obs-smoke fault-smoke staticcheck vuln fuzz-smoke
 
 all: build
 
-ci: fmt vet build test test-shuffle race bench-smoke bench-race-smoke obs-smoke
+ci: fmt vet build test test-shuffle race bench-smoke bench-race-smoke obs-smoke fault-smoke
 
 # fmt fails if any file needs formatting (what CI runs); fmt-fix rewrites.
 fmt:
@@ -53,6 +53,12 @@ bench-race-smoke:
 # the required families (docs/observability.md).
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# Fault-tolerance smoke: live run of the docs/operations.md runbook —
+# per-tenant 429 throttling, kill -9 a site, degraded-but-serving
+# coordinator, exactly-once reconvergence after restart.
+fault-smoke:
+	./scripts/fault_smoke.sh
 
 # Record the ingest-throughput benchmarks as a JSON trajectory point
 # (BENCH_PR3.json and successors; see cmd/benchjson). Staged through a

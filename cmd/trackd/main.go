@@ -19,6 +19,13 @@
 // same pattern as -pprof). Logs are structured (log/slog); -log-format
 // selects text (default) or json.
 //
+// The distributed roles carry fault-tolerance machinery — circuit breakers
+// on both ends of the site↔coordinator link, a retry budget pacing site
+// redials, and per-tenant admission control — tuned by -breaker-fail,
+// -breaker-open, -retry-budget and -retry-budget-burst plus the per-tenant
+// QoS fields of the tenant-create API. docs/operations.md is the operator
+// runbook for all of it.
+//
 // Usage:
 //
 //	trackd [-role standalone|coord|site] [-listen 127.0.0.1:8080] ...
@@ -124,6 +131,8 @@ type config struct {
 
 	// coord role
 	ingestListen string
+	breakerFail  int
+	breakerOpen  time.Duration
 
 	// site role
 	upstream     string
@@ -131,6 +140,8 @@ type config struct {
 	forwardBatch int
 	forwardDelay time.Duration
 	window       int
+	budgetRatio  float64
+	budgetBurst  float64
 }
 
 // parseFlags parses args (without the program name) into a config.
@@ -152,6 +163,10 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.forwardBatch, "forward-batch", 256, "site: values per upstream batch frame")
 	fs.DurationVar(&cfg.forwardDelay, "forward-delay", 50*time.Millisecond, "site: max buffering delay before a partial batch is sent")
 	fs.IntVar(&cfg.window, "window", 64, "site: max unacknowledged frames in flight")
+	fs.IntVar(&cfg.breakerFail, "breaker-fail", 0, "consecutive failures tripping a circuit breaker: coord per flapping node, site on the upstream dial (0 = default 5)")
+	fs.DurationVar(&cfg.breakerOpen, "breaker-open", 0, "how long a tripped breaker holds off before a probe (0 = default 5s)")
+	fs.Float64Var(&cfg.budgetRatio, "retry-budget", 0, "site: retry-budget deposit per acked frame; redials past the budget slow to the max backoff (0 = default 0.1)")
+	fs.Float64Var(&cfg.budgetBurst, "retry-budget-burst", 0, "site: retry-budget token cap (0 = default 10)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -192,6 +207,12 @@ func (c config) validate() error {
 	if c.grace <= 0 {
 		return fmt.Errorf("-grace must be positive")
 	}
+	if c.breakerFail < 0 || c.breakerOpen < 0 {
+		return fmt.Errorf("-breaker-fail and -breaker-open must be >= 0 (0 = package default)")
+	}
+	if c.budgetRatio < 0 || c.budgetBurst < 0 {
+		return fmt.Errorf("-retry-budget and -retry-budget-burst must be >= 0 (0 = package default)")
+	}
 	return nil
 }
 
@@ -221,9 +242,11 @@ func main() {
 func runServer(cfg config, logger *slog.Logger) error {
 	startPprof(cfg.pprofAddr, logger)
 	svc := service.New(service.Config{
-		Shards:     cfg.shards,
-		ShardQueue: cfg.shardQueue,
-		SiteBuffer: cfg.siteBuffer,
+		Shards:                 cfg.shards,
+		ShardQueue:             cfg.shardQueue,
+		SiteBuffer:             cfg.siteBuffer,
+		NodeBreakerFailures:    cfg.breakerFail,
+		NodeBreakerOpenTimeout: cfg.breakerOpen,
 	})
 	startMetrics(cfg.metricsAddr, svc.Metrics(), logger)
 	if cfg.role == "coord" {
@@ -263,10 +286,14 @@ func runServer(cfg config, logger *slog.Logger) error {
 func runSite(cfg config, logger *slog.Logger) error {
 	startPprof(cfg.pprofAddr, logger)
 	node, err := service.NewSiteNode(service.SiteNodeConfig{
-		Node:         cfg.node,
-		Upstream:     cfg.upstream,
-		Window:       cfg.window,
-		DrainTimeout: cfg.grace,
+		Node:               cfg.node,
+		Upstream:           cfg.upstream,
+		Window:             cfg.window,
+		DrainTimeout:       cfg.grace,
+		BreakerFailures:    cfg.breakerFail,
+		BreakerOpenTimeout: cfg.breakerOpen,
+		RetryBudgetRatio:   cfg.budgetRatio,
+		RetryBudgetBurst:   cfg.budgetBurst,
 		Forward: runtime.ForwarderConfig{
 			BatchSize: cfg.forwardBatch,
 			MaxDelay:  cfg.forwardDelay,

@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes jittered exponential reconnect delays. The value type is
+// pure configuration (safe to copy); zero fields take defaults.
+type Backoff struct {
+	// Min is the attempt-0 delay (default 20ms).
+	Min time.Duration
+	// Max caps the delay (default 2s).
+	Max time.Duration
+	// Factor multiplies the delay per attempt (default 2).
+	Factor float64
+	// Jitter is the uniform perturbation fraction: a delay d becomes
+	// d · (1 − Jitter + 2·Jitter·rand). Default 0.2; set negative for none.
+	Jitter float64
+	// Rand is the jitter source in [0,1) (default math/rand.Float64);
+	// injectable for deterministic tests.
+	Rand func() float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Min <= 0 {
+		b.Min = 20 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	if b.Max < b.Min {
+		b.Max = b.Min
+	}
+	if b.Factor <= 1 {
+		b.Factor = 2
+	}
+	if b.Jitter == 0 {
+		b.Jitter = 0.2
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	}
+	if b.Rand == nil {
+		b.Rand = rand.Float64
+	}
+	return b
+}
+
+// Delay returns the jittered delay for the given attempt number (0-based:
+// the first retry is attempt 0). Without jitter the sequence is
+// Min·Factor^attempt capped at Max; jitter perturbs each delay uniformly
+// within ±Jitter so synchronized clients spread out instead of
+// thundering back in lockstep.
+func (b Backoff) Delay(attempt int) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Min)
+	for i := 0; i < attempt && d < float64(b.Max); i++ {
+		d *= b.Factor
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 {
+		d *= 1 - b.Jitter + 2*b.Jitter*b.Rand()
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}

@@ -1,0 +1,73 @@
+package fault
+
+import "sync"
+
+// Budget is a token-bucket retry budget: successful work deposits Ratio
+// tokens each, every retry spends one whole token, and the bucket is capped
+// at Burst. When the bucket is empty, Spend reports false and the caller
+// must wait at its maximum backoff instead of retrying — bounding total
+// retry traffic to Ratio × successes + Burst, so retries cannot amplify an
+// outage into a storm that keeps the recovering peer down.
+//
+// Safe for concurrent use. The bucket starts full: a fresh client may spend
+// its Burst immediately (a short blip costs nothing), and only a sustained
+// outage exhausts it.
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	burst  float64
+	denied int64
+}
+
+// NewBudget returns a full budget earning ratio tokens per deposit, capped
+// at burst. Non-positive arguments take defaults (ratio 0.1, burst 10).
+func NewBudget(ratio, burst float64) *Budget {
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	if burst < 1 {
+		burst = 10
+	}
+	return &Budget{tokens: burst, ratio: ratio, burst: burst}
+}
+
+// Deposit credits n units of successful work (n × Ratio tokens).
+func (b *Budget) Deposit(n int) {
+	if n <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += float64(n) * b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Spend takes one token, reporting whether the retry is within budget. A
+// denied spend is counted but costs nothing.
+func (b *Budget) Spend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		b.denied++
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens returns the current token balance.
+func (b *Budget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Denied returns how many spends the budget has refused.
+func (b *Budget) Denied() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.denied
+}

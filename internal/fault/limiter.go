@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a token-bucket rate limiter, the admission-control primitive
+// behind per-tenant QoS: tokens refill continuously at Rate per second up
+// to Burst, and admitting n records costs n tokens. Unlike Budget (whose
+// deposits are event-driven), refill here is purely time-driven.
+//
+// Admission is all-or-nothing and never debts: a denied batch costs no
+// tokens, and RetryAfter tells the caller when the full batch would fit —
+// the number the HTTP edge surfaces as a Retry-After header. Safe for
+// concurrent use; one mutex acquisition per decision (admission runs per
+// batch or per record on an already-synchronous validation path).
+type Limiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+
+	throttled int64 // records denied admission
+}
+
+// NewLimiter returns a full bucket admitting rate records/second with depth
+// burst. rate must be positive; burst below 1 is raised to max(rate, 1) so
+// a conforming single record is always admissible from a full bucket.
+func NewLimiter(rate, burst float64) *Limiter {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		if burst = rate; burst < 1 {
+			burst = 1
+		}
+	}
+	l := &Limiter{rate: rate, burst: burst, tokens: burst, now: time.Now}
+	l.last = l.now()
+	return l
+}
+
+// SetClock replaces the limiter's clock (tests only; not safe concurrently
+// with use).
+func (l *Limiter) SetClock(now func() time.Time) {
+	l.now = now
+	l.last = now()
+}
+
+// refillLocked advances the bucket to the current instant.
+func (l *Limiter) refillLocked() {
+	t := l.now()
+	if dt := t.Sub(l.last).Seconds(); dt > 0 {
+		l.tokens += dt * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	l.last = t
+}
+
+// Allow admits n records if the bucket holds n tokens, spending them;
+// otherwise it spends nothing, counts the n records throttled, and reports
+// false.
+func (l *Limiter) Allow(n int) bool {
+	ok, _ := l.Admit(n)
+	return ok
+}
+
+// Admit is Allow plus the retry hint: when denied, the returned duration is
+// how long until n tokens will have refilled (capped at the time to refill
+// a full burst, for n beyond the bucket's depth).
+func (l *Limiter) Admit(n int) (bool, time.Duration) {
+	if n <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked()
+	if float64(n) <= l.tokens {
+		l.tokens -= float64(n)
+		return true, 0
+	}
+	l.throttled += int64(n)
+	need := float64(n)
+	if need > l.burst {
+		need = l.burst
+	}
+	return false, time.Duration((need - l.tokens) / l.rate * float64(time.Second))
+}
+
+// Throttled returns how many records the limiter has denied.
+func (l *Limiter) Throttled() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.throttled
+}
+
+// Rate returns the configured refill rate (records per second).
+func (l *Limiter) Rate() float64 { return l.rate }
+
+// Burst returns the configured bucket depth.
+func (l *Limiter) Burst() float64 { return l.burst }

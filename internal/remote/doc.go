@@ -1,0 +1,37 @@
+// Package remote moves disttrack's tracking protocols onto real sockets.
+// It contains two independent planes, both speaking small length-prefixed
+// binary protocols over TCP (stdlib net only):
+//
+// # The §2.1 protocol plane (proto.go, coord.go, client.go)
+//
+// A faithful deployment of the paper's single-tenant heavy-hitter protocol:
+// a Coordinator daemon and k SiteAgent processes exchanging frequency
+// deltas, count signals and threshold broadcasts, with epochs absorbing the
+// races a real network introduces. See the file comment in proto.go for the
+// staleness and pacing semantics.
+//
+// # The multi-tenant transport plane (tproto.go, tclient.go, tserver.go)
+//
+// The production ingest path used by cmd/trackd's coord and site roles: a
+// site-node NodeClient pushes per-(tenant,site) value batches as TFrame
+// streams to the coordinator's IngestServer, which deduplicates replays by
+// per-node sequence number and acknowledges applied frames — at-least-once
+// on the wire, exactly-once after deduplication, across any number of
+// disconnects.
+//
+// The plane is fault-tolerant by construction (see internal/fault):
+//
+//   - NodeClient redials through a circuit breaker (stop hammering a dead
+//     coordinator; recover via half-open probes), jittered exponential
+//     backoff (no thundering herd after a coordinator restart), and a
+//     retry budget (retry traffic bounded by acknowledged work, so retries
+//     cannot amplify an outage). NodeConfig.Dial lets tests inject faults.
+//   - IngestServer bounds every ack write with a deadline (a node that
+//     stops reading cannot wedge its serve goroutine, which holds the
+//     node's apply lock) and keeps a per-node breaker that refuses hellos
+//     from nodes stuck in a reconnect-and-die loop.
+//   - A disconnected node degrades, not fails: the coordinator keeps the
+//     node's last applied state and serves queries from it, and
+//     NodeStates reports which nodes are stale. Operations during faults
+//     are covered in docs/operations.md.
+package remote

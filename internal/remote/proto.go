@@ -1,6 +1,6 @@
-// Package remote deploys the §2.1 heavy-hitter tracking protocol across
-// real processes: a coordinator daemon and k site agents speaking a small
-// length-prefixed binary protocol over TCP (stdlib net only).
+// This file defines the wire protocol of the §2.1 single-tenant plane: a
+// coordinator daemon and k site agents speaking a small length-prefixed
+// binary protocol over TCP (stdlib net only).
 //
 // Unlike the in-process simulator (package core/hh), communication here is
 // not instant: "all" signals, sync collections and threshold broadcasts

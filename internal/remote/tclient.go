@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"disttrack/internal/fault"
 )
 
 // ErrNodeClosed is returned by NodeClient operations after Close.
@@ -29,6 +31,26 @@ type NodeConfig struct {
 	// wedged peer breaks the connection instead of blocking senders — and
 	// everything serialized behind them — indefinitely (default 10s).
 	WriteTimeout time.Duration
+	// BreakerFailures is the consecutive reconnect failures that trip the
+	// dial circuit breaker open (default 5). While open, the client stops
+	// dialing entirely until BreakerOpenTimeout elapses, then sends a single
+	// half-open probe; a successful probe closes the breaker.
+	BreakerFailures int
+	// BreakerOpenTimeout is how long a tripped breaker holds off before
+	// probing the coordinator again (default 5s).
+	BreakerOpenTimeout time.Duration
+	// RetryBudgetRatio and RetryBudgetBurst parameterize the retry budget:
+	// each acknowledged frame earns Ratio retry tokens (capped at Burst),
+	// and each reconnect attempt past the first spends one. An exhausted
+	// budget holds retries at RetryMax instead of the backoff schedule, so
+	// retry traffic is bounded by Ratio × successes + Burst and cannot
+	// amplify an outage (defaults 0.1 / 10). Breaker recovery probes are
+	// exempt — they are already paced at BreakerOpenTimeout intervals.
+	RetryBudgetRatio, RetryBudgetBurst float64
+	// Dial opens the coordinator connection (default: net.Dial "tcp").
+	// Tests and fault drills route it through a fault.Injector to simulate
+	// partitions and flaky links without touching the kernel.
+	Dial func(addr string) (net.Conn, error)
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -46,6 +68,21 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	}
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
+	}
+	if c.BreakerFailures < 1 {
+		c.BreakerFailures = 5
+	}
+	if c.BreakerOpenTimeout <= 0 {
+		c.BreakerOpenTimeout = 5 * time.Second
+	}
+	if c.RetryBudgetRatio <= 0 {
+		c.RetryBudgetRatio = 0.1
+	}
+	if c.RetryBudgetBurst < 1 {
+		c.RetryBudgetBurst = 10
+	}
+	if c.Dial == nil {
+		c.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
 	return c
 }
@@ -75,6 +112,13 @@ type NodeClient struct {
 	rejected   int64
 	lastReject string
 
+	// Fault-tolerance machinery around the redial loop: the breaker stops
+	// dialing a dead coordinator, the budget bounds total retry traffic, and
+	// dialAttempts counts every reconnect dial (successful or not).
+	breaker      *fault.Breaker
+	budget       *fault.Budget
+	dialAttempts atomic.Int64
+
 	// Transport byte counters (encoded frame sizes, both directions), for
 	// the metrics plane. Atomics: writes happen under mu, but reads
 	// (readAcks) and scrapes do not take it.
@@ -93,6 +137,11 @@ func DialNode(addr string, cfg NodeConfig) (*NodeClient, error) {
 	}
 	c := &NodeClient{addr: addr, cfg: cfg.withDefaults()}
 	c.cond = sync.NewCond(&c.mu)
+	c.breaker = fault.NewBreaker(fault.BreakerConfig{
+		FailureThreshold: c.cfg.BreakerFailures,
+		OpenTimeout:      c.cfg.BreakerOpenTimeout,
+	})
+	c.budget = fault.NewBudget(c.cfg.RetryBudgetRatio, c.cfg.RetryBudgetBurst)
 	conn, err := c.establish()
 	if err != nil {
 		return nil, err
@@ -105,7 +154,7 @@ func DialNode(addr string, cfg NodeConfig) (*NodeClient, error) {
 // establish dials, handshakes and resyncs: unacked frames the coordinator
 // already applied are retired, the rest are replayed in order.
 func (c *NodeClient) establish() (net.Conn, error) {
-	conn, err := net.Dial("tcp", c.addr)
+	conn, err := c.cfg.Dial(c.addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote: dial node: %w", err)
 	}
@@ -132,6 +181,15 @@ func (c *NodeClient) establish() (net.Conn, error) {
 		conn.Close()
 		return nil, ErrNodeClosed
 	}
+	if c.nextSeq == 0 && welcome.Seq > 0 {
+		// A fresh process reusing a stable node name (a site killed and
+		// restarted, per the docs/operations.md walkthrough): adopt the
+		// coordinator's sequence cursor. Numbering from 1 would have the
+		// first welcome.Seq frames silently deduplicated as replays of the
+		// previous incarnation.
+		c.nextSeq = welcome.Seq
+		c.acked = welcome.Seq
+	}
 	c.retireLocked(welcome.Seq)
 	for _, f := range c.pending {
 		if err := c.writeFrame(conn, f); err != nil {
@@ -147,9 +205,13 @@ func (c *NodeClient) establish() (net.Conn, error) {
 }
 
 // run owns the connection lifecycle: read acknowledgements until the
-// connection dies, then redial with backoff until Close.
+// connection dies, then redial — jittered exponential backoff between
+// attempts, a circuit breaker that stops dialing a dead coordinator after
+// BreakerFailures consecutive failures (recovering via half-open probes),
+// and a retry budget that bounds total retry traffic — until Close.
 func (c *NodeClient) run(conn net.Conn) {
 	defer c.wg.Done()
+	bo := fault.Backoff{Min: c.cfg.RetryMin, Max: c.cfg.RetryMax}
 	for {
 		c.readAcks(conn)
 		c.mu.Lock()
@@ -163,11 +225,36 @@ func (c *NodeClient) run(conn net.Conn) {
 		if closed {
 			return
 		}
-		backoff := c.cfg.RetryMin
+		attempt := 0
 		for {
+			if !c.breaker.Allow() {
+				wait := c.breaker.RetryIn()
+				if wait <= 0 {
+					wait = c.cfg.RetryMin
+				}
+				if !c.sleepUnlessClosed(wait) {
+					return
+				}
+				continue
+			}
+			// With the breaker closed, attempts past the first spend retry
+			// budget; an exhausted budget throttles the dial to RetryMax
+			// cadence instead of the fast-restarting backoff schedule, so a
+			// flapping link cannot burn unbounded retries. Half-open probes
+			// are exempt (the breaker already paces them), which also keeps
+			// an empty budget from ever blocking recovery. Only this
+			// goroutine dials, so the State/Allow/Spend reads cannot
+			// interleave with another dialer.
+			if attempt > 0 && c.breaker.State() == fault.StateClosed && !c.budget.Spend() {
+				if !c.sleepUnlessClosed(c.cfg.RetryMax) {
+					return
+				}
+			}
+			c.dialAttempts.Add(1)
 			var err error
 			conn, err = c.establish()
 			if err == nil {
+				c.breaker.OnSuccess()
 				c.mu.Lock()
 				c.reconnects++
 				c.mu.Unlock()
@@ -176,17 +263,37 @@ func (c *NodeClient) run(conn net.Conn) {
 			if errors.Is(err, ErrNodeClosed) {
 				return
 			}
-			c.mu.Lock()
-			closed := c.closed
-			c.mu.Unlock()
-			if closed {
+			c.breaker.OnFailure()
+			delay := bo.Delay(attempt)
+			attempt++
+			if !c.sleepUnlessClosed(delay) {
 				return
 			}
-			time.Sleep(backoff)
-			if backoff *= 2; backoff > c.cfg.RetryMax {
-				backoff = c.cfg.RetryMax
-			}
 		}
+	}
+}
+
+// sleepUnlessClosed sleeps for d, returning early (false) if the client is
+// closed. Close broadcasts on cond, but this goroutine sleeps outside the
+// lock, so it polls in small slices instead of waiting on the condition.
+func (c *NodeClient) sleepUnlessClosed(d time.Duration) bool {
+	const slice = 10 * time.Millisecond
+	deadline := time.Now().Add(d)
+	for {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return false
+		}
+		rest := time.Until(deadline)
+		if rest <= 0 {
+			return true
+		}
+		if rest > slice {
+			rest = slice
+		}
+		time.Sleep(rest)
 	}
 }
 
@@ -204,6 +311,10 @@ func (c *NodeClient) readAcks(conn net.Conn) {
 			c.retireLocked(f.Seq)
 			c.cond.Broadcast()
 			c.mu.Unlock()
+			// Acknowledged work earns retry budget: a healthy stream keeps
+			// the bucket full, a struggling one earns retries in proportion
+			// to what actually lands.
+			c.budget.Deposit(1)
 		case TypeBatchReject:
 			c.mu.Lock()
 			c.rejected++
@@ -357,6 +468,30 @@ func (c *NodeClient) Window() int { return c.cfg.Window }
 // (down) the coordinator, across all connections. Safe for concurrent use.
 func (c *NodeClient) Bytes() (up, down int64) {
 	return c.bytesUp.Load(), c.bytesDown.Load()
+}
+
+// NodeFaultStats is a point-in-time snapshot of a NodeClient's
+// fault-tolerance machinery, for health endpoints and metrics.
+type NodeFaultStats struct {
+	// Breaker is the dial circuit breaker's state and lifetime counters.
+	Breaker fault.BreakerStats `json:"breaker"`
+	// DialAttempts counts reconnect dials (successful or not); the initial
+	// synchronous DialNode connection is not included.
+	DialAttempts int64 `json:"dial_attempts"`
+	// BudgetTokens is the current retry-budget balance.
+	BudgetTokens float64 `json:"retry_budget_tokens"`
+	// BudgetDenied counts retries refused by an exhausted budget.
+	BudgetDenied int64 `json:"retry_budget_denied"`
+}
+
+// FaultStats returns the client's breaker and retry-budget snapshot.
+func (c *NodeClient) FaultStats() NodeFaultStats {
+	return NodeFaultStats{
+		Breaker:      c.breaker.Stats(),
+		DialAttempts: c.dialAttempts.Load(),
+		BudgetTokens: c.budget.Tokens(),
+		BudgetDenied: c.budget.Denied(),
+	}
 }
 
 // Reconnects returns how many times the client re-established the

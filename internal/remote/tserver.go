@@ -6,7 +6,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"disttrack/internal/fault"
 	"disttrack/internal/runtime"
 )
 
@@ -32,6 +34,18 @@ type IngestServerConfig struct {
 	// returns, everything delivered via OnBatch before the flush frame must
 	// be visible to queries. The ack is sent after it returns. Optional.
 	OnFlush func(node string)
+	// WriteTimeout bounds each ack/welcome write, so a node that stops
+	// reading cannot wedge the serve goroutine — which would otherwise hold
+	// the per-node apply lock and stall the node's reconnects forever
+	// (default 10s).
+	WriteTimeout time.Duration
+	// Breaker parameterizes the per-node reconnect circuit breakers. A node
+	// whose connections repeatedly die without applying a single frame (a
+	// crash loop, a broken build, a mangling middlebox) trips its breaker
+	// after FailureThreshold such connections; further hellos are refused
+	// until OpenTimeout elapses, then one probe connection is admitted.
+	// Zero fields take the fault package defaults (5 failures / 5s).
+	Breaker fault.BreakerConfig
 }
 
 // IngestStats is a point-in-time snapshot of an IngestServer's counters.
@@ -41,6 +55,7 @@ type IngestStats struct {
 	Values     int64 `json:"values"`     // values delivered to the pipeline
 	Duplicates int64 `json:"duplicates"` // replayed frames dropped by seq dedupe
 	Rejected   int64 `json:"rejected"`   // frames refused by OnBatch
+	Refused    int64 `json:"refused"`    // hellos refused by an open node breaker
 	Flushes    int64 `json:"flushes"`    // network flush barriers served
 	BytesIn    int64 `json:"bytes_in"`   // encoded frame bytes read from nodes
 	BytesOut   int64 `json:"bytes_out"`  // encoded frame bytes written to nodes
@@ -55,16 +70,18 @@ type IngestServer struct {
 	cfg IngestServerConfig
 	ln  net.Listener
 
-	mu      sync.Mutex
-	conns   map[string]net.Conn    // live connection per node name
-	lastSeq map[string]uint64      // highest applied frame seq per node
-	locks   map[string]*sync.Mutex // serializes apply/welcome per node
-	closed  bool
+	mu       sync.Mutex
+	conns    map[string]net.Conn       // live connection per node name
+	lastSeq  map[string]uint64         // highest applied frame seq per node
+	locks    map[string]*sync.Mutex    // serializes apply/welcome per node
+	breakers map[string]*fault.Breaker // reconnect flap damping per node
+	closed   bool
 
 	frames   atomic.Int64
 	values   atomic.Int64
 	dups     atomic.Int64
 	rejects  atomic.Int64
+	refused  atomic.Int64
 	flushes  atomic.Int64
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
@@ -81,12 +98,16 @@ func NewIngestServer(addr string, cfg IngestServerConfig) (*IngestServer, error)
 	if err != nil {
 		return nil, fmt.Errorf("remote: ingest listen: %w", err)
 	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
 	s := &IngestServer{
-		cfg:     cfg,
-		ln:      ln,
-		conns:   make(map[string]net.Conn),
-		lastSeq: make(map[string]uint64),
-		locks:   make(map[string]*sync.Mutex),
+		cfg:      cfg,
+		ln:       ln,
+		conns:    make(map[string]net.Conn),
+		lastSeq:  make(map[string]uint64),
+		locks:    make(map[string]*sync.Mutex),
+		breakers: make(map[string]*fault.Breaker),
 	}
 	s.wg.Add(1)
 	go s.accept()
@@ -121,6 +142,32 @@ func (s *IngestServer) serve(conn net.Conn) {
 	}
 	s.bytesIn.Add(int64(hello.EncodedSize()))
 	node := hello.Tenant
+	br := s.nodeBreaker(node)
+	// Flap damping: a node whose connections keep dying without applying a
+	// single frame (crash loop, mangled build) has tripped its breaker;
+	// refuse the hello outright — dropping the connection leaves the
+	// sender's buffered state intact, so it backs off and retries — until
+	// the breaker's open timeout admits a probe connection.
+	if !br.Allow() {
+		s.refused.Add(1)
+		return
+	}
+	// This connection is now the breaker's measurement: the first frame it
+	// lands (or flush it serves) marks it good, dying before any progress
+	// marks it bad. A clean goodbye is neither.
+	progressed := false
+	progress := func() {
+		if !progressed {
+			progressed = true
+			br.OnSuccess()
+		}
+	}
+	clean := false
+	defer func() {
+		if !progressed && !clean {
+			br.OnFailure()
+		}
+	}()
 	// The per-node lock serializes this handshake against any apply still
 	// in flight on the node's previous connection: the welcome must carry
 	// a sequence number that is settled, or a frame that ends up rolled
@@ -168,6 +215,7 @@ func (s *IngestServer) serve(conn net.Conn) {
 				s.removeConn(node, conn)
 				return
 			}
+			progress()
 		case TypeNetFlush:
 			if s.cfg.OnFlush != nil {
 				s.cfg.OnFlush(node)
@@ -177,7 +225,9 @@ func (s *IngestServer) serve(conn net.Conn) {
 				s.removeConn(node, conn)
 				return
 			}
+			progress()
 		case TypeNodeGoodbye:
+			clean = true
 			s.removeConn(node, conn)
 			return
 		}
@@ -196,6 +246,20 @@ func (s *IngestServer) nodeLock(node string) *sync.Mutex {
 		s.locks[node] = lk
 	}
 	return lk
+}
+
+// nodeBreaker returns the node's reconnect breaker, creating it on first
+// use. Like the lock and sequence state, breakers persist for the server's
+// lifetime.
+func (s *IngestServer) nodeBreaker(node string) *fault.Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	br := s.breakers[node]
+	if br == nil {
+		br = fault.NewBreaker(s.cfg.Breaker)
+		s.breakers[node] = br
+	}
+	return br
 }
 
 // applyBatch deduplicates, delivers and acknowledges one batch frame. It
@@ -238,8 +302,12 @@ func (s *IngestServer) applyBatch(node string, conn net.Conn, f TFrame, lk *sync
 	return s.writeFrame(conn, TFrame{Type: TypeBatchAck, Seq: f.Seq}) == nil
 }
 
-// writeFrame writes one frame to a node, counting its encoded bytes.
+// writeFrame writes one frame to a node under the write deadline, counting
+// its encoded bytes. The deadline matters doubly here: ack writes happen
+// while holding the per-node apply lock, so a node that stops reading would
+// otherwise wedge both this serve goroutine and the node's reconnects.
 func (s *IngestServer) writeFrame(conn net.Conn, f TFrame) error {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	if err := WriteTFrame(conn, f); err != nil {
 		return err
 	}
@@ -283,6 +351,32 @@ func (s *IngestServer) Nodes() []string {
 	return out
 }
 
+// NodeHealth describes one known node's connection and breaker state, for
+// health endpoints. A node is "known" once it has ever completed a
+// handshake; a known-but-disconnected node means the coordinator is serving
+// that node's slice of the state from its last applied batch — degraded,
+// not down.
+type NodeHealth struct {
+	Connected bool               `json:"connected"`
+	LastSeq   uint64             `json:"last_seq"`
+	Breaker   fault.BreakerStats `json:"breaker"`
+}
+
+// NodeStates returns the health of every known node (connected or not).
+func (s *IngestServer) NodeStates() map[string]NodeHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]NodeHealth, len(s.breakers))
+	for n, br := range s.breakers {
+		out[n] = NodeHealth{
+			Connected: s.conns[n] != nil,
+			LastSeq:   s.lastSeq[n],
+			Breaker:   br.Stats(),
+		}
+	}
+	return out
+}
+
 // Stats returns the server's counters.
 func (s *IngestServer) Stats() IngestStats {
 	s.mu.Lock()
@@ -294,6 +388,7 @@ func (s *IngestServer) Stats() IngestStats {
 		Values:     s.values.Load(),
 		Duplicates: s.dups.Load(),
 		Rejected:   s.rejects.Load(),
+		Refused:    s.refused.Load(),
 		Flushes:    s.flushes.Load(),
 		BytesIn:    s.bytesIn.Load(),
 		BytesOut:   s.bytesOut.Load(),

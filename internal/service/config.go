@@ -1,21 +1,6 @@
-// Package service is the multi-tenant serving layer over the paper's
-// tracking protocols: a registry of named tracker instances (any mix of
-// heavy-hitter, quantile and all-quantile tenants, each running inside a
-// runtime.Cluster), a sharded batched ingest pipeline, and an HTTP+JSON
-// query API. cmd/trackd is the daemon entry point; docs/service.md
-// documents the wire protocol.
-//
-// Data flow: clients POST batches of (tenant, site, value) records; the
-// server validates them synchronously, hashes each tenant onto one of N
-// worker shards, and the owning shard groups records per (tenant, site) and
-// feeds them to the tenant's cluster via the batched SendBatch path — one
-// channel operation and one protocol-lock acquisition per group instead of
-// per record. Because a tenant is owned by exactly one shard, per-tenant
-// arrival order is preserved and per-tenant state (symbolic perturbation
-// for the quantile protocols) needs no locking. Queries are served from the
-// coordinator's state under the cluster's query lock and never wait behind
-// queued ingest.
 package service
+
+import "time"
 
 // Config parameterizes a Server.
 type Config struct {
@@ -29,6 +14,20 @@ type Config struct {
 	// SiteBuffer is the per-site ingestion channel capacity of each
 	// tenant's runtime.Cluster (default 128).
 	SiteBuffer int
+
+	// RemoteWriteTimeout bounds each ack/welcome write on the networked
+	// ingest listener, so a site node that stops reading cannot wedge its
+	// serve goroutine (default 10s; coord role only).
+	RemoteWriteTimeout time.Duration
+	// NodeBreakerFailures is how many consecutive no-progress connections
+	// from one site node trip its reconnect breaker (default 5; coord role
+	// only). While tripped, the node's handshakes are refused until
+	// NodeBreakerOpenTimeout elapses.
+	NodeBreakerFailures int
+	// NodeBreakerOpenTimeout is how long a tripped per-node breaker holds
+	// off before admitting a probe connection (default 5s; coord role
+	// only).
+	NodeBreakerOpenTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -41,5 +40,8 @@ func (c Config) withDefaults() Config {
 	if c.SiteBuffer < 1 {
 		c.SiteBuffer = 128
 	}
+	// The remote fault knobs keep their zero values here: the remote and
+	// fault packages apply their own defaults, and repeating the numbers
+	// would let the two drift apart.
 	return c
 }

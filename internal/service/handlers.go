@@ -16,6 +16,7 @@ const (
 	codeUnsupported = "unsupported"
 	codeNoData      = "no_data"
 	codeClosing     = "shutting_down"
+	codeThrottled   = "rate_limited"
 )
 
 type errBody struct {
@@ -79,21 +80,63 @@ func (s *Server) handleRemote(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ri.Stats())
 }
 
+// tenantQoS is one tenant's admission status in the health payload.
+type tenantQoS struct {
+	RateLimit  float64 `json:"rate_limit,omitempty"`
+	QueueShare int     `json:"queue_share,omitempty"`
+	Throttled  int64   `json:"throttled"`
+	Queued     int64   `json:"queued"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	version, goVersion := buildMeta()
 	depths := s.sh.QueueDepths()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"ok":                !s.closing.Load(),
 		"tenants":           s.reg.Count(),
 		"accepted":          s.sh.Accepted(),
 		"rejected":          s.sh.Rejected(),
+		"throttled":         s.sh.Throttled(),
 		"lost":              s.sh.Lost(),
 		"uptime_seconds":    time.Since(s.met.start).Seconds(),
 		"version":           version,
 		"go":                goVersion,
 		"shards":            len(depths),
 		"shard_queue_depth": depths,
-	})
+	}
+	// Per-tenant throttle status, for tenants with QoS configured (the
+	// common unlimited tenant would only bloat the payload).
+	qos := map[string]tenantQoS{}
+	for _, t := range s.reg.all() {
+		if !t.cfg.limited() {
+			continue
+		}
+		qos[t.cfg.Name] = tenantQoS{
+			RateLimit:  t.cfg.RateLimit,
+			QueueShare: t.cfg.QueueShare,
+			Throttled:  t.throttled.Load(),
+			Queued:     t.queued.Load(),
+		}
+	}
+	if len(qos) > 0 {
+		body["tenant_qos"] = qos
+	}
+	// Coordinator role: per-site-node connection and breaker state. The
+	// service is degraded — still serving, from last-known site state —
+	// when a node it has heard from is not currently connected.
+	if ri := s.remote.Load(); ri != nil {
+		nodes := ri.srv.NodeStates()
+		degraded := false
+		for _, n := range nodes {
+			if !n.Connected {
+				degraded = true
+				break
+			}
+		}
+		body["remote_nodes"] = nodes
+		body["degraded"] = degraded
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) {
@@ -270,7 +313,29 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, codeInvalid, "bad ingest body: "+err.Error())
 		return
 	}
-	accepted, errs := s.sh.Ingest(req.Records)
+	accepted, errs, retryAfter := s.sh.Ingest(req.Records)
+	// Entirely-throttled batches answer 429 with a Retry-After hint; a
+	// partial batch stays 200 (some records landed — a blanket retry would
+	// double-ingest them) with per-record codes distinguishing throttles.
+	if accepted == 0 && retryAfter > 0 && len(errs) > 0 {
+		allThrottled := true
+		for _, e := range errs {
+			if e.Code != codeThrottled {
+				allThrottled = false
+				break
+			}
+		}
+		if allThrottled {
+			secs := int64((retryAfter + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			writeJSON(w, http.StatusTooManyRequests,
+				ingestResponse{Accepted: 0, Rejected: errs})
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, ingestResponse{Accepted: accepted, Rejected: errs})
 }
 

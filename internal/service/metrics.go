@@ -53,6 +53,10 @@ type serverMetrics struct {
 	tenDropped  *obs.CounterVec // {tenant}
 	tenTies     *obs.CounterVec // {tenant}
 
+	// QoS admission mirrors, per tenant.
+	tenThrottled *obs.CounterVec // {tenant}
+	tenQueued    *obs.GaugeVec   // {tenant}
+
 	// Query-path instrumentation.
 	queries     *obs.CounterVec // {tenant, query}
 	cacheHits   *obs.Counter
@@ -66,6 +70,7 @@ type serverMetrics struct {
 	shardDepth   []*obs.Gauge // per shard, resolved at construction
 	accepted     *obs.Counter
 	rejected     *obs.Counter
+	throttled    *obs.Counter
 	lost         *obs.Counter
 	batchRecords *obs.Histogram
 	ingestSecs   *obs.Histogram
@@ -76,11 +81,19 @@ type serverMetrics struct {
 	remoteValues    *obs.Counter
 	remoteDups      *obs.Counter
 	remoteRejFrames *obs.Counter
+	remoteRefused   *obs.Counter
 	remoteFlushes   *obs.Counter
 	remoteRejValues *obs.Counter
+	remoteThrValues *obs.Counter
 	remoteBytesIn   *obs.Counter
 	remoteBytesOut  *obs.Counter
+	remoteDegraded  *obs.Gauge
 	remoteBridge    *wireobs.Bridge
+
+	// Per-site-node fault state (coord role): connection and breaker.
+	nodeConnected    *obs.GaugeVec   // {node}
+	nodeBreakerState *obs.GaugeVec   // {node}; 0 closed, 1 open, 2 half-open
+	nodeBreakerTrips *obs.CounterVec // {node}
 
 	// HTTP API instrumentation.
 	httpReqs     *obs.CounterVec   // {route, method, code}
@@ -91,9 +104,12 @@ type serverMetrics struct {
 	// plus forgetTenant, see syncObs).
 	lastAccepted    int64
 	lastRejected    int64
+	lastThrottled   int64
 	lastLost        int64
 	lastRemote      remote.IngestStats
 	lastRemoteRejVs int64
+	lastRemoteThrVs int64
+	lastNodeTrips   map[string]int64
 }
 
 // newServerMetrics registers the server's full metric catalog on a fresh
@@ -135,6 +151,10 @@ func newServerMetrics(shards int) *serverMetrics {
 		"Arrivals lost because the tenant closed mid-send.", "tenant")
 	m.tenTies = reg.NewCounterVec("disttrack_tenant_ties_total",
 		"Symbolic-perturbation overflows (ε guarantee degrades past 2^24 copies).", "tenant")
+	m.tenThrottled = reg.NewCounterVec("disttrack_admission_throttled_total",
+		"Records denied by the tenant's QoS admission (rate limit or queue share).", "tenant")
+	m.tenQueued = reg.NewGaugeVec("disttrack_admission_queued",
+		"Records accepted into the shard pipeline but not yet delivered, per tenant.", "tenant")
 
 	m.queries = reg.NewCounterVec("disttrack_queries_total",
 		"Tenant queries served, by query shape.", "tenant", "query")
@@ -155,6 +175,8 @@ func newServerMetrics(shards int) *serverMetrics {
 		"Records accepted by the ingest pipeline.")
 	m.rejected = reg.NewCounter("disttrack_ingest_rejected_total",
 		"Records rejected at validation.")
+	m.throttled = reg.NewCounter("disttrack_ingest_throttled_total",
+		"Records denied by per-tenant QoS admission, both edges.")
 	m.lost = reg.NewCounter("disttrack_ingest_lost_total",
 		"Records accepted but undeliverable (tenant deleted mid-flight).")
 	m.batchRecords = reg.NewHistogram("disttrack_ingest_batch_records",
@@ -172,14 +194,27 @@ func newServerMetrics(shards int) *serverMetrics {
 		"Replayed frames dropped by sequence deduplication.")
 	m.remoteRejFrames = reg.NewCounter("disttrack_remote_rejected_frames_total",
 		"Frames refused by the ingest pipeline.")
+	m.remoteRefused = reg.NewCounter("disttrack_remote_refused_hellos_total",
+		"Node handshakes refused by an open per-node reconnect breaker.")
 	m.remoteFlushes = reg.NewCounter("disttrack_remote_flushes_total",
 		"Network flush barriers served.")
 	m.remoteRejValues = reg.NewCounter("disttrack_remote_rejected_values_total",
 		"Values filtered by per-value validation on the networked ingest path.")
+	m.remoteThrValues = reg.NewCounter("disttrack_remote_throttled_values_total",
+		"Values dropped by per-tenant QoS admission on the networked ingest path.")
 	m.remoteBytesIn = reg.NewCounter("disttrack_remote_bytes_in_total",
 		"Encoded frame bytes read from site nodes.")
 	m.remoteBytesOut = reg.NewCounter("disttrack_remote_bytes_out_total",
 		"Encoded frame bytes written to site nodes.")
+	m.remoteDegraded = reg.NewGauge("disttrack_remote_degraded",
+		"1 while a known site node is disconnected (queries served from its last state).")
+	m.nodeConnected = reg.NewGaugeVec("disttrack_remote_node_connected",
+		"1 while the site node's connection is live.", "node")
+	m.nodeBreakerState = reg.NewGaugeVec("disttrack_remote_node_breaker_state",
+		"Per-node reconnect breaker state: 0 closed, 1 open, 2 half-open.", "node")
+	m.nodeBreakerTrips = reg.NewCounterVec("disttrack_remote_node_breaker_trips_total",
+		"Times the node's reconnect breaker tripped open.", "node")
+	m.lastNodeTrips = make(map[string]int64)
 	m.remoteBridge = wireobs.New(reg, "disttrack_remote_wire")
 
 	m.httpReqs = reg.NewCounterVec("disttrack_http_requests_total",
@@ -239,16 +274,18 @@ type tenantMetrics struct {
 	eng engine.Metrics
 	cl  runtime.ClusterMetrics
 
-	sent    *obs.Counter
-	dropped *obs.Counter
-	ties    *obs.Counter
+	sent      *obs.Counter
+	dropped   *obs.Counter
+	ties      *obs.Counter
+	throttled *obs.Counter
+	queued    *obs.Gauge
 
 	qHeavy    *obs.Counter
 	qQuantile *obs.Counter
 	qRank     *obs.Counter
 	qFreq     *obs.Counter
 
-	lastSent, lastDropped, lastTies int64
+	lastSent, lastDropped, lastTies, lastThrottled int64
 }
 
 // tenant resolves the per-tenant children for name.
@@ -274,6 +311,8 @@ func (m *serverMetrics) tenant(name string) *tenantMetrics {
 		sent:      m.tenSent.With(name),
 		dropped:   m.tenDropped.With(name),
 		ties:      m.tenTies.With(name),
+		throttled: m.tenThrottled.With(name),
+		queued:    m.tenQueued.With(name),
 		qHeavy:    m.queries.With(name, "heavy"),
 		qQuantile: m.queries.With(name, "quantile"),
 		qRank:     m.queries.With(name, "rank"),
@@ -289,13 +328,14 @@ func (m *serverMetrics) forgetTenant(name string) {
 	for _, v := range []*obs.CounterVec{
 		m.engFeeds, m.engRuns, m.engSplits, m.engEsc, m.engBoot,
 		m.clProcessed, m.clBatches, m.clDropped, m.clEsc,
-		m.tenSent, m.tenDropped, m.tenTies,
+		m.tenSent, m.tenDropped, m.tenTies, m.tenThrottled,
 	} {
 		v.Remove(name)
 	}
 	m.engSlow.Remove(name)
 	m.engQuiesce.Remove(name)
 	m.clQueue.Remove(name)
+	m.tenQueued.Remove(name)
 	for _, q := range []string{"heavy", "quantile", "rank", "frequency"} {
 		m.queries.Remove(name, q)
 	}
@@ -315,6 +355,7 @@ func (s *Server) syncObs() {
 	}
 	addDelta(m.accepted, &m.lastAccepted, s.sh.Accepted())
 	addDelta(m.rejected, &m.lastRejected, s.sh.Rejected())
+	addDelta(m.throttled, &m.lastThrottled, s.sh.Throttled())
 	addDelta(m.lost, &m.lastLost, s.sh.Lost())
 	for i, d := range s.sh.QueueDepths() {
 		m.shardDepth[i].SetInt(int64(d))
@@ -335,6 +376,8 @@ func (t *Tenant) syncObs() {
 	addDelta(tm.sent, &tm.lastSent, t.sent.Load())
 	addDelta(tm.dropped, &tm.lastDropped, t.dropped.Load())
 	addDelta(tm.ties, &tm.lastTies, t.ties.Load())
+	addDelta(tm.throttled, &tm.lastThrottled, t.throttled.Load())
+	tm.queued.SetInt(t.queued.Load())
 	t.cluster.Query(func() {
 		tm.sm.bridge.Sync(t.cfg.Name, t.meter())
 	})
@@ -349,11 +392,28 @@ func (ri *RemoteIngest) syncObs(m *serverMetrics) {
 	addDelta(m.remoteValues, &m.lastRemote.Values, st.Values)
 	addDelta(m.remoteDups, &m.lastRemote.Duplicates, st.Duplicates)
 	addDelta(m.remoteRejFrames, &m.lastRemote.Rejected, st.Rejected)
+	addDelta(m.remoteRefused, &m.lastRemote.Refused, st.Refused)
 	addDelta(m.remoteFlushes, &m.lastRemote.Flushes, st.Flushes)
 	addDelta(m.remoteBytesIn, &m.lastRemote.BytesIn, st.BytesIn)
 	addDelta(m.remoteBytesOut, &m.lastRemote.BytesOut, st.BytesOut)
+	degraded := int64(0)
+	for node, ns := range ri.srv.NodeStates() {
+		if ns.Connected {
+			m.nodeConnected.With(node).SetInt(1)
+		} else {
+			m.nodeConnected.With(node).SetInt(0)
+			degraded = 1
+		}
+		m.nodeBreakerState.With(node).SetInt(int64(ns.Breaker.State))
+		last := m.lastNodeTrips[node]
+		trips := m.nodeBreakerTrips.With(node)
+		addDelta(trips, &last, ns.Breaker.Trips)
+		m.lastNodeTrips[node] = last
+	}
+	m.remoteDegraded.SetInt(degraded)
 	ri.mu.Lock()
 	addDelta(m.remoteRejValues, &m.lastRemoteRejVs, ri.rejected)
+	addDelta(m.remoteThrValues, &m.lastRemoteThrVs, ri.throttled)
 	m.remoteBridge.Sync("ingest", &ri.meter)
 	ri.mu.Unlock()
 }

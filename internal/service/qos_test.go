@@ -1,0 +1,258 @@
+// Per-tenant QoS admission tests: the 429+Retry-After contract on the HTTP
+// edge, tenant isolation (one tenant over its rate must not touch another),
+// the queue-share bound, and the enriched /healthz payload shape.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func jsonBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	buf, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(buf)
+}
+
+// TestTenantRateLimit429 drives one rate-limited tenant 10x over its rate
+// and checks it is throttled — partial batch stays 200 with per-record
+// rate_limited codes, a fully-throttled batch answers 429 with Retry-After —
+// while a second, unlimited tenant ingests at parity the whole time.
+func TestTenantRateLimit429(t *testing.T) {
+	srv := New(Config{Shards: 2, ShardQueue: 8, SiteBuffer: 8})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// 0.01 rec/s with burst 1: exactly one record is admitted and the next
+	// token is ~100s away, so the test can't race the refill.
+	mustCreate(t, srv, TenantConfig{Name: "limited", Kind: KindHH, K: 2, Eps: 0.1,
+		RateLimit: 0.01, RateBurst: 1})
+	mustCreate(t, srv, TenantConfig{Name: "free", Kind: KindHH, K: 2, Eps: 0.1})
+
+	batch := func(tenant string, n int) ingestRequest {
+		req := ingestRequest{Records: make([]Record, n)}
+		for i := range req.Records {
+			req.Records[i] = Record{Tenant: tenant, Site: i % 2, Value: uint64(i + 1)}
+		}
+		return req
+	}
+
+	// Batch 1, 10x the burst: one record lands, nine throttled, still 200
+	// (a blanket client retry of a 429 would double-ingest the one that
+	// landed).
+	var resp ingestResponse
+	if code := jsonDo(t, client, "POST", ts.URL+"/v1/ingest", batch("limited", 10), &resp); code != http.StatusOK {
+		t.Fatalf("partial batch: status %d, want 200", code)
+	}
+	if resp.Accepted != 1 || len(resp.Rejected) != 9 {
+		t.Fatalf("partial batch: accepted %d rejected %d, want 1/9", resp.Accepted, len(resp.Rejected))
+	}
+	for _, e := range resp.Rejected {
+		if e.Code != codeThrottled {
+			t.Fatalf("rejection %+v: code %q, want %q", e, e.Code, codeThrottled)
+		}
+	}
+
+	// Batch 2: the bucket is empty, the whole batch throttles → 429 with a
+	// Retry-After hint in whole seconds.
+	req, err := http.NewRequest("POST", ts.URL+"/v1/ingest", jsonBody(t, batch("limited", 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full throttle: status %d, want 429", httpResp.StatusCode)
+	}
+	ra, err := strconv.Atoi(httpResp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After %q: want integer >= 1", httpResp.Header.Get("Retry-After"))
+	}
+
+	// The unlimited tenant is untouched by its neighbour's throttling.
+	var free ingestResponse
+	if code := jsonDo(t, client, "POST", ts.URL+"/v1/ingest", batch("free", 10), &free); code != http.StatusOK {
+		t.Fatalf("free tenant: status %d, want 200", code)
+	}
+	if free.Accepted != 10 || len(free.Rejected) != 0 {
+		t.Fatalf("free tenant: accepted %d rejected %d, want 10/0", free.Accepted, len(free.Rejected))
+	}
+
+	// Throttle accounting surfaces on the tenant stats.
+	var st TenantStats
+	if code := jsonDo(t, client, "GET", ts.URL+"/v1/tenants/limited", nil, &st); code != http.StatusOK {
+		t.Fatalf("tenant stats: status %d", code)
+	}
+	if st.Throttled != 19 {
+		t.Fatalf("limited tenant throttled %d, want 19", st.Throttled)
+	}
+	if st.RateLimit != 0.01 || st.QueueShare != 0 {
+		t.Fatalf("tenant stats QoS echo: %+v", st)
+	}
+	var fst TenantStats
+	if code := jsonDo(t, client, "GET", ts.URL+"/v1/tenants/free", nil, &fst); code != http.StatusOK {
+		t.Fatalf("tenant stats: status %d", code)
+	}
+	if fst.Throttled != 0 {
+		t.Fatalf("free tenant throttled %d, want 0", fst.Throttled)
+	}
+}
+
+// TestTenantQueueShare pins the queue-share bound: a tenant at its queued
+// cap is denied admission with the short queue-share retry hint, without
+// consuming rate tokens, and is admitted again once the queue drains.
+func TestTenantQueueShare(t *testing.T) {
+	srv := New(Config{Shards: 1, ShardQueue: 8, SiteBuffer: 8})
+	defer srv.Close()
+	mustCreate(t, srv, TenantConfig{Name: "q", Kind: KindHH, K: 2, Eps: 0.1, QueueShare: 4})
+	tn := srv.Registry().Get("q")
+	if tn == nil {
+		t.Fatal("tenant not found")
+	}
+
+	// Simulate a backed-up pipeline by pinning the queued gauge at the cap.
+	tn.queued.Store(4)
+	acc, errs, retry := srv.sh.Ingest([]Record{{Tenant: "q", Site: 0, Value: 1}})
+	if acc != 0 || len(errs) != 1 || errs[0].Code != codeThrottled {
+		t.Fatalf("at cap: accepted %d errs %+v, want full throttle", acc, errs)
+	}
+	if retry != queueShareRetry {
+		t.Fatalf("retry hint %v, want %v", retry, queueShareRetry)
+	}
+	if got := tn.throttled.Load(); got != 1 {
+		t.Fatalf("throttled %d, want 1", got)
+	}
+
+	// Queue drains → admission resumes.
+	tn.queued.Store(0)
+	acc, errs, _ = srv.sh.Ingest([]Record{{Tenant: "q", Site: 0, Value: 1}})
+	if acc != 1 || len(errs) != 0 {
+		t.Fatalf("after drain: accepted %d errs %+v, want 1 accepted", acc, errs)
+	}
+	srv.Flush()
+	// Delivery must return the queued gauge to zero.
+	deadline := time.Now().Add(2 * time.Second)
+	for tn.queued.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued gauge stuck at %d after flush", tn.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// healthPayload pins the enriched /healthz JSON shape.
+type healthPayload struct {
+	OK              bool                  `json:"ok"`
+	Tenants         int                   `json:"tenants"`
+	Accepted        int64                 `json:"accepted"`
+	Rejected        int64                 `json:"rejected"`
+	Throttled       int64                 `json:"throttled"`
+	Lost            int64                 `json:"lost"`
+	UptimeSeconds   float64               `json:"uptime_seconds"`
+	Shards          int                   `json:"shards"`
+	ShardQueueDepth []int                 `json:"shard_queue_depth"`
+	TenantQoS       map[string]tenantQoS  `json:"tenant_qos"`
+	RemoteNodes     map[string]nodeHealth `json:"remote_nodes"`
+	Degraded        *bool                 `json:"degraded"`
+}
+
+type nodeHealth struct {
+	Connected bool   `json:"connected"`
+	LastSeq   uint64 `json:"last_seq"`
+	Breaker   struct {
+		State    string `json:"state"`
+		Failures int    `json:"consecutive_failures"`
+		Trips    int64  `json:"trips"`
+		Probes   int64  `json:"probes"`
+	} `json:"breaker"`
+}
+
+// TestHealthzShape boots a coordinator with a QoS-limited tenant and one
+// site node, and pins the enriched /healthz payload: core counters,
+// per-tenant throttle status, per-node connection + breaker state, and the
+// degraded flag flipping when the node goes away.
+func TestHealthzShape(t *testing.T) {
+	coord, ri := startCoord(t)
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	mustCreate(t, coord, TenantConfig{Name: "qos", Kind: KindHH, K: 2, Eps: 0.1,
+		RateLimit: 1000, QueueShare: 64})
+	mustCreate(t, coord, TenantConfig{Name: "plain", Kind: KindHH, K: 2, Eps: 0.1})
+
+	node := startSiteNode(t, "edge-hz", ri.Addr())
+	if acc, errs := node.Ingest([]Record{{Tenant: "qos", Site: 0, Value: 7}}); acc != 1 || len(errs) != 0 {
+		t.Fatalf("node ingest: %d accepted, errs %+v", acc, errs)
+	}
+	if err := node.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var h healthPayload
+	if code := jsonDo(t, client, "GET", ts.URL+"/healthz", nil, &h); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	if !h.OK || h.Tenants != 2 || h.Accepted != 1 || h.Shards == 0 || len(h.ShardQueueDepth) != h.Shards {
+		t.Fatalf("healthz core shape: %+v", h)
+	}
+	// Only the QoS-configured tenant appears in tenant_qos.
+	if len(h.TenantQoS) != 1 {
+		t.Fatalf("tenant_qos %+v, want exactly the limited tenant", h.TenantQoS)
+	}
+	q, ok := h.TenantQoS["qos"]
+	if !ok || q.RateLimit != 1000 || q.QueueShare != 64 || q.Throttled != 0 {
+		t.Fatalf("tenant_qos[qos] = %+v", q)
+	}
+	// Coordinator role: per-node health with breaker state, and degraded
+	// false while the node is connected.
+	if h.Degraded == nil || *h.Degraded {
+		t.Fatalf("degraded = %v, want false", h.Degraded)
+	}
+	n, ok := h.RemoteNodes["edge-hz"]
+	if !ok {
+		t.Fatalf("remote_nodes %+v: missing edge-hz", h.RemoteNodes)
+	}
+	if !n.Connected || n.LastSeq == 0 || n.Breaker.State != "closed" || n.Breaker.Trips != 0 {
+		t.Fatalf("remote_nodes[edge-hz] = %+v", n)
+	}
+
+	// Node goes away (clean close): still serving, but degraded, and the
+	// node's last-known state stays visible.
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code := jsonDo(t, client, "GET", ts.URL+"/healthz", nil, &h); code != http.StatusOK {
+			t.Fatalf("healthz: status %d", code)
+		}
+		n = h.RemoteNodes["edge-hz"]
+		if !n.Connected {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node still connected after close: %+v", h.RemoteNodes)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if h.Degraded == nil || !*h.Degraded {
+		t.Fatalf("degraded = %v after node close, want true", h.Degraded)
+	}
+	if n.LastSeq == 0 || n.Breaker.State != "closed" {
+		t.Fatalf("last-known node state lost: %+v", n)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"disttrack/internal/fault"
 	"disttrack/internal/remote"
 	"disttrack/internal/runtime"
 	"disttrack/internal/wire"
@@ -20,9 +21,10 @@ type RemoteIngest struct {
 	s   *Server
 	srv *remote.IngestServer
 
-	mu       sync.Mutex
-	meter    wire.Meter
-	rejected int64 // values filtered by per-value validation
+	mu        sync.Mutex
+	meter     wire.Meter
+	rejected  int64 // values filtered by per-value validation
+	throttled int64 // values dropped by per-tenant QoS admission
 }
 
 // ServeRemote starts the networked ingest listener on addr (e.g.
@@ -30,8 +32,13 @@ type RemoteIngest struct {
 func (s *Server) ServeRemote(addr string) (*RemoteIngest, error) {
 	ri := &RemoteIngest{s: s}
 	srv, err := remote.NewIngestServer(addr, remote.IngestServerConfig{
-		OnBatch: ri.onBatch,
-		OnFlush: ri.onFlush,
+		OnBatch:      ri.onBatch,
+		OnFlush:      ri.onFlush,
+		WriteTimeout: s.cfg.RemoteWriteTimeout,
+		Breaker: fault.BreakerConfig{
+			FailureThreshold: s.cfg.NodeBreakerFailures,
+			OpenTimeout:      s.cfg.NodeBreakerOpenTimeout,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -61,7 +68,7 @@ func (ri *RemoteIngest) onBatch(node string, f remote.TFrame) error {
 		runtime.PutBatch(f.Values)
 		return remote.ErrIngestUnavailable
 	}
-	_, rejected, err := ri.s.sh.IngestGrouped(f.Tenant, int(f.Site), f.Values)
+	_, rejected, throttled, err := ri.s.sh.IngestGrouped(f.Tenant, int(f.Site), f.Values)
 	if errors.Is(err, errShuttingDown) {
 		return fmt.Errorf("%w: %v", remote.ErrIngestUnavailable, err)
 	}
@@ -77,9 +84,13 @@ func (ri *RemoteIngest) onBatch(node string, f remote.TFrame) error {
 		return err
 	}
 	// Validated: the tenant exists and f.Site < its K, so both are safe
-	// meter keys.
+	// meter keys. A throttled batch is a nil-error outcome on purpose —
+	// the frame is acked (the sender must not replay it; that would turn a
+	// transient throttle into an amplification loop) and the drop is
+	// visible here and in the tenant's throttle counters.
 	ri.mu.Lock()
 	ri.rejected += int64(rejected)
+	ri.throttled += int64(throttled)
 	ri.meter.UpTenant(f.Tenant, int(f.Site), "tbatch", words)
 	ri.meter.DownTenant(f.Tenant, int(f.Site), "tack", 1)
 	ri.mu.Unlock()
@@ -107,16 +118,26 @@ type TenantCost struct {
 // RemoteStats is the observability snapshot of the networked ingest path.
 type RemoteStats struct {
 	remote.IngestStats
-	RejectedValues int64        `json:"rejected_values"` // values filtered by validation
-	Tenants        []TenantCost `json:"tenants"`         // per-tenant traffic, sorted by name
+	RejectedValues  int64                        `json:"rejected_values"`  // values filtered by validation
+	ThrottledValues int64                        `json:"throttled_values"` // values dropped by QoS admission
+	Degraded        bool                         `json:"degraded"`         // a known node is disconnected
+	NodeStates      map[string]remote.NodeHealth `json:"node_states"`      // per-node connection + breaker
+	Tenants         []TenantCost                 `json:"tenants"`          // per-tenant traffic, sorted by name
 }
 
-// Stats snapshots the transport counters and the per-tenant communication
-// accounting.
+// Stats snapshots the transport counters, per-node health and the
+// per-tenant communication accounting.
 func (ri *RemoteIngest) Stats() RemoteStats {
-	st := RemoteStats{IngestStats: ri.srv.Stats()}
+	st := RemoteStats{IngestStats: ri.srv.Stats(), NodeStates: ri.srv.NodeStates()}
+	for _, n := range st.NodeStates {
+		if !n.Connected {
+			st.Degraded = true
+			break
+		}
+	}
 	ri.mu.Lock()
 	st.RejectedValues = ri.rejected
+	st.ThrottledValues = ri.throttled
 	for _, name := range ri.meter.Tenants() {
 		c := ri.meter.Tenant(name)
 		st.Tenants = append(st.Tenants, TenantCost{Tenant: name, Msgs: c.Msgs, Words: c.Words})

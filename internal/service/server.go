@@ -49,7 +49,12 @@ func (s *Server) Registry() *Registry { return s.reg }
 func (s *Server) Metrics() *obs.Registry { return s.met.reg }
 
 // Ingest feeds records through the pipeline without HTTP (embedded use).
-func (s *Server) Ingest(recs []Record) (int, []RecordError) { return s.sh.Ingest(recs) }
+// Rejections with Code == "rate_limited" were throttled by the tenant's QoS
+// admission and are retryable; other rejections are permanent.
+func (s *Server) Ingest(recs []Record) (int, []RecordError) {
+	accepted, errs, _ := s.sh.Ingest(recs)
+	return accepted, errs
+}
 
 // Flush blocks until everything accepted so far is visible to queries.
 func (s *Server) Flush() { s.sh.Flush() }

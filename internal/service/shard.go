@@ -47,10 +47,12 @@ type Record struct {
 }
 
 // RecordError reports one rejected record by its index in the submitted
-// batch.
+// batch. Code distinguishes throttles (codeThrottled — retry later) from
+// validation failures (empty — retrying is pointless).
 type RecordError struct {
 	Index int    `json:"index"`
 	Err   string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 // sharder is the ingest pipeline: it validates record batches, hashes each
@@ -63,9 +65,10 @@ type sharder struct {
 	met    *serverMetrics // nil when uninstrumented (direct construction in tests)
 	shards []*shard
 
-	accepted atomic.Int64
-	rejected atomic.Int64
-	lost     atomic.Int64 // accepted but undeliverable (tenant deleted mid-flight)
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	throttled atomic.Int64 // denied by per-tenant QoS admission
+	lost      atomic.Int64 // accepted but undeliverable (tenant deleted mid-flight)
 
 	// mu serializes Ingest/Flush (read side) against Close (write side):
 	// closing a shard channel while a handler is sending on it would panic,
@@ -123,9 +126,10 @@ func (sh *sharder) shardOf(tenant string) *shard {
 // shards, blocking while a shard queue is full. Validation is synchronous
 // so callers learn about unknown tenants, out-of-range sites and
 // out-of-range values immediately; processing is asynchronous (see Flush
-// for the visibility barrier). Returns the number accepted and the
-// per-record rejections.
-func (sh *sharder) Ingest(recs []Record) (int, []RecordError) {
+// for the visibility barrier). Returns the number accepted, the per-record
+// rejections (throttles carry Code == codeThrottled), and — when any record
+// was throttled — the largest Retry-After hint among them.
+func (sh *sharder) Ingest(recs []Record) (int, []RecordError, time.Duration) {
 	if m := sh.met; m != nil {
 		m.batchRecords.Observe(float64(len(recs)))
 		defer func(t0 time.Time) {
@@ -135,17 +139,19 @@ func (sh *sharder) Ingest(recs []Record) (int, []RecordError) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	var errs []RecordError
+	var retryAfter time.Duration
 	if sh.closed {
 		for i := range recs {
 			errs = append(errs, RecordError{Index: i, Err: "service shutting down"})
 		}
 		sh.rejected.Add(int64(len(errs)))
-		return 0, errs
+		return 0, errs, 0
 	}
 	// Partition per shard, preserving submission order within each shard.
 	// Partitions come from the record-batch pool; the shard worker returns
 	// them once delivered.
 	parts := make(map[*shard][]Record)
+	throttles := 0
 	for i, rec := range recs {
 		t := sh.reg.Get(rec.Tenant)
 		if t == nil {
@@ -162,6 +168,18 @@ func (sh *sharder) Ingest(recs []Record) (int, []RecordError) {
 				Err: fmt.Sprintf("value %d out of range [0, %d) for kind %q", rec.Value, MaxPerturbedValue, t.cfg.Kind)})
 			continue
 		}
+		// QoS admission runs after validation: a throttle means "valid but
+		// not now", and only valid traffic should drain the rate bucket.
+		if ok, retry := t.admit(1); !ok {
+			throttles++
+			if retry > retryAfter {
+				retryAfter = retry
+			}
+			errs = append(errs, RecordError{Index: i, Code: codeThrottled,
+				Err: fmt.Sprintf("tenant %q over its ingest limit, retry in %v", rec.Tenant, retry)})
+			continue
+		}
+		t.queued.Add(1)
 		s := sh.shardOf(rec.Tenant)
 		part, ok := parts[s]
 		if !ok {
@@ -175,8 +193,9 @@ func (sh *sharder) Ingest(recs []Record) (int, []RecordError) {
 		accepted += len(part)
 	}
 	sh.accepted.Add(int64(accepted))
-	sh.rejected.Add(int64(len(errs)))
-	return accepted, errs
+	sh.throttled.Add(int64(throttles))
+	sh.rejected.Add(int64(len(errs) - throttles))
+	return accepted, errs, retryAfter
 }
 
 // IngestGrouped is the remoteShard ingest path: it accepts one
@@ -188,9 +207,14 @@ func (sh *sharder) Ingest(recs []Record) (int, []RecordError) {
 // escalation-free run. Out-of-range values for perturbed kinds are
 // filtered and counted rejected; a nil tenant or out-of-range site refuses
 // the whole batch with a non-nil error (accepted = 0) so the transport can
-// reject the frame. The sharder takes ownership of values in every case:
-// batches it cannot deliver go back to the runtime batch pool.
-func (sh *sharder) IngestGrouped(tenant string, site int, values []uint64) (accepted, rejected int, err error) {
+// reject the frame. QoS admission runs on the surviving values as one unit:
+// a denied batch is dropped whole and counted throttled — NOT rejected,
+// because the frame is still acked (a frame reject would make the sender
+// discard it permanently, turning a transient throttle into data loss the
+// sender never learns about; drop accounting is the TCP edge's contract).
+// The sharder takes ownership of values in every case: batches it cannot
+// deliver go back to the runtime batch pool.
+func (sh *sharder) IngestGrouped(tenant string, site int, values []uint64) (accepted, rejected, throttled int, err error) {
 	if m := sh.met; m != nil {
 		m.batchRecords.Observe(float64(len(values)))
 		defer func(t0 time.Time) {
@@ -201,18 +225,18 @@ func (sh *sharder) IngestGrouped(tenant string, site int, values []uint64) (acce
 	defer sh.mu.RUnlock()
 	if sh.closed {
 		runtime.PutBatch(values)
-		return 0, 0, errShuttingDown
+		return 0, 0, 0, errShuttingDown
 	}
 	t := sh.reg.Get(tenant)
 	if t == nil {
 		sh.rejected.Add(int64(len(values)))
 		runtime.PutBatch(values)
-		return 0, len(values), fmt.Errorf("tenant %q not found", tenant)
+		return 0, len(values), 0, fmt.Errorf("tenant %q not found", tenant)
 	}
 	if site < 0 || site >= t.cfg.K {
 		sh.rejected.Add(int64(len(values)))
 		runtime.PutBatch(values)
-		return 0, len(values), fmt.Errorf("site %d out of range [0,%d)", site, t.cfg.K)
+		return 0, len(values), 0, fmt.Errorf("site %d out of range [0,%d)", site, t.cfg.K)
 	}
 	if t.perturbed() {
 		kept := values[:0]
@@ -228,12 +252,19 @@ func (sh *sharder) IngestGrouped(tenant string, site int, values []uint64) (acce
 	sh.rejected.Add(int64(rejected))
 	if len(values) == 0 {
 		runtime.PutBatch(values)
-		return 0, rejected, nil
+		return 0, rejected, 0, nil
 	}
+	if ok, _ := t.admit(len(values)); !ok {
+		throttled = len(values)
+		sh.throttled.Add(int64(throttled))
+		runtime.PutBatch(values)
+		return 0, rejected, throttled, nil
+	}
+	t.queued.Add(int64(len(values)))
 	s := sh.shardOf(tenant)
 	s.ch <- shardMsg{group: &remoteGroup{tenant: tenant, site: site, values: values}}
 	sh.accepted.Add(int64(len(values)))
-	return len(values), rejected, nil
+	return len(values), rejected, 0, nil
 }
 
 // worker drains one shard queue: group each batch by (tenant, site), apply
@@ -310,6 +341,10 @@ func (sh *sharder) deliverGroup(g *remoteGroup) {
 		runtime.PutBatch(g.values)
 		return
 	}
+	// The batch leaves the shard pipeline: release its queue-share. (If the
+	// tenant was deleted and recreated in flight, the release lands on the
+	// new instance — a transient undercount the >= share check tolerates.)
+	t.queued.Add(-int64(len(g.values)))
 	if t.perturbed() {
 		for i, v := range g.values {
 			g.values[i] = t.perturb(v)
@@ -341,6 +376,7 @@ func (sh *sharder) deliver(recs []Record, ds *deliverScratch) {
 			sh.lost.Add(1) // tenant deleted between accept and delivery
 			continue
 		}
+		cur.queued.Add(-1) // leaving the shard pipeline: release queue-share
 		v := rec.Value
 		if cur.perturbed() {
 			v = cur.perturb(v)
@@ -408,12 +444,14 @@ func (sh *sharder) Close() {
 	sh.shards[0].wg.Wait()
 }
 
-// Accepted, Rejected and Lost return the pipeline's lifetime record
-// counters: accepted at ingest, rejected at validation, and accepted but
-// undeliverable (tenant deleted or closed before delivery).
-func (sh *sharder) Accepted() int64 { return sh.accepted.Load() }
-func (sh *sharder) Rejected() int64 { return sh.rejected.Load() }
-func (sh *sharder) Lost() int64     { return sh.lost.Load() }
+// Accepted, Rejected, Throttled and Lost return the pipeline's lifetime
+// record counters: accepted at ingest, rejected at validation, denied by
+// per-tenant QoS admission, and accepted but undeliverable (tenant deleted
+// or closed before delivery).
+func (sh *sharder) Accepted() int64  { return sh.accepted.Load() }
+func (sh *sharder) Rejected() int64  { return sh.rejected.Load() }
+func (sh *sharder) Throttled() int64 { return sh.throttled.Load() }
+func (sh *sharder) Lost() int64      { return sh.lost.Load() }
 
 // QueueDepths returns the current queue length of each shard, in shard
 // order. The snapshot is inherently racy against the workers — gauge

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,18 @@ type SiteNodeConfig struct {
 	// the coordinator unreachable the transport would otherwise retry
 	// forever and Close would never return.
 	DrainTimeout time.Duration
+
+	// BreakerFailures and BreakerOpenTimeout tune the upstream dial
+	// circuit breaker; RetryBudgetRatio and RetryBudgetBurst tune the
+	// retry budget that paces redials. Zero values take the remote/fault
+	// package defaults (see docs/operations.md).
+	BreakerFailures    int
+	BreakerOpenTimeout time.Duration
+	RetryBudgetRatio   float64
+	RetryBudgetBurst   float64
+	// Dial overrides the upstream dial function (tests inject faults
+	// through it; default net.Dial tcp).
+	Dial func(addr string) (net.Conn, error)
 }
 
 // SiteNode is the site role of a distributed trackd deployment: it accepts
@@ -62,7 +75,15 @@ func NewSiteNode(cfg SiteNodeConfig) (*SiteNode, error) {
 	if cfg.Upstream == "" {
 		return nil, fmt.Errorf("service: SiteNodeConfig.Upstream is required")
 	}
-	cl, err := remote.DialNode(cfg.Upstream, remote.NodeConfig{Node: cfg.Node, Window: cfg.Window})
+	cl, err := remote.DialNode(cfg.Upstream, remote.NodeConfig{
+		Node:               cfg.Node,
+		Window:             cfg.Window,
+		BreakerFailures:    cfg.BreakerFailures,
+		BreakerOpenTimeout: cfg.BreakerOpenTimeout,
+		RetryBudgetRatio:   cfg.RetryBudgetRatio,
+		RetryBudgetBurst:   cfg.RetryBudgetBurst,
+		Dial:               cfg.Dial,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +212,8 @@ type SiteNodeStats struct {
 	Resent         int64  `json:"resent"`          // frames replayed during resyncs
 	UpstreamReject int64  `json:"upstream_reject"` // frames the coordinator refused
 	LastReject     string `json:"last_reject,omitempty"`
+	// Fault is the upstream transport's breaker and retry-budget state.
+	Fault remote.NodeFaultStats `json:"fault"`
 }
 
 // Stats returns the node's counters.
@@ -206,6 +229,7 @@ func (n *SiteNode) Stats() SiteNodeStats {
 		Resent:         n.cl.Resent(),
 		UpstreamReject: rej,
 		LastReject:     reason,
+		Fault:          n.cl.FaultStats(),
 	}
 }
 
@@ -216,18 +240,22 @@ func (n *SiteNode) Stats() SiteNodeStats {
 type nodeMetrics struct {
 	reg *obs.Registry
 
-	accepted    *obs.Counter
-	rejected    *obs.Counter
-	batches     *obs.Counter
-	reconnects  *obs.Counter
-	resent      *obs.Counter
-	upstreamRej *obs.Counter
-	bytesUp     *obs.Counter
-	bytesDown   *obs.Counter
+	accepted     *obs.Counter
+	rejected     *obs.Counter
+	batches      *obs.Counter
+	reconnects   *obs.Counter
+	resent       *obs.Counter
+	upstreamRej  *obs.Counter
+	bytesUp      *obs.Counter
+	bytesDown    *obs.Counter
+	dialAttempts *obs.Counter
+	budgetDenied *obs.Counter
+	breakerTrips *obs.Counter
 
 	last struct {
 		accepted, rejected, batches, reconnects, resent, upstreamRej int64
 		bytesUp, bytesDown                                           int64
+		dialAttempts, budgetDenied, breakerTrips                     int64
 	}
 }
 
@@ -258,6 +286,18 @@ func newNodeMetrics(n *SiteNode) *nodeMetrics {
 	reg.NewGaugeFunc("disttrack_node_window_occupancy",
 		"Pending frames over the transport window bound (1 = saturated, ingest stalls).",
 		func() float64 { return float64(n.cl.Pending()) / float64(n.cl.Window()) })
+	m.dialAttempts = reg.NewCounter("disttrack_node_dial_attempts_total",
+		"Upstream reconnect dials (successful or not).")
+	m.budgetDenied = reg.NewCounter("disttrack_node_retry_budget_denied_total",
+		"Redials refused (throttled to the slow cadence) by an exhausted retry budget.")
+	m.breakerTrips = reg.NewCounter("disttrack_node_breaker_trips_total",
+		"Upstream dial circuit-breaker trips (closed/half-open to open).")
+	reg.NewGaugeFunc("disttrack_node_breaker_state",
+		"Upstream dial circuit-breaker state (0 closed, 1 open, 2 half-open).",
+		func() float64 { return float64(n.cl.FaultStats().Breaker.State) })
+	reg.NewGaugeFunc("disttrack_node_retry_budget_tokens",
+		"Current retry-budget balance (redials spend 1; acked work deposits).",
+		func() float64 { return n.cl.FaultStats().BudgetTokens })
 	reg.NewGaugeFunc("disttrack_node_uptime_seconds",
 		"Seconds since the site node was created.",
 		func() float64 { return time.Since(start).Seconds() })
@@ -280,6 +320,10 @@ func (n *SiteNode) syncObs() {
 	addDelta(m.upstreamRej, &m.last.upstreamRej, rej)
 	addDelta(m.bytesUp, &m.last.bytesUp, up)
 	addDelta(m.bytesDown, &m.last.bytesDown, down)
+	fs := n.cl.FaultStats()
+	addDelta(m.dialAttempts, &m.last.dialAttempts, fs.DialAttempts)
+	addDelta(m.budgetDenied, &m.last.budgetDenied, fs.BudgetDenied)
+	addDelta(m.breakerTrips, &m.last.breakerTrips, fs.Breaker.Trips)
 }
 
 // Handler returns the node's HTTP API: the same /v1/ingest and /v1/flush

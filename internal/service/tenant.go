@@ -7,11 +7,13 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"disttrack/internal/core"
 	"disttrack/internal/core/allq"
 	"disttrack/internal/core/hh"
 	"disttrack/internal/core/quantile"
+	"disttrack/internal/fault"
 	"disttrack/internal/runtime"
 	"disttrack/internal/stream"
 	"disttrack/internal/wire"
@@ -54,6 +56,20 @@ type TenantConfig struct {
 	Eps    float64   `json:"eps"`              // approximation error, in (0,1)
 	Phis   []float64 `json:"phis,omitempty"`   // quantile kind: tracked quantiles (default 0.5)
 	Sketch bool      `json:"sketch,omitempty"` // small-space per-site stores
+
+	// RateLimit caps admitted ingest records per second for this tenant
+	// (token bucket; 0 = unlimited). Records over the limit are throttled:
+	// HTTP ingest answers 429 with a Retry-After hint, networked ingest
+	// drops and counts them (see docs/operations.md).
+	RateLimit float64 `json:"rate_limit,omitempty"`
+	// RateBurst is the rate limiter's bucket depth — the largest batch
+	// admissible at once (default max(RateLimit, 1); only meaningful with
+	// RateLimit set).
+	RateBurst float64 `json:"rate_burst,omitempty"`
+	// QueueShare bounds this tenant's records queued in the shard pipeline
+	// but not yet delivered (0 = unbounded). It keeps one backed-up tenant
+	// from occupying every shard queue slot and starving its neighbours.
+	QueueShare int `json:"queue_share,omitempty"`
 }
 
 func (tc TenantConfig) validate() error {
@@ -87,8 +103,23 @@ func (tc TenantConfig) validate() error {
 	if tc.Kind != KindQuantile && len(tc.Phis) > 0 {
 		return fmt.Errorf("phis only applies to quantile tenants")
 	}
+	if tc.RateLimit < 0 {
+		return fmt.Errorf("rate_limit must be >= 0, got %g", tc.RateLimit)
+	}
+	if tc.RateBurst < 0 {
+		return fmt.Errorf("rate_burst must be >= 0, got %g", tc.RateBurst)
+	}
+	if tc.RateBurst > 0 && tc.RateLimit == 0 {
+		return fmt.Errorf("rate_burst requires rate_limit")
+	}
+	if tc.QueueShare < 0 {
+		return fmt.Errorf("queue_share must be >= 0, got %d", tc.QueueShare)
+	}
 	return nil
 }
+
+// limited reports whether the tenant has any QoS admission configured.
+func (tc TenantConfig) limited() bool { return tc.RateLimit > 0 || tc.QueueShare > 0 }
 
 // queryAdapter is the per-kind query shape over a tenant's tracker: a fixed
 // set of closures built once at construction — the single place the service
@@ -129,6 +160,14 @@ type Tenant struct {
 	dropped atomic.Int64 // arrivals lost because the tenant closed mid-send
 	ties    atomic.Int64 // perturbation overflows (> 2^24 copies of a value)
 
+	// QoS admission state: limiter is nil without a rate limit; queued
+	// tracks records accepted into the shard pipeline but not yet delivered
+	// (the QueueShare bound); throttled counts records denied admission by
+	// either mechanism.
+	limiter   *fault.Limiter
+	queued    atomic.Int64
+	throttled atomic.Int64
+
 	// sendMu serializes sends against close: sends hold the read side, so
 	// close's write lock waits for in-flight sends before draining the
 	// cluster (runtime forbids Send concurrent with Drain).
@@ -149,6 +188,9 @@ type Tenant struct {
 
 func newTenant(tc TenantConfig, siteBuffer int, sm *serverMetrics) (*Tenant, error) {
 	t := &Tenant{cfg: tc}
+	if tc.RateLimit > 0 {
+		t.limiter = fault.NewLimiter(tc.RateLimit, tc.RateBurst)
+	}
 	var err error
 	switch tc.Kind {
 	case KindHH:
@@ -356,6 +398,30 @@ func (t *Tenant) countCache(hit bool) {
 	} else {
 		tm.sm.cacheMisses.Inc()
 	}
+}
+
+// queueShareRetry is the Retry-After hint for queue-share throttles: the
+// backlog drains at delivery speed, not at a configured rate, so there is
+// no exact refill time to compute — this is a short "come back soon".
+const queueShareRetry = 50 * time.Millisecond
+
+// admit runs QoS admission for n records: the queue-share bound first (a
+// tenant at its share is backed up — admitting more only deepens the
+// backlog), then the rate limiter. Denied records are counted throttled and
+// the returned duration is the caller's Retry-After hint. Tenants with no
+// QoS configured always admit.
+func (t *Tenant) admit(n int) (bool, time.Duration) {
+	if t.cfg.QueueShare > 0 && t.queued.Load() >= int64(t.cfg.QueueShare) {
+		t.throttled.Add(int64(n))
+		return false, queueShareRetry
+	}
+	if t.limiter != nil {
+		if ok, retry := t.limiter.Admit(n); !ok {
+			t.throttled.Add(int64(n))
+			return false, retry
+		}
+	}
+	return true, 0
 }
 
 // perturbed reports whether values are symbolically perturbed on ingest.
@@ -568,6 +634,12 @@ type TenantStats struct {
 	Words      int64     `json:"words"`       // protocol words site↔coordinator
 	Rounds     int       `json:"rounds"`      // completed protocol rounds
 	SiteCounts []int64   `json:"site_counts"` // exact arrivals per site
+
+	// QoS admission state (zero for tenants with no limits configured).
+	RateLimit  float64 `json:"rate_limit,omitempty"`  // configured records/second cap
+	QueueShare int     `json:"queue_share,omitempty"` // configured queue-share bound
+	Throttled  int64   `json:"throttled,omitempty"`   // records denied admission
+	Queued     int64   `json:"queued,omitempty"`      // records accepted, not yet delivered
 }
 
 // Stats captures the tenant's current statistics under a consistent
@@ -587,6 +659,10 @@ func (t *Tenant) Stats() TenantStats {
 	st.Batches = cs.Batches
 	st.Dropped = cs.Dropped + t.dropped.Load()
 	st.Ties = t.ties.Load()
+	st.RateLimit = t.cfg.RateLimit
+	st.QueueShare = t.cfg.QueueShare
+	st.Throttled = t.throttled.Load()
+	st.Queued = t.queued.Load()
 	st.SiteCounts = make([]int64, t.cfg.K)
 	t.cluster.Query(func() {
 		st.EstTotal = t.tr.EstTotal()

@@ -1,0 +1,178 @@
+#!/bin/sh
+# Fault-tolerance smoke test (make fault-smoke; mirrored in ci.yml).
+#
+# Live version of the docs/operations.md runbook: boots a coordinator +
+# site-node pair, exercises per-tenant admission control on the HTTP edge
+# (partial batch -> 200, fully-throttled batch -> 429 + Retry-After), then
+# runs the kill-a-site walkthrough — kill -9 the site, watch the coordinator
+# degrade but keep serving queries from last-known state, restart the site
+# under the same node name, and verify the totals reconverge exactly-once.
+# Greps both /metrics planes for the fault/QoS families along the way.
+set -eu
+
+COORD_HTTP=127.0.0.1:18090
+COORD_INGEST=127.0.0.1:17272
+SITE_HTTP=127.0.0.1:18091
+
+workdir=$(mktemp -d)
+coord_pid=""
+site_pid=""
+cleanup() {
+    [ -n "$site_pid" ] && kill "$site_pid" 2>/dev/null || true
+    [ -n "$coord_pid" ] && kill "$coord_pid" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building trackd"
+go build -o "$workdir/trackd" ./cmd/trackd
+
+# wait_http URL: poll until the endpoint answers (or fail after ~5s).
+wait_http() {
+    i=0
+    until curl -fsS -o /dev/null "$1" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "timeout waiting for $1" >&2
+            echo "--- coord.log"; cat "$workdir/coord.log" >&2 || true
+            echo "--- site.log"; cat "$workdir/site.log" >&2 || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+# wait_health PATTERN: poll the coordinator /healthz until it matches.
+wait_health() {
+    i=0
+    until curl -fsS "http://$COORD_HTTP/healthz" 2>/dev/null | grep -q "$1"; do
+        i=$((i + 1))
+        if [ "$i" -ge 50 ]; then
+            echo "timeout waiting for /healthz to match $1" >&2
+            curl -fsS "http://$COORD_HTTP/healthz" >&2 || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+start_site() {
+    "$workdir/trackd" -role site -node edge-1 -listen "$SITE_HTTP" -upstream "$COORD_INGEST" \
+        -forward-delay 5ms -breaker-fail 3 -breaker-open 300ms \
+        -log-format json >>"$workdir/site.log" 2>&1 &
+    site_pid=$!
+    wait_http "http://$SITE_HTTP/healthz"
+}
+
+# ingest_site TENANT COUNT BASE: push COUNT records through the site node.
+ingest_site() {
+    records='{"records":['
+    i=0
+    while [ "$i" -lt "$2" ]; do
+        [ "$i" -gt 0 ] && records="$records,"
+        records="$records{\"tenant\":\"$1\",\"site\":$((i % 2)),\"value\":$((($3 + i) % 13 + 1))}"
+        i=$((i + 1))
+    done
+    records="$records]}"
+    curl -fsS -X POST "http://$SITE_HTTP/v1/ingest" -d "$records" >/dev/null
+    curl -fsS -X POST "http://$SITE_HTTP/v1/flush" >/dev/null
+}
+
+echo "== starting coord + site"
+"$workdir/trackd" -role coord -listen "$COORD_HTTP" -ingest-listen "$COORD_INGEST" \
+    -breaker-fail 3 -breaker-open 300ms -log-format json >"$workdir/coord.log" 2>&1 &
+coord_pid=$!
+wait_http "http://$COORD_HTTP/v1/healthz"
+start_site
+
+echo "== creating tenants (one QoS-limited)"
+curl -fsS -X POST "http://$COORD_HTTP/v1/tenants" \
+    -d '{"name":"clicks","kind":"hh","k":2,"eps":0.05}' >/dev/null
+curl -fsS -X POST "http://$COORD_HTTP/v1/tenants" \
+    -d '{"name":"limited","kind":"hh","k":2,"eps":0.05,"rate_limit":0.01,"rate_burst":1}' >/dev/null
+
+echo "== baseline ingest through the site node"
+ingest_site clicks 200 0
+curl -fsS "http://$COORD_HTTP/v1/tenants/clicks" | grep -q '"processed":200' || {
+    echo "baseline: expected 200 processed records" >&2
+    curl -fsS "http://$COORD_HTTP/v1/tenants/clicks" >&2; exit 1; }
+
+echo "== per-tenant admission: burst passes partially, then 429 + Retry-After"
+batch='{"records":[{"tenant":"limited","site":0,"value":1},{"tenant":"limited","site":0,"value":2},{"tenant":"limited","site":0,"value":3}]}'
+code=$(curl -s -o "$workdir/throttle1.json" -w '%{http_code}' \
+    -X POST "http://$COORD_HTTP/v1/ingest" -d "$batch")
+[ "$code" = "200" ] || { echo "first limited batch: status $code, want 200 (partial)" >&2; exit 1; }
+grep -q '"accepted":1' "$workdir/throttle1.json" || {
+    echo "first limited batch should accept exactly the burst (1):" >&2
+    cat "$workdir/throttle1.json" >&2; exit 1; }
+grep -q '"code":"rate_limited"' "$workdir/throttle1.json" || {
+    echo "throttled records must carry code=rate_limited" >&2; exit 1; }
+code=$(curl -s -D "$workdir/throttle2.hdr" -o /dev/null -w '%{http_code}' \
+    -X POST "http://$COORD_HTTP/v1/ingest" -d "$batch")
+[ "$code" = "429" ] || { echo "second limited batch: status $code, want 429" >&2; exit 1; }
+grep -qi '^retry-after: [0-9]' "$workdir/throttle2.hdr" || {
+    echo "429 response missing Retry-After header:" >&2
+    cat "$workdir/throttle2.hdr" >&2; exit 1; }
+curl -fsS "http://$COORD_HTTP/healthz" | grep -q '"limited"' || {
+    echo "/healthz missing tenant_qos entry for the limited tenant" >&2; exit 1; }
+
+echo "== scraping fault/QoS metric families"
+curl -fsS "http://$COORD_HTTP/metrics" >"$workdir/coord.metrics"
+for fam in \
+    disttrack_ingest_throttled_total \
+    disttrack_admission_throttled_total \
+    disttrack_admission_queued \
+    disttrack_remote_degraded \
+    disttrack_remote_node_connected \
+    disttrack_remote_node_breaker_state \
+    disttrack_remote_node_breaker_trips_total \
+    disttrack_remote_refused_hellos_total \
+    disttrack_remote_throttled_values_total; do
+    grep -q "^# TYPE $fam " "$workdir/coord.metrics" || {
+        echo "coordinator /metrics missing family $fam" >&2; exit 1; }
+done
+grep -q '^disttrack_remote_degraded 0' "$workdir/coord.metrics" || {
+    echo "coordinator degraded before the fault" >&2; exit 1; }
+grep -q '^disttrack_remote_node_connected{node="edge-1"} 1' "$workdir/coord.metrics" || {
+    echo "edge-1 not reported connected" >&2; exit 1; }
+grep -Eq '^disttrack_admission_throttled_total\{tenant="limited"\} [1-9]' "$workdir/coord.metrics" || {
+    echo "admission throttles not accounted" >&2; exit 1; }
+
+echo "== kill-a-site walkthrough: kill -9 the site node"
+kill -9 "$site_pid"
+site_pid=""
+wait_health '"degraded":true'
+# Degraded, not down: queries keep answering from last-known site state.
+curl -fsS "http://$COORD_HTTP/v1/tenants/clicks/heavy?phi=0.2" | grep -q '"items"' || {
+    echo "degraded coordinator stopped serving queries" >&2; exit 1; }
+curl -fsS "http://$COORD_HTTP/metrics" >"$workdir/coord.metrics"
+grep -q '^disttrack_remote_degraded 1' "$workdir/coord.metrics" || {
+    echo "degraded gauge did not flip" >&2; exit 1; }
+grep -q '^disttrack_remote_node_connected{node="edge-1"} 0' "$workdir/coord.metrics" || {
+    echo "edge-1 still reported connected after kill" >&2; exit 1; }
+
+echo "== restarting the site under the same node name"
+start_site
+wait_health '"degraded":false'
+ingest_site clicks 100 200
+# Exactly-once across the kill/restart: 200 + 100, nothing lost or doubled.
+curl -fsS "http://$COORD_HTTP/v1/tenants/clicks" | grep -q '"processed":300' || {
+    echo "reconvergence: expected exactly 300 processed records" >&2
+    curl -fsS "http://$COORD_HTTP/v1/tenants/clicks" >&2; exit 1; }
+
+echo "== site-node fault families"
+curl -fsS "http://$SITE_HTTP/metrics" >"$workdir/site.metrics"
+for fam in \
+    disttrack_node_breaker_state \
+    disttrack_node_breaker_trips_total \
+    disttrack_node_dial_attempts_total \
+    disttrack_node_retry_budget_tokens \
+    disttrack_node_retry_budget_denied_total; do
+    grep -q "^# TYPE $fam " "$workdir/site.metrics" || {
+        echo "site /metrics missing family $fam" >&2; exit 1; }
+done
+grep -q '^disttrack_node_breaker_state 0' "$workdir/site.metrics" || {
+    echo "site breaker not closed after recovery" >&2; exit 1; }
+
+echo "fault smoke OK"
