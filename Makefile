@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: all ci fmt fmt-fix vet build test test-shuffle race bench-smoke bench-race-smoke bench-json bench-compare obs-smoke fault-smoke staticcheck vuln fuzz-smoke
+.PHONY: all ci fmt fmt-fix vet build test test-shuffle race bench-smoke bench-race-smoke bench-json bench-compare obs-smoke fault-smoke crash-smoke staticcheck vuln fuzz-smoke
 
 all: build
 
-ci: fmt vet build test test-shuffle race bench-smoke bench-race-smoke obs-smoke fault-smoke
+ci: fmt vet build test test-shuffle race bench-smoke bench-race-smoke obs-smoke fault-smoke crash-smoke
 
 # fmt fails if any file needs formatting (what CI runs); fmt-fix rewrites.
 fmt:
@@ -60,6 +60,13 @@ obs-smoke:
 fault-smoke:
 	./scripts/fault_smoke.sh
 
+# Durability smoke: live run of the docs/durability.md crash-recovery
+# walkthrough — kill -9 a durable trackd mid-stream, restart on the same
+# -data-dir, verify exactly-once totals from WAL replay, then a SIGTERM
+# cycle whose final checkpoint makes the next boot replay nothing.
+crash-smoke:
+	./scripts/crash_smoke.sh
+
 # Record the ingest-throughput benchmarks as a JSON trajectory point
 # (BENCH_PR3.json and successors; see cmd/benchjson). Staged through a
 # text file so a benchmark failure fails make instead of silently writing
@@ -77,11 +84,17 @@ BENCH_PREV ?= BENCH_PR5.json
 bench-compare: bench-json
 	$(GO) run ./cmd/benchjson -diff $(BENCH_PREV) $(BENCH_JSON)
 
-# Short fuzz pass over the wire-protocol decoders.
+# Short fuzz pass over the wire-protocol and durability decoders — every
+# byte format that crosses a trust boundary (network frames, WAL records,
+# checkpoint frames, snapshot encodings).
 fuzz-smoke:
 	$(GO) test ./internal/remote/ -run '^$$' -fuzz FuzzReadTFrame -fuzztime 10s
 	$(GO) test ./internal/remote/ -run '^$$' -fuzz FuzzReadMsg -fuzztime 10s
 	$(GO) test ./internal/summary/gk/ -run '^$$' -fuzz Fuzz -fuzztime 10s
+	$(GO) test ./internal/durable/ -run '^$$' -fuzz FuzzWALRecord -fuzztime 10s
+	$(GO) test ./internal/core/hh/ -run '^$$' -fuzz FuzzRestore -fuzztime 10s
+	$(GO) test ./internal/core/quantile/ -run '^$$' -fuzz FuzzRestore -fuzztime 10s
+	$(GO) test ./internal/core/allq/ -run '^$$' -fuzz FuzzDecodeSnapshot -fuzztime 10s
 
 # Optional: require the tools only when the target is invoked.
 staticcheck:

@@ -19,6 +19,13 @@
 // same pattern as -pprof). Logs are structured (log/slog); -log-format
 // selects text (default) or json.
 //
+// With -data-dir, the standalone and coord roles run durably: every
+// accepted ingest batch is logged to a per-tenant WAL (-fsync picks the
+// sync policy) and tenants are checkpointed on -checkpoint-interval. After
+// a crash, boot recovers each tenant from its newest valid checkpoint and
+// replays the WAL tail; a graceful SIGTERM drain takes final checkpoints so
+// restarts replay nothing. See docs/durability.md.
+//
 // The distributed roles carry fault-tolerance machinery — circuit breakers
 // on both ends of the site↔coordinator link, a retry budget pacing site
 // redials, and per-tenant admission control — tuned by -breaker-fail,
@@ -59,6 +66,7 @@ import (
 	"syscall"
 	"time"
 
+	"disttrack/internal/durable"
 	"disttrack/internal/obs"
 	"disttrack/internal/runtime"
 	"disttrack/internal/service"
@@ -129,6 +137,12 @@ type config struct {
 	siteBuffer  int
 	grace       time.Duration
 
+	// durable plane (standalone/coord)
+	dataDir   string
+	ckptEvery time.Duration
+	fsync     string
+	fsyncMode durable.FsyncMode // parsed from fsync by validate
+
 	// coord role
 	ingestListen string
 	breakerFail  int
@@ -157,6 +171,9 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.shardQueue, "shard-queue", 64, "per-shard queue capacity (batches)")
 	fs.IntVar(&cfg.siteBuffer, "site-buffer", 128, "per-site cluster channel capacity")
 	fs.DurationVar(&cfg.grace, "grace", 10*time.Second, "shutdown grace period for in-flight HTTP requests")
+	fs.StringVar(&cfg.dataDir, "data-dir", "", "durable plane: per-tenant WAL + checkpoints under this directory, with crash recovery on boot (empty = off)")
+	fs.DurationVar(&cfg.ckptEvery, "checkpoint-interval", 30*time.Second, "per-tenant checkpoint cadence (needs -data-dir)")
+	fs.StringVar(&cfg.fsync, "fsync", "interval", "WAL sync policy: always | interval | never (needs -data-dir)")
 	fs.StringVar(&cfg.ingestListen, "ingest-listen", "127.0.0.1:7171", "coord: TCP listen address for site-node ingest")
 	fs.StringVar(&cfg.upstream, "upstream", "", "site: coordinator ingest address (required)")
 	fs.StringVar(&cfg.node, "node", "", "site: stable node name (required; keys reconnect resync)")
@@ -176,7 +193,9 @@ func parseFlags(args []string) (config, error) {
 	return cfg, cfg.validate()
 }
 
-func (c config) validate() error {
+// validate checks the flag set and resolves parsed-from-string fields
+// (fsyncMode), hence the pointer receiver.
+func (c *config) validate() error {
 	switch c.role {
 	case "standalone", "coord", "site":
 	default:
@@ -206,6 +225,17 @@ func (c config) validate() error {
 	}
 	if c.grace <= 0 {
 		return fmt.Errorf("-grace must be positive")
+	}
+	if c.ckptEvery <= 0 {
+		return fmt.Errorf("-checkpoint-interval must be positive")
+	}
+	mode, err := durable.ParseFsyncMode(c.fsync)
+	if err != nil {
+		return fmt.Errorf("-fsync: %w", err)
+	}
+	c.fsyncMode = mode
+	if c.dataDir != "" && c.role == "site" {
+		return fmt.Errorf("-data-dir applies to the standalone and coord roles (a site node holds no tracker state)")
 	}
 	if c.breakerFail < 0 || c.breakerOpen < 0 {
 		return fmt.Errorf("-breaker-fail and -breaker-open must be >= 0 (0 = package default)")
@@ -241,13 +271,28 @@ func main() {
 // runServer runs the standalone and coord roles.
 func runServer(cfg config, logger *slog.Logger) error {
 	startPprof(cfg.pprofAddr, logger)
-	svc := service.New(service.Config{
+	svc, err := service.Open(service.Config{
 		Shards:                 cfg.shards,
 		ShardQueue:             cfg.shardQueue,
 		SiteBuffer:             cfg.siteBuffer,
 		NodeBreakerFailures:    cfg.breakerFail,
 		NodeBreakerOpenTimeout: cfg.breakerOpen,
+		DataDir:                cfg.dataDir,
+		CheckpointInterval:     cfg.ckptEvery,
+		Fsync:                  cfg.fsyncMode,
 	})
+	if err != nil {
+		return err
+	}
+	if cfg.dataDir != "" {
+		rs := svc.RecoveryStats()
+		logger.Info("durable plane open", "data-dir", cfg.dataDir,
+			"fsync", cfg.fsync, "checkpoint-interval", cfg.ckptEvery.String(),
+			"recovered-tenants", rs.RecoveredTenants,
+			"replayed-records", rs.ReplayedRecords,
+			"quarantined-checkpoints", rs.QuarantinedCheckpoints,
+			"torn-wal-tails", rs.TornTails)
+	}
 	startMetrics(cfg.metricsAddr, svc.Metrics(), logger)
 	if cfg.role == "coord" {
 		ri, err := svc.ServeRemote(cfg.ingestListen)

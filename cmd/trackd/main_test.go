@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"disttrack/internal/durable"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -29,6 +31,12 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if cfg.logFormat != "text" || cfg.metricsAddr != "" {
 		t.Fatalf("default observability flags = %q / %q", cfg.logFormat, cfg.metricsAddr)
 	}
+	if cfg.dataDir != "" || cfg.ckptEvery != 30*time.Second || cfg.fsync != "interval" {
+		t.Fatalf("default durability flags = %q / %v / %q", cfg.dataDir, cfg.ckptEvery, cfg.fsync)
+	}
+	if cfg.fsyncMode != durable.FsyncInterval {
+		t.Fatalf("default fsync mode = %v", cfg.fsyncMode)
+	}
 }
 
 func TestParseFlagsRoles(t *testing.T) {
@@ -48,6 +56,10 @@ func TestParseFlagsRoles(t *testing.T) {
 		{"bad grace", []string{"-grace", "-1s"}, "must be positive"},
 		{"bad forward delay", []string{"-forward-delay", "0s"}, "must be positive"},
 		{"json logs ok", []string{"-log-format", "json"}, ""},
+		{"durable ok", []string{"-data-dir", "/tmp/dt", "-fsync", "always", "-checkpoint-interval", "5s"}, ""},
+		{"bad fsync", []string{"-data-dir", "/tmp/dt", "-fsync", "sometimes"}, "-fsync"},
+		{"bad checkpoint interval", []string{"-checkpoint-interval", "0s"}, "must be positive"},
+		{"site with data dir", []string{"-role", "site", "-upstream", "h:1", "-node", "e", "-data-dir", "/tmp/dt"}, "standalone and coord"},
 		{"bad log format", []string{"-log-format", "xml"}, "unknown -log-format"},
 		{"unknown flag", []string{"-nope"}, "flag provided but not defined"},
 		{"positional junk", []string{"extra"}, "unexpected arguments"},

@@ -149,8 +149,15 @@ func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
 		nd.s = int64(binary.LittleEndian.Uint64(buf[24:32]))
 		nd.left = int32(binary.LittleEndian.Uint32(buf[32:36]))
 		nd.right = int32(binary.LittleEndian.Uint32(buf[36:40]))
-		if nd.left >= int32(n) || nd.right >= int32(n) {
-			return nil, fmt.Errorf("allq: decode snapshot: child index out of range at node %d", i)
+		// The encoder emits preorder, so children always follow their
+		// parent. Enforcing that here (rather than just a range check)
+		// makes the tree walk in Rank/Quantile provably terminate on any
+		// decoded snapshot — a crafted back-edge would otherwise loop it.
+		leaf := nd.left == -1 && nd.right == -1
+		inner := nd.left > int32(i) && nd.right > int32(i) &&
+			nd.left < int32(n) && nd.right < int32(n)
+		if !leaf && !inner {
+			return nil, fmt.Errorf("allq: decode snapshot: bad children (%d,%d) at node %d", nd.left, nd.right, i)
 		}
 	}
 	return s, nil

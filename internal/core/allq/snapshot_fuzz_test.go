@@ -1,0 +1,51 @@
+package allq
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSnapshot drives the snapshot decoder with arbitrary bytes: it
+// must reject garbage with an error, never panic, and anything it accepts
+// must be safe to query (the preorder child validation is what makes the
+// Rank/Quantile walks terminate on adversarial input).
+func FuzzDecodeSnapshot(f *testing.F) {
+	tr, err := New(Config{K: 4, Eps: 0.1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	g := distinctUniform(5000, 17)
+	for i := 0; ; i++ {
+		x, ok := g.Next()
+		if !ok {
+			break
+		}
+		tr.Feed(i%4, x)
+	}
+	var buf bytes.Buffer
+	if err := tr.Snapshot().Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(append([]byte(nil), valid...))
+	f.Add(append([]byte(nil), valid[:len(valid)-7]...))
+	flipped := append([]byte(nil), valid...)
+	flipped[20] ^= 0x08 // inside the first node record
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte{0xE5, 0x0D, 0x1C, 0xA1, 0xFF, 0xFF, 0xFF, 0x00}) // magic + huge count
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sn, err := DecodeSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must answer queries without hanging or panicking.
+		_ = sn.Rank(0)
+		_ = sn.Rank(1 << 40)
+		_ = sn.EstTotal()
+		if sn.Nodes() > 0 {
+			_ = sn.Quantile(0.5)
+		}
+	})
+}

@@ -12,6 +12,8 @@
 package core
 
 import (
+	"io"
+
 	"disttrack/internal/core/engine"
 	"disttrack/internal/wire"
 )
@@ -67,4 +69,11 @@ type Tracker interface {
 	Rounds() int
 	// Bootstrapping reports whether every arrival is still forwarded.
 	Bootstrapping() bool
+
+	// Checkpoint writes a versioned, checksummed snapshot of the tracker
+	// under the quiescent lock set; Restore rebuilds a freshly constructed
+	// tracker (same config, before the first feed) from one. See
+	// engine.CheckpointPolicy for the contract.
+	Checkpoint(w io.Writer) error
+	Restore(r io.Reader) error
 }

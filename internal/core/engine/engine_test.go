@@ -1,8 +1,10 @@
 package engine_test
 
 import (
+	"fmt"
 	"testing"
 
+	"disttrack/internal/ckpt"
 	"disttrack/internal/core"
 	"disttrack/internal/core/engine"
 	"disttrack/internal/core/engine/enginetest"
@@ -55,6 +57,31 @@ func (p *countPolicy) OnEscalate(site int, _ uint64) {
 		p.flushes++
 	}
 }
+
+// Checkpoint support, so the mock runs the suite's round-trip law too.
+func (p *countPolicy) EncodeState(enc *ckpt.Encoder) {
+	enc.I64s(p.pending)
+	enc.I64(p.total)
+	enc.I64(int64(p.flushes))
+}
+
+func (p *countPolicy) DecodeState(dec *ckpt.Decoder) error {
+	pending := dec.I64s()
+	total := dec.I64()
+	flushes := int(dec.I64())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if len(pending) != len(p.pending) {
+		return fmt.Errorf("countPolicy: %d sites in checkpoint, want %d", len(pending), len(p.pending))
+	}
+	p.pending = pending
+	p.total = total
+	p.flushes = flushes
+	return nil
+}
+
+var _ engine.CheckpointPolicy = (*countPolicy)(nil)
 
 // countTracker assembles the mock policy into the same shape as the real
 // trackers: engine embed for the ingest surface, plus the stats methods

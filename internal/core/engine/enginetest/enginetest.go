@@ -12,7 +12,10 @@
 //     queries (run the package's tests under -race), with exact
 //     conservation of TrueTotal and per-site counts afterwards;
 //   - meter conservation: up+down, per-site and per-kind accounting all
-//     sum to the same totals.
+//     sum to the same totals;
+//   - checkpoint/restore round trip: a tracker restored from a checkpoint
+//     matches the live one — engine state, meters, queries — and continues
+//     the protocol identically from the cut.
 //
 // Protocol-specific accuracy contracts plug in through the Check* hooks;
 // the suite runs against all three core trackers and a minimal mock policy
@@ -20,6 +23,7 @@
 package enginetest
 
 import (
+	"bytes"
 	"math/rand"
 	"sync"
 	"testing"
@@ -65,6 +69,7 @@ func Run(t *testing.T, cfg Config) {
 	t.Run("ConcurrentStress", func(t *testing.T) { runConcurrent(t, cfg, false) })
 	t.Run("ConcurrentBatchStress", func(t *testing.T) { runConcurrent(t, cfg, true) })
 	t.Run("MeterConservation", func(t *testing.T) { runMeterConservation(t, cfg) })
+	t.Run("CheckpointRestore", func(t *testing.T) { runCheckpointRestore(t, cfg) })
 }
 
 // genStream returns n deterministic items: a Zipf stream, or a perturbed
@@ -297,6 +302,65 @@ func boolToInt(b bool) int {
 		return 1
 	}
 	return 0
+}
+
+// runCheckpointRestore pins the checkpoint/restore round-trip law:
+// checkpoint a mid-stream tracker, restore it into a fresh instance, and
+// the restored tracker must (1) agree with the live one on engine state,
+// meters and protocol queries, and (2) keep agreeing after both ingest the
+// same continuation stream — a restored tracker is a live tracker, not a
+// frozen read replica. A second checkpoint cut mid-bootstrap pins the
+// boot-phase round trip too.
+func runCheckpointRestore(t *testing.T, cfg Config) {
+	check := func(label string, a, b core.Tracker) {
+		t.Helper()
+		checkEngineEqual(t, label, a, b, cfg.K)
+		checkMetersEqual(t, label, a, b, cfg.K)
+		if a.Bootstrapping() != b.Bootstrapping() {
+			t.Fatalf("%s: Bootstrapping diverged: %v vs %v", label, a.Bootstrapping(), b.Bootstrapping())
+		}
+		for j := 0; j < cfg.K; j++ {
+			if a.SiteSpace(j) != b.SiteSpace(j) {
+				t.Fatalf("%s: site %d space diverged: %d vs %d", label, j, a.SiteSpace(j), b.SiteSpace(j))
+			}
+		}
+		if cfg.CheckEquiv != nil {
+			cfg.CheckEquiv(t, a, b)
+		}
+		if cfg.Query != nil {
+			a.Quiesce(func() { cfg.Query(t, a) })
+			b.Quiesce(func() { cfg.Query(t, b) })
+		}
+	}
+	roundTrip := func(label string, cut int) {
+		live := cfg.New(t)
+		items := genStream(cfg, cfg.K*cfg.PerSite, 29)
+		for i, x := range items[:cut] {
+			live.Feed(i%cfg.K, x)
+		}
+		var buf bytes.Buffer
+		if err := live.Checkpoint(&buf); err != nil {
+			t.Fatalf("%s: checkpoint: %v", label, err)
+		}
+		restored := cfg.New(t)
+		if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("%s: restore: %v", label, err)
+		}
+		check(label, live, restored)
+		// The restored tracker must continue the protocol identically.
+		for i, x := range items[cut:] {
+			site := (cut + i) % cfg.K
+			live.Feed(site, x)
+			restored.Feed(site, x)
+		}
+		check(label+"+continue", live, restored)
+		// Restoring into a tracker that has already fed must fail loudly.
+		if err := restored.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Fatalf("%s: restore into a used tracker succeeded", label)
+		}
+	}
+	roundTrip("tracking", cfg.K*cfg.PerSite*3/4)
+	roundTrip("bootstrap", 3) // mid-bootstrap cut: boot state must round-trip too
 }
 
 // runMeterConservation feeds a sequential stream and asserts the meter's

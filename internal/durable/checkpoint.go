@@ -1,0 +1,136 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"disttrack/internal/ckpt"
+)
+
+// Checkpoint files. Each is one ckpt frame (magic/version/length/crc32c)
+// wrapping an opaque payload the service supplies — the tenant's engine
+// checkpoint plus its replay bookkeeping. The cover sequence in the file
+// name says which WAL prefix the state already includes: recovery loads
+// the newest valid checkpoint and replays only records after its cover.
+const (
+	ckptFileMagic   = 0xD1CB_0001
+	ckptFileVersion = 1
+	// maxCheckpointFile bounds the payload allocation when reading a file
+	// whose length field may be corrupt.
+	maxCheckpointFile = 1 << 30
+
+	ckptPrefix = "ckpt-"
+	ckptExt    = ".ckpt"
+)
+
+// Checkpoint is one loaded checkpoint.
+type Checkpoint struct {
+	CoverSeq uint64 // highest WAL sequence the payload includes
+	Payload  []byte
+}
+
+// WriteCheckpoint durably stores a checkpoint covering WAL sequences up
+// to coverSeq (tmp + fsync + rename), prunes checkpoints beyond the
+// retention count, and deletes WAL segments covered by the oldest kept
+// checkpoint. It returns the encoded size and how many WAL segments were
+// removed.
+func (t *Tenant) WriteCheckpoint(coverSeq uint64, payload []byte) (size int64, walRemoved int, err error) {
+	var buf bytes.Buffer
+	if err := writeCkptFrame(&buf, payload); err != nil {
+		return 0, 0, fmt.Errorf("durable: checkpoint tenant %s: %w", t.name, err)
+	}
+	path := filepath.Join(t.dir, seqName(ckptPrefix, coverSeq, ckptExt))
+	if err := writeFileAtomic(path, buf.Bytes()); err != nil {
+		return 0, 0, fmt.Errorf("durable: checkpoint tenant %s: %w", t.name, err)
+	}
+	if err := syncDir(t.dir); err != nil {
+		return 0, 0, err
+	}
+
+	covers, err := listSeqFiles(t.dir, ckptPrefix, ckptExt)
+	if err != nil {
+		return 0, 0, err
+	}
+	keep := t.store.opts.Keep
+	for len(covers) > keep {
+		old := filepath.Join(t.dir, seqName(ckptPrefix, covers[0], ckptExt))
+		if err := os.Remove(old); err != nil {
+			return 0, 0, fmt.Errorf("durable: prune checkpoint: %w", err)
+		}
+		covers = covers[1:]
+	}
+	// Truncate the WAL only to the oldest *kept* checkpoint: if the newest
+	// turns out corrupt on the next boot, the fallback still has its tail.
+	if len(covers) > 0 {
+		if walRemoved, err = t.truncateWAL(covers[0]); err != nil {
+			return 0, 0, err
+		}
+	}
+	return int64(buf.Len()), walRemoved, nil
+}
+
+// LoadCheckpoint returns the newest valid checkpoint, or nil if none
+// exists. A checkpoint that fails its frame check (torn write, bit rot)
+// is quarantined — renamed with a .corrupt suffix — and the previous one
+// is tried, so one bad file degrades recovery to a longer WAL replay
+// instead of failing boot.
+func (t *Tenant) LoadCheckpoint() (ck *Checkpoint, quarantined int, err error) {
+	covers, err := listSeqFiles(t.dir, ckptPrefix, ckptExt)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := len(covers) - 1; i >= 0; i-- {
+		path := filepath.Join(t.dir, seqName(ckptPrefix, covers[i], ckptExt))
+		payload, rerr := readCkptFrame(path)
+		if rerr == nil {
+			return &Checkpoint{CoverSeq: covers[i], Payload: payload}, quarantined, nil
+		}
+		if qerr := os.Rename(path, path+".corrupt"); qerr != nil {
+			return nil, quarantined, fmt.Errorf("durable: quarantine %s: %w", path, qerr)
+		}
+		quarantined++
+	}
+	return nil, quarantined, nil
+}
+
+// Quarantine renames the checkpoint covering coverSeq with a .corrupt
+// suffix. LoadCheckpoint quarantines frame-level corruption on its own;
+// this is for the caller whose payload decode failed on a frame that
+// checksummed cleanly (version skew, semantic mismatch) — quarantine it
+// and call LoadCheckpoint again for the previous one.
+func (t *Tenant) Quarantine(coverSeq uint64) error {
+	path := filepath.Join(t.dir, seqName(ckptPrefix, coverSeq, ckptExt))
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		return fmt.Errorf("durable: quarantine %s: %w", path, err)
+	}
+	return nil
+}
+
+// Checkpoints returns the cover sequences of the stored checkpoints,
+// ascending.
+func (t *Tenant) Checkpoints() ([]uint64, error) {
+	return listSeqFiles(t.dir, ckptPrefix, ckptExt)
+}
+
+func writeCkptFrame(w io.Writer, payload []byte) error {
+	return ckpt.WriteFrame(w, ckptFileMagic, ckptFileVersion, payload)
+}
+
+func readCkptFrame(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	v, payload, err := ckpt.ReadFrame(f, ckptFileMagic, maxCheckpointFile)
+	if err != nil {
+		return nil, err
+	}
+	if v != ckptFileVersion {
+		return nil, fmt.Errorf("checkpoint file version %d, want %d", v, ckptFileVersion)
+	}
+	return payload, nil
+}

@@ -1,0 +1,326 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustTenant(t *testing.T, s *Store, name string) *Tenant {
+	t.Helper()
+	ten, err := s.Tenant(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ten.Create([]byte(`{"name":"` + name + `"}`)); err != nil {
+		t.Fatal(err)
+	}
+	return ten
+}
+
+type replayed struct {
+	seq  uint64
+	site int
+	keys []uint64
+}
+
+func replayAll(t *testing.T, ten *Tenant, after uint64) ([]replayed, ReplayStats) {
+	t.Helper()
+	var out []replayed
+	stats, err := ten.ReplayWAL(after, func(seq uint64, site int, keys []uint64) error {
+		cp := append([]uint64(nil), keys...)
+		out = append(out, replayed{seq, site, cp})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out, stats
+}
+
+func TestTenantLifecycle(t *testing.T) {
+	s := openTestStore(t, Options{})
+	ten := mustTenant(t, s, "clicks")
+	meta, err := ten.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(meta) != `{"name":"clicks"}` {
+		t.Fatalf("meta = %q", meta)
+	}
+	names, err := s.ListTenants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "clicks" {
+		t.Fatalf("tenants = %v", names)
+	}
+	if err := ten.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ = s.ListTenants(); len(names) != 0 {
+		t.Fatalf("tenants after drop = %v", names)
+	}
+	for _, bad := range []string{"", ".", "..", "a/b", `a\b`} {
+		if _, err := s.Tenant(bad); err == nil {
+			t.Fatalf("tenant name %q accepted", bad)
+		}
+	}
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	s := openTestStore(t, Options{})
+	ten := mustTenant(t, s, "w")
+	if err := ten.OpenWAL(1); err != nil {
+		t.Fatal(err)
+	}
+	want := []replayed{
+		{1, 0, []uint64{10, 20, 30}},
+		{2, 1, []uint64{40}},
+		{3, 0, nil},
+		{4, 2, []uint64{50, 60}},
+	}
+	for _, r := range want {
+		seq, err := ten.Append(r.site, r.keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != r.seq {
+			t.Fatalf("append seq = %d, want %d", seq, r.seq)
+		}
+	}
+	st := ten.WALStats()
+	if st.AppendedRecords != 4 || st.AppendedValues != 6 || st.NextSeq != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := ten.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, stats := replayAll(t, ten, 0)
+	if stats.Records != 4 || stats.Values != 6 || stats.LastSeq != 4 || stats.TornTail {
+		t.Fatalf("replay stats = %+v", stats)
+	}
+	for i, r := range got {
+		if r.seq != want[i].seq || r.site != want[i].site || len(r.keys) != len(want[i].keys) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want[i])
+		}
+		for j := range r.keys {
+			if r.keys[j] != want[i].keys[j] {
+				t.Fatalf("record %d keys = %v, want %v", i, r.keys, want[i].keys)
+			}
+		}
+	}
+
+	// Replay after a cover skips the covered prefix.
+	got, stats = replayAll(t, ten, 2)
+	if len(got) != 2 || got[0].seq != 3 || stats.Records != 2 {
+		t.Fatalf("partial replay = %+v (stats %+v)", got, stats)
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	s := openTestStore(t, Options{})
+	ten := mustTenant(t, s, "torn")
+	if err := ten.OpenWAL(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ten.Append(i, []uint64{uint64(i), uint64(i) + 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ten.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chop bytes off the only segment: a torn final record.
+	segs, err := listSeqFiles(ten.dir, walPrefix, walExt)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v (%v)", segs, err)
+	}
+	path := filepath.Join(ten.dir, seqName(walPrefix, segs[0], walExt))
+	info, _ := os.Stat(path)
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	got, stats := replayAll(t, ten, 0)
+	if !stats.TornTail || stats.Records != 2 || stats.LastSeq != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(got) != 2 {
+		t.Fatalf("records = %+v", got)
+	}
+
+	// The tail was truncated away: appending resumes cleanly at seq 3 and a
+	// fresh replay sees a contiguous log.
+	if err := ten.OpenWAL(stats.LastSeq + 1); err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := ten.Append(0, []uint64{7}); err != nil || seq != 3 {
+		t.Fatalf("append after repair: seq=%d err=%v", seq, err)
+	}
+	if err := ten.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats = replayAll(t, ten, 0)
+	if stats.TornTail || stats.Records != 3 || got[2].seq != 3 {
+		t.Fatalf("post-repair replay = %+v (stats %+v)", got, stats)
+	}
+}
+
+func TestCheckpointQuarantineFallback(t *testing.T) {
+	s := openTestStore(t, Options{})
+	ten := mustTenant(t, s, "q")
+	if _, _, err := ten.WriteCheckpoint(10, []byte("state-at-10")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ten.WriteCheckpoint(20, []byte("state-at-20")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte in the newest checkpoint.
+	path := filepath.Join(ten.dir, seqName(ckptPrefix, 20, ckptExt))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ck, quarantined, err := ten.LoadCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quarantined != 1 || ck == nil || ck.CoverSeq != 10 || string(ck.Payload) != "state-at-10" {
+		t.Fatalf("fallback load = %+v quarantined=%d", ck, quarantined)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt file not quarantined: %v", err)
+	}
+
+	// Both corrupt: recovery reports no checkpoint rather than failing.
+	good := filepath.Join(ten.dir, seqName(ckptPrefix, 10, ckptExt))
+	if err := os.WriteFile(good, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, quarantined, err = ten.LoadCheckpoint()
+	if err != nil || ck != nil || quarantined != 1 {
+		t.Fatalf("double-corrupt load = %+v quarantined=%d err=%v", ck, quarantined, err)
+	}
+}
+
+func TestCheckpointPruneAndWALTruncate(t *testing.T) {
+	// Tiny segments so every append rolls a new one.
+	s := openTestStore(t, Options{SegmentBytes: 1, Keep: 2})
+	ten := mustTenant(t, s, "t")
+	if err := ten.OpenWAL(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := ten.Append(0, []uint64{uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := ten.WALStats(); st.Segments != 6 {
+		t.Fatalf("segments = %d, want 6", st.Segments)
+	}
+
+	// Checkpoint covering seq 4 then seq 5: retention keeps both, and the
+	// WAL is truncated to the OLDER cover (4) — segments holding only
+	// records ≤ 4 go away, the rest stay for fallback recovery.
+	if _, _, err := ten.WriteCheckpoint(4, []byte("s4")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ten.WriteCheckpoint(5, []byte("s5")); err != nil {
+		t.Fatal(err)
+	}
+	covers, err := ten.Checkpoints()
+	if err != nil || len(covers) != 2 || covers[0] != 4 || covers[1] != 5 {
+		t.Fatalf("checkpoints = %v (%v)", covers, err)
+	}
+	if st := ten.WALStats(); st.Segments != 2 {
+		t.Fatalf("segments after truncate = %d, want 2", st.Segments)
+	}
+
+	// A third checkpoint prunes the oldest and advances the truncation.
+	if _, _, err := ten.WriteCheckpoint(6, []byte("s6")); err != nil {
+		t.Fatal(err)
+	}
+	covers, _ = ten.Checkpoints()
+	if len(covers) != 2 || covers[0] != 5 || covers[1] != 6 {
+		t.Fatalf("checkpoints after prune = %v", covers)
+	}
+	if err := ten.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything after the oldest kept cover (5) is still replayable.
+	got, stats := replayAll(t, ten, 5)
+	if stats.Records != 1 || len(got) != 1 || got[0].seq != 6 {
+		t.Fatalf("replay after truncate = %+v (stats %+v)", got, stats)
+	}
+}
+
+// FuzzWALRecord drives the record decoder with arbitrary bytes: it must
+// reject garbage with ok=false, never panic or over-allocate.
+func FuzzWALRecord(f *testing.F) {
+	// Seed with a valid record, a truncation of it, and a bit flip.
+	s, err := Open(f.TempDir(), Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ten, err := s.Tenant("fuzz")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := ten.Create(nil); err != nil {
+		f.Fatal(err)
+	}
+	if err := ten.OpenWAL(1); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := ten.Append(3, []uint64{1, 2, 3}); err != nil {
+		f.Fatal(err)
+	}
+	if err := ten.Close(); err != nil {
+		f.Fatal(err)
+	}
+	segs, _ := listSeqFiles(ten.dir, walPrefix, walExt)
+	raw, err := os.ReadFile(filepath.Join(ten.dir, seqName(walPrefix, segs[0], walExt)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	rec := raw[walHeaderLen:]
+	f.Add(append([]byte(nil), rec...))
+	f.Add(append([]byte(nil), rec[:len(rec)-3]...))
+	flipped := append([]byte(nil), rec...)
+	flipped[6] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, site, keys, next, ok := decodeWALRecord(data, 0)
+		if !ok {
+			return
+		}
+		if next <= 0 || next > len(data) {
+			t.Fatalf("decoded record claims %d bytes of %d", next, len(data))
+		}
+		_ = seq
+		_ = site
+		_ = keys
+	})
+}

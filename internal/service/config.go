@@ -1,6 +1,10 @@
 package service
 
-import "time"
+import (
+	"time"
+
+	"disttrack/internal/durable"
+)
 
 // Config parameterizes a Server.
 type Config struct {
@@ -28,6 +32,22 @@ type Config struct {
 	// off before admitting a probe connection (default 5s; coord role
 	// only).
 	NodeBreakerOpenTimeout time.Duration
+
+	// DataDir enables the durable plane: per-tenant ingest WALs and
+	// periodic checkpoints under this directory, with crash recovery on
+	// the next Open (see docs/durability.md). Empty disables durability
+	// entirely — no WAL, no checkpoints, and the ingest path takes no new
+	// locks. Only Open honors it; New always runs without durability.
+	DataDir string
+	// CheckpointInterval is the per-tenant checkpoint cadence (default
+	// 30s; needs DataDir).
+	CheckpointInterval time.Duration
+	// Fsync is the WAL sync policy (default durable.FsyncInterval; needs
+	// DataDir).
+	Fsync durable.FsyncMode
+	// FsyncInterval is the sync cadence in durable.FsyncInterval mode
+	// (default 100ms).
+	FsyncInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -39,6 +59,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SiteBuffer < 1 {
 		c.SiteBuffer = 128
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 30 * time.Second
 	}
 	// The remote fault knobs keep their zero values here: the remote and
 	// fault packages apply their own defaults, and repeating the numbers

@@ -1,0 +1,400 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"disttrack/internal/durable"
+)
+
+// openDurable opens a durable server on dir. The checkpoint interval is an
+// hour so tests control checkpoint timing explicitly.
+func openDurable(t *testing.T, dir string) *Server {
+	t.Helper()
+	s, err := Open(Config{
+		DataDir:            dir,
+		CheckpointInterval: time.Hour,
+		Fsync:              durable.FsyncNever, // in-process "crashes" never lose the page cache
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// ingestN feeds values [0,n) one batch per value to site 0 of the tenant —
+// one WAL record per value, which lets torn-tail tests reason about exactly
+// which values a truncation loses.
+func ingestN(t *testing.T, s *Server, tenant string, n int) {
+	t.Helper()
+	for v := 0; v < n; v++ {
+		if acc, errs := s.Ingest([]Record{{Tenant: tenant, Site: 0, Value: uint64(v)}}); acc != 1 {
+			t.Fatalf("ingest value %d: accepted %d, errs %+v", v, acc, errs)
+		}
+	}
+	s.Flush()
+}
+
+// abandon simulates a crash: the server is dropped without Close, so no
+// final checkpoint runs and the WAL is the only record of the tail. The
+// leaked goroutines idle until the test process exits.
+func abandon(s *Server) {
+	s.dur.stopLoop()
+}
+
+// checkpointAll forces a checkpoint of every tenant now.
+func checkpointAll(t *testing.T, s *Server) {
+	t.Helper()
+	for _, tn := range s.reg.all() {
+		if err := s.checkpointTenant(tn); err != nil {
+			t.Fatalf("checkpoint %s: %v", tn.cfg.Name, err)
+		}
+	}
+}
+
+// TestDurableCrashRecovery is the core crash test, across all three tenant
+// kinds: ingest, checkpoint mid-stream, ingest more (so recovery needs both
+// the checkpoint and the WAL tail), crash without Close, reopen, and verify
+// the recovered trackers give exactly the answers a never-crashed server
+// would. k=1 keeps delivery single-threaded, so recovered state is
+// byte-for-byte deterministic, not just total-preserving.
+func TestDurableCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir)
+	for _, tc := range []TenantConfig{
+		{Name: "hh", Kind: KindHH, K: 1, Eps: 0.1},
+		{Name: "quant", Kind: KindQuantile, K: 1, Eps: 0.1, Phis: []float64{0.5}},
+		{Name: "allq", Kind: KindAllQ, K: 1, Eps: 0.1},
+	} {
+		mustCreate(t, s, tc)
+	}
+
+	const half, total = 40, 80
+	for _, name := range []string{"hh", "quant", "allq"} {
+		ingestN(t, s, name, half)
+	}
+	checkpointAll(t, s)
+	for _, name := range []string{"hh", "quant", "allq"} {
+		for v := half; v < total; v++ {
+			if acc, _ := s.Ingest([]Record{{Tenant: name, Site: 0, Value: uint64(v)}}); acc != 1 {
+				t.Fatalf("ingest %s value %d not accepted", name, v)
+			}
+		}
+	}
+	s.Flush()
+	abandon(s)
+
+	r := openDurable(t, dir)
+	defer r.Close()
+	r.dur.mu.Lock()
+	recovered, replayed := r.dur.recovered, r.dur.replayed
+	r.dur.mu.Unlock()
+	if recovered != 3 {
+		t.Fatalf("recovered %d tenants, want 3", recovered)
+	}
+	// Each tenant replays its 40 post-checkpoint records.
+	if replayed != 3*(total-half) {
+		t.Fatalf("replayed %d WAL records, want %d", replayed, 3*(total-half))
+	}
+	for _, name := range []string{"hh", "quant", "allq"} {
+		tn := r.reg.Get(name)
+		if tn == nil {
+			t.Fatalf("tenant %s not recovered", name)
+		}
+		st := tn.Stats()
+		if st.SiteCounts[0] != total {
+			t.Fatalf("%s: site count %d after recovery, want %d", name, st.SiteCounts[0], total)
+		}
+	}
+	// Values 0..79 ingested once each: every item is a 1/80 fraction, so
+	// phi=0.5 has no heavy hitters and the median is 39 or 40 (either side
+	// of the even split is a valid eps-approximate answer).
+	if hhs, err := r.reg.Get("hh").HeavyHitters(0.5); err != nil || len(hhs) != 0 {
+		t.Fatalf("hh query after recovery: %v, %v", hhs, err)
+	}
+	if f, err := r.reg.Get("hh").Frequency(7); err != nil || f != 1 {
+		t.Fatalf("hh frequency after recovery: %d, %v (want 1)", f, err)
+	}
+	med, err := r.reg.Get("quant").Quantile(0.5)
+	if err != nil || med < total/2-1-8 || med > total/2+8 {
+		t.Fatalf("quantile after recovery: %d, %v", med, err)
+	}
+	rank, tot, err := r.reg.Get("allq").Rank(40)
+	if err != nil || tot != total || rank < 40-8 || rank > 40+8 {
+		t.Fatalf("allq rank after recovery: rank=%d total=%d err=%v", rank, tot, err)
+	}
+
+	// The recovered server keeps working: new ingest lands on top of the
+	// recovered state and the perturbation sequence does not collide with
+	// replayed keys (a collision would under-count the duplicate value).
+	for i := 0; i < 10; i++ {
+		if acc, _ := r.Ingest([]Record{{Tenant: "allq", Site: 0, Value: 7}}); acc != 1 {
+			t.Fatal("post-recovery ingest not accepted")
+		}
+	}
+	r.Flush()
+	if st := r.reg.Get("allq").Stats(); st.SiteCounts[0] != total+10 {
+		t.Fatalf("post-recovery site count %d, want %d", st.SiteCounts[0], total+10)
+	}
+}
+
+// TestDurableGracefulRestartNoReplay pins the shutdown contract: Close takes
+// a final checkpoint, so a graceful restart recovers from the checkpoint
+// alone with zero WAL replay.
+func TestDurableGracefulRestartNoReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir)
+	mustCreate(t, s, TenantConfig{Name: "g", Kind: KindHH, K: 2, Eps: 0.1})
+	for v := 0; v < 50; v++ {
+		if acc, _ := s.Ingest([]Record{{Tenant: "g", Site: v % 2, Value: uint64(v % 5)}}); acc != 1 {
+			t.Fatal("ingest not accepted")
+		}
+	}
+	s.Close()
+
+	r := openDurable(t, dir)
+	defer r.Close()
+	r.dur.mu.Lock()
+	recovered, replayed := r.dur.recovered, r.dur.replayed
+	r.dur.mu.Unlock()
+	if recovered != 1 || replayed != 0 {
+		t.Fatalf("graceful restart: recovered=%d replayed=%d, want 1 and 0", recovered, replayed)
+	}
+	st := r.reg.Get("g").Stats()
+	if st.SiteCounts[0]+st.SiteCounts[1] != 50 {
+		t.Fatalf("site counts %v after graceful restart, want sum 50", st.SiteCounts)
+	}
+	if f, err := r.reg.Get("g").Frequency(3); err != nil || f != 10 {
+		t.Fatalf("frequency after graceful restart: %d, %v (want 10)", f, err)
+	}
+}
+
+// TestDurableCorruptCheckpointFallback corrupts the newest checkpoint two
+// ways — frame-level bit rot, and a valid frame wrapping a payload the
+// service cannot decode — and verifies recovery quarantines both and falls
+// back to the older checkpoint plus a longer WAL replay, with no data loss.
+func TestDurableCorruptCheckpointFallback(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir)
+	mustCreate(t, s, TenantConfig{Name: "c", Kind: KindHH, K: 1, Eps: 0.1})
+	ingestN(t, s, "c", 30)
+	checkpointAll(t, s) // covers seq 30
+	ingestN(t, s, "c", 10)
+	tn := s.reg.Get("c")
+	for v := 30; v < 60; v++ {
+		if acc, _ := s.Ingest([]Record{{Tenant: "c", Site: 0, Value: uint64(v)}}); acc != 1 {
+			t.Fatal("ingest not accepted")
+		}
+	}
+	s.Flush()
+	checkpointAll(t, s) // covers seq 70
+	_ = tn
+	abandon(s)
+
+	tenDir := filepath.Join(dir, "tenants", "c")
+	flipNewestCheckpoint := func() string {
+		t.Helper()
+		names, err := filepath.Glob(filepath.Join(tenDir, "ckpt-*.ckpt"))
+		if err != nil || len(names) == 0 {
+			t.Fatalf("checkpoint files: %v (%v)", names, err)
+		}
+		newest := names[len(names)-1]
+		data, err := os.ReadFile(newest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xFF
+		if err := os.WriteFile(newest, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return newest
+	}
+	corrupted := flipNewestCheckpoint()
+
+	r := openDurable(t, dir)
+	r.dur.mu.Lock()
+	quarantined := r.dur.quarantined
+	r.dur.mu.Unlock()
+	if quarantined != 1 {
+		t.Fatalf("quarantined %d checkpoints, want 1", quarantined)
+	}
+	if _, err := os.Stat(corrupted + ".corrupt"); err != nil {
+		t.Fatalf("corrupt checkpoint not renamed: %v", err)
+	}
+	st := r.reg.Get("c").Stats()
+	if st.SiteCounts[0] != 70 {
+		t.Fatalf("site count %d after fallback recovery, want 70", st.SiteCounts[0])
+	}
+	r.Close() // writes fresh checkpoints
+
+	// Semantic corruption: a frame that checksums cleanly but whose payload
+	// the service cannot decode (here: a different tenant's). LoadCheckpoint
+	// accepts it; the service must quarantine it and fall back.
+	store, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dten, err := store.Tenant("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	covers, err := dten.Checkpoints()
+	if err != nil || len(covers) == 0 {
+		t.Fatalf("checkpoints: %v (%v)", covers, err)
+	}
+	if _, _, err := dten.WriteCheckpoint(covers[len(covers)-1]+1, []byte("not a service payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := openDurable(t, dir)
+	defer r2.Close()
+	r2.dur.mu.Lock()
+	quarantined = r2.dur.quarantined
+	r2.dur.mu.Unlock()
+	if quarantined != 1 {
+		t.Fatalf("semantic corruption: quarantined %d, want 1", quarantined)
+	}
+	if st := r2.reg.Get("c").Stats(); st.SiteCounts[0] != 70 {
+		t.Fatalf("site count %d after semantic fallback, want 70", st.SiteCounts[0])
+	}
+}
+
+// TestDurableTornWALTail truncates the active WAL segment mid-record — the
+// torn write a real crash leaves — and verifies recovery repairs the tail,
+// loses exactly the torn record, and resumes appending cleanly.
+func TestDurableTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir)
+	mustCreate(t, s, TenantConfig{Name: "torn", Kind: KindHH, K: 1, Eps: 0.1})
+	ingestN(t, s, "torn", 20) // one WAL record per value
+	abandon(s)
+
+	segs, err := filepath.Glob(filepath.Join(dir, "tenants", "torn", "wal-*.log"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("wal segments: %v (%v)", segs, err)
+	}
+	info, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openDurable(t, dir)
+	defer r.Close()
+	r.dur.mu.Lock()
+	tornTails, replayed := r.dur.tornTails, r.dur.replayed
+	r.dur.mu.Unlock()
+	if tornTails != 1 || replayed != 19 {
+		t.Fatalf("tornTails=%d replayed=%d, want 1 and 19", tornTails, replayed)
+	}
+	if st := r.reg.Get("torn").Stats(); st.SiteCounts[0] != 19 {
+		t.Fatalf("site count %d after torn-tail recovery, want 19", st.SiteCounts[0])
+	}
+	// Appending resumes on the repaired log.
+	if acc, _ := r.Ingest([]Record{{Tenant: "torn", Site: 0, Value: 99}}); acc != 1 {
+		t.Fatal("post-repair ingest not accepted")
+	}
+	r.Flush()
+	if st := r.reg.Get("torn").Stats(); st.SiteCounts[0] != 20 {
+		t.Fatalf("site count %d after post-repair ingest, want 20", st.SiteCounts[0])
+	}
+}
+
+// TestDurableDeleteDropsState: deleting a tenant removes its durable state,
+// so it does not resurrect on the next boot.
+func TestDurableDeleteDropsState(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir)
+	mustCreate(t, s, TenantConfig{Name: "gone", Kind: KindHH, K: 1, Eps: 0.1})
+	mustCreate(t, s, TenantConfig{Name: "kept", Kind: KindHH, K: 1, Eps: 0.1})
+	ingestN(t, s, "gone", 5)
+	ingestN(t, s, "kept", 5)
+	if !s.reg.Delete("gone", true) {
+		t.Fatal("delete failed")
+	}
+	s.Close()
+
+	r := openDurable(t, dir)
+	defer r.Close()
+	if r.reg.Get("gone") != nil {
+		t.Fatal("deleted tenant resurrected after restart")
+	}
+	if tn := r.reg.Get("kept"); tn == nil || tn.Stats().SiteCounts[0] != 5 {
+		t.Fatalf("kept tenant missing or wrong after restart")
+	}
+}
+
+// TestDurableHealthz pins the /healthz durability section on a durable
+// server: all three fields present (TestHealthzShape pins its absence on a
+// non-durable one).
+func TestDurableHealthz(t *testing.T) {
+	s := openDurable(t, t.TempDir())
+	defer s.Close()
+	mustCreate(t, s, TenantConfig{Name: "h", Kind: KindHH, K: 1, Eps: 0.1})
+	ingestN(t, s, "h", 3)
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var h healthPayload
+	if code := jsonDo(t, ts.Client(), "GET", ts.URL+"/healthz", nil, &h); code != http.StatusOK {
+		t.Fatalf("healthz: status %d", code)
+	}
+	d := h.Durability
+	if d == nil {
+		t.Fatal("durability section missing on a durable server")
+	}
+	if d.LastCheckpointAgeS == nil || d.WALSegments == nil || d.RecoveredTenants == nil {
+		t.Fatalf("durability section incomplete: %+v", d)
+	}
+	if *d.LastCheckpointAgeS < 0 || *d.WALSegments != 1 || *d.RecoveredTenants != 0 {
+		t.Fatalf("durability values: age=%v segments=%d recovered=%d",
+			*d.LastCheckpointAgeS, *d.WALSegments, *d.RecoveredTenants)
+	}
+}
+
+// TestDurableCheckpointConcurrentIngest checkpoints repeatedly while ingest
+// runs, then crashes and recovers — the checkpoint/WAL consistency contract
+// under real concurrency. Run with -race to check the durMu discipline.
+func TestDurableCheckpointConcurrentIngest(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir)
+	mustCreate(t, s, TenantConfig{Name: "cc", Kind: KindAllQ, K: 1, Eps: 0.1})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			checkpointAll(t, s)
+		}
+	}()
+	const n = 2000
+	for v := 0; v < n; v += 4 {
+		recs := make([]Record, 0, 4)
+		for j := 0; j < 4; j++ {
+			recs = append(recs, Record{Tenant: "cc", Site: 0, Value: uint64(v + j)})
+		}
+		if acc, errs := s.Ingest(recs); acc != 4 {
+			t.Errorf("ingest at %d: accepted %d, errs %+v", v, acc, errs)
+			break
+		}
+	}
+	s.Flush()
+	<-done
+	abandon(s)
+
+	r := openDurable(t, dir)
+	defer r.Close()
+	if st := r.reg.Get("cc").Stats(); st.SiteCounts[0] != n {
+		t.Fatalf("site count %d after concurrent checkpoint crash, want %d", st.SiteCounts[0], n)
+	}
+	rank, total, err := r.reg.Get("cc").Rank(1000)
+	if err != nil || total != n || rank < 1000-200 || rank > 1000+200 {
+		t.Fatalf("rank after recovery: rank=%d total=%d err=%v", rank, total, err)
+	}
+}

@@ -121,6 +121,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if len(qos) > 0 {
 		body["tenant_qos"] = qos
 	}
+	// Durable plane status (only with a data directory configured).
+	if ds := s.durabilityStatus(); ds != nil {
+		body["durability"] = ds
+	}
 	// Coordinator role: per-site-node connection and breaker state. The
 	// service is degraded — still serving, from last-known site state —
 	// when a node it has heard from is not currently connected.

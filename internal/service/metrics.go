@@ -95,6 +95,16 @@ type serverMetrics struct {
 	nodeBreakerState *obs.GaugeVec   // {node}; 0 closed, 1 open, 2 half-open
 	nodeBreakerTrips *obs.CounterVec // {node}
 
+	// Durable plane (checkpoints + WAL; zero-valued without a data dir).
+	ckptTotal   *obs.Counter
+	ckptBytes   *obs.Counter
+	ckptSecs    *obs.Histogram
+	ckptErrors  *obs.Counter
+	walAppended *obs.Counter
+	walReplayed *obs.Counter
+	walFsync    *obs.Counter
+	walErrors   *obs.Counter
+
 	// HTTP API instrumentation.
 	httpReqs     *obs.CounterVec   // {route, method, code}
 	httpSecs     *obs.HistogramVec // {route}
@@ -110,6 +120,8 @@ type serverMetrics struct {
 	lastRemoteRejVs int64
 	lastRemoteThrVs int64
 	lastNodeTrips   map[string]int64
+	lastWALAppended int64
+	lastWALFsync    int64
 }
 
 // newServerMetrics registers the server's full metric catalog on a fresh
@@ -216,6 +228,23 @@ func newServerMetrics(shards int) *serverMetrics {
 		"Times the node's reconnect breaker tripped open.", "node")
 	m.lastNodeTrips = make(map[string]int64)
 	m.remoteBridge = wireobs.New(reg, "disttrack_remote_wire")
+
+	m.ckptTotal = reg.NewCounter("disttrack_checkpoint_total",
+		"Durable checkpoints completed.")
+	m.ckptBytes = reg.NewCounter("disttrack_checkpoint_bytes",
+		"Encoded bytes written by durable checkpoints.")
+	m.ckptSecs = reg.NewHistogram("disttrack_checkpoint_duration_seconds",
+		"Seconds per durable checkpoint, capture through disk write.", obs.DurationBuckets())
+	m.ckptErrors = reg.NewCounter("disttrack_checkpoint_errors_total",
+		"Durable checkpoint or durable-state cleanup failures.")
+	m.walAppended = reg.NewCounter("disttrack_wal_appended_total",
+		"Record batches appended to tenant ingest WALs.")
+	m.walReplayed = reg.NewCounter("disttrack_wal_replayed_total",
+		"WAL record batches replayed during boot recovery.")
+	m.walFsync = reg.NewCounter("disttrack_wal_fsync_total",
+		"fsync calls issued by tenant ingest WALs.")
+	m.walErrors = reg.NewCounter("disttrack_wal_errors_total",
+		"WAL append failures (the batch was still delivered; durability fails open).")
 
 	m.httpReqs = reg.NewCounterVec("disttrack_http_requests_total",
 		"HTTP API requests, by mux route, method and status code.", "route", "method", "code")
@@ -362,6 +391,18 @@ func (s *Server) syncObs() {
 	}
 	if ri := s.remote.Load(); ri != nil {
 		ri.syncObs(m)
+	}
+	if s.dur != nil {
+		var appended, fsyncs int64
+		for _, t := range s.reg.all() {
+			if t.dur != nil {
+				st := t.dur.WALStats()
+				appended += st.AppendedRecords
+				fsyncs += st.Fsyncs
+			}
+		}
+		addDelta(m.walAppended, &m.lastWALAppended, appended)
+		addDelta(m.walFsync, &m.lastWALFsync, fsyncs)
 	}
 }
 

@@ -168,6 +168,15 @@ type healthPayload struct {
 	TenantQoS       map[string]tenantQoS  `json:"tenant_qos"`
 	RemoteNodes     map[string]nodeHealth `json:"remote_nodes"`
 	Degraded        *bool                 `json:"degraded"`
+	Durability      *durabilityHealth     `json:"durability"`
+}
+
+// durabilityHealth pins the /healthz durability section (durable servers
+// only; see TestDurableHealthz for the present case).
+type durabilityHealth struct {
+	LastCheckpointAgeS *float64 `json:"last_checkpoint_age_s"`
+	WALSegments        *int64   `json:"wal_segments"`
+	RecoveredTenants   *int     `json:"recovered_tenants"`
 }
 
 type nodeHealth struct {
@@ -208,6 +217,10 @@ func TestHealthzShape(t *testing.T) {
 	}
 	if !h.OK || h.Tenants != 2 || h.Accepted != 1 || h.Shards == 0 || len(h.ShardQueueDepth) != h.Shards {
 		t.Fatalf("healthz core shape: %+v", h)
+	}
+	// No data directory → no durability section.
+	if h.Durability != nil {
+		t.Fatalf("durability = %+v on a non-durable server, want absent", h.Durability)
 	}
 	// Only the QoS-configured tenant appears in tenant_qos.
 	if len(h.TenantQoS) != 1 {

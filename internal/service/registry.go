@@ -21,6 +21,14 @@ type Registry struct {
 	// NewRegistry callers, tests) run uninstrumented.
 	met *serverMetrics
 
+	// dur, when set (by service.Open with a data directory), gives every
+	// created tenant a WAL and persisted config, and drops that state on
+	// delete. createMu then serializes durable lifecycle transitions —
+	// without it, a delete racing a create of the same name could leave the
+	// new tenant's WAL handle pointing at a removed directory.
+	dur      *durability
+	createMu sync.Mutex
+
 	mu      sync.RWMutex
 	tenants map[string]*Tenant
 }
@@ -35,10 +43,19 @@ func NewRegistry(siteBuffer int) *Registry {
 }
 
 // Create validates tc, builds the tracker and its cluster, and registers
-// the tenant. It fails if the name is taken.
+// the tenant. It fails if the name is taken. On a durable registry the
+// tenant's config and WAL are persisted before the tenant becomes visible,
+// so a crash at any point either recovers the tenant or never knew it.
 func (r *Registry) Create(tc TenantConfig) (*Tenant, error) {
 	if err := tc.validate(); err != nil {
 		return nil, err
+	}
+	if r.dur != nil {
+		r.createMu.Lock()
+		defer r.createMu.Unlock()
+		if r.Get(tc.Name) != nil {
+			return nil, fmt.Errorf("tenant %q: %w", tc.Name, ErrExists)
+		}
 	}
 	// Build outside the lock (tracker construction allocates per-site
 	// state), then insert; racing creates of the same name lose cleanly.
@@ -46,15 +63,34 @@ func (r *Registry) Create(tc TenantConfig) (*Tenant, error) {
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	if _, ok := r.tenants[tc.Name]; ok {
-		r.mu.Unlock()
-		t.close(false)
-		return nil, fmt.Errorf("tenant %q: %w", tc.Name, ErrExists)
+	if r.dur != nil {
+		// Under createMu and pre-checked above, so the durable state cannot
+		// be set up twice; published before insert, so the ingest path never
+		// sees a tenant whose WAL is still opening.
+		if err := r.dur.setupTenant(t); err != nil {
+			t.close(false)
+			return nil, fmt.Errorf("tenant %q: durable setup: %w", tc.Name, err)
+		}
 	}
-	r.tenants[tc.Name] = t
-	r.mu.Unlock()
+	if err := r.insert(t); err != nil {
+		t.close(false)
+		if t.dur != nil {
+			t.dur.Close()
+		}
+		return nil, err
+	}
 	return t, nil
+}
+
+// insert registers an already-built tenant (Create, and boot recovery).
+func (r *Registry) insert(t *Tenant) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tenants[t.cfg.Name]; ok {
+		return fmt.Errorf("tenant %q: %w", t.cfg.Name, ErrExists)
+	}
+	r.tenants[t.cfg.Name] = t
+	return nil
 }
 
 // Get returns the named tenant, or nil if absent.
@@ -68,6 +104,10 @@ func (r *Registry) Get(name string) *Tenant {
 // set, arrivals already enqueued are processed first; otherwise they are
 // dropped. It reports whether the tenant existed.
 func (r *Registry) Delete(name string, drain bool) bool {
+	if r.dur != nil {
+		r.createMu.Lock()
+		defer r.createMu.Unlock()
+	}
 	r.mu.Lock()
 	t, ok := r.tenants[name]
 	delete(r.tenants, name)
@@ -76,6 +116,13 @@ func (r *Registry) Delete(name string, drain bool) bool {
 		return false
 	}
 	t.close(drain)
+	if t.dur != nil {
+		// Deleting a tenant deletes its durable state too: a tenant that no
+		// longer exists must not resurrect on the next boot.
+		if err := t.dur.Drop(); err != nil && r.met != nil {
+			r.met.ckptErrors.Inc()
+		}
+	}
 	if r.met != nil {
 		r.met.forgetTenant(name)
 	}

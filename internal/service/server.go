@@ -1,28 +1,53 @@
 package service
 
 import (
+	"fmt"
 	"net/http"
 	"sync/atomic"
 
+	"disttrack/internal/durable"
 	"disttrack/internal/obs"
 )
 
 // Server ties the registry, the sharded ingest pipeline, the metrics plane
-// and the HTTP API together. Create one with New, mount Handler on any
-// http.Server (or use cmd/trackd), and Close it for a graceful drain.
+// and the HTTP API together. Create one with New (or Open for the durable
+// plane), mount Handler on any http.Server (or use cmd/trackd), and Close
+// it for a graceful drain.
 type Server struct {
 	cfg     Config
 	reg     *Registry
 	sh      *sharder
 	met     *serverMetrics
+	dur     *durability // nil without Config.DataDir
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped in the HTTP instrumentation
 	closing atomic.Bool
 	remote  atomic.Pointer[RemoteIngest] // set by ServeRemote
 }
 
-// New builds a Server from cfg (zero values take defaults).
+// New builds a Server from cfg (zero values take defaults) with durability
+// disabled; it ignores Config.DataDir. Use Open when the durable plane is
+// wanted — recovery from an existing data directory can fail, which is why
+// Open returns an error and New does not.
 func New(cfg Config) *Server {
+	cfg.DataDir = ""
+	s, err := Open(cfg)
+	if err != nil {
+		// Unreachable: every error path in Open is durability setup.
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a Server from cfg and, when cfg.DataDir is set, opens the
+// durable plane: it recovers every persisted tenant (newest valid
+// checkpoint, then WAL tail replay through the normal ingest path) before
+// returning, and starts the periodic checkpoint loop. A corrupt checkpoint
+// is quarantined and the previous one used; a torn final WAL record is
+// truncated away. Open fails only on durability problems recovery cannot
+// route around (unreadable directory, invalid tenant config, mid-log
+// corruption).
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg}
 	s.met = newServerMetrics(cfg.Shards)
@@ -35,7 +60,26 @@ func New(cfg Config) *Server {
 	s.met.reg.NewGaugeFunc("disttrack_tenants",
 		"Live tenants in the registry.",
 		func() float64 { return float64(s.reg.Count()) })
-	return s
+	if cfg.DataDir != "" {
+		store, err := durable.Open(cfg.DataDir, durable.Options{
+			Fsync:         cfg.Fsync,
+			FsyncInterval: cfg.FsyncInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.dur = newDurability(store, cfg.CheckpointInterval)
+		s.reg.dur = s.dur
+		if err := s.recoverTenants(); err != nil {
+			s.reg.Close()
+			return nil, fmt.Errorf("service: recovery: %w", err)
+		}
+		s.met.reg.NewGaugeFunc("disttrack_last_checkpoint_age_seconds",
+			"Seconds since the durable plane last completed a checkpoint (or since boot).",
+			s.dur.checkpointAge)
+		go s.checkpointLoop()
+	}
+	return s, nil
 }
 
 // Handler returns the HTTP API handler (instrumented; see GET /metrics).
@@ -61,10 +105,12 @@ func (s *Server) Flush() { s.sh.Flush() }
 
 // Close drains the service: new ingest/create requests are refused, shard
 // queues are flushed into the clusters, and every tenant's cluster drains
-// its remaining arrivals. Queries keep working until the caller stops the
-// HTTP listener; Close is idempotent only in that second calls panic-free
-// no-op via the registry being empty, so call it once after the listener
-// has shut down.
+// its remaining arrivals. With the durable plane open, Close then takes a
+// final checkpoint of every tenant — a graceful restart recovers from the
+// checkpoint alone, with zero WAL replay. Queries keep working until the
+// caller stops the HTTP listener; Close is idempotent only in that second
+// calls panic-free no-op via the registry being empty, so call it once
+// after the listener has shut down.
 func (s *Server) Close() {
 	if s.closing.Swap(true) {
 		return
@@ -76,5 +122,18 @@ func (s *Server) Close() {
 		ri.Close()
 	}
 	s.sh.Close()
+	if d := s.dur; d != nil {
+		d.stopLoop()
+		// The pipeline is closed, so nothing new reaches the clusters: the
+		// final checkpoints cover everything ever accepted.
+		for _, t := range s.reg.all() {
+			if err := s.checkpointTenant(t); err != nil {
+				s.met.ckptErrors.Inc()
+			}
+			if t.dur != nil {
+				t.dur.Close()
+			}
+		}
+	}
 	s.reg.Close()
 }

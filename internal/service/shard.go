@@ -305,8 +305,35 @@ type group struct {
 // deliverScratch is a shard worker's reusable grouping state.
 type deliverScratch struct {
 	groups map[groupKey]*group
-	order  []*group // encounter order, for deterministic delivery
-	free   []*group // recycled group structs
+	order  []*group  // encounter order, for deterministic delivery
+	free   []*group  // recycled group structs
+	locked []*Tenant // durable tenants whose durMu this delivery holds
+}
+
+// lockDurable takes t's durMu once per delivery (the scratch list is tiny —
+// a delivery touches a handful of tenants — so a linear scan beats a map).
+// Holding durMu across {perturb, WAL append, send} for the whole delivery
+// keeps the checkpointer from capturing state mid-batch.
+func (ds *deliverScratch) lockDurable(t *Tenant) {
+	if t.dur == nil {
+		return
+	}
+	for _, l := range ds.locked {
+		if l == t {
+			return
+		}
+	}
+	t.durMu.Lock()
+	ds.locked = append(ds.locked, t)
+}
+
+// unlockDurable releases every durMu taken this delivery.
+func (ds *deliverScratch) unlockDurable() {
+	for i, t := range ds.locked {
+		t.durMu.Unlock()
+		ds.locked[i] = nil
+	}
+	ds.locked = ds.locked[:0]
 }
 
 // take returns a zeroed group struct, recycling one when available.
@@ -333,7 +360,8 @@ func (ds *deliverScratch) reset() {
 
 // deliverGroup feeds one pre-grouped remote batch: perturb in place on the
 // owning shard goroutine (which owns the tenant's perturbation state), then
-// one SendBatch.
+// one SendBatch. For durable tenants the {perturb, WAL append, send} step
+// runs under durMu so a checkpoint never captures state mid-batch.
 func (sh *sharder) deliverGroup(g *remoteGroup) {
 	t := sh.reg.Get(g.tenant)
 	if t == nil {
@@ -345,14 +373,32 @@ func (sh *sharder) deliverGroup(g *remoteGroup) {
 	// tenant was deleted and recreated in flight, the release lands on the
 	// new instance — a transient undercount the >= share check tolerates.)
 	t.queued.Add(-int64(len(g.values)))
+	if t.dur != nil {
+		t.durMu.Lock()
+		defer t.durMu.Unlock()
+	}
 	if t.perturbed() {
 		for i, v := range g.values {
 			g.values[i] = t.perturb(v)
 		}
 	}
+	sh.walAppend(t, g.site, g.values)
 	// Ownership of the values slice passes to the cluster.
 	if err := t.sendBatch(g.site, g.values); err != nil {
 		sh.lost.Add(int64(len(g.values)))
+	}
+}
+
+// walAppend logs one perturbed batch to the tenant's WAL (caller holds
+// durMu). An append failure fails open: the batch is still delivered —
+// losing durability for it beats refusing ingest the moment a disk degrades
+// — and the error is counted so operators see it (see docs/durability.md).
+func (sh *sharder) walAppend(t *Tenant, site int, keys []uint64) {
+	if t.dur == nil {
+		return
+	}
+	if _, err := t.dur.Append(site, keys); err != nil && sh.met != nil {
+		sh.met.walErrors.Inc()
 	}
 }
 
@@ -377,6 +423,7 @@ func (sh *sharder) deliver(recs []Record, ds *deliverScratch) {
 			continue
 		}
 		cur.queued.Add(-1) // leaving the shard pipeline: release queue-share
+		ds.lockDurable(cur)
 		v := rec.Value
 		if cur.perturbed() {
 			v = cur.perturb(v)
@@ -394,11 +441,13 @@ func (sh *sharder) deliver(recs []Record, ds *deliverScratch) {
 		g.keys = append(g.keys, v)
 	}
 	for _, g := range ds.order {
+		sh.walAppend(g.t, g.site, g.keys)
 		// Ownership of keys passes to the cluster.
 		if err := g.t.sendBatch(g.site, g.keys); err != nil {
 			sh.lost.Add(int64(len(g.keys)))
 		}
 	}
+	ds.unlockDurable()
 	ds.reset()
 }
 

@@ -13,6 +13,7 @@ import (
 	"disttrack/internal/core/allq"
 	"disttrack/internal/core/hh"
 	"disttrack/internal/core/quantile"
+	"disttrack/internal/durable"
 	"disttrack/internal/fault"
 	"disttrack/internal/runtime"
 	"disttrack/internal/stream"
@@ -155,6 +156,16 @@ type Tenant struct {
 	// per-value occurrence counters (see stream.Perturb). Touched only by
 	// the owning shard goroutine.
 	seq map[uint64]uint32
+
+	// dur is the tenant's durable state (WAL + checkpoints); nil without a
+	// data directory. durMu makes each {perturb, WAL append, cluster send}
+	// step atomic against checkpoint capture: the checkpointer takes it,
+	// waits for the cluster to absorb everything sent, and snapshots state
+	// that matches the WAL prefix exactly. Only the owning shard goroutine
+	// and the checkpointer contend, so the ingest path's lock is almost
+	// always uncontended (and skipped entirely when dur is nil).
+	dur   *durable.Tenant
+	durMu sync.Mutex
 
 	sent    atomic.Int64 // arrivals successfully enqueued to the cluster
 	dropped atomic.Int64 // arrivals lost because the tenant closed mid-send

@@ -1,0 +1,61 @@
+package gk
+
+import "fmt"
+
+// Tuple is one exported (v, g, Δ) summary tuple.
+type Tuple struct {
+	V uint64
+	G int64
+	D int64
+}
+
+// State is an exported deep copy of a summary, the unit of GK
+// serialization for checkpoints. Tuples are in summary order
+// (nondecreasing v).
+type State struct {
+	Eps     float64
+	N       int64
+	Tuples  []Tuple
+	Pending int
+}
+
+// State returns a deep copy of the summary's state.
+func (s *Summary) State() State {
+	st := State{Eps: s.eps, N: s.n, Pending: s.pending}
+	st.Tuples = make([]Tuple, len(s.tuples))
+	for i, t := range s.tuples {
+		st.Tuples[i] = Tuple{V: t.v, G: t.g, D: t.d}
+	}
+	return st
+}
+
+// FromState rebuilds a summary from a State, validating the invariants a
+// corrupt checkpoint could violate: eps in range, counts consistent, and
+// tuples in nondecreasing value order with positive gaps.
+func FromState(st State) (*Summary, error) {
+	if st.Eps <= 0 || st.Eps >= 1 {
+		return nil, fmt.Errorf("gk: restore: eps %g out of (0, 1)", st.Eps)
+	}
+	if st.N < 0 || st.Pending < 0 {
+		return nil, fmt.Errorf("gk: restore: negative n (%d) or pending (%d)", st.N, st.Pending)
+	}
+	var gsum int64
+	for i, t := range st.Tuples {
+		if t.G <= 0 || t.D < 0 {
+			return nil, fmt.Errorf("gk: restore: tuple %d has g=%d, d=%d", i, t.G, t.D)
+		}
+		if i > 0 && t.V < st.Tuples[i-1].V {
+			return nil, fmt.Errorf("gk: restore: tuple values out of order at %d", i)
+		}
+		gsum += t.G
+	}
+	if gsum != st.N {
+		return nil, fmt.Errorf("gk: restore: gaps sum to %d, n is %d", gsum, st.N)
+	}
+	s := &Summary{eps: st.Eps, n: st.N, pending: st.Pending}
+	s.tuples = make([]tuple, len(st.Tuples))
+	for i, t := range st.Tuples {
+		s.tuples[i] = tuple{v: t.V, g: t.G, d: t.D}
+	}
+	return s, nil
+}

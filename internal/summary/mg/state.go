@@ -1,0 +1,41 @@
+package mg
+
+import (
+	"fmt"
+	"maps"
+)
+
+// State is an exported deep copy of a summary, the unit of Misra–Gries
+// serialization for checkpoints.
+type State struct {
+	Cap      int
+	N        int64
+	Counters map[uint64]int64
+}
+
+// State returns a deep copy of the summary's state.
+func (s *Summary) State() State {
+	return State{Cap: s.cap, N: s.n, Counters: maps.Clone(s.counters)}
+}
+
+// FromState rebuilds a summary from a State, validating capacity bounds
+// and counter positivity against corrupt checkpoints.
+func FromState(st State) (*Summary, error) {
+	if st.Cap <= 0 {
+		return nil, fmt.Errorf("mg: restore: capacity %d must be positive", st.Cap)
+	}
+	if len(st.Counters) > st.Cap {
+		return nil, fmt.Errorf("mg: restore: %d counters exceed capacity %d", len(st.Counters), st.Cap)
+	}
+	if st.N < 0 {
+		return nil, fmt.Errorf("mg: restore: negative n %d", st.N)
+	}
+	s := &Summary{cap: st.Cap, n: st.N, counters: make(map[uint64]int64, st.Cap+1)}
+	for x, c := range st.Counters {
+		if c <= 0 {
+			return nil, fmt.Errorf("mg: restore: non-positive counter %d for item %d", c, x)
+		}
+		s.counters[x] = c
+	}
+	return s, nil
+}

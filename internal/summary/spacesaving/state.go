@@ -1,0 +1,56 @@
+package spacesaving
+
+import "fmt"
+
+// State is an exported deep copy of a sketch, the unit of Space-Saving
+// serialization for checkpoints. Entries are in internal heap order (not
+// sorted); FromState preserves it, so a restored sketch evicts identically
+// to the captured one.
+type State struct {
+	Cap     int
+	N       int64
+	Entries []Entry
+}
+
+// State returns a deep copy of the sketch's state.
+func (s *Sketch) State() State {
+	st := State{Cap: s.cap, N: s.n}
+	st.Entries = make([]Entry, len(s.entries))
+	for i, e := range s.entries {
+		st.Entries[i] = Entry{Item: e.item, Count: e.count, Err: e.err}
+	}
+	return st
+}
+
+// FromState rebuilds a sketch from a State, validating what a corrupt
+// checkpoint could violate: capacity bounds, duplicate items, negative
+// counts, and the min-heap order the eviction path depends on.
+func FromState(st State) (*Sketch, error) {
+	if st.Cap <= 0 {
+		return nil, fmt.Errorf("spacesaving: restore: capacity %d must be positive", st.Cap)
+	}
+	if len(st.Entries) > st.Cap {
+		return nil, fmt.Errorf("spacesaving: restore: %d entries exceed capacity %d", len(st.Entries), st.Cap)
+	}
+	if st.N < 0 {
+		return nil, fmt.Errorf("spacesaving: restore: negative n %d", st.N)
+	}
+	s := &Sketch{cap: st.Cap, n: st.N, pos: make(map[uint64]int, st.Cap)}
+	s.entries = make([]entry, len(st.Entries))
+	for i, e := range st.Entries {
+		if e.Count < 0 || e.Err < 0 || e.Err > e.Count {
+			return nil, fmt.Errorf("spacesaving: restore: entry %d has count=%d, err=%d", i, e.Count, e.Err)
+		}
+		if _, dup := s.pos[e.Item]; dup {
+			return nil, fmt.Errorf("spacesaving: restore: duplicate item %d", e.Item)
+		}
+		s.entries[i] = entry{item: e.Item, count: e.Count, err: e.Err}
+		s.pos[e.Item] = i
+	}
+	for i := 1; i < len(s.entries); i++ {
+		if s.less(i, (i-1)/2) {
+			return nil, fmt.Errorf("spacesaving: restore: heap order violated at entry %d", i)
+		}
+	}
+	return s, nil
+}
