@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: all ci fmt fmt-fix vet build test test-shuffle race bench-smoke bench-race-smoke bench-json bench-compare obs-smoke fault-smoke crash-smoke staticcheck vuln fuzz-smoke
+.PHONY: all ci fmt fmt-fix vet build test test-shuffle race bench-smoke bench-race-smoke bench-json bench-compare obs-smoke fault-smoke crash-smoke membership-smoke staticcheck vuln fuzz-smoke
 
 all: build
 
-ci: fmt vet build test test-shuffle race bench-smoke bench-race-smoke obs-smoke fault-smoke crash-smoke
+ci: fmt vet build test test-shuffle race bench-smoke bench-race-smoke obs-smoke fault-smoke crash-smoke membership-smoke
 
 # fmt fails if any file needs formatting (what CI runs); fmt-fix rewrites.
 fmt:
@@ -67,11 +67,18 @@ fault-smoke:
 crash-smoke:
 	./scripts/crash_smoke.sh
 
+# Elastic-membership smoke: live site add + tenant migration under the
+# networked ingest path, then kill -9 the durable coordinator and verify
+# exactly-once totals and membership-epoch continuity after restart
+# (docs/operations.md scaling runbook).
+membership-smoke:
+	./scripts/membership_smoke.sh
+
 # Record the ingest-throughput benchmarks as a JSON trajectory point
 # (BENCH_PR3.json and successors; see cmd/benchjson). Staged through a
 # text file so a benchmark failure fails make instead of silently writing
 # a partial JSON.
-BENCH_JSON ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR9.json
 bench-json:
 	$(GO) test -run '^$$' -bench 'Feed|Cluster' -benchtime 1s . > $(BENCH_JSON).txt
 	$(GO) test -run '^$$' -bench 'ShardedIngest' -benchtime 1s ./internal/service/ >> $(BENCH_JSON).txt
@@ -80,7 +87,7 @@ bench-json:
 
 # Re-run the benchmark suite and print per-benchmark ns/op deltas against
 # the previous PR's recorded trajectory point.
-BENCH_PREV ?= BENCH_PR5.json
+BENCH_PREV ?= BENCH_PR6.json
 bench-compare: bench-json
 	$(GO) run ./cmd/benchjson -diff $(BENCH_PREV) $(BENCH_JSON)
 
@@ -92,6 +99,7 @@ fuzz-smoke:
 	$(GO) test ./internal/remote/ -run '^$$' -fuzz FuzzReadMsg -fuzztime 10s
 	$(GO) test ./internal/summary/gk/ -run '^$$' -fuzz Fuzz -fuzztime 10s
 	$(GO) test ./internal/durable/ -run '^$$' -fuzz FuzzWALRecord -fuzztime 10s
+	$(GO) test ./internal/durable/ -run '^$$' -fuzz FuzzCursorTable -fuzztime 10s
 	$(GO) test ./internal/core/hh/ -run '^$$' -fuzz FuzzRestore -fuzztime 10s
 	$(GO) test ./internal/core/quantile/ -run '^$$' -fuzz FuzzRestore -fuzztime 10s
 	$(GO) test ./internal/core/allq/ -run '^$$' -fuzz FuzzDecodeSnapshot -fuzztime 10s

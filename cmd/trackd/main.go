@@ -291,7 +291,18 @@ func runServer(cfg config, logger *slog.Logger) error {
 			"recovered-tenants", rs.RecoveredTenants,
 			"replayed-records", rs.ReplayedRecords,
 			"quarantined-checkpoints", rs.QuarantinedCheckpoints,
-			"torn-wal-tails", rs.TornTails)
+			"torn-wal-tails", rs.TornTails,
+			"durable-cursors", rs.DurableCursors,
+			"cursor-nodes", rs.CursorNodes,
+			"membership-epoch", svc.Epoch())
+		// A pre-PR9 data directory has no cursor table. WAL provenance (if
+		// any) still seeds the dedup floor; absent both, replay protection
+		// falls back to the in-memory dedup window, which a long enough
+		// site-node replay tail can outrun.
+		if cfg.role == "coord" && rs.RecoveredTenants > 0 && !rs.DurableCursors {
+			logger.Warn("no durable cursor table found; node replay dedup falls back to the in-memory window until the first checkpoint cycle persists one",
+				"data-dir", cfg.dataDir, "cursor-nodes", rs.CursorNodes)
+		}
 	}
 	startMetrics(cfg.metricsAddr, svc.Metrics(), logger)
 	if cfg.role == "coord" {

@@ -282,6 +282,44 @@ func (p *policy) OnBootEscalate(_ int, x uint64) (done bool) {
 // OnBootDone builds the first round.
 func (p *policy) OnBootDone() { p.newRound() }
 
+// OnReconfigure implements engine.ReconfigurePolicy: resize the per-site
+// state to newK sites and rebuild the whole tree — the §4 batch size θm/k
+// depends on k, and a full-tree rebuild with exact counts is the round
+// boundary the paper prescribes on membership change. Runs under the
+// quiescent lock set, after the engine has folded the removed sites' arrival
+// counts into site 0.
+func (p *policy) OnReconfigure(oldK, newK int) {
+	if newK < oldK {
+		// Hand each departing site's items to site 0 (exact: lossless;
+		// sketch: count-exact within the source summary's own error — see
+		// sitestore.Drain), mirroring the engine's count fold so the
+		// rebuild's exact per-node counts keep covering every arrival.
+		s0 := p.sites[0]
+		for j := newK; j < oldK; j++ {
+			s := p.sites[j]
+			p.eng.Meter().Up(j, "handoff", s.st.Space())
+			sitestore.Drain(s.st, s0.st)
+		}
+		p.sites = p.sites[:newK]
+	} else {
+		for j := oldK; j < newK; j++ {
+			var st sitestore.Store
+			if p.cfg.Mode == ModeSketch {
+				theta := p.cfg.Eps / (2 * float64(heightCap(p.cfg.Eps)))
+				st = sitestore.NewGK(theta / gkEpsFraction)
+			} else {
+				st = sitestore.NewExact(p.cfg.Seed + int64(j) + 1)
+			}
+			p.sites = append(p.sites, &site{st: st})
+		}
+	}
+	p.cfg.K = newK
+	p.bootTarget = p.eng.BootTarget()
+	if !p.eng.Bootstrapping() {
+		p.newRound()
+	}
+}
+
 // appendPath appends the root-to-leaf path of x to dst and returns it,
 // letting callers reuse a scratch buffer across walks.
 func appendPath(dst []*node, root *node, x uint64) []*node {

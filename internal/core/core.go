@@ -76,4 +76,10 @@ type Tracker interface {
 	// engine.CheckpointPolicy for the contract.
 	Checkpoint(w io.Writer) error
 	Restore(r io.Reader) error
+
+	// Reconfigure changes the number of sites to newK under the quiescent
+	// lock set and restarts the protocol round at the new k (the paper's
+	// membership-change rule). Removed sites' state is folded into site 0.
+	// See engine.ReconfigurePolicy for the contract.
+	Reconfigure(newK int) error
 }

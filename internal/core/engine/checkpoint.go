@@ -57,14 +57,15 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	}
 	var enc ckpt.Encoder
 	e.Quiesce(func() {
+		sites := *e.sites.Load()
 		enc.String(e.name)
-		enc.U32(uint32(e.k))
+		enc.U32(uint32(len(sites)))
 		enc.F64(e.eps)
 		enc.Bool(e.boot)
 		enc.I64(e.n.Load())
 		enc.U64(e.version.Load())
-		for i := range e.sites {
-			enc.I64(e.sites[i].nj)
+		for _, s := range sites {
+			enc.I64(s.nj)
 		}
 		encodeMeterState(&enc, e.meter.State())
 		cp.EncodeState(&enc)
@@ -100,14 +101,14 @@ func (e *Engine) Restore(r io.Reader) error {
 	if err := dec.Err(); err != nil {
 		return fmt.Errorf("engine: restore: %w", err)
 	}
-	if name != e.name || k != e.k || eps != e.eps {
+	if name != e.name || k != e.K() || eps != e.eps {
 		return fmt.Errorf("engine: restore: checkpoint is for %s(k=%d, eps=%g), engine is %s(k=%d, eps=%g)",
-			name, k, eps, e.name, e.k, e.eps)
+			name, k, eps, e.name, e.K(), e.eps)
 	}
 	boot := dec.Bool()
 	n := dec.I64()
 	ver := dec.U64()
-	nj := make([]int64, e.k)
+	nj := make([]int64, k)
 	var sum int64
 	for i := range nj {
 		nj[i] = dec.I64()
@@ -138,8 +139,8 @@ func (e *Engine) Restore(r io.Reader) error {
 	e.boot = boot
 	e.n.Store(n)
 	e.version.Store(ver)
-	for i := range e.sites {
-		e.sites[i].nj = nj[i]
+	for i, s := range *e.sites.Load() {
+		s.nj = nj[i]
 	}
 	e.meter.SetState(ms)
 	if err := cp.DecodeState(dec); err != nil {

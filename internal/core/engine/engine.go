@@ -43,6 +43,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -113,6 +114,8 @@ type Config struct {
 
 // site is the engine-owned per-site core: the lock that guards both the
 // engine's and the policy's per-site state, plus the exact local count.
+// Sites are heap-allocated and pointer-stable: Reconfigure swaps the slice
+// header, never moves a live site struct (moving one would copy its mutex).
 type site struct {
 	mu sync.Mutex
 	nj int64 // exact local count |S_j|
@@ -121,7 +124,6 @@ type site struct {
 // Engine runs the two-phase protocol skeleton over a Policy.
 type Engine struct {
 	name  string
-	k     int
 	eps   float64
 	meter wire.Meter
 	pol   Policy
@@ -132,7 +134,12 @@ type Engine struct {
 	escMu   sync.Mutex
 	version atomic.Uint64 // bumped after every slow-path entry (see Version)
 
-	sites []site
+	// sites holds the current membership behind one atomic pointer: the
+	// fast path pays a single atomic load to resolve its site, and
+	// Reconfigure — which runs with every fast path excluded — publishes a
+	// fresh slice without racing concurrent queries of K or SiteCount. The
+	// slice is written only under escMu plus every site lock.
+	sites atomic.Pointer[[]*site]
 
 	// met, when non-nil, receives the engine's observability counters.
 	// Written by SetMetrics before concurrent use, read on both paths; the
@@ -157,14 +164,18 @@ func New(cfg Config, pol Policy) (*Engine, error) {
 	if cfg.Eps <= 0 || cfg.Eps >= 1 {
 		return nil, fmt.Errorf("%s: Eps must be in (0,1), got %g", cfg.Name, cfg.Eps)
 	}
-	return &Engine{
-		name:  cfg.Name,
-		k:     cfg.K,
-		eps:   cfg.Eps,
-		pol:   pol,
-		sites: make([]site, cfg.K),
-		boot:  true,
-	}, nil
+	e := &Engine{
+		name: cfg.Name,
+		eps:  cfg.Eps,
+		pol:  pol,
+		boot: true,
+	}
+	sites := make([]*site, cfg.K)
+	for j := range sites {
+		sites[j] = &site{}
+	}
+	e.sites.Store(&sites)
+	return e, nil
 }
 
 // BootTarget returns ⌈k/ε⌉ — the coordinator item count at which the
@@ -172,15 +183,16 @@ func New(cfg Config, pol Policy) (*Engine, error) {
 // policies check it in OnBootEscalate (core/hh against the coordinator's
 // count, core/quantile and core/allq against the true total).
 func (e *Engine) BootTarget() int64 {
-	return int64(math.Ceil(float64(e.k) / e.eps))
+	return int64(math.Ceil(float64(e.K()) / e.eps))
 }
 
 // siteAt bounds-checks and returns site j.
 func (e *Engine) siteAt(j int) *site {
-	if j < 0 || j >= e.k {
-		panic(fmt.Sprintf("%s: site %d out of range [0,%d)", e.name, j, e.k))
+	sites := *e.sites.Load()
+	if j < 0 || j >= len(sites) {
+		panic(fmt.Sprintf("%s: site %d out of range [0,%d)", e.name, j, len(sites)))
 	}
-	return &e.sites[j]
+	return sites[j]
 }
 
 // Feed records one arrival of item x at the given site and runs any
@@ -317,16 +329,17 @@ func (e *Engine) Escalate(siteID int, x uint64) {
 	e.finishSlowPath()
 }
 
-// lockSites acquires every site lock in index order.
+// lockSites acquires every site lock in index order. Callers hold escMu, so
+// the membership the loop walks cannot change mid-acquisition.
 func (e *Engine) lockSites() {
-	for i := range e.sites {
-		e.sites[i].mu.Lock()
+	for _, s := range *e.sites.Load() {
+		s.mu.Lock()
 	}
 }
 
 func (e *Engine) unlockSites() {
-	for i := range e.sites {
-		e.sites[i].mu.Unlock()
+	for _, s := range *e.sites.Load() {
+		s.mu.Unlock()
 	}
 }
 
@@ -371,8 +384,10 @@ func (e *Engine) Version() uint64 { return e.version.Load() }
 // engine's locks.
 func (e *Engine) Meter() *wire.Meter { return &e.meter }
 
-// K returns the number of sites. Eps returns the error parameter.
-func (e *Engine) K() int       { return e.k }
+// K returns the number of sites. Eps returns the error parameter. K is safe
+// for concurrent use (it reads the membership pointer); under a concurrent
+// Reconfigure it returns either the old or the new count.
+func (e *Engine) K() int       { return len(*e.sites.Load()) }
 func (e *Engine) Eps() float64 { return e.eps }
 
 // Bootstrapping reports whether the engine is still forwarding every item.
@@ -384,4 +399,76 @@ func (e *Engine) TrueTotal() int64 { return e.n.Load() }
 
 // SiteCount returns the exact number of arrivals observed at site j. Like
 // the query methods it is consistent only under Quiesce (or sequentially).
-func (e *Engine) SiteCount(j int) int64 { return e.sites[j].nj }
+func (e *Engine) SiteCount(j int) int64 { return (*e.sites.Load())[j].nj }
+
+// ErrNotReconfigurable is returned by Reconfigure when the engine's policy
+// does not implement ReconfigurePolicy.
+var ErrNotReconfigurable = errors.New("engine: policy does not support reconfiguration")
+
+// ReconfigurePolicy is implemented by policies that support live membership
+// changes. OnReconfigure runs under escMu plus every site lock (old and new
+// membership both locked), after the engine has already resized its own
+// site set: the policy must resize its per-site state to newK — folding a
+// removed site's local state into site 0, whose engine-level count already
+// absorbed the removed sites' counts — and restart its current round so
+// every threshold and error budget is re-derived for the new k. During
+// bootstrap no round exists; the policy only resizes.
+type ReconfigurePolicy interface {
+	OnReconfigure(oldK, newK int)
+}
+
+// Reconfigure changes the number of sites to newK — the paper's membership
+// change, which every protocol handles by restarting its current round. It
+// runs as a slow-path entry: under escMu plus every site lock, so all fast
+// paths and queries are excluded for its duration. Growth appends fresh
+// empty sites; shrinking folds the removed tail sites' exact counts into
+// site 0 (the handoff path — a departing site's stream is re-homed, not
+// forgotten), preserving sum(nj) == n so checkpoints taken after a shrink
+// still validate. The policy's OnReconfigure then migrates protocol state
+// and restarts the round at the new k.
+//
+// Callers must exclude concurrent Feed/FeedLocal/FeedLocalBatch calls for
+// sites being removed (the service layer drains its ingest pipeline first);
+// calls addressing surviving sites serialize on the locks as usual but must
+// not assume a site index is still valid across the call.
+func (e *Engine) Reconfigure(newK int) error {
+	if newK < 1 {
+		return fmt.Errorf("%s: Reconfigure: K must be >= 1, got %d", e.name, newK)
+	}
+	rp, ok := e.pol.(ReconfigurePolicy)
+	if !ok {
+		return fmt.Errorf("%s: %w", e.name, ErrNotReconfigurable)
+	}
+	e.escMu.Lock()
+	e.lockSites()
+	old := *e.sites.Load()
+	oldK := len(old)
+	if newK == oldK {
+		e.unlockSites()
+		e.escMu.Unlock()
+		return nil
+	}
+	var removed []*site
+	fresh := make([]*site, newK)
+	copy(fresh, old[:min(oldK, newK)])
+	if newK < oldK {
+		removed = old[newK:]
+		for _, s := range removed {
+			fresh[0].nj += s.nj
+			s.nj = 0
+		}
+	} else {
+		for j := oldK; j < newK; j++ {
+			s := &site{}
+			s.mu.Lock() // pre-locked: finishSlowPath unlocks the new slice
+			fresh[j] = s
+		}
+	}
+	e.sites.Store(&fresh)
+	rp.OnReconfigure(oldK, newK)
+	for _, s := range removed {
+		s.mu.Unlock() // no longer in the slice finishSlowPath walks
+	}
+	e.finishSlowPath()
+	return nil
+}

@@ -15,7 +15,12 @@
 //     sum to the same totals;
 //   - checkpoint/restore round trip: a tracker restored from a checkpoint
 //     matches the live one — engine state, meters, queries — and continues
-//     the protocol identically from the cut.
+//     the protocol identically from the cut;
+//   - reconfigure equivalence: growing and shrinking the membership
+//     mid-stream (Reconfigure) is deterministic — a batched feeding with
+//     reconfigure points at fixed stream positions matches a sequential
+//     replay of the same schedule bit-for-bit, state and meters included,
+//     and no arrival is lost across a membership change.
 //
 // Protocol-specific accuracy contracts plug in through the Check* hooks;
 // the suite runs against all three core trackers and a minimal mock policy
@@ -24,11 +29,13 @@ package enginetest
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
 
 	"disttrack/internal/core"
+	"disttrack/internal/core/engine"
 	"disttrack/internal/stream"
 )
 
@@ -70,6 +77,7 @@ func Run(t *testing.T, cfg Config) {
 	t.Run("ConcurrentBatchStress", func(t *testing.T) { runConcurrent(t, cfg, true) })
 	t.Run("MeterConservation", func(t *testing.T) { runMeterConservation(t, cfg) })
 	t.Run("CheckpointRestore", func(t *testing.T) { runCheckpointRestore(t, cfg) })
+	t.Run("ReconfigureMatchesSequential", func(t *testing.T) { runReconfigure(t, cfg) })
 }
 
 // genStream returns n deterministic items: a Zipf stream, or a perturbed
@@ -361,6 +369,96 @@ func runCheckpointRestore(t *testing.T, cfg Config) {
 	}
 	roundTrip("tracking", cfg.K*cfg.PerSite*3/4)
 	roundTrip("bootstrap", 3) // mid-bootstrap cut: boot state must round-trip too
+}
+
+// runReconfigure pins the membership-change law: a tracker that grows to
+// k+1 sites mid-stream and later shrinks back to k must (1) behave
+// deterministically — batched feeding over a shared (site, chunk) schedule
+// with reconfigure points at fixed stream positions matches a sequential
+// replay of the same schedule bit-for-bit, every meter count included; (2)
+// conserve arrivals — TrueTotal is untouched by a membership change and the
+// per-site counts always sum to it (a removed site's count folds into site
+// 0); (3) keep the coordinator honest — EstTotal never overtakes TrueTotal
+// across the change. Policies without ReconfigurePolicy skip.
+func runReconfigure(t *testing.T, cfg Config) {
+	probe := cfg.New(t)
+	if err := probe.Reconfigure(cfg.K + 1); err != nil {
+		if errors.Is(err, engine.ErrNotReconfigurable) {
+			t.Skipf("policy is not reconfigurable: %v", err)
+		}
+		t.Fatalf("Reconfigure probe: %v", err)
+	}
+	if got := probe.K(); got != cfg.K+1 {
+		t.Fatalf("K() = %d after Reconfigure(%d)", got, cfg.K+1)
+	}
+
+	seq, bat := cfg.New(t), cfg.New(t)
+	items := genStream(cfg, cfg.K*cfg.PerSite, 37)
+	grow, shrink := len(items)/3, 2*len(items)/3
+	rng := rand.New(rand.NewSource(41))
+	curK := cfg.K
+	apply := func(newK int) {
+		for _, tr := range []core.Tracker{seq, bat} {
+			before := tr.TrueTotal()
+			if err := tr.Reconfigure(newK); err != nil {
+				t.Fatalf("Reconfigure(%d): %v", newK, err)
+			}
+			if got := tr.K(); got != newK {
+				t.Fatalf("K() = %d after Reconfigure(%d)", got, newK)
+			}
+			if got := tr.TrueTotal(); got != before {
+				t.Fatalf("TrueTotal changed across Reconfigure(%d): %d -> %d", newK, before, got)
+			}
+			var sum int64
+			for j := 0; j < newK; j++ {
+				sum += tr.SiteCount(j)
+			}
+			if sum != before {
+				t.Fatalf("site counts sum to %d after Reconfigure(%d), want %d", sum, newK, before)
+			}
+			if est := tr.EstTotal(); est > before {
+				t.Fatalf("EstTotal %d overtook TrueTotal %d after Reconfigure(%d)", est, before, newK)
+			}
+		}
+		curK = newK
+	}
+	for pos := 0; pos < len(items); {
+		if pos >= shrink && curK != cfg.K {
+			apply(cfg.K) // drain the added site back out
+		} else if pos >= grow && pos < shrink && curK == cfg.K {
+			apply(cfg.K + 1)
+		}
+		site := rng.Intn(curK)
+		sz := 1 + rng.Intn(200)
+		if pos+sz > len(items) {
+			sz = len(items) - pos
+		}
+		// A chunk must not span a reconfigure point: the schedule pins the
+		// membership change to an exact stream position on both trackers.
+		for _, cut := range []int{grow, shrink} {
+			if pos < cut && pos+sz > cut {
+				sz = cut - pos
+			}
+		}
+		chunk := items[pos : pos+sz]
+		pos += sz
+		for _, x := range chunk {
+			seq.Feed(site, x)
+		}
+		bat.FeedLocalBatch(site, chunk)
+	}
+	checkMetersEqual(t, "reconfigure", seq, bat, cfg.K)
+	checkEngineEqual(t, "reconfigure", seq, bat, cfg.K)
+	if cfg.CheckEquiv != nil {
+		cfg.CheckEquiv(t, seq, bat)
+	}
+	n := int64(len(items))
+	if got := seq.TrueTotal(); got != n {
+		t.Fatalf("TrueTotal = %d after reconfigured stream, want %d", got, n)
+	}
+	if est := seq.EstTotal(); est > n {
+		t.Fatalf("EstTotal = %d overestimates TrueTotal %d", est, n)
+	}
 }
 
 // runMeterConservation feeds a sequential stream and asserts the meter's

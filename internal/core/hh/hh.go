@@ -341,6 +341,79 @@ func (p *policy) broadcastM(m int64) {
 	}
 }
 
+// OnReconfigure implements engine.ReconfigurePolicy: resize the per-site
+// protocol state to newK sites and restart the round — the §2.1 thresholds
+// ε·S_j.m/3k depend on k, so a membership change forces a fresh sync and
+// broadcast (the paper's protocols restart their round on reconfiguration).
+// Runs under the quiescent lock set, after the engine has folded the removed
+// sites' arrival counts into site 0.
+func (p *policy) OnReconfigure(oldK, newK int) {
+	meter := p.eng.Meter()
+	if newK < oldK {
+		// Departing sites flush their unreported per-item deltas so the
+		// coordinator's underestimates keep covering everything an
+		// exact-mode site counted. Sketch-mode residual error below the
+		// last report is abandoned with the sketch — bounded by the sketch
+		// slice of the ε budget, exactly as if the site had simply stopped
+		// receiving arrivals.
+		for j := newK; j < oldK; j++ {
+			s := p.sites[j]
+			switch p.cfg.Mode {
+			case ModeExact:
+				for x, d := range s.dx {
+					if d > 0 {
+						meter.Up(j, "freq", 2)
+						p.cmx[x] += d
+					}
+				}
+				// Hand the exact store to site 0, mirroring the engine's
+				// count fold so SiteSpace and checkpoints stay coherent.
+				s0 := p.sites[0]
+				for x, c := range s.local {
+					s0.local[x] += c
+				}
+				meter.Up(j, "handoff", len(s.local))
+			case ModeSketch:
+				for _, e := range s.ss.Top() {
+					if d := e.Count - s.lastRep[e.Item]; d > 0 {
+						meter.Up(j, "freq", 2)
+						p.cmx[e.Item] += d
+					}
+				}
+			case ModeMGSketch:
+				for _, e := range s.mgs.Top() {
+					if d := e.Count - s.lastRep[e.Item]; d > 0 {
+						meter.Up(j, "freq", 2)
+						p.cmx[e.Item] += d
+					}
+				}
+			}
+		}
+		p.sites = p.sites[:newK]
+	} else {
+		for j := oldK; j < newK; j++ {
+			s := &site{}
+			switch p.cfg.Mode {
+			case ModeSketch:
+				s.ss = spacesaving.NewEps(p.cfg.Eps / sketchEpsFraction)
+				s.lastRep = make(map[uint64]int64)
+			case ModeMGSketch:
+				s.mgs = mg.NewEps(p.cfg.Eps / sketchEpsFraction)
+				s.lastRep = make(map[uint64]int64)
+			default:
+				s.local = make(map[uint64]int64)
+				s.dx = make(map[uint64]int64)
+			}
+			p.sites = append(p.sites, s)
+		}
+	}
+	p.cfg.K = newK
+	p.bootTarget = p.eng.BootTarget()
+	if !p.eng.Bootstrapping() {
+		p.sync()
+	}
+}
+
 // HeavyHitters returns the coordinator's current φ-heavy-hitter set, sorted.
 // The result contains every x with m_x ≥ φ|A| and nothing with
 // m_x < (φ−ε)|A|. phi must satisfy ε ≤ phi ≤ 1 (the paper's precondition).

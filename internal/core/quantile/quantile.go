@@ -65,6 +65,7 @@ import (
 
 	"disttrack/internal/core/engine"
 	"disttrack/internal/rank"
+	"disttrack/internal/sitestore"
 )
 
 // Mode selects the per-site item store.
@@ -325,6 +326,43 @@ func (p *policy) OnBootEscalate(_ int, x uint64) (done bool) {
 
 // OnBootDone builds the first round.
 func (p *policy) OnBootDone() { p.newRound() }
+
+// OnReconfigure implements engine.ReconfigurePolicy: resize the per-site
+// state to newK sites and rebuild the round from scratch — every §3.1
+// threshold (εm/8k batches, split trigger, drift trigger) depends on k, so a
+// membership change is handled exactly like a round boundary. Runs under the
+// quiescent lock set, after the engine has folded the removed sites' arrival
+// counts into site 0.
+func (p *policy) OnReconfigure(oldK, newK int) {
+	if newK < oldK {
+		// Hand each departing site's items to site 0 (exact: lossless;
+		// sketch: count-exact within the source summary's own error — see
+		// sitestore.Drain), mirroring the engine's count fold so rank
+		// queries keep seeing every arrival.
+		s0 := p.sites[0]
+		for j := newK; j < oldK; j++ {
+			s := p.sites[j]
+			p.eng.Meter().Up(j, "handoff", s.st.Space())
+			sitestore.Drain(s.st, s0.st)
+		}
+		p.sites = p.sites[:newK]
+	} else {
+		for j := oldK; j < newK; j++ {
+			var st store
+			if p.cfg.Mode == ModeSketch {
+				st = newGKStore(p.cfg.Eps / gkEpsFraction)
+			} else {
+				st = newExactStore(p.cfg.Seed + int64(j) + 1)
+			}
+			p.sites = append(p.sites, &site{st: st, drift: make([][2]int64, len(p.phis))})
+		}
+	}
+	p.cfg.K = newK
+	p.bootTarget = p.eng.BootTarget()
+	if !p.eng.Bootstrapping() {
+		p.newRound()
+	}
+}
 
 func driftKind(side int) string {
 	if side == 0 {

@@ -1,0 +1,123 @@
+package durable
+
+import (
+	"bytes"
+	"fmt"
+	"maps"
+	"os"
+	"path/filepath"
+	"slices"
+
+	"disttrack/internal/ckpt"
+)
+
+// Coordinator cursor table. One file at the store root (it is coordinator
+// state, not tenant state): the membership epoch plus the highest remote
+// frame sequence applied per node. The ingest server deduplicates node
+// replays against this table; persisting it makes the dedup window survive
+// a coordinator crash, so a node replaying a tail longer than the in-memory
+// window after a restart still lands exactly once (docs/durability.md).
+//
+// Correctness rule: the file must only ever be written at an
+// applied == durable safe point (after a WAL sync that covers everything
+// the cursors claim applied). A cursor ahead of the WAL would silently
+// drop records on recovery; a cursor behind it is safe only because WAL
+// replay re-derives the missing provenance — recovery takes
+// max(file, WAL tail) per node.
+const (
+	cursorsMagic   = 0xD1CE_5EC5
+	cursorsVersion = 1
+	cursorsFile    = "cursors.ckpt"
+	// maxCursorsFile bounds the payload allocation when the length field of
+	// a damaged file is garbage.
+	maxCursorsFile = 1 << 24
+)
+
+// CursorTable is the coordinator's durable ingest-dedup state.
+type CursorTable struct {
+	// Epoch is the membership configuration epoch: bumped on every site
+	// add/remove so nodes carrying a stale epoch are refused at handshake.
+	Epoch uint64
+	// Nodes maps node name → highest applied remote frame sequence.
+	Nodes map[string]uint64
+}
+
+// SaveCursors atomically persists the cursor table (tmp + fsync + rename,
+// one crc32c-framed payload like every durable file).
+func (s *Store) SaveCursors(ct CursorTable) error {
+	var enc ckpt.Encoder
+	encodeCursorTable(&enc, ct)
+	var buf bytes.Buffer
+	if err := ckpt.WriteFrame(&buf, cursorsMagic, cursorsVersion, enc.Bytes()); err != nil {
+		return fmt.Errorf("durable: save cursors: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(s.dir, cursorsFile), buf.Bytes()); err != nil {
+		return fmt.Errorf("durable: save cursors: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+// LoadCursors reads the persisted cursor table. found is false — with a nil
+// error — when the store has none (a fresh data directory, or one created
+// before cursor persistence existed; the caller falls back to the in-memory
+// dedup window and should say so in its boot log). A file that exists but
+// fails its frame or payload checks is an integrity error, returned as such.
+func (s *Store) LoadCursors() (ct CursorTable, found bool, err error) {
+	path := filepath.Join(s.dir, cursorsFile)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return CursorTable{}, false, nil
+		}
+		return CursorTable{}, false, fmt.Errorf("durable: load cursors: %w", err)
+	}
+	defer f.Close()
+	v, payload, err := ckpt.ReadFrame(f, cursorsMagic, maxCursorsFile)
+	if err != nil {
+		return CursorTable{}, false, fmt.Errorf("durable: load cursors: %w", err)
+	}
+	if v != cursorsVersion {
+		return CursorTable{}, false, fmt.Errorf("durable: cursor table version %d, want %d", v, cursorsVersion)
+	}
+	ct, err = decodeCursorTable(payload)
+	if err != nil {
+		return CursorTable{}, false, fmt.Errorf("durable: load cursors: %w", err)
+	}
+	return ct, true, nil
+}
+
+func encodeCursorTable(enc *ckpt.Encoder, ct CursorTable) {
+	enc.U64(ct.Epoch)
+	enc.U32(uint32(len(ct.Nodes)))
+	for _, n := range slices.Sorted(maps.Keys(ct.Nodes)) {
+		enc.String(n)
+		enc.U64(ct.Nodes[n])
+	}
+}
+
+// decodeCursorTable parses a cursor-table payload. Like every durable
+// decoder it must reject arbitrary bytes with an error, never panic or
+// over-allocate (FuzzCursorTable drives it).
+func decodeCursorTable(payload []byte) (CursorTable, error) {
+	dec := ckpt.NewDecoder(payload)
+	ct := CursorTable{Epoch: dec.U64()}
+	n := dec.Count(4 + 8) // per entry at minimum: empty-name length + seq
+	if dec.Err() == nil && n > 0 {
+		ct.Nodes = make(map[string]uint64, n)
+		for i := 0; i < n; i++ {
+			name := dec.String()
+			seq := dec.U64()
+			if dec.Err() != nil {
+				break
+			}
+			ct.Nodes[name] = seq
+		}
+	}
+	if err := dec.Err(); err != nil {
+		return CursorTable{}, err
+	}
+	if dec.Remaining() != 0 {
+		return CursorTable{}, fmt.Errorf("durable: cursor table has %d trailing bytes", dec.Remaining())
+	}
+	return ct, nil
+}

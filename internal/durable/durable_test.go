@@ -28,17 +28,19 @@ func mustTenant(t *testing.T, s *Store, name string) *Tenant {
 }
 
 type replayed struct {
-	seq  uint64
-	site int
-	keys []uint64
+	seq     uint64
+	site    int
+	keys    []uint64
+	node    string
+	nodeSeq uint64
 }
 
 func replayAll(t *testing.T, ten *Tenant, after uint64) ([]replayed, ReplayStats) {
 	t.Helper()
 	var out []replayed
-	stats, err := ten.ReplayWAL(after, func(seq uint64, site int, keys []uint64) error {
+	stats, err := ten.ReplayWAL(after, func(seq uint64, site int, keys []uint64, node string, nodeSeq uint64) error {
 		cp := append([]uint64(nil), keys...)
-		out = append(out, replayed{seq, site, cp})
+		out = append(out, replayed{seq, site, cp, node, nodeSeq})
 		return nil
 	})
 	if err != nil {
@@ -84,13 +86,13 @@ func TestWALAppendReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []replayed{
-		{1, 0, []uint64{10, 20, 30}},
-		{2, 1, []uint64{40}},
-		{3, 0, nil},
-		{4, 2, []uint64{50, 60}},
+		{1, 0, []uint64{10, 20, 30}, "node-a", 7},
+		{2, 1, []uint64{40}, "node-b", 1},
+		{3, 0, nil, "", 0},
+		{4, 2, []uint64{50, 60}, "node-a", 8},
 	}
 	for _, r := range want {
-		seq, err := ten.Append(r.site, r.keys)
+		seq, err := ten.Append(r.site, r.keys, r.node, r.nodeSeq)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,7 +113,8 @@ func TestWALAppendReplay(t *testing.T) {
 		t.Fatalf("replay stats = %+v", stats)
 	}
 	for i, r := range got {
-		if r.seq != want[i].seq || r.site != want[i].site || len(r.keys) != len(want[i].keys) {
+		if r.seq != want[i].seq || r.site != want[i].site || len(r.keys) != len(want[i].keys) ||
+			r.node != want[i].node || r.nodeSeq != want[i].nodeSeq {
 			t.Fatalf("record %d = %+v, want %+v", i, r, want[i])
 		}
 		for j := range r.keys {
@@ -135,7 +138,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := ten.Append(i, []uint64{uint64(i), uint64(i) + 100}); err != nil {
+		if _, err := ten.Append(i, []uint64{uint64(i), uint64(i) + 100}, "", 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -167,7 +170,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 	if err := ten.OpenWAL(stats.LastSeq + 1); err != nil {
 		t.Fatal(err)
 	}
-	if seq, err := ten.Append(0, []uint64{7}); err != nil || seq != 3 {
+	if seq, err := ten.Append(0, []uint64{7}, "", 0); err != nil || seq != 3 {
 		t.Fatalf("append after repair: seq=%d err=%v", seq, err)
 	}
 	if err := ten.Close(); err != nil {
@@ -230,7 +233,7 @@ func TestCheckpointPruneAndWALTruncate(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 6; i++ {
-		if _, err := ten.Append(0, []uint64{uint64(i)}); err != nil {
+		if _, err := ten.Append(0, []uint64{uint64(i)}, "", 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -291,7 +294,7 @@ func FuzzWALRecord(f *testing.F) {
 	if err := ten.OpenWAL(1); err != nil {
 		f.Fatal(err)
 	}
-	if _, err := ten.Append(3, []uint64{1, 2, 3}); err != nil {
+	if _, err := ten.Append(3, []uint64{1, 2, 3}, "node-z", 42); err != nil {
 		f.Fatal(err)
 	}
 	if err := ten.Close(); err != nil {
@@ -312,15 +315,15 @@ func FuzzWALRecord(f *testing.F) {
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		seq, site, keys, next, ok := decodeWALRecord(data, 0)
-		if !ok {
-			return
+		for _, version := range []uint16{walVersionV1, walVersion} {
+			seq, site, keys, node, nodeSeq, next, ok := decodeWALRecord(data, 0, version)
+			if !ok {
+				continue
+			}
+			if next <= 0 || next > len(data) {
+				t.Fatalf("decoded record claims %d bytes of %d", next, len(data))
+			}
+			_, _, _, _, _ = seq, site, keys, node, nodeSeq
 		}
-		if next <= 0 || next > len(data) {
-			t.Fatalf("decoded record claims %d bytes of %d", next, len(data))
-		}
-		_ = seq
-		_ = site
-		_ = keys
 	})
 }

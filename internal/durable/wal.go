@@ -18,13 +18,20 @@ import (
 //
 //	[len u32][payload][crc32c(payload) u32]
 //
-// where the payload is seq u64, site u32, then the perturbed keys as a
-// counted u64 slice. Records carry a dense sequence number: replay knows
-// the log is whole when sequences are contiguous, and a checkpoint names
-// the prefix it covers by a single sequence.
+// where the payload is seq u64, site u32, the perturbed keys as a counted
+// u64 slice, then (version ≥ 2) the remote provenance: the sending node's
+// name and the frame sequence it assigned. Records carry a dense sequence
+// number: replay knows the log is whole when sequences are contiguous, and
+// a checkpoint names the prefix it covers by a single sequence.
+//
+// New segments are written at walVersion; replay still accepts version-1
+// segments (pre-provenance data directories), decoding them with empty
+// provenance — their records predate durable cursors and fall back to the
+// in-memory dedup window.
 const (
 	walMagic      = 0x57A1_10C7
-	walVersion    = 1
+	walVersion    = 2
+	walVersionV1  = 1
 	walHeaderLen  = 8
 	walRecOverhed = 8       // len + crc framing around each payload
 	maxWALRecord  = 1 << 26 // refuse absurd lengths before allocating
@@ -104,7 +111,13 @@ func (t *Tenant) OpenWAL(nextSeq uint64) error {
 // returns its sequence number. It must return before the batch is handed
 // to the tracker — write-ahead, so a crash after the append replays the
 // batch and a crash before it never acknowledged the data.
-func (t *Tenant) Append(site int, keys []uint64) (uint64, error) {
+//
+// node and nodeSeq are the batch's remote provenance: the sending node's
+// name and the frame sequence it assigned ("" and 0 for local HTTP
+// ingest). Recovery folds the provenance of the replayed tail into the
+// coordinator's durable cursor table, so a node replay that races a crash
+// can never double-apply.
+func (t *Tenant) Append(site int, keys []uint64, node string, nodeSeq uint64) (uint64, error) {
 	w := t.wal
 	if w == nil {
 		return 0, fmt.Errorf("durable: tenant %s WAL not open", t.name)
@@ -117,6 +130,8 @@ func (t *Tenant) Append(site int, keys []uint64) (uint64, error) {
 	w.enc.U64(seq)
 	w.enc.U32(uint32(site))
 	w.enc.U64s(keys)
+	w.enc.String(node)
+	w.enc.U64(nodeSeq)
 	payload := w.enc.Bytes()
 
 	if w.f == nil || w.size >= w.opts.SegmentBytes {
@@ -264,7 +279,11 @@ type ReplayStats struct {
 // and reports TornTail rather than failing. Corruption anywhere else — or
 // a sequence gap — is a real integrity error and is returned, after fn
 // has seen the intact prefix. Must run before OpenWAL.
-func (t *Tenant) ReplayWAL(after uint64, fn func(seq uint64, site int, keys []uint64) error) (ReplayStats, error) {
+//
+// node and nodeSeq are the record's remote provenance (empty for local
+// HTTP ingest and for records from version-1 segments, which predate
+// provenance).
+func (t *Tenant) ReplayWAL(after uint64, fn func(seq uint64, site int, keys []uint64, node string, nodeSeq uint64) error) (ReplayStats, error) {
 	var stats ReplayStats
 	if t.wal != nil {
 		return stats, fmt.Errorf("durable: tenant %s: replay after WAL open", t.name)
@@ -296,12 +315,14 @@ func (t *Tenant) ReplayWAL(after uint64, fn func(seq uint64, site int, keys []ui
 			}
 			return stats, fmt.Errorf("durable: replay %s: bad segment header", path)
 		}
-		if v := uint16(data[4]) | uint16(data[5])<<8; v != walVersion {
-			return stats, fmt.Errorf("durable: replay %s: segment version %d, want %d", path, v, walVersion)
+		segVersion := uint16(data[4]) | uint16(data[5])<<8
+		if segVersion != walVersion && segVersion != walVersionV1 {
+			return stats, fmt.Errorf("durable: replay %s: segment version %d, want %d or %d",
+				path, segVersion, walVersionV1, walVersion)
 		}
 		off := walHeaderLen
 		for off < len(data) {
-			seq, site, keys, next, ok := decodeWALRecord(data, off)
+			seq, site, keys, node, nodeSeq, next, ok := decodeWALRecord(data, off, segVersion)
 			if !ok {
 				if lastSegment {
 					stats.TornTail = true
@@ -320,7 +341,7 @@ func (t *Tenant) ReplayWAL(after uint64, fn func(seq uint64, site int, keys []ui
 				stats.LastSeq = seq
 			}
 			if seq > after {
-				if err := fn(seq, site, keys); err != nil {
+				if err := fn(seq, site, keys, node, nodeSeq); err != nil {
 					return stats, err
 				}
 				stats.Records++
@@ -332,28 +353,33 @@ func (t *Tenant) ReplayWAL(after uint64, fn func(seq uint64, site int, keys []ui
 	return stats, nil
 }
 
-// decodeWALRecord parses one record at data[off:]. ok is false for any
+// decodeWALRecord parses one record at data[off:], shaped by the segment
+// version (v1 records carry no provenance fields). ok is false for any
 // truncation or corruption; it never panics on arbitrary bytes.
-func decodeWALRecord(data []byte, off int) (seq uint64, site int, keys []uint64, next int, ok bool) {
+func decodeWALRecord(data []byte, off int, version uint16) (seq uint64, site int, keys []uint64, node string, nodeSeq uint64, next int, ok bool) {
 	if len(data)-off < 4 {
-		return 0, 0, nil, 0, false
+		return 0, 0, nil, "", 0, 0, false
 	}
 	n := int(getU32(data[off:]))
 	if n > maxWALRecord || len(data)-off-4 < n+4 {
-		return 0, 0, nil, 0, false
+		return 0, 0, nil, "", 0, 0, false
 	}
 	payload := data[off+4 : off+4+n]
 	if crc32.Checksum(payload, walCRC) != getU32(data[off+4+n:]) {
-		return 0, 0, nil, 0, false
+		return 0, 0, nil, "", 0, 0, false
 	}
 	dec := ckpt.NewDecoder(payload)
 	seq = dec.U64()
 	site = int(dec.U32())
 	keys = dec.U64s()
-	if dec.Err() != nil || dec.Remaining() != 0 {
-		return 0, 0, nil, 0, false
+	if version >= walVersion {
+		node = dec.String()
+		nodeSeq = dec.U64()
 	}
-	return seq, site, keys, off + 4 + n + 4, true
+	if dec.Err() != nil || dec.Remaining() != 0 {
+		return 0, 0, nil, "", 0, 0, false
+	}
+	return seq, site, keys, node, nodeSeq, off + 4 + n + 4, true
 }
 
 // truncateWAL removes segments fully covered by sequence cover. A segment

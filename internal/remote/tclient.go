@@ -125,6 +125,13 @@ type NodeClient struct {
 	bytesUp   atomic.Int64
 	bytesDown atomic.Int64
 
+	// epoch is the last membership epoch learned from the coordinator
+	// (welcome.Site, or the goodbye that refused a stale hello). 0 until the
+	// first handshake completes; hellos carry it so a node that missed a
+	// membership change is refused and resyncs instead of streaming under
+	// stale assumptions.
+	epoch atomic.Uint64
+
 	wg sync.WaitGroup
 }
 
@@ -158,7 +165,9 @@ func (c *NodeClient) establish() (net.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("remote: dial node: %w", err)
 	}
-	if err := c.writeFrame(conn, TFrame{Type: TypeNodeHello, Tenant: c.cfg.Node}); err != nil {
+	// The hello's Seq carries the last membership epoch this node saw (0 on
+	// a fresh client: accepted unconditionally, the welcome teaches it).
+	if err := c.writeFrame(conn, TFrame{Type: TypeNodeHello, Tenant: c.cfg.Node, Seq: c.epoch.Load()}); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -168,12 +177,24 @@ func (c *NodeClient) establish() (net.Conn, error) {
 	welcome, err := ReadTFrame(conn)
 	if err != nil || welcome.Type != TypeNodeWelcome {
 		conn.Close()
-		if err == nil {
+		if err == nil && welcome.Type == TypeNodeGoodbye {
+			// The coordinator refused our epoch as stale: adopt the current
+			// one it named and report a retryable error — the redial loop
+			// re-handshakes immediately with the fresh epoch.
+			if welcome.Seq != 0 {
+				c.epoch.Store(welcome.Seq)
+			}
+			err = fmt.Errorf("remote: refused for stale membership epoch, adopted %d", welcome.Seq)
+		} else if err == nil {
 			err = fmt.Errorf("remote: unexpected handshake frame type %d", welcome.Type)
 		}
 		return nil, err
 	}
 	c.bytesDown.Add(int64(welcome.EncodedSize()))
+	// welcome.Site carries the coordinator's membership epoch.
+	if welcome.Site != 0 {
+		c.epoch.Store(uint64(welcome.Site))
+	}
 	conn.SetReadDeadline(time.Time{})
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -330,10 +351,20 @@ func (c *NodeClient) readAcks(conn net.Conn) {
 			c.cond.Broadcast()
 			c.mu.Unlock()
 		case TypeNodeGoodbye:
+			// A mid-stream goodbye carrying an epoch is the coordinator
+			// announcing a membership change before cutting us off; adopt it
+			// so the redial handshakes under the new epoch straight away.
+			if f.Seq != 0 {
+				c.epoch.Store(f.Seq)
+			}
 			return
 		}
 	}
 }
+
+// Epoch returns the membership epoch last learned from the coordinator
+// (0 before the first handshake).
+func (c *NodeClient) Epoch() uint64 { return c.epoch.Load() }
 
 // retireLocked drops pending frames up to and including seq (acks are
 // cumulative) and advances the acknowledgement high-water mark.

@@ -46,19 +46,35 @@ type IngestServerConfig struct {
 	// until OpenTimeout elapses, then one probe connection is admitted.
 	// Zero fields take the fault package defaults (5 failures / 5s).
 	Breaker fault.BreakerConfig
+	// Epoch is the coordinator's membership configuration epoch, advertised
+	// in every welcome (and changeable later via SetEpoch). A hello carrying
+	// a DIFFERENT nonzero epoch is refused with a goodbye naming the current
+	// one, so a node that missed a membership change cannot keep streaming
+	// under stale assumptions — it adopts the new epoch from the goodbye and
+	// redials. Zero means epoch 1 (epoch 0 is reserved on the wire for "node
+	// does not know yet").
+	Epoch uint64
+	// InitialCursors seeds the per-node applied-sequence table before the
+	// listener accepts anything: the coordinator's durable cursor table,
+	// recovered across a restart, so a node replaying a tail the previous
+	// incarnation already applied is deduplicated even though this process
+	// never saw those frames (docs/durability.md).
+	InitialCursors map[string]uint64
 }
 
 // IngestStats is a point-in-time snapshot of an IngestServer's counters.
 type IngestStats struct {
-	Nodes      int   `json:"nodes"`      // live node connections
-	Frames     int64 `json:"frames"`     // batch frames applied
-	Values     int64 `json:"values"`     // values delivered to the pipeline
-	Duplicates int64 `json:"duplicates"` // replayed frames dropped by seq dedupe
-	Rejected   int64 `json:"rejected"`   // frames refused by OnBatch
-	Refused    int64 `json:"refused"`    // hellos refused by an open node breaker
-	Flushes    int64 `json:"flushes"`    // network flush barriers served
-	BytesIn    int64 `json:"bytes_in"`   // encoded frame bytes read from nodes
-	BytesOut   int64 `json:"bytes_out"`  // encoded frame bytes written to nodes
+	Nodes        int    `json:"nodes"`         // live node connections
+	Epoch        uint64 `json:"epoch"`         // current membership epoch
+	Frames       int64  `json:"frames"`        // batch frames applied
+	Values       int64  `json:"values"`        // values delivered to the pipeline
+	Duplicates   int64  `json:"duplicates"`    // replayed frames dropped by seq dedupe
+	Rejected     int64  `json:"rejected"`      // frames refused by OnBatch
+	Refused      int64  `json:"refused"`       // hellos refused by an open node breaker
+	EpochRefused int64  `json:"epoch_refused"` // hellos refused for a stale membership epoch
+	Flushes      int64  `json:"flushes"`       // network flush barriers served
+	BytesIn      int64  `json:"bytes_in"`      // encoded frame bytes read from nodes
+	BytesOut     int64  `json:"bytes_out"`     // encoded frame bytes written to nodes
 }
 
 // IngestServer terminates multi-tenant site-node connections on the
@@ -77,14 +93,17 @@ type IngestServer struct {
 	breakers map[string]*fault.Breaker // reconnect flap damping per node
 	closed   bool
 
-	frames   atomic.Int64
-	values   atomic.Int64
-	dups     atomic.Int64
-	rejects  atomic.Int64
-	refused  atomic.Int64
-	flushes  atomic.Int64
-	bytesIn  atomic.Int64
-	bytesOut atomic.Int64
+	epoch atomic.Uint64 // current membership epoch (>= 1)
+
+	frames       atomic.Int64
+	values       atomic.Int64
+	dups         atomic.Int64
+	rejects      atomic.Int64
+	refused      atomic.Int64
+	epochRefused atomic.Int64
+	flushes      atomic.Int64
+	bytesIn      atomic.Int64
+	bytesOut     atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -108,6 +127,15 @@ func NewIngestServer(addr string, cfg IngestServerConfig) (*IngestServer, error)
 		lastSeq:  make(map[string]uint64),
 		locks:    make(map[string]*sync.Mutex),
 		breakers: make(map[string]*fault.Breaker),
+	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 1
+	}
+	s.epoch.Store(cfg.Epoch)
+	// Seed the dedup table before accept() starts: a node's first replayed
+	// frame may arrive the moment the listener is up.
+	for node, seq := range cfg.InitialCursors {
+		s.lastSeq[node] = seq
 	}
 	s.wg.Add(1)
 	go s.accept()
@@ -142,6 +170,17 @@ func (s *IngestServer) serve(conn net.Conn) {
 	}
 	s.bytesIn.Add(int64(hello.EncodedSize()))
 	node := hello.Tenant
+	// Membership epoch gate: a hello's Seq carries the node's last known
+	// epoch (0 = fresh node, accepted unconditionally — it learns the epoch
+	// from the welcome). A stale nonzero epoch means the node missed a site
+	// add/remove or a tenant migration; refuse it with a goodbye naming the
+	// current epoch so it adopts the new configuration and redials, instead
+	// of streaming under assumptions the coordinator no longer holds.
+	if e := s.epoch.Load(); hello.Seq != 0 && hello.Seq != e {
+		s.epochRefused.Add(1)
+		_ = s.writeFrame(conn, TFrame{Type: TypeNodeGoodbye, Seq: e})
+		return
+	}
 	br := s.nodeBreaker(node)
 	// Flap damping: a node whose connections keep dying without applying a
 	// single frame (crash loop, mangled build) has tripped its breaker;
@@ -189,7 +228,10 @@ func (s *IngestServer) serve(conn net.Conn) {
 	s.conns[node] = conn
 	last := s.lastSeq[node]
 	s.mu.Unlock()
-	err = s.writeFrame(conn, TFrame{Type: TypeNodeWelcome, Seq: last})
+	// The welcome carries the applied cursor (Seq) and the membership epoch
+	// (Site, u32 on the wire): the node retires everything ≤ Seq and adopts
+	// the epoch for its next hello.
+	err = s.writeFrame(conn, TFrame{Type: TypeNodeWelcome, Seq: last, Site: uint32(s.epoch.Load())})
 	lk.Unlock()
 	if err != nil {
 		s.removeConn(node, conn)
@@ -383,16 +425,58 @@ func (s *IngestServer) Stats() IngestStats {
 	nodes := len(s.conns)
 	s.mu.Unlock()
 	return IngestStats{
-		Nodes:      nodes,
-		Frames:     s.frames.Load(),
-		Values:     s.values.Load(),
-		Duplicates: s.dups.Load(),
-		Rejected:   s.rejects.Load(),
-		Refused:    s.refused.Load(),
-		Flushes:    s.flushes.Load(),
-		BytesIn:    s.bytesIn.Load(),
-		BytesOut:   s.bytesOut.Load(),
+		Nodes:        nodes,
+		Epoch:        s.epoch.Load(),
+		Frames:       s.frames.Load(),
+		Values:       s.values.Load(),
+		Duplicates:   s.dups.Load(),
+		Rejected:     s.rejects.Load(),
+		Refused:      s.refused.Load(),
+		EpochRefused: s.epochRefused.Load(),
+		Flushes:      s.flushes.Load(),
+		BytesIn:      s.bytesIn.Load(),
+		BytesOut:     s.bytesOut.Load(),
 	}
+}
+
+// Epoch returns the current membership epoch (always ≥ 1).
+func (s *IngestServer) Epoch() uint64 { return s.epoch.Load() }
+
+// SetEpoch advances the advertised membership epoch. Connections already
+// streaming are not cut by this alone — pair it with DisconnectAll so every
+// node re-handshakes under the new epoch.
+func (s *IngestServer) SetEpoch(e uint64) { s.epoch.Store(e) }
+
+// DisconnectAll closes every live node connection and reports how many were
+// cut. Per-node sequence state, locks and breakers are retained: the nodes
+// replay their unacknowledged tails on reconnect and dedup takes care of the
+// rest. Used on a membership change so every node passes the epoch gate anew.
+func (s *IngestServer) DisconnectAll() int {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.conns = make(map[string]net.Conn)
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return len(conns)
+}
+
+// Cursors snapshots the per-node applied-sequence table, for persisting as
+// the coordinator's durable cursor table. Callers must only persist a
+// snapshot taken at an applied == durable safe point (after a pipeline flush
+// barrier); see durable.CursorTable.
+func (s *IngestServer) Cursors() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.lastSeq))
+	for n, seq := range s.lastSeq {
+		out[n] = seq
+	}
+	return out
 }
 
 // Close stops the listener, drops every connection and waits for the

@@ -42,6 +42,18 @@ type durability struct {
 	replayed    int64     // WAL records replayed at boot
 	quarantined int       // checkpoints quarantined at boot
 	tornTails   int       // WAL segments repaired by torn-tail truncation
+
+	// cursors is the coordinator's per-node ingest dedup table as recovered
+	// at boot: the persisted cursor file merged with the max provenance seen
+	// per node across every tenant's on-disk WAL (the file may lag the WAL by
+	// up to one checkpoint cycle; the WAL never lags the file, because
+	// cursors are only saved after a pipeline flush barrier). It seeds the
+	// ingest server's lastSeq table so a node replaying a tail the previous
+	// incarnation applied is deduplicated exactly. cursorsFound records
+	// whether the cursor file existed (false on a pre-cursor data dir: boot
+	// warns and dedup falls back to the WAL-derived maxima alone).
+	cursors      map[string]uint64
+	cursorsFound bool
 }
 
 func newDurability(store *durable.Store, interval time.Duration) *durability {
@@ -106,6 +118,8 @@ type RecoveryStats struct {
 	ReplayedRecords        int64 // WAL record batches replayed
 	QuarantinedCheckpoints int   // checkpoints renamed *.corrupt and skipped
 	TornTails              int   // WAL segments repaired by torn-tail truncation
+	CursorNodes            int   // per-node dedup cursors recovered (file + WAL provenance)
+	DurableCursors         bool  // the persisted cursor table was found and loaded
 }
 
 // RecoveryStats returns what boot recovery did (zero without durability).
@@ -121,7 +135,33 @@ func (s *Server) RecoveryStats() RecoveryStats {
 		ReplayedRecords:        d.replayed,
 		QuarantinedCheckpoints: d.quarantined,
 		TornTails:              d.tornTails,
+		CursorNodes:            len(d.cursors),
+		DurableCursors:         d.cursorsFound,
 	}
+}
+
+// mergeCursor folds one WAL record's provenance into the boot cursor table
+// (recovery takes the max of the persisted file and the WAL tail per node).
+func (d *durability) mergeCursor(node string, seq uint64) {
+	d.mu.Lock()
+	if d.cursors == nil {
+		d.cursors = make(map[string]uint64)
+	}
+	if seq > d.cursors[node] {
+		d.cursors[node] = seq
+	}
+	d.mu.Unlock()
+}
+
+// cursorSnapshot copies the boot-recovered cursor table.
+func (d *durability) cursorSnapshot() map[string]uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]uint64, len(d.cursors))
+	for n, seq := range d.cursors {
+		out[n] = seq
+	}
+	return out
 }
 
 // DurabilityStatus is the /healthz durability section.
@@ -223,7 +263,24 @@ func (s *Server) recoverTenant(name string) error {
 		break
 	}
 
-	stats, err := ten.ReplayWAL(cover, func(seq uint64, site int, keys []uint64) error {
+	// Replay the ENTIRE on-disk WAL, not just the tail past the cover:
+	// records at or before the cover are already inside the checkpoint and
+	// are not re-applied, but their per-node provenance still feeds the
+	// cursor table. The persisted cursor file is only guaranteed to cover
+	// records up to the OLDEST retained checkpoint cover (cursors are saved
+	// once per cycle, after the checkpoints that truncate to that older
+	// cover), so the provenance of everything newer must be re-derived here
+	// — otherwise a node replaying that window after a crash would be
+	// double-applied.
+	var applied int64
+	stats, err := ten.ReplayWAL(0, func(seq uint64, site int, keys []uint64, node string, nodeSeq uint64) error {
+		if node != "" {
+			s.dur.mergeCursor(node, nodeSeq)
+		}
+		if seq <= cover {
+			return nil // inside the checkpoint: provenance only
+		}
+		applied++
 		return t.replayBatch(site, keys)
 	})
 	if err != nil {
@@ -251,12 +308,12 @@ func (s *Server) recoverTenant(name string) error {
 	}
 	s.dur.mu.Lock()
 	s.dur.recovered++
-	s.dur.replayed += stats.Records
+	s.dur.replayed += applied
 	if stats.TornTail {
 		s.dur.tornTails++
 	}
 	s.dur.mu.Unlock()
-	s.met.walReplayed.Add(stats.Records)
+	s.met.walReplayed.Add(applied)
 	return nil
 }
 
@@ -265,7 +322,12 @@ func (s *Server) recoverTenant(name string) error {
 // keys are already perturbed, already admitted, already logged). It also
 // advances the perturbation counters past every replayed key, so new
 // ingest after recovery continues the sequence instead of reusing keys.
+// A site past the live count (a WAL written before a membership shrink)
+// folds onto site 0, matching the engine's Reconfigure fold.
 func (t *Tenant) replayBatch(site int, keys []uint64) error {
+	if site >= t.K() {
+		site = 0
+	}
 	if t.seq != nil {
 		for _, k := range keys {
 			v := k >> stream.PerturbBits
@@ -377,8 +439,52 @@ func (s *Server) checkpointTenant(t *Tenant) error {
 	return nil
 }
 
-// checkpointLoop checkpoints every live tenant on the configured cadence
-// until Close stops it.
+// checkpointCycle runs one full durable cycle: checkpoint every live
+// tenant, then persist the coordinator cursor table. The order matters for
+// exactly-once recovery: a checkpoint's WAL truncation goes to the OLDER of
+// the two retained covers, and the cursor file written at the end of cycle
+// n covers everything up to cycle n's cover — which becomes the older
+// retained cover after cycle n+1. So at every crash point, per-node
+// provenance is recoverable from max(cursor file, full on-disk WAL scan).
+func (s *Server) checkpointCycle() {
+	for _, t := range s.reg.all() {
+		if err := s.checkpointTenant(t); err != nil {
+			s.met.ckptErrors.Inc()
+		}
+	}
+	if err := s.saveCursors(); err != nil {
+		s.met.ckptErrors.Inc()
+	}
+}
+
+// saveCursors persists the coordinator cursor table at an applied == durable
+// safe point. The snapshot is taken FIRST, then the pipeline flush barrier
+// runs: cursors advance when a frame is accepted into the shard queue
+// (before its WAL append on the worker), so the barrier is what guarantees
+// every record the snapshot claims applied has reached the WAL. Snapshot
+// after flush would leave a window where a cursor covers an un-logged
+// record — a silent drop on recovery.
+func (s *Server) saveCursors() error {
+	if s.dur == nil {
+		return nil
+	}
+	var nodes map[string]uint64
+	if ri := s.remote.Load(); ri != nil {
+		nodes = ri.srv.Cursors()
+	} else {
+		// No remote listener (yet): persist the boot-recovered table so a
+		// pure-HTTP restart still carries epoch and cursor state forward.
+		nodes = s.dur.cursorSnapshot()
+	}
+	s.sh.Flush()
+	return s.dur.store.SaveCursors(durable.CursorTable{
+		Epoch: s.epoch.Load(),
+		Nodes: nodes,
+	})
+}
+
+// checkpointLoop runs the durable cycle on the configured cadence until
+// Close stops it.
 func (s *Server) checkpointLoop() {
 	defer close(s.dur.done)
 	tick := time.NewTicker(s.dur.interval)
@@ -388,11 +494,7 @@ func (s *Server) checkpointLoop() {
 		case <-s.dur.stop:
 			return
 		case <-tick.C:
-			for _, t := range s.reg.all() {
-				if err := s.checkpointTenant(t); err != nil {
-					s.met.ckptErrors.Inc()
-				}
-			}
+			s.checkpointCycle()
 		}
 	}
 }

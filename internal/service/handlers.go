@@ -67,7 +67,79 @@ func newMux(s *Server) *http.ServeMux {
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/flush", s.handleFlush)
 	mux.HandleFunc("GET /v1/remote", s.handleRemote)
+	mux.HandleFunc("POST /v1/admin/membership", s.handleMembership)
+	mux.HandleFunc("POST /v1/admin/migrate", s.handleMigrate)
 	return mux
+}
+
+// handleMembership applies a live site add/remove: resize the named
+// tenant's site set to k. The engine restarts the tenant's protocol round
+// over the new set (a shrink folds the removed sites' counts into site 0),
+// and the membership epoch bumps so the node fleet re-handshakes.
+func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeErr(w, http.StatusServiceUnavailable, codeClosing, "server shutting down")
+		return
+	}
+	var req struct {
+		Tenant string `json:"tenant"`
+		K      int    `json:"k"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, codeInvalid, "bad membership request: "+err.Error())
+		return
+	}
+	if req.Tenant == "" {
+		writeErr(w, http.StatusBadRequest, codeInvalid, "missing tenant")
+		return
+	}
+	if s.reg.Get(req.Tenant) == nil {
+		writeErr(w, http.StatusNotFound, codeNotFound, "tenant "+strconv.Quote(req.Tenant)+" not found")
+		return
+	}
+	if err := s.ReconfigureTenant(req.Tenant, req.K); err != nil {
+		writeErr(w, http.StatusBadRequest, codeInvalid, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant": req.Tenant, "k": req.K, "epoch": s.epoch.Load(),
+	})
+}
+
+// handleMigrate moves the named tenant onto another shard worker, using the
+// checkpoint payload as the transfer format.
+func (s *Server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeErr(w, http.StatusServiceUnavailable, codeClosing, "server shutting down")
+		return
+	}
+	var req struct {
+		Tenant string `json:"tenant"`
+		Shard  int    `json:"shard"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, codeInvalid, "bad migrate request: "+err.Error())
+		return
+	}
+	if req.Tenant == "" {
+		writeErr(w, http.StatusBadRequest, codeInvalid, "missing tenant")
+		return
+	}
+	if s.reg.Get(req.Tenant) == nil {
+		writeErr(w, http.StatusNotFound, codeNotFound, "tenant "+strconv.Quote(req.Tenant)+" not found")
+		return
+	}
+	if err := s.MigrateTenant(req.Tenant, req.Shard); err != nil {
+		writeErr(w, http.StatusBadRequest, codeInvalid, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant": req.Tenant, "shard": req.Shard, "epoch": s.epoch.Load(),
+	})
 }
 
 // handleRemote serves the networked ingest path's stats (coord role only).
@@ -125,6 +197,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if ds := s.durabilityStatus(); ds != nil {
 		body["durability"] = ds
 	}
+	body["membership"] = s.membershipStatus()
 	// Coordinator role: per-site-node connection and breaker state. The
 	// service is degraded — still serving, from last-known site state —
 	// when a node it has heard from is not currently connected.

@@ -1,0 +1,447 @@
+package service
+
+import (
+	"net"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"disttrack/internal/remote"
+)
+
+// TestReconfigureUnderFire drives live site add/remove against all three
+// tenant kinds while ingest goroutines hammer the pipeline, then checks the
+// reconfigure law: no accepted arrival is lost or double-counted across any
+// number of membership changes (shrinks fold removed sites into site 0), and
+// the protocols' ε-contract still holds over the stream's true total. Run
+// with -race: this is also the locking discipline's stress test.
+func TestReconfigureUnderFire(t *testing.T) {
+	const eps = 0.05
+	s := New(Config{})
+	defer s.Close()
+	names := []string{"hh", "quant", "allq"}
+	for _, tc := range []TenantConfig{
+		{Name: "hh", Kind: KindHH, K: 4, Eps: eps},
+		{Name: "quant", Kind: KindQuantile, K: 4, Eps: eps, Phis: []float64{0.5}},
+		{Name: "allq", Kind: KindAllQ, K: 4, Eps: eps},
+	} {
+		mustCreate(t, s, tc)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	sent := make([]*atomic.Int64, len(names))
+	for i, name := range names {
+		sent[i] = &atomic.Int64{}
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			for v := uint64(0); ; v++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Site 1 exists for most of the schedule but not at k=1: a
+				// record validated at the old k and delivered after the shrink
+				// exercises the in-flight fold; one rejected at admission is
+				// simply not counted as sent.
+				rec := Record{Tenant: name, Site: int(v % 2), Value: v % 128}
+				if acc, _ := s.Ingest([]Record{rec}); acc == 1 {
+					sent[i].Add(1)
+				}
+			}
+		}(i, name)
+	}
+
+	schedule := []int{2, 6, 1, 5, 3}
+	for _, k := range schedule {
+		time.Sleep(2 * time.Millisecond)
+		for _, name := range names {
+			if err := s.ReconfigureTenant(name, k); err != nil {
+				t.Errorf("reconfigure %s to k=%d: %v", name, k, err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	s.Flush()
+
+	if got := s.Epoch(); got != 1+uint64(len(schedule)*len(names)) {
+		t.Errorf("epoch %d after %d reconfigurations, want %d",
+			got, len(schedule)*len(names), 1+len(schedule)*len(names))
+	}
+	finalK := schedule[len(schedule)-1]
+	for i, name := range names {
+		st := s.reg.Get(name).Stats()
+		if len(st.SiteCounts) != finalK {
+			t.Errorf("%s: %d sites after reconfigure, want %d", name, len(st.SiteCounts), finalK)
+		}
+		var sum int64
+		for _, c := range st.SiteCounts {
+			sum += int64(c)
+		}
+		if sum != sent[i].Load() {
+			t.Errorf("%s: site counts sum %d, want %d accepted (lost or double-counted across reconfigures)",
+				name, sum, sent[i].Load())
+		}
+	}
+
+	// ε-contract over the true totals: values cycle 0..127 uniformly.
+	n := sent[0].Load()
+	if f, err := s.reg.Get("hh").Frequency(7); err != nil ||
+		absDiff(int64(f), n/128) > int64(eps*float64(n))+1 {
+		t.Errorf("hh frequency(7)=%d err=%v, want %d ± %d", f, err, n/128, int64(eps*float64(n))+1)
+	}
+	if med, err := s.reg.Get("quant").Quantile(0.5); err != nil || med < 64-14 || med > 64+14 {
+		t.Errorf("quant median %d err=%v, want ≈ 63", med, err)
+	}
+	nq := sent[2].Load()
+	if rank, total, err := s.reg.Get("allq").Rank(64); err != nil || total != nq ||
+		absDiff(rank, nq/2) > int64(2*eps*float64(nq))+1 {
+		t.Errorf("allq rank(64)=%d/%d err=%v, want ≈ %d", rank, total, err, nq/2)
+	}
+}
+
+func absDiff(a, b int64) int64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// TestMigrateUnderFire moves a tenant between shard workers while ingest
+// runs, several hops, and checks nothing is lost or doubled and the tenant
+// keeps answering queries from the migrated state.
+func TestMigrateUnderFire(t *testing.T) {
+	s := New(Config{Shards: 4})
+	defer s.Close()
+	mustCreate(t, s, TenantConfig{Name: "m", Kind: KindHH, K: 2, Eps: 0.1})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var sent atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := uint64(0); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if acc, _ := s.Ingest([]Record{{Tenant: "m", Site: int(v % 2), Value: v % 16}}); acc == 1 {
+				sent.Add(1)
+			}
+		}
+	}()
+
+	hops := 0
+	for _, target := range []int{1, 3, 0, 2} {
+		time.Sleep(2 * time.Millisecond)
+		if s.sh.shardIndexOf("m") == target {
+			continue
+		}
+		if err := s.MigrateTenant("m", target); err != nil {
+			t.Fatalf("migrate to shard %d: %v", target, err)
+		}
+		hops++
+		if got := s.sh.shardIndexOf("m"); got != target {
+			t.Fatalf("tenant on shard %d after migration, want %d", got, target)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	s.Flush()
+
+	if hops == 0 {
+		t.Fatal("schedule produced zero migrations")
+	}
+	if got := s.migrations.Load(); got != int64(hops) {
+		t.Errorf("migrations counter %d, want %d", got, hops)
+	}
+	if got := s.Epoch(); got != 1+uint64(hops) {
+		t.Errorf("epoch %d after %d migrations, want %d", got, hops, 1+hops)
+	}
+	st := s.reg.Get("m").Stats()
+	var sum int64
+	for _, c := range st.SiteCounts {
+		sum += int64(c)
+	}
+	if sum != sent.Load() {
+		t.Errorf("site counts sum %d after %d migrations, want %d", sum, hops, sent.Load())
+	}
+	n := sent.Load()
+	if f, err := s.reg.Get("m").Frequency(7); err != nil ||
+		absDiff(int64(f), n/16) > int64(0.1*float64(n))+1 {
+		t.Errorf("frequency(7)=%d err=%v after migrations, want %d ± %d", f, err, n/16, int64(0.1*float64(n))+1)
+	}
+	// Migration must not leave a stale pin dangling for other tenants.
+	if s.sh.shardIndexOf("absent") != s.sh.hashShard("absent") {
+		t.Error("unrelated tenant not on its hash shard")
+	}
+}
+
+// nodeDial performs a raw site-node handshake and returns the open
+// connection plus the coordinator's welcome (or goodbye) frame.
+func nodeDial(t *testing.T, addr, node string, epoch uint64) (net.Conn, remote.TFrame) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.WriteTFrame(conn, remote.TFrame{Type: remote.TypeNodeHello, Tenant: node, Seq: epoch}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := remote.ReadTFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn, f
+}
+
+// sendBatches streams value batches [from,to] (one value per frame, seq ==
+// frame number, value == seq-1, site == (seq-1) % 2) and requires an ack for
+// each.
+func sendBatches(t *testing.T, conn net.Conn, tenant string, from, to uint64) {
+	t.Helper()
+	for seq := from; seq <= to; seq++ {
+		f := remote.TFrame{Type: remote.TypeBatch, Seq: seq, Tenant: tenant,
+			Site: uint32((seq - 1) % 2), Kind: remote.TKindHH, Values: []uint64{seq - 1}}
+		if err := remote.WriteTFrame(conn, f); err != nil {
+			t.Fatalf("write batch %d: %v", seq, err)
+		}
+		ack, err := remote.ReadTFrame(conn)
+		if err != nil || ack.Type != remote.TypeBatchAck || ack.Seq != seq {
+			t.Fatalf("batch %d: ack %+v err=%v", seq, ack, err)
+		}
+	}
+}
+
+// netFlush runs the network flush fence.
+func netFlush(t *testing.T, conn net.Conn) {
+	t.Helper()
+	if err := remote.WriteTFrame(conn, remote.TFrame{Type: remote.TypeNetFlush, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := remote.ReadTFrame(conn); err != nil || ack.Type != remote.TypeNetFlushAck {
+		t.Fatalf("flush ack %+v err=%v", ack, err)
+	}
+}
+
+// siteSum sums a tenant's per-site counts.
+func siteSum(t *testing.T, s *Server, name string) int64 {
+	t.Helper()
+	tn := s.reg.Get(name)
+	if tn == nil {
+		t.Fatalf("tenant %s missing", name)
+	}
+	var sum int64
+	for _, c := range tn.Stats().SiteCounts {
+		sum += int64(c)
+	}
+	return sum
+}
+
+// TestDurableCursorRestartExactlyOnce is the tentpole's crash test: a
+// coordinator killed without any shutdown path recovers its per-node seq
+// cursors — from the persisted cursor table merged with WAL record
+// provenance, whichever is newer — so a site node replaying its entire
+// unacknowledged tail after the restart lands exactly once, even though the
+// replacement process never saw those frames and its in-memory dedup state
+// started empty. Also pins epoch continuity: the membership epoch survives
+// the crash, a stale hello is refused, and the node re-adopts it from the
+// welcome.
+func TestDurableCursorRestartExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir)
+	ri, err := s.ServeRemote("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCreate(t, s, TenantConfig{Name: "t", Kind: KindHH, K: 2, Eps: 0.1})
+
+	conn, welcome := nodeDial(t, ri.Addr(), "n1", 0)
+	if welcome.Type != remote.TypeNodeWelcome || welcome.Seq != 0 || welcome.Site != 1 {
+		t.Fatalf("first welcome %+v, want seq 0 epoch 1", welcome)
+	}
+	sendBatches(t, conn, "t", 1, 20)
+	netFlush(t, conn)
+	conn.Close()
+
+	// A membership change persists the cursor table at seq 20 and bumps the
+	// epoch to 2 — so the crash below has a cursor FILE that is 20 frames
+	// stale, and only the WAL tail's provenance covers 21..40. Recovery must
+	// take the max of the two.
+	if err := s.ReconfigureTenant("t", 3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 2 {
+		t.Fatalf("epoch %d after reconfigure, want 2", s.Epoch())
+	}
+
+	// A node that missed the change is refused until it adopts the new epoch.
+	staleConn, goodbye := nodeDial(t, ri.Addr(), "n1", 1)
+	if goodbye.Type != remote.TypeNodeGoodbye || goodbye.Seq != 2 {
+		t.Fatalf("stale-epoch response %+v, want goodbye naming epoch 2", goodbye)
+	}
+	staleConn.Close()
+
+	conn, welcome = nodeDial(t, ri.Addr(), "n1", 2)
+	if welcome.Type != remote.TypeNodeWelcome || welcome.Seq != 20 || welcome.Site != 2 {
+		t.Fatalf("post-reconfigure welcome %+v, want seq 20 epoch 2", welcome)
+	}
+	sendBatches(t, conn, "t", 21, 40)
+	netFlush(t, conn)
+	if sum := siteSum(t, s, "t"); sum != 40 {
+		t.Fatalf("pre-crash sum %d, want 40", sum)
+	}
+
+	// Crash: no Close, no final checkpoint, no cursor save. The listener dies
+	// with the process; the WAL tail (21..40) exists only as records with
+	// provenance.
+	conn.Close()
+	ri.Close()
+	abandon(s)
+
+	r := openDurable(t, dir)
+	defer r.Close()
+	rs := r.RecoveryStats()
+	if !rs.DurableCursors || rs.CursorNodes != 1 {
+		t.Fatalf("recovery stats %+v, want durable cursors with 1 node", rs)
+	}
+	if r.Epoch() != 2 {
+		t.Fatalf("epoch %d after crash recovery, want 2", r.Epoch())
+	}
+	if sum := siteSum(t, r, "t"); sum != 40 {
+		t.Fatalf("recovered sum %d, want 40", sum)
+	}
+	ri2, err := r.ServeRemote("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The replacement coordinator welcomes the node at the recovered cursor:
+	// max(file = 20, WAL provenance = 40) = 40.
+	conn, welcome = nodeDial(t, ri2.Addr(), "n1", 0)
+	if welcome.Type != remote.TypeNodeWelcome || welcome.Seq != 40 || welcome.Site != 2 {
+		t.Fatalf("post-crash welcome %+v, want seq 40 epoch 2", welcome)
+	}
+	// Replay the ENTIRE tail — far more than anything the new process ever
+	// applied in memory. Every frame must be acked (so the node retires it)
+	// and none may count twice.
+	sendBatches(t, conn, "t", 1, 40)
+	netFlush(t, conn)
+	if st := ri2.srv.Stats(); st.Duplicates != 40 {
+		t.Fatalf("duplicates %d after full-tail replay, want 40", st.Duplicates)
+	}
+	if sum := siteSum(t, r, "t"); sum != 40 {
+		t.Fatalf("sum %d after full-tail replay, want 40 (double count)", sum)
+	}
+	// And the stream continues: the next fresh frame applies normally.
+	sendBatches(t, conn, "t", 41, 41)
+	netFlush(t, conn)
+	if sum := siteSum(t, r, "t"); sum != 41 {
+		t.Fatalf("sum %d after post-replay ingest, want 41", sum)
+	}
+	conn.Close()
+}
+
+// TestMembershipAdminAPI exercises the admin endpoints end to end and the
+// /healthz membership block.
+func TestMembershipAdminAPI(t *testing.T) {
+	s := New(Config{Shards: 2})
+	defer s.Close()
+	mustCreate(t, s, TenantConfig{Name: "api", Kind: KindHH, K: 2, Eps: 0.1})
+	ingestN(t, s, "api", 10)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var resp map[string]any
+	code := jsonDo(t, ts.Client(), "POST", ts.URL+"/v1/admin/membership",
+		map[string]any{"tenant": "api", "k": 4}, &resp)
+	if code != 200 || resp["epoch"].(float64) != 2 {
+		t.Fatalf("membership: code %d resp %v", code, resp)
+	}
+	if got := s.reg.Get("api").K(); got != 4 {
+		t.Fatalf("k %d after admin reconfigure, want 4", got)
+	}
+	target := (s.sh.shardIndexOf("api") + 1) % 2
+	code = jsonDo(t, ts.Client(), "POST", ts.URL+"/v1/admin/migrate",
+		map[string]any{"tenant": "api", "shard": target}, &resp)
+	if code != 200 || resp["epoch"].(float64) != 3 {
+		t.Fatalf("migrate: code %d resp %v", code, resp)
+	}
+	s.Flush()
+	if sum := siteSum(t, s, "api"); sum != 10 {
+		t.Fatalf("sum %d after admin migrate, want 10", sum)
+	}
+
+	// Error mapping: unknown tenant 404, bad k 400, unknown field 400.
+	if code := jsonDo(t, ts.Client(), "POST", ts.URL+"/v1/admin/membership",
+		map[string]any{"tenant": "nope", "k": 2}, nil); code != 404 {
+		t.Fatalf("unknown tenant: code %d, want 404", code)
+	}
+	if code := jsonDo(t, ts.Client(), "POST", ts.URL+"/v1/admin/membership",
+		map[string]any{"tenant": "api", "k": 0}, nil); code != 400 {
+		t.Fatalf("bad k: code %d, want 400", code)
+	}
+	if code := jsonDo(t, ts.Client(), "POST", ts.URL+"/v1/admin/migrate",
+		map[string]any{"tenant": "api", "shard": 99}, nil); code != 400 {
+		t.Fatalf("bad shard: code %d, want 400", code)
+	}
+
+	var h struct {
+		Membership *MembershipStatus `json:"membership"`
+	}
+	if code := jsonDo(t, ts.Client(), "GET", ts.URL+"/healthz", nil, &h); code != 200 {
+		t.Fatalf("healthz: code %d", code)
+	}
+	if h.Membership == nil || h.Membership.Epoch != 3 ||
+		h.Membership.Changes != 1 || h.Membership.Migrations != 1 {
+		t.Fatalf("healthz membership %+v, want epoch 3, 1 change, 1 migration", h.Membership)
+	}
+}
+
+// TestDurableReconfigureRestart: a reconfigured tenant comes back at its new
+// k after both a graceful restart and a crash — the checkpoint-then-meta
+// persistence order with WAL replay on the crash path.
+func TestDurableReconfigureRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := openDurable(t, dir)
+	mustCreate(t, s, TenantConfig{Name: "rk", Kind: KindHH, K: 4, Eps: 0.1})
+	for v := 0; v < 40; v++ {
+		if acc, _ := s.Ingest([]Record{{Tenant: "rk", Site: v % 4, Value: uint64(v)}}); acc != 1 {
+			t.Fatal("ingest not accepted")
+		}
+	}
+	s.Flush()
+	// Shrink 4 → 2: sites 2 and 3 fold into site 0.
+	if err := s.ReconfigureTenant("rk", 2); err != nil {
+		t.Fatal(err)
+	}
+	// More ingest at the new shape, then crash: recovery takes the
+	// post-reconfigure checkpoint plus the WAL tail.
+	for v := 40; v < 50; v++ {
+		if acc, _ := s.Ingest([]Record{{Tenant: "rk", Site: v % 2, Value: uint64(v)}}); acc != 1 {
+			t.Fatal("ingest not accepted")
+		}
+	}
+	s.Flush()
+	abandon(s)
+
+	r := openDurable(t, dir)
+	defer r.Close()
+	tn := r.reg.Get("rk")
+	if tn == nil || tn.K() != 2 {
+		t.Fatalf("recovered tenant k: %v, want 2", tn)
+	}
+	if sum := siteSum(t, r, "rk"); sum != 50 {
+		t.Fatalf("recovered sum %d, want 50", sum)
+	}
+	if r.Epoch() != 2 {
+		t.Fatalf("recovered epoch %d, want 2", r.Epoch())
+	}
+}

@@ -76,19 +76,20 @@ type serverMetrics struct {
 	ingestSecs   *obs.Histogram
 
 	// Networked ingest mirrors (coord role; zero-valued otherwise).
-	remoteNodes     *obs.Gauge
-	remoteFrames    *obs.Counter
-	remoteValues    *obs.Counter
-	remoteDups      *obs.Counter
-	remoteRejFrames *obs.Counter
-	remoteRefused   *obs.Counter
-	remoteFlushes   *obs.Counter
-	remoteRejValues *obs.Counter
-	remoteThrValues *obs.Counter
-	remoteBytesIn   *obs.Counter
-	remoteBytesOut  *obs.Counter
-	remoteDegraded  *obs.Gauge
-	remoteBridge    *wireobs.Bridge
+	remoteNodes        *obs.Gauge
+	remoteFrames       *obs.Counter
+	remoteValues       *obs.Counter
+	remoteDups         *obs.Counter
+	remoteRejFrames    *obs.Counter
+	remoteRefused      *obs.Counter
+	remoteEpochRefused *obs.Counter
+	remoteFlushes      *obs.Counter
+	remoteRejValues    *obs.Counter
+	remoteThrValues    *obs.Counter
+	remoteBytesIn      *obs.Counter
+	remoteBytesOut     *obs.Counter
+	remoteDegraded     *obs.Gauge
+	remoteBridge       *wireobs.Bridge
 
 	// Per-site-node fault state (coord role): connection and breaker.
 	nodeConnected    *obs.GaugeVec   // {node}
@@ -104,6 +105,11 @@ type serverMetrics struct {
 	walReplayed *obs.Counter
 	walFsync    *obs.Counter
 	walErrors   *obs.Counter
+
+	// Membership plane (site add/remove, tenant migration).
+	memChanges    *obs.Counter
+	migrations    *obs.Counter
+	migrationSecs *obs.Histogram
 
 	// HTTP API instrumentation.
 	httpReqs     *obs.CounterVec   // {route, method, code}
@@ -208,6 +214,8 @@ func newServerMetrics(shards int) *serverMetrics {
 		"Frames refused by the ingest pipeline.")
 	m.remoteRefused = reg.NewCounter("disttrack_remote_refused_hellos_total",
 		"Node handshakes refused by an open per-node reconnect breaker.")
+	m.remoteEpochRefused = reg.NewCounter("disttrack_remote_epoch_refused_hellos_total",
+		"Node handshakes refused for carrying a stale membership epoch.")
 	m.remoteFlushes = reg.NewCounter("disttrack_remote_flushes_total",
 		"Network flush barriers served.")
 	m.remoteRejValues = reg.NewCounter("disttrack_remote_rejected_values_total",
@@ -245,6 +253,13 @@ func newServerMetrics(shards int) *serverMetrics {
 		"fsync calls issued by tenant ingest WALs.")
 	m.walErrors = reg.NewCounter("disttrack_wal_errors_total",
 		"WAL append failures (the batch was still delivered; durability fails open).")
+
+	m.memChanges = reg.NewCounter("disttrack_membership_changes_total",
+		"Completed live site add/remove reconfigurations (each bumps the membership epoch).")
+	m.migrations = reg.NewCounter("disttrack_migrations_total",
+		"Completed tenant migrations between shard workers.")
+	m.migrationSecs = reg.NewHistogram("disttrack_migration_duration_seconds",
+		"Seconds per tenant migration, reroute through registry swap.", obs.DurationBuckets())
 
 	m.httpReqs = reg.NewCounterVec("disttrack_http_requests_total",
 		"HTTP API requests, by mux route, method and status code.", "route", "method", "code")
@@ -413,13 +428,13 @@ func (t *Tenant) syncObs() {
 	if tm == nil {
 		return
 	}
-	t.cluster.SyncMetrics(&tm.cl)
+	t.cluster().SyncMetrics(&tm.cl)
 	addDelta(tm.sent, &tm.lastSent, t.sent.Load())
 	addDelta(tm.dropped, &tm.lastDropped, t.dropped.Load())
 	addDelta(tm.ties, &tm.lastTies, t.ties.Load())
 	addDelta(tm.throttled, &tm.lastThrottled, t.throttled.Load())
 	tm.queued.SetInt(t.queued.Load())
-	t.cluster.Query(func() {
+	t.cluster().Query(func() {
 		tm.sm.bridge.Sync(t.cfg.Name, t.meter())
 	})
 }
@@ -434,6 +449,7 @@ func (ri *RemoteIngest) syncObs(m *serverMetrics) {
 	addDelta(m.remoteDups, &m.lastRemote.Duplicates, st.Duplicates)
 	addDelta(m.remoteRejFrames, &m.lastRemote.Rejected, st.Rejected)
 	addDelta(m.remoteRefused, &m.lastRemote.Refused, st.Refused)
+	addDelta(m.remoteEpochRefused, &m.lastRemote.EpochRefused, st.EpochRefused)
 	addDelta(m.remoteFlushes, &m.lastRemote.Flushes, st.Flushes)
 	addDelta(m.remoteBytesIn, &m.lastRemote.BytesIn, st.BytesIn)
 	addDelta(m.remoteBytesOut, &m.lastRemote.BytesOut, st.BytesOut)

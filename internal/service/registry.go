@@ -93,6 +93,22 @@ func (r *Registry) insert(t *Tenant) error {
 	return nil
 }
 
+// replace swaps in a rebuilt instance of an existing tenant (tenant
+// migration: same name, fresh Tenant restored from a checkpoint) and
+// returns the displaced instance, or nil if the name is no longer
+// registered (the swap is then refused — a racing Delete wins). Unlike
+// Delete it does not close or drop anything: the caller owns the handoff.
+func (r *Registry) replace(nt *Tenant) *Tenant {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, ok := r.tenants[nt.cfg.Name]
+	if !ok {
+		return nil
+	}
+	r.tenants[nt.cfg.Name] = nt
+	return old
+}
+
 // Get returns the named tenant, or nil if absent.
 func (r *Registry) Get(name string) *Tenant {
 	r.mu.RLock()
@@ -139,11 +155,15 @@ func (r *Registry) Count() int {
 // List returns the configurations of all tenants, sorted by name.
 func (r *Registry) List() []TenantConfig {
 	r.mu.RLock()
-	out := make([]TenantConfig, 0, len(r.tenants))
+	ts := make([]*Tenant, 0, len(r.tenants))
 	for _, t := range r.tenants {
-		out = append(out, t.cfg)
+		ts = append(ts, t)
 	}
 	r.mu.RUnlock()
+	out := make([]TenantConfig, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, t.Config())
+	}
 	slices.SortFunc(out, func(a, b TenantConfig) int { return cmp.Compare(a.Name, b.Name) })
 	return out
 }

@@ -31,6 +31,15 @@ type RemoteIngest struct {
 // ":7171"). One listener per server; a second call fails.
 func (s *Server) ServeRemote(addr string) (*RemoteIngest, error) {
 	ri := &RemoteIngest{s: s}
+	// With the durable plane open, seed the listener's dedup table from the
+	// recovered cursor state (file ∨ WAL provenance) and advertise the
+	// recovered membership epoch: a node replaying a tail the previous
+	// coordinator incarnation applied — even one longer than any in-memory
+	// window — lands exactly once.
+	var cursors map[string]uint64
+	if s.dur != nil {
+		cursors = s.dur.cursorSnapshot()
+	}
 	srv, err := remote.NewIngestServer(addr, remote.IngestServerConfig{
 		OnBatch:      ri.onBatch,
 		OnFlush:      ri.onFlush,
@@ -39,6 +48,8 @@ func (s *Server) ServeRemote(addr string) (*RemoteIngest, error) {
 			FailureThreshold: s.cfg.NodeBreakerFailures,
 			OpenTimeout:      s.cfg.NodeBreakerOpenTimeout,
 		},
+		Epoch:          s.epoch.Load(),
+		InitialCursors: cursors,
 	})
 	if err != nil {
 		return nil, err
@@ -68,7 +79,7 @@ func (ri *RemoteIngest) onBatch(node string, f remote.TFrame) error {
 		runtime.PutBatch(f.Values)
 		return remote.ErrIngestUnavailable
 	}
-	_, rejected, throttled, err := ri.s.sh.IngestGrouped(f.Tenant, int(f.Site), f.Values)
+	_, rejected, throttled, err := ri.s.sh.IngestGrouped(f.Tenant, int(f.Site), f.Values, node, f.Seq)
 	if errors.Is(err, errShuttingDown) {
 		return fmt.Errorf("%w: %v", remote.ErrIngestUnavailable, err)
 	}

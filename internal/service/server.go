@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 
 	"disttrack/internal/durable"
@@ -23,6 +24,16 @@ type Server struct {
 	handler http.Handler // mux wrapped in the HTTP instrumentation
 	closing atomic.Bool
 	remote  atomic.Pointer[RemoteIngest] // set by ServeRemote
+
+	// Membership plane (membership.go): epoch is the coordinator's current
+	// membership configuration epoch (≥ 1; recovered from the durable cursor
+	// table, advertised to site nodes, bumped on every site add/remove or
+	// tenant migration). memberMu serializes membership operations — they
+	// are rare, multi-step, and must not interleave.
+	epoch      atomic.Uint64
+	memberMu   sync.Mutex
+	memChanges atomic.Int64 // completed membership reconfigurations
+	migrations atomic.Int64 // completed tenant migrations
 }
 
 // New builds a Server from cfg (zero values take defaults) with durability
@@ -60,6 +71,10 @@ func Open(cfg Config) (*Server, error) {
 	s.met.reg.NewGaugeFunc("disttrack_tenants",
 		"Live tenants in the registry.",
 		func() float64 { return float64(s.reg.Count()) })
+	s.met.reg.NewGaugeFunc("disttrack_membership_epoch",
+		"Current membership configuration epoch (bumped on every site add/remove and tenant migration).",
+		func() float64 { return float64(s.epoch.Load()) })
+	s.epoch.Store(1)
 	if cfg.DataDir != "" {
 		store, err := durable.Open(cfg.DataDir, durable.Options{
 			Fsync:         cfg.Fsync,
@@ -70,6 +85,23 @@ func Open(cfg Config) (*Server, error) {
 		}
 		s.dur = newDurability(store, cfg.CheckpointInterval)
 		s.reg.dur = s.dur
+		// Load the persisted coordinator cursor table BEFORE tenant recovery:
+		// the WAL replay below merges each record's provenance into the same
+		// table, so after recovery it holds max(file, WAL tail) per node — the
+		// exactly-once dedup floor for the ingest listener. A corrupt table is
+		// fatal (silently starting without it risks double counting).
+		ct, found, err := store.LoadCursors()
+		if err != nil {
+			s.reg.Close()
+			return nil, fmt.Errorf("service: recovery: %w", err)
+		}
+		if found {
+			s.dur.cursors = ct.Nodes
+			s.dur.cursorsFound = true
+			if ct.Epoch > 1 {
+				s.epoch.Store(ct.Epoch)
+			}
+		}
 		if err := s.recoverTenants(); err != nil {
 			s.reg.Close()
 			return nil, fmt.Errorf("service: recovery: %w", err)
@@ -133,6 +165,13 @@ func (s *Server) Close() {
 			if t.dur != nil {
 				t.dur.Close()
 			}
+		}
+		// Persist the final cursor table (the ingest server's lastSeq map
+		// outlives its Close, and the drained pipeline means every applied
+		// record is already in a checkpoint or the WAL): a graceful restart
+		// recovers the dedup floor without any WAL provenance scan.
+		if err := s.saveCursors(); err != nil {
+			s.met.ckptErrors.Inc()
 		}
 	}
 	s.reg.Close()

@@ -65,6 +65,14 @@ type sharder struct {
 	met    *serverMetrics // nil when uninstrumented (direct construction in tests)
 	shards []*shard
 
+	// assigned pins tenants to explicit shards (tenant migration overrides
+	// the hash so a migrated tenant's records land on its new worker).
+	// hasAssign keeps the hot path lock-free while the map is empty — the
+	// overwhelmingly common case.
+	assignMu  sync.RWMutex
+	assigned  map[string]int
+	hasAssign atomic.Bool
+
 	accepted  atomic.Int64
 	rejected  atomic.Int64
 	throttled atomic.Int64 // denied by per-tenant QoS admission
@@ -93,10 +101,14 @@ type shardMsg struct {
 // remoteGroup is one already-grouped (tenant, site) value batch from the
 // networked ingest path: a site node groups records before framing them, so
 // the coordinator can skip the per-record partitioning the HTTP path pays.
+// node/nodeSeq carry the frame's provenance into the WAL, so recovery can
+// re-derive the coordinator's per-node dedup cursors from the replay tail.
 type remoteGroup struct {
-	tenant string
-	site   int
-	values []uint64
+	tenant  string
+	site    int
+	values  []uint64
+	node    string
+	nodeSeq uint64
 }
 
 func newSharder(reg *Registry, n, queue int, met *serverMetrics) *sharder {
@@ -113,13 +125,66 @@ func newSharder(reg *Registry, n, queue int, met *serverMetrics) *sharder {
 
 // shardOf hashes a tenant name onto its owning shard (inlined FNV-1a — the
 // hash/fnv hasher would allocate once per record on the hot ingest path).
+// An explicit assignment (tenant migration) overrides the hash.
 func (sh *sharder) shardOf(tenant string) *shard {
+	if sh.hasAssign.Load() {
+		sh.assignMu.RLock()
+		idx, ok := sh.assigned[tenant]
+		sh.assignMu.RUnlock()
+		if ok {
+			return sh.shards[idx]
+		}
+	}
+	return sh.shards[sh.hashShard(tenant)]
+}
+
+// hashShard is the default tenant → shard-index hash.
+func (sh *sharder) hashShard(tenant string) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(tenant); i++ {
 		h ^= uint32(tenant[i])
 		h *= 16777619
 	}
-	return sh.shards[int(h)%len(sh.shards)]
+	return int(h) % len(sh.shards)
+}
+
+// shardIndexOf reports which shard index currently owns the tenant.
+func (sh *sharder) shardIndexOf(tenant string) int {
+	if sh.hasAssign.Load() {
+		sh.assignMu.RLock()
+		idx, ok := sh.assigned[tenant]
+		sh.assignMu.RUnlock()
+		if ok {
+			return idx
+		}
+	}
+	return sh.hashShard(tenant)
+}
+
+// numShards returns the worker count (migration targets are validated
+// against it).
+func (sh *sharder) numShards() int { return len(sh.shards) }
+
+// assignShard pins a tenant's records to shard idx, overriding the hash
+// (idx < 0 clears the pin, restoring hash placement). New ingest routes to
+// the new shard immediately; records already queued on the old shard are the
+// migration's problem (it flushes before swapping state).
+func (sh *sharder) assignShard(tenant string, idx int) error {
+	if idx >= len(sh.shards) {
+		return fmt.Errorf("shard %d out of range [0,%d)", idx, len(sh.shards))
+	}
+	sh.assignMu.Lock()
+	defer sh.assignMu.Unlock()
+	if idx < 0 {
+		delete(sh.assigned, tenant)
+	} else {
+		if sh.assigned == nil {
+			sh.assigned = make(map[string]int)
+		}
+		sh.assigned[tenant] = idx
+	}
+	sh.hasAssign.Store(len(sh.assigned) > 0)
+	return nil
 }
 
 // Ingest validates recs and enqueues the valid ones onto their owning
@@ -158,9 +223,9 @@ func (sh *sharder) Ingest(recs []Record) (int, []RecordError, time.Duration) {
 			errs = append(errs, RecordError{Index: i, Err: fmt.Sprintf("tenant %q not found", rec.Tenant)})
 			continue
 		}
-		if rec.Site < 0 || rec.Site >= t.cfg.K {
+		if k := t.K(); rec.Site < 0 || rec.Site >= k {
 			errs = append(errs, RecordError{Index: i,
-				Err: fmt.Sprintf("site %d out of range [0,%d)", rec.Site, t.cfg.K)})
+				Err: fmt.Sprintf("site %d out of range [0,%d)", rec.Site, k)})
 			continue
 		}
 		if t.perturbed() && rec.Value >= MaxPerturbedValue {
@@ -214,7 +279,7 @@ func (sh *sharder) Ingest(recs []Record) (int, []RecordError, time.Duration) {
 // sender never learns about; drop accounting is the TCP edge's contract).
 // The sharder takes ownership of values in every case: batches it cannot
 // deliver go back to the runtime batch pool.
-func (sh *sharder) IngestGrouped(tenant string, site int, values []uint64) (accepted, rejected, throttled int, err error) {
+func (sh *sharder) IngestGrouped(tenant string, site int, values []uint64, node string, nodeSeq uint64) (accepted, rejected, throttled int, err error) {
 	if m := sh.met; m != nil {
 		m.batchRecords.Observe(float64(len(values)))
 		defer func(t0 time.Time) {
@@ -233,10 +298,10 @@ func (sh *sharder) IngestGrouped(tenant string, site int, values []uint64) (acce
 		runtime.PutBatch(values)
 		return 0, len(values), 0, fmt.Errorf("tenant %q not found", tenant)
 	}
-	if site < 0 || site >= t.cfg.K {
+	if k := t.K(); site < 0 || site >= k {
 		sh.rejected.Add(int64(len(values)))
 		runtime.PutBatch(values)
-		return 0, len(values), 0, fmt.Errorf("site %d out of range [0,%d)", site, t.cfg.K)
+		return 0, len(values), 0, fmt.Errorf("site %d out of range [0,%d)", site, k)
 	}
 	if t.perturbed() {
 		kept := values[:0]
@@ -262,7 +327,8 @@ func (sh *sharder) IngestGrouped(tenant string, site int, values []uint64) (acce
 	}
 	t.queued.Add(int64(len(values)))
 	s := sh.shardOf(tenant)
-	s.ch <- shardMsg{group: &remoteGroup{tenant: tenant, site: site, values: values}}
+	s.ch <- shardMsg{group: &remoteGroup{tenant: tenant, site: site, values: values,
+		node: node, nodeSeq: nodeSeq}}
 	sh.accepted.Add(int64(len(values)))
 	return len(values), rejected, 0, nil
 }
@@ -310,25 +376,38 @@ type deliverScratch struct {
 	locked []*Tenant // durable tenants whose durMu this delivery holds
 }
 
-// lockDurable takes t's durMu once per delivery (the scratch list is tiny —
-// a delivery touches a handful of tenants — so a linear scan beats a map).
+// lockTenant resolves a tenant name to its live instance with its delivery
+// gate (durMu) held, once per delivery (the scratch list is tiny — a
+// delivery touches a handful of tenants — so a linear scan beats a map).
 // Holding durMu across {perturb, WAL append, send} for the whole delivery
-// keeps the checkpointer from capturing state mid-batch.
-func (ds *deliverScratch) lockDurable(t *Tenant) {
-	if t.dur == nil {
-		return
-	}
+// keeps the checkpointer from capturing state mid-batch, and the
+// get-lock-recheck loop makes delivery safe against membership operations:
+// if the registry swapped the instance (tenant migration restores a fresh
+// Tenant) between the lookup and the lock, the delivery would otherwise land
+// on a drained tracker and the records would vanish. nil means the tenant is
+// gone.
+func (sh *sharder) lockTenant(name string, ds *deliverScratch) *Tenant {
 	for _, l := range ds.locked {
-		if l == t {
-			return
+		if l.cfg.Name == name {
+			return l
 		}
 	}
-	t.durMu.Lock()
-	ds.locked = append(ds.locked, t)
+	for {
+		t := sh.reg.Get(name)
+		if t == nil {
+			return nil
+		}
+		t.durMu.Lock()
+		if sh.reg.Get(name) == t {
+			ds.locked = append(ds.locked, t)
+			return t
+		}
+		t.durMu.Unlock() // lost a migration race; retry against the new instance
+	}
 }
 
-// unlockDurable releases every durMu taken this delivery.
-func (ds *deliverScratch) unlockDurable() {
+// unlockTenants releases every delivery gate taken this delivery.
+func (ds *deliverScratch) unlockTenants() {
 	for i, t := range ds.locked {
 		t.durMu.Unlock()
 		ds.locked[i] = nil
@@ -360,44 +439,59 @@ func (ds *deliverScratch) reset() {
 
 // deliverGroup feeds one pre-grouped remote batch: perturb in place on the
 // owning shard goroutine (which owns the tenant's perturbation state), then
-// one SendBatch. For durable tenants the {perturb, WAL append, send} step
-// runs under durMu so a checkpoint never captures state mid-batch.
+// one SendBatch. The {perturb, WAL append, send} step runs under the
+// tenant's delivery gate (durMu, with the same get-lock-recheck loop as
+// lockTenant) so neither a checkpoint nor a membership operation captures
+// state mid-batch.
 func (sh *sharder) deliverGroup(g *remoteGroup) {
-	t := sh.reg.Get(g.tenant)
-	if t == nil {
-		sh.lost.Add(int64(len(g.values))) // tenant deleted between accept and delivery
-		runtime.PutBatch(g.values)
-		return
+	var t *Tenant
+	for {
+		t = sh.reg.Get(g.tenant)
+		if t == nil {
+			sh.lost.Add(int64(len(g.values))) // tenant deleted between accept and delivery
+			runtime.PutBatch(g.values)
+			return
+		}
+		t.durMu.Lock()
+		if sh.reg.Get(g.tenant) == t {
+			break
+		}
+		t.durMu.Unlock() // lost a migration race; retry against the new instance
 	}
+	defer t.durMu.Unlock()
 	// The batch leaves the shard pipeline: release its queue-share. (If the
 	// tenant was deleted and recreated in flight, the release lands on the
 	// new instance — a transient undercount the >= share check tolerates.)
 	t.queued.Add(-int64(len(g.values)))
-	if t.dur != nil {
-		t.durMu.Lock()
-		defer t.durMu.Unlock()
+	site := g.site
+	if site >= t.K() {
+		// Membership shrank between accept and delivery: fold onto site 0,
+		// matching the engine's Reconfigure fold, so no arrival is lost.
+		site = 0
 	}
 	if t.perturbed() {
 		for i, v := range g.values {
 			g.values[i] = t.perturb(v)
 		}
 	}
-	sh.walAppend(t, g.site, g.values)
+	sh.walAppend(t, site, g.values, g.node, g.nodeSeq)
 	// Ownership of the values slice passes to the cluster.
-	if err := t.sendBatch(g.site, g.values); err != nil {
+	if err := t.sendBatch(site, g.values); err != nil {
 		sh.lost.Add(int64(len(g.values)))
 	}
 }
 
 // walAppend logs one perturbed batch to the tenant's WAL (caller holds
-// durMu). An append failure fails open: the batch is still delivered —
-// losing durability for it beats refusing ingest the moment a disk degrades
-// — and the error is counted so operators see it (see docs/durability.md).
-func (sh *sharder) walAppend(t *Tenant, site int, keys []uint64) {
+// durMu), carrying the remote frame's provenance so recovery can re-derive
+// per-node dedup cursors ("" / 0 on the HTTP path). An append failure fails
+// open: the batch is still delivered — losing durability for it beats
+// refusing ingest the moment a disk degrades — and the error is counted so
+// operators see it (see docs/durability.md).
+func (sh *sharder) walAppend(t *Tenant, site int, keys []uint64, node string, nodeSeq uint64) {
 	if t.dur == nil {
 		return
 	}
-	if _, err := t.dur.Append(site, keys); err != nil && sh.met != nil {
+	if _, err := t.dur.Append(site, keys, node, nodeSeq); err != nil && sh.met != nil {
 		sh.met.walErrors.Inc()
 	}
 }
@@ -416,38 +510,41 @@ func (sh *sharder) deliver(recs []Record, ds *deliverScratch) {
 	for _, rec := range recs {
 		if !looked || rec.Tenant != curName {
 			curName, looked = rec.Tenant, true
-			cur = sh.reg.Get(rec.Tenant)
+			cur = sh.lockTenant(rec.Tenant, ds)
 		}
 		if cur == nil {
 			sh.lost.Add(1) // tenant deleted between accept and delivery
 			continue
 		}
 		cur.queued.Add(-1) // leaving the shard pipeline: release queue-share
-		ds.lockDurable(cur)
 		v := rec.Value
 		if cur.perturbed() {
 			v = cur.perturb(v)
 		}
-		gk := groupKey{rec.Tenant, rec.Site}
+		site := rec.Site
+		if site >= cur.K() {
+			site = 0 // membership shrank in flight: fold, matching the engine
+		}
+		gk := groupKey{rec.Tenant, site}
 		g := ds.groups[gk]
 		if g == nil {
 			// Key slices come from the runtime batch pool; the cluster's
 			// site goroutine recycles them after feeding.
 			g = ds.take()
-			g.t, g.site, g.keys = cur, rec.Site, runtime.GetBatch(16)
+			g.t, g.site, g.keys = cur, site, runtime.GetBatch(16)
 			ds.groups[gk] = g
 			ds.order = append(ds.order, g)
 		}
 		g.keys = append(g.keys, v)
 	}
 	for _, g := range ds.order {
-		sh.walAppend(g.t, g.site, g.keys)
+		sh.walAppend(g.t, g.site, g.keys, "", 0)
 		// Ownership of keys passes to the cluster.
 		if err := g.t.sendBatch(g.site, g.keys); err != nil {
 			sh.lost.Add(int64(len(g.keys)))
 		}
 	}
-	ds.unlockDurable()
+	ds.unlockTenants()
 	ds.reset()
 }
 

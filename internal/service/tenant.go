@@ -146,11 +146,25 @@ type queryAdapter struct {
 // map safe without a lock. All kind-independent state flows through the
 // unified core.Tracker handle; the per-kind query shapes live in qa.
 type Tenant struct {
-	cfg     TenantConfig
-	cluster *runtime.Cluster
-	tr      core.Tracker
-	qa      queryAdapter
-	tm      *tenantMetrics // nil when the owning registry is uninstrumented
+	cfg TenantConfig
+	// cfgMu guards cfg against the one writer that exists: ReconfigureTenant
+	// updating cfg.K on a live site add/remove. Reads that must see a
+	// consistent config (Config, Stats headers) take the read side; the hot
+	// ingest path never touches it — site validation reads kLive instead.
+	cfgMu sync.RWMutex
+	// clu is the tenant's runtime cluster, swapped atomically on reconfigure
+	// (the new cluster is built at the new k, the old one drained). Read it
+	// through cluster(); every swap is serialized by the server's memberMu.
+	clu atomic.Pointer[runtime.Cluster]
+	// kLive mirrors cfg.K for lock-free site validation on the ingest path.
+	kLive atomic.Int32
+	// procBase rebases Processed across cluster swaps: a fresh cluster's
+	// counter starts at zero, so the old cluster's final count is folded in
+	// here, keeping synced()'s processed >= sent invariant meaningful.
+	procBase atomic.Int64
+	tr       core.Tracker
+	qa       queryAdapter
+	tm       *tenantMetrics // nil when the owning registry is uninstrumented
 
 	// seq is the symbolic-perturbation state for quantile/allq tenants:
 	// per-value occurrence counters (see stream.Perturb). Touched only by
@@ -158,12 +172,18 @@ type Tenant struct {
 	seq map[uint64]uint32
 
 	// dur is the tenant's durable state (WAL + checkpoints); nil without a
-	// data directory. durMu makes each {perturb, WAL append, cluster send}
-	// step atomic against checkpoint capture: the checkpointer takes it,
-	// waits for the cluster to absorb everything sent, and snapshots state
-	// that matches the WAL prefix exactly. Only the owning shard goroutine
-	// and the checkpointer contend, so the ingest path's lock is almost
-	// always uncontended (and skipped entirely when dur is nil).
+	// data directory. durMu is the tenant's delivery gate: every shard
+	// delivery holds it across the {perturb, WAL append, cluster send} step,
+	// making that step atomic against (a) checkpoint capture — the
+	// checkpointer takes it, waits for the cluster to absorb everything
+	// sent, and snapshots state that matches the WAL prefix exactly — and
+	// (b) membership operations (reconfigure's cluster swap, migration's
+	// registry swap), which take it to fence out in-flight deliveries.
+	// Deliverers use a get-lock-recheck loop (look the tenant up again after
+	// locking; retry if the registry now holds a different instance) so a
+	// delivery can never land on a tenant that was migrated away under it.
+	// Only the owning shard goroutine and the (rare) checkpoint/membership
+	// paths contend, so the ingest path's lock is almost always uncontended.
 	dur   *durable.Tenant
 	durMu sync.Mutex
 
@@ -313,12 +333,23 @@ func newTenant(tc TenantConfig, siteBuffer int, sm *serverMetrics) (*Tenant, err
 		t.tm = sm.tenant(tc.Name)
 		t.tr.SetMetrics(&t.tm.eng)
 	}
-	t.cluster, err = runtime.New(context.Background(), t.tr, tc.K, siteBuffer)
+	clu, err := runtime.New(context.Background(), t.tr, tc.K, siteBuffer)
 	if err != nil {
 		return nil, err
 	}
+	t.clu.Store(clu)
+	t.kLive.Store(int32(tc.K))
 	return t, nil
 }
+
+// cluster returns the tenant's current runtime cluster. The pointer is
+// swapped on reconfigure; holders of a stale pointer get ErrStopped from
+// sends (the old cluster is drained first) and retry through the registry.
+func (t *Tenant) cluster() *runtime.Cluster { return t.clu.Load() }
+
+// K returns the tenant's live site count, lock-free (the ingest path
+// validates sites against it on every record).
+func (t *Tenant) K() int { return int(t.kLive.Load()) }
 
 // meter returns the underlying tracker's communication meter.
 func (t *Tenant) meter() *wire.Meter { return t.tr.Meter() }
@@ -465,7 +496,7 @@ func (t *Tenant) sendBatch(site int, keys []uint64) error {
 		runtime.PutBatch(keys)
 		return fmt.Errorf("tenant %q closed", t.cfg.Name)
 	}
-	if err := t.cluster.SendBatch(site, keys); err != nil {
+	if err := t.cluster().SendBatch(site, keys); err != nil {
 		t.dropped.Add(int64(len(keys)))
 		runtime.PutBatch(keys)
 		return err
@@ -486,9 +517,9 @@ func (t *Tenant) close(drain bool) {
 	t.closed = true
 	t.sendMu.Unlock()
 	if drain {
-		t.cluster.Drain()
+		t.cluster().Drain()
 	} else {
-		t.cluster.Stop()
+		t.cluster().Stop()
 	}
 }
 
@@ -500,13 +531,18 @@ func (t *Tenant) isClosed() bool {
 }
 
 // synced reports whether every successfully enqueued arrival has been
-// processed by the tracker (used by Flush).
+// processed by the tracker (used by Flush). procBase carries counts absorbed
+// by clusters drained in earlier reconfigurations.
 func (t *Tenant) synced() bool {
-	return t.cluster.Processed() >= t.sent.Load()
+	return t.procBase.Load()+t.cluster().Processed() >= t.sent.Load()
 }
 
 // Config returns the tenant's configuration (Phis filled with defaults).
-func (t *Tenant) Config() TenantConfig { return t.cfg }
+func (t *Tenant) Config() TenantConfig {
+	t.cfgMu.RLock()
+	defer t.cfgMu.RUnlock()
+	return t.cfg
+}
 
 // Entry is one heavy hitter in a query response.
 type Entry struct {
@@ -543,7 +579,7 @@ func (t *Tenant) HeavyHitters(phi float64) ([]Entry, error) {
 	t.countCache(false)
 	var out []Entry
 	var ver uint64
-	t.cluster.Query(func() {
+	t.cluster().Query(func() {
 		ver = t.version()
 		out = t.qa.heavyHitters(phi)
 	})
@@ -582,7 +618,7 @@ func (t *Tenant) Quantile(phi float64) (uint64, error) {
 	var key uint64
 	var ver uint64
 	var err error
-	t.cluster.Query(func() {
+	t.cluster().Query(func() {
 		ver = t.version()
 		key, err = t.qa.quantile(phi)
 	})
@@ -607,7 +643,7 @@ func (t *Tenant) Rank(v uint64) (rank, total int64, err error) {
 	if v >= MaxPerturbedValue {
 		return 0, 0, fmt.Errorf("value %d out of range [0, 2^%d)", v, 64-stream.PerturbBits)
 	}
-	t.cluster.Query(func() {
+	t.cluster().Query(func() {
 		rank, total = t.qa.rank(v)
 	})
 	return rank, total, nil
@@ -624,7 +660,7 @@ func (t *Tenant) Frequency(item uint64) (int64, error) {
 			t.cfg.Kind, ErrUnsupported)
 	}
 	var c int64
-	t.cluster.Query(func() { c = t.qa.frequency(item) })
+	t.cluster().Query(func() { c = t.qa.frequency(item) })
 	return c, nil
 }
 
@@ -657,30 +693,35 @@ type TenantStats struct {
 // coordinator snapshot. The whole snapshot reads through the unified
 // core.Tracker surface — no per-kind dispatch.
 func (t *Tenant) Stats() TenantStats {
+	cfg := t.Config()
 	st := TenantStats{
-		Name:   t.cfg.Name,
-		Kind:   t.cfg.Kind,
-		K:      t.cfg.K,
-		Eps:    t.cfg.Eps,
-		Phis:   t.cfg.Phis,
-		Sketch: t.cfg.Sketch,
+		Name:   cfg.Name,
+		Kind:   cfg.Kind,
+		K:      cfg.K,
+		Eps:    cfg.Eps,
+		Phis:   cfg.Phis,
+		Sketch: cfg.Sketch,
 	}
-	cs := t.cluster.Stats()
-	st.Processed = cs.Processed
+	cs := t.cluster().Stats()
+	st.Processed = t.procBase.Load() + cs.Processed
 	st.Batches = cs.Batches
 	st.Dropped = cs.Dropped + t.dropped.Load()
 	st.Ties = t.ties.Load()
-	st.RateLimit = t.cfg.RateLimit
-	st.QueueShare = t.cfg.QueueShare
+	st.RateLimit = cfg.RateLimit
+	st.QueueShare = cfg.QueueShare
 	st.Throttled = t.throttled.Load()
 	st.Queued = t.queued.Load()
-	st.SiteCounts = make([]int64, t.cfg.K)
-	t.cluster.Query(func() {
+	t.cluster().Query(func() {
 		st.EstTotal = t.tr.EstTotal()
 		st.Rounds = t.tr.Rounds()
 		c := t.tr.Meter().Total()
 		st.Msgs, st.Words = c.Msgs, c.Words
-		for j := 0; j < t.cfg.K; j++ {
+		// Read k inside the quiescent section: Quiesce excludes Reconfigure,
+		// so the tracker's site count cannot change under the loop even if a
+		// membership change raced the header snapshot above.
+		k := t.K()
+		st.SiteCounts = make([]int64, k)
+		for j := 0; j < k; j++ {
 			st.SiteCounts[j] = t.tr.SiteCount(j)
 		}
 	})

@@ -109,3 +109,34 @@ func (s *gkStore) Separators(lo, hi uint64, step int64) []uint64 {
 }
 
 func (s *gkStore) Space() int { return s.sum.Space() }
+
+// Drain folds src's contents into dst, emptying nothing (src is simply
+// abandoned by the caller — site removal hands the departing site's stream
+// to a surviving site). For an exact source the transfer is lossless: the
+// treap's sorted item dump is bulk-inserted. For a GK source the summary's
+// tuples are expanded — each tuple contributes its value with the tuple's
+// G-weight — which preserves the total count exactly and every rank to
+// within the source summary's own error bound; the destination absorbs that
+// bound on top of its own, which the protocols cover by restarting their
+// round after a membership change.
+func Drain(src, dst Store) {
+	switch st := src.(type) {
+	case *exactStore:
+		dst.InsertBatch(st.tree.Items())
+	case *gkStore:
+		state := st.sum.State()
+		var batch []uint64
+		for _, t := range state.Tuples {
+			for i := int64(0); i < t.G; i++ {
+				batch = append(batch, t.V)
+			}
+			if len(batch) >= 1<<14 {
+				dst.InsertBatch(batch)
+				batch = batch[:0]
+			}
+		}
+		dst.InsertBatch(batch)
+	default:
+		panic("sitestore: cannot drain unknown store type")
+	}
+}
