@@ -3,11 +3,11 @@
 
 GO ?= go
 
-.PHONY: all ci fmt fmt-fix vet build test test-shuffle race bench-smoke bench-race-smoke bench-json bench-compare obs-smoke fault-smoke crash-smoke membership-smoke staticcheck vuln fuzz-smoke
+.PHONY: all ci fmt fmt-fix vet build test test-shuffle race bench-smoke bench-race-smoke bench-json bench-compare obs-smoke fault-smoke crash-smoke membership-smoke load-smoke staticcheck vuln fuzz-smoke
 
 all: build
 
-ci: fmt vet build test test-shuffle race bench-smoke bench-race-smoke obs-smoke fault-smoke crash-smoke membership-smoke
+ci: fmt vet build test test-shuffle race bench-smoke bench-race-smoke obs-smoke fault-smoke crash-smoke membership-smoke load-smoke
 
 # fmt fails if any file needs formatting (what CI runs); fmt-fix rewrites.
 fmt:
@@ -42,11 +42,12 @@ bench-smoke:
 # Exercise the lock-free parallel-ingest fast path — per-item and batched
 # (FeedLocalBatch) — once under the race detector (docs/perf.md), so every
 # PR runs it with checking on. The FeedBatch pattern also matches the
-# metrics-enabled *Obs twins, so the instrumented fast path runs with
-# checking on too.
+# metrics-enabled *Obs twins and the burst-heavy coalescing twins, so the
+# instrumented fast path and the coalesced slow path run with checking on
+# too; ServiceMacro drives the whole service pipeline the same way.
 bench-race-smoke:
 	$(GO) test -race -run '^$$' -bench 'FeedParallel|FeedBatch|ClusterSendBatchParallel' -benchtime 1x .
-	$(GO) test -race -run '^$$' -bench 'ShardedIngest' -benchtime 1x ./internal/service/
+	$(GO) test -race -run '^$$' -bench 'ShardedIngest|ServiceMacro' -benchtime 1x ./internal/service/
 
 # End-to-end metrics-plane smoke: boot a live coord + site pair, push data
 # through the networked ingest path and grep both /metrics endpoints for
@@ -74,20 +75,27 @@ crash-smoke:
 membership-smoke:
 	./scripts/membership_smoke.sh
 
+# Load-harness smoke: drive a live coord + site pair with cmd/loadgen over
+# both ingest planes (HTTP and TCP delta frames), asserting nonzero
+# throughput, clean exactly-once totals, and a working ETag conditional-GET
+# path.
+load-smoke:
+	./scripts/load_smoke.sh
+
 # Record the ingest-throughput benchmarks as a JSON trajectory point
 # (BENCH_PR3.json and successors; see cmd/benchjson). Staged through a
 # text file so a benchmark failure fails make instead of silently writing
 # a partial JSON.
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
 bench-json:
 	$(GO) test -run '^$$' -bench 'Feed|Cluster' -benchtime 1s . > $(BENCH_JSON).txt
-	$(GO) test -run '^$$' -bench 'ShardedIngest' -benchtime 1s ./internal/service/ >> $(BENCH_JSON).txt
+	$(GO) test -run '^$$' -bench 'ShardedIngest|ServiceMacro' -benchtime 1s ./internal/service/ >> $(BENCH_JSON).txt
 	$(GO) run ./cmd/benchjson < $(BENCH_JSON).txt > $(BENCH_JSON)
 	rm -f $(BENCH_JSON).txt
 
 # Re-run the benchmark suite and print per-benchmark ns/op deltas against
 # the previous PR's recorded trajectory point.
-BENCH_PREV ?= BENCH_PR6.json
+BENCH_PREV ?= BENCH_PR9.json
 bench-compare: bench-json
 	$(GO) run ./cmd/benchjson -diff $(BENCH_PREV) $(BENCH_JSON)
 

@@ -382,6 +382,10 @@ func fullEngineMetrics() *engine.Metrics {
 		BootHandoffs: reg.NewCounter("bench_boot_handoffs_total", "bench"),
 		SlowPathHold: reg.NewHistogram("bench_slow_path_hold_seconds", "bench", obs.DurationBuckets()),
 		QuiesceHold:  reg.NewHistogram("bench_quiesce_hold_seconds", "bench", obs.DurationBuckets()),
+
+		SlowPathAcquires: reg.NewCounter("bench_slow_path_acquires_total", "bench"),
+		CoalescedRuns:    reg.NewCounter("bench_coalesced_runs_total", "bench"),
+		SavedAcquires:    reg.NewCounter("bench_saved_acquires_total", "bench"),
 	}
 }
 

@@ -78,6 +78,10 @@ type Config struct {
 	Eps  float64 // approximation error, in (0, 1)
 	Mode Mode    // per-site store; default ModeExact
 	Seed int64   // seed for per-site treaps (ModeExact)
+
+	// Coalesce tunes the engine's slow-path coalescing for batched ingest
+	// (zero value: on, default budgets). See engine.CoalesceConfig.
+	Coalesce engine.CoalesceConfig
 }
 
 // node is a vertex of the coordinator's tree T. Sites mirror the structure
@@ -145,7 +149,7 @@ type site struct {
 // New validates cfg and returns a Tracker.
 func New(cfg Config) (*Tracker, error) {
 	p := &policy{cfg: cfg}
-	eng, err := engine.New(engine.Config{Name: "allq", K: cfg.K, Eps: cfg.Eps}, p)
+	eng, err := engine.New(engine.Config{Name: "allq", K: cfg.K, Eps: cfg.Eps, Coalesce: cfg.Coalesce}, p)
 	if err != nil {
 		return nil, err
 	}

@@ -107,9 +107,52 @@ type Policy interface {
 
 // Config parameterizes an Engine.
 type Config struct {
-	Name string  // protocol name, used in panics and validation errors
-	K    int     // number of sites, >= 1
-	Eps  float64 // approximation error, in (0, 1)
+	Name     string         // protocol name, used in panics and validation errors
+	K        int            // number of sites, >= 1
+	Eps      float64        // approximation error, in (0, 1)
+	Coalesce CoalesceConfig // slow-path coalescing knobs (zero value: on, defaults)
+}
+
+// CoalesceConfig bounds the coalesced slow path: when FeedLocalBatch hits a
+// threshold crossing with batch remaining, the engine enters the slow path
+// once and drains the rest of the batch under the already-held locks instead
+// of paying an escMu + all-site-locks round trip per crossing. The budgets
+// bound how long one entry may hold the cluster quiescent so other sites'
+// escalations and queries are not starved behind one site's burst.
+type CoalesceConfig struct {
+	// Disable turns coalescing off entirely; every crossing then pays its
+	// own slow-path acquisition (the pre-PR10 behavior, and the A/B baseline
+	// for the burst benchmarks).
+	Disable bool
+	// MaxItems bounds the arrivals drained under a single slow-path hold
+	// (beyond the crossing that opened it). 0 means DefaultCoalesceItems.
+	MaxItems int
+	// MaxCrossings bounds the threshold crossings absorbed by a single
+	// hold. 0 means DefaultCoalesceCrossings.
+	MaxCrossings int
+}
+
+// Default coalescing budgets: one hold may drain up to 8192 arrivals and
+// absorb up to 64 crossings before releasing the cluster. Both are far above
+// the common batch sizes (the runtime and service deliver 256–4096 item
+// batches), so in practice one burst = one acquisition, while a pathological
+// threshold-dense megabatch still yields the locks periodically.
+const (
+	DefaultCoalesceItems     = 8192
+	DefaultCoalesceCrossings = 64
+)
+
+// CoalescePolicy is implemented by policies that must veto slow-path
+// coalescing. The engine's coalesced drain alternates ApplyRun and
+// OnEscalate at exactly the sequential positions, so any policy whose
+// ApplyRun re-reads round state fresh on each call (true of hh, quantile and
+// allq: thresholds are hoisted per run, never cached across runs) is safe by
+// construction. A policy whose round boundary would invalidate an
+// in-progress batch — e.g. one that renumbers the item space mid-round and
+// caches the mapping across ApplyRun calls — returns false here and keeps
+// the release/re-acquire-per-crossing path.
+type CoalescePolicy interface {
+	CoalesceBatches() bool
 }
 
 // site is the engine-owned per-site core: the lock that guards both the
@@ -119,6 +162,12 @@ type Config struct {
 type site struct {
 	mu sync.Mutex
 	nj int64 // exact local count |S_j|
+
+	// esc is the per-site scratch backing FeedLocalBatch's escalation-index
+	// return slice, reused across calls so an escalating batch costs zero
+	// steady-state allocations. Only FeedLocalBatch touches it, and the
+	// batch contract is single-writer per site, so no lock guards it.
+	esc []int
 }
 
 // Engine runs the two-phase protocol skeleton over a Policy.
@@ -152,6 +201,13 @@ type Engine struct {
 	// changed only on the slow path.
 	boot bool
 
+	// coItems/coCross are the per-hold coalescing budgets (0 = coalescing
+	// off); coAllowed records the policy's CoalescePolicy verdict. Written
+	// by New/SetCoalesce before concurrent use, read on the batched path.
+	coItems   int
+	coCross   int
+	coAllowed bool
+
 	n atomic.Int64 // true global count (ground truth for tests/experiments)
 }
 
@@ -165,17 +221,40 @@ func New(cfg Config, pol Policy) (*Engine, error) {
 		return nil, fmt.Errorf("%s: Eps must be in (0,1), got %g", cfg.Name, cfg.Eps)
 	}
 	e := &Engine{
-		name: cfg.Name,
-		eps:  cfg.Eps,
-		pol:  pol,
-		boot: true,
+		name:      cfg.Name,
+		eps:       cfg.Eps,
+		pol:       pol,
+		boot:      true,
+		coAllowed: true,
 	}
+	if cp, ok := pol.(CoalescePolicy); ok {
+		e.coAllowed = cp.CoalesceBatches()
+	}
+	e.SetCoalesce(cfg.Coalesce)
 	sites := make([]*site, cfg.K)
 	for j := range sites {
 		sites[j] = &site{}
 	}
 	e.sites.Store(&sites)
 	return e, nil
+}
+
+// SetCoalesce reconfigures the slow-path coalescing budgets (zero fields
+// mean the defaults; Disable turns coalescing off). A policy veto via
+// CoalescePolicy always wins. Like SetMetrics it must be called before the
+// engine is used concurrently; the engine does not synchronize the fields.
+func (e *Engine) SetCoalesce(c CoalesceConfig) {
+	if c.Disable || !e.coAllowed {
+		e.coItems, e.coCross = 0, 0
+		return
+	}
+	e.coItems, e.coCross = c.MaxItems, c.MaxCrossings
+	if e.coItems <= 0 {
+		e.coItems = DefaultCoalesceItems
+	}
+	if e.coCross <= 0 {
+		e.coCross = DefaultCoalesceCrossings
+	}
 }
 
 // BootTarget returns ⌈k/ε⌉ — the coordinator item count at which the
@@ -235,23 +314,33 @@ func (e *Engine) FeedLocal(siteID int, x uint64) (escalate bool) {
 // FeedLocalBatch records a batch of arrivals at one site, amortizing the
 // fast path: one site-lock acquisition and one global-count update per
 // escalation-free run, with the policy's per-item accounting applied in
-// arrival order. The batch splits at every threshold crossing — Escalate
-// runs inline at exactly the logical positions the sequential Feed loop
-// would, so coordinator state and every wire.Meter count are bit-for-bit
-// identical to feeding the items one by one. It returns the (strictly
-// increasing) batch indices that escalated, nil when none did. The engine
-// does not retain xs.
+// arrival order. The batch splits at every threshold crossing, and — unless
+// coalescing is disabled — the first crossing with batch remaining enters
+// the slow path once and drains the rest of the batch under the already-held
+// locks, alternating ApplyRun and OnEscalate inline at exactly the logical
+// positions the sequential Feed loop would choose. Coordinator state and
+// every wire.Meter count are therefore bit-for-bit identical to feeding the
+// items one by one (see docs/perf.md for the identity argument); what
+// changes is only the lock traffic: one escMu + all-site-locks acquisition
+// per burst instead of one per crossing, bounded by the CoalesceConfig
+// budgets. It returns the (strictly increasing) batch indices that
+// escalated, nil when none did; the returned slice is per-site scratch,
+// valid only until the next FeedLocalBatch call for the same site — callers
+// must not retain it. The engine does not retain xs.
 //
 // Like FeedLocal, it is safe for concurrent use with one goroutine per
 // site; it must not be interleaved with FeedLocal/Feed calls for the same
 // site from other goroutines.
 func (e *Engine) FeedLocalBatch(siteID int, xs []uint64) (escalations []int) {
 	s := e.siteAt(siteID)
+	esc := s.esc[:0]
 	for i := 0; i < len(xs); {
 		s.mu.Lock()
 		if e.boot {
 			// Bootstrap forwards every arrival: apply one item and escalate,
-			// exactly the sequential composition.
+			// exactly the sequential composition. No coalescing here — the
+			// handoff cascade rebuilds round state, and bootstrap is a
+			// once-per-tracker O(k/ε) prefix, not a hot path.
 			x := xs[i]
 			s.nj++
 			e.n.Add(1)
@@ -261,7 +350,7 @@ func (e *Engine) FeedLocalBatch(siteID int, xs []uint64) (escalations []int) {
 				m.countFeeds(1)
 			}
 			e.Escalate(siteID, x)
-			escalations = append(escalations, i)
+			esc = append(esc, i)
 			i++
 			continue
 		}
@@ -283,10 +372,97 @@ func (e *Engine) FeedLocalBatch(siteID int, xs []uint64) (escalations []int) {
 		if !crossed {
 			break
 		}
-		escalations = append(escalations, i-1)
-		e.Escalate(siteID, xs[i-1])
+		esc = append(esc, i-1)
+		if e.coItems > 0 && i < len(xs) {
+			// Batch remaining after the crossing: enter the slow path once
+			// and drain under the held locks. (A crossing on the last item
+			// has nothing to coalesce — plain Escalate is the same one
+			// acquisition.)
+			i, esc = e.coalesce(siteID, xs, i, esc)
+		} else {
+			e.Escalate(siteID, xs[i-1])
+		}
 	}
-	return escalations
+	s.esc = esc
+	if len(esc) == 0 {
+		return nil
+	}
+	return esc
+}
+
+// coalesce runs the coordinator slow path for the crossing at xs[i-1] and
+// then keeps draining the batch under the already-held escMu + all-site
+// locks: ApplyRun and OnEscalate alternate at exactly the positions the
+// release/re-acquire loop would produce, so protocol state and metering are
+// identical — only the lock round trips per crossing are saved. The hold is
+// bounded by the coalescing budgets; on budget exhaustion the remaining tail
+// returns to the caller's normal split loop. Never called during bootstrap
+// (boot can only transition true→false, and the caller observed tracking
+// mode under its site lock).
+func (e *Engine) coalesce(siteID int, xs []uint64, i int, esc []int) (int, []int) {
+	m := e.met
+	e.escMu.Lock()
+	e.lockSites()
+	if m != nil && m.SlowPathAcquires != nil {
+		m.SlowPathAcquires.Inc()
+	}
+	var t0 time.Time
+	if m != nil {
+		t0 = slowPathStart(m.SlowPathHold)
+	}
+	s := e.siteAt(siteID)
+	items := e.coItems
+	crossings := e.coCross
+	for {
+		// Coordinator work for the crossing at xs[i-1]. The version bump per
+		// escalation (not per hold) keeps Version identical to the
+		// sequential path — enginetest pins this.
+		e.pol.OnEscalate(siteID, xs[i-1])
+		e.version.Add(1)
+		crossings--
+		if m != nil && m.Escalations != nil {
+			m.Escalations.Inc()
+		}
+		if i == len(xs) || crossings == 0 || items <= 0 {
+			break
+		}
+		run := xs[i:]
+		if len(run) > items {
+			run = run[:items]
+		}
+		consumed, crossed := e.pol.ApplyRun(siteID, run)
+		if consumed < 1 || consumed > len(run) || (!crossed && consumed != len(run)) {
+			e.unlockSites()
+			e.escMu.Unlock()
+			panic(fmt.Sprintf("%s: ApplyRun contract violation: consumed %d of %d, crossed %v",
+				e.name, consumed, len(run), crossed))
+		}
+		s.nj += int64(consumed)
+		e.n.Add(int64(consumed))
+		if m != nil {
+			m.countRun(int64(consumed), crossed)
+			if m.CoalescedRuns != nil {
+				m.CoalescedRuns.Inc()
+			}
+		}
+		i += consumed
+		items -= consumed
+		if !crossed {
+			// Run ended without a crossing: either the batch is done, or the
+			// item budget clamped the run — both hand back to the caller.
+			break
+		}
+		esc = append(esc, i-1)
+		if m != nil && m.SavedAcquires != nil {
+			m.SavedAcquires.Inc()
+		}
+	}
+	if m != nil {
+		slowPathDone(m.SlowPathHold, t0)
+	}
+	e.unlockSites()
+	e.escMu.Unlock()
+	return i, esc
 }
 
 // Escalate runs the coordinator slow path for an arrival previously applied
@@ -304,6 +480,9 @@ func (e *Engine) Escalate(siteID int, x uint64) {
 	m := e.met
 	e.escMu.Lock()
 	e.lockSites()
+	if m != nil && m.SlowPathAcquires != nil {
+		m.SlowPathAcquires.Inc()
+	}
 	var t0 time.Time
 	if m != nil {
 		t0 = slowPathStart(m.SlowPathHold)

@@ -8,6 +8,7 @@ import (
 	"disttrack/internal/core"
 	"disttrack/internal/core/engine"
 	"disttrack/internal/core/engine/enginetest"
+	"disttrack/internal/obs"
 )
 
 // countPolicy is the smallest useful engine policy: each site accumulates a
@@ -144,6 +145,97 @@ func TestEngineConformanceMockPolicy(t *testing.T) {
 					label, ct.p.total, sum, ct.TrueTotal())
 			}
 		},
+	})
+}
+
+// vetoPolicy is a countPolicy that opts out of slow-path coalescing via the
+// CoalescePolicy interface.
+type vetoPolicy struct{ countPolicy }
+
+func (*vetoPolicy) CoalesceBatches() bool { return false }
+
+var _ engine.CoalescePolicy = (*vetoPolicy)(nil)
+
+// coalesceMetrics wires the slow-path lock-traffic counters onto an engine.
+func coalesceMetrics(reg *obs.Registry) *engine.Metrics {
+	return &engine.Metrics{
+		Escalations:      reg.NewCounter("test_escalations_total", "test"),
+		SlowPathAcquires: reg.NewCounter("test_slow_path_acquires_total", "test"),
+		CoalescedRuns:    reg.NewCounter("test_coalesced_runs_total", "test"),
+		SavedAcquires:    reg.NewCounter("test_saved_acquires_total", "test"),
+	}
+}
+
+// burst feeds threshold-dense batches (thr=8 on the count policy, chunks of
+// 512) so every batch spans dozens of crossings, and returns the metrics.
+func burst(t *testing.T, tr *countTracker) *engine.Metrics {
+	t.Helper()
+	m := coalesceMetrics(obs.NewRegistry())
+	tr.SetMetrics(m)
+	xs := make([]uint64, 512)
+	for i := range xs {
+		xs[i] = uint64(i)
+	}
+	for r := 0; r < 8; r++ {
+		for j := 0; j < tr.K(); j++ {
+			tr.FeedLocalBatch(j, xs)
+		}
+	}
+	return m
+}
+
+// TestCoalesceSavesAcquisitions pins the point of the coalesced slow path:
+// on a threshold-dense batched stream, escalations vastly outnumber lock
+// acquisitions (one hold absorbs a burst), while the identity counters
+// still balance — acquisitions + saved crossings == escalations.
+func TestCoalesceSavesAcquisitions(t *testing.T) {
+	tr := newCountTracker(t, 2, 0.9, 8) // eps 0.9: bootstrap ends after ⌈k/ε⌉=3 items
+	m := burst(t, tr)
+	esc, acq, saved := m.Escalations.Value(), m.SlowPathAcquires.Value(), m.SavedAcquires.Value()
+	if saved == 0 || m.CoalescedRuns.Value() == 0 {
+		t.Fatalf("coalescing never engaged: saved=%d coalescedRuns=%d", saved, m.CoalescedRuns.Value())
+	}
+	if acq+saved != esc {
+		t.Fatalf("acquisitions %d + saved %d != escalations %d", acq, saved, esc)
+	}
+	if acq*2 > esc {
+		t.Fatalf("burst stream still paid %d acquisitions for %d escalations", acq, esc)
+	}
+}
+
+// TestCoalescePolicyVeto pins the CoalescePolicy opt-out: a policy that
+// reports CoalesceBatches()==false keeps the release/re-acquire-per-crossing
+// path even though engine coalescing defaults on, as does an engine
+// configured with Disable. In both cases every escalation pays its own
+// acquisition and nothing is coalesced.
+func TestCoalescePolicyVeto(t *testing.T) {
+	uncoalesced := func(t *testing.T, tr *countTracker) {
+		t.Helper()
+		m := burst(t, tr)
+		if m.SavedAcquires.Value() != 0 || m.CoalescedRuns.Value() != 0 {
+			t.Fatalf("coalescing engaged: saved=%d coalescedRuns=%d",
+				m.SavedAcquires.Value(), m.CoalescedRuns.Value())
+		}
+		if esc, acq := m.Escalations.Value(), m.SlowPathAcquires.Value(); esc != acq {
+			t.Fatalf("escalations %d != acquisitions %d on the uncoalesced path", esc, acq)
+		}
+	}
+	t.Run("policyVeto", func(t *testing.T) {
+		p := &vetoPolicy{countPolicy{thr: 8, pending: make([]int64, 2)}}
+		eng, err := engine.New(engine.Config{Name: "count", K: 2, Eps: 0.9}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.eng = eng
+		p.bootTarget = eng.BootTarget()
+		// A veto wins even over an explicit re-enable.
+		eng.SetCoalesce(engine.CoalesceConfig{MaxItems: 1 << 20})
+		uncoalesced(t, &countTracker{Engine: eng, p: &p.countPolicy})
+	})
+	t.Run("configDisable", func(t *testing.T) {
+		tr := newCountTracker(t, 2, 0.9, 8)
+		tr.SetCoalesce(engine.CoalesceConfig{Disable: true})
+		uncoalesced(t, tr)
 	})
 }
 

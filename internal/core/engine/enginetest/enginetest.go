@@ -8,6 +8,13 @@
 //     schedule matches sequential Feed bit-for-bit — every meter count,
 //     per kind and per site — with strictly increasing, in-range
 //     escalation indices;
+//   - coalescing identity: a coalesced batched feeding (the default), an
+//     explicitly uncoalesced one, and a sequential replay of the same
+//     burst-heavy schedule agree on every meter count, the engine state
+//     (Version included — one bump per escalation, so diverging escalation
+//     positions are caught) and the escalation indices, under the default
+//     and deliberately tiny coalescing budgets; plus a -race stress arm
+//     hammering budget-exhausting coalesced holds against quiescent queries;
 //   - concurrent stress: one fast-path goroutine per site racing quiescent
 //     queries (run the package's tests under -race), with exact
 //     conservation of TrueTotal and per-site counts afterwards;
@@ -73,8 +80,10 @@ func Run(t *testing.T, cfg Config) {
 	}
 	t.Run("SplitFeedMatchesFeed", func(t *testing.T) { runSplitFeed(t, cfg) })
 	t.Run("BatchMatchesFeed", func(t *testing.T) { runBatchMatch(t, cfg) })
+	t.Run("CoalescedMatchesSequential", func(t *testing.T) { runCoalesced(t, cfg) })
 	t.Run("ConcurrentStress", func(t *testing.T) { runConcurrent(t, cfg, false) })
 	t.Run("ConcurrentBatchStress", func(t *testing.T) { runConcurrent(t, cfg, true) })
+	t.Run("CoalescedStress", func(t *testing.T) { runCoalescedStress(t, cfg) })
 	t.Run("MeterConservation", func(t *testing.T) { runMeterConservation(t, cfg) })
 	t.Run("CheckpointRestore", func(t *testing.T) { runCheckpointRestore(t, cfg) })
 	t.Run("ReconfigureMatchesSequential", func(t *testing.T) { runReconfigure(t, cfg) })
@@ -217,12 +226,97 @@ func runBatchMatch(t *testing.T, cfg Config) {
 	}
 }
 
+// coalesceSetter is the engine knob the coalescing laws tune; every
+// engine-backed tracker promotes it from the embedded *engine.Engine.
+type coalesceSetter interface {
+	SetCoalesce(engine.CoalesceConfig)
+}
+
+// runCoalesced pins the coalescing identity law: a coalesced batched
+// feeding (the default), an explicitly uncoalesced one, and a sequential
+// Feed replay of the same burst-heavy (site, chunk) schedule must agree
+// bit-for-bit — every meter count (total, per kind, per site), the engine
+// state including Version (one bump per escalation, so any divergence in
+// escalation positions is caught), and the escalation indices themselves.
+// The tiny-budget variant forces the coalesced hold to exhaust its item and
+// crossing budgets and re-enter mid-batch, exercising the budget boundary.
+func runCoalesced(t *testing.T, cfg Config) {
+	if _, ok := cfg.New(t).(coalesceSetter); !ok {
+		t.Skip("tracker does not expose SetCoalesce")
+	}
+	for _, tc := range []struct {
+		name string
+		co   engine.CoalesceConfig
+	}{
+		{"default", engine.CoalesceConfig{}},
+		{"tinyBudget", engine.CoalesceConfig{MaxItems: 48, MaxCrossings: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, bat, off := cfg.New(t), cfg.New(t), cfg.New(t)
+			bat.(coalesceSetter).SetCoalesce(tc.co)
+			off.(coalesceSetter).SetCoalesce(engine.CoalesceConfig{Disable: true})
+			items := genStream(cfg, cfg.K*cfg.PerSite, 53)
+			rng := rand.New(rand.NewSource(59))
+			for pos := 0; pos < len(items); {
+				site := rng.Intn(cfg.K)
+				// Burst-heavy: large chunks, so single batches span many
+				// crossings and the drain loops under one hold.
+				sz := 64 + rng.Intn(3000)
+				if pos+sz > len(items) {
+					sz = len(items) - pos
+				}
+				chunk := items[pos : pos+sz]
+				pos += sz
+				for _, x := range chunk {
+					seq.Feed(site, x)
+				}
+				be := bat.FeedLocalBatch(site, chunk)
+				oe := off.FeedLocalBatch(site, chunk)
+				if len(be) != len(oe) {
+					t.Fatalf("escalation counts diverged: coalesced %d vs uncoalesced %d", len(be), len(oe))
+				}
+				for i := range be {
+					if be[i] != oe[i] {
+						t.Fatalf("escalation index %d diverged: coalesced %d vs uncoalesced %d", i, be[i], oe[i])
+					}
+				}
+			}
+			checkMetersEqual(t, "coalesced-vs-seq", seq, bat, cfg.K)
+			checkEngineEqual(t, "coalesced-vs-seq", seq, bat, cfg.K)
+			checkMetersEqual(t, "coalesced-vs-uncoalesced", off, bat, cfg.K)
+			checkEngineEqual(t, "coalesced-vs-uncoalesced", off, bat, cfg.K)
+			if cfg.CheckEquiv != nil {
+				cfg.CheckEquiv(t, seq, bat)
+				cfg.CheckEquiv(t, off, bat)
+			}
+		})
+	}
+}
+
 // runConcurrent hammers one fast-path goroutine per site (per-item, or
 // batched when batch is set) against two query goroutines doing quiescent
 // reads, then asserts exact conservation and the protocol contract.
 func runConcurrent(t *testing.T, cfg Config, batch bool) {
-	streams := dealStreams(cfg, 42+int64(boolToInt(batch)))
 	tr := cfg.New(t)
+	runConcurrentOn(t, cfg, tr, batch, 42+int64(boolToInt(batch)), 600, label(batch))
+}
+
+// runCoalescedStress is the -race arm of the coalescing law: coalesced
+// batches large enough to span many crossings, under deliberately small
+// budgets so holds exhaust and re-enter constantly, racing quiescent
+// queries — conservation and the protocol contract must survive.
+func runCoalescedStress(t *testing.T, cfg Config) {
+	tr := cfg.New(t)
+	cs, ok := tr.(coalesceSetter)
+	if !ok {
+		t.Skip("tracker does not expose SetCoalesce")
+	}
+	cs.SetCoalesce(engine.CoalesceConfig{MaxItems: 256, MaxCrossings: 3})
+	runConcurrentOn(t, cfg, tr, true, 61, 2500, "coalesced-stress")
+}
+
+func runConcurrentOn(t *testing.T, cfg Config, tr core.Tracker, batch bool, seed int64, chunkMax int, lbl string) {
+	streams := dealStreams(cfg, seed)
 
 	done := make(chan struct{})
 	var qwg sync.WaitGroup
@@ -263,7 +357,7 @@ func runConcurrent(t *testing.T, cfg Config, batch bool) {
 			}
 			rng := rand.New(rand.NewSource(int64(site)))
 			for pos := 0; pos < len(xs); {
-				sz := 1 + rng.Intn(600)
+				sz := 1 + rng.Intn(chunkMax)
 				if pos+sz > len(xs) {
 					sz = len(xs) - pos
 				}
@@ -293,7 +387,7 @@ func runConcurrent(t *testing.T, cfg Config, batch bool) {
 	}
 	if cfg.CheckFinal != nil {
 		tr.Quiesce(func() {
-			cfg.CheckFinal(t, label(batch), tr, streams)
+			cfg.CheckFinal(t, lbl, tr, streams)
 		})
 	}
 }

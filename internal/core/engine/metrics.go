@@ -30,6 +30,18 @@ type Metrics struct {
 	// Escalations counts slow-path entries (coordinator work), including
 	// bootstrap forwards.
 	Escalations *obs.Counter
+	// SlowPathAcquires counts escMu + all-site-locks acquisitions made by
+	// the escalation path (Escalate calls plus coalesced holds). Without
+	// coalescing it equals Escalations; with it, Escalations −
+	// SlowPathAcquires is the lock traffic the coalesced drain removed.
+	SlowPathAcquires *obs.Counter
+	// CoalescedRuns counts batch runs applied inline under an already-held
+	// slow-path hold (a subset of BatchRuns).
+	CoalescedRuns *obs.Counter
+	// SavedAcquires counts threshold crossings absorbed by an already-held
+	// coalesced hold — each one is a full lock-set round trip the
+	// release/re-acquire-per-crossing path would have paid.
+	SavedAcquires *obs.Counter
 	// BootHandoffs counts bootstrap→tracking transitions (0 or 1 per
 	// engine; across a fleet, how many tenants have left bootstrap).
 	BootHandoffs *obs.Counter

@@ -89,6 +89,10 @@ type Config struct {
 	// communication, smaller staleness); values below 3 void the paper's
 	// worst-case invariants (2)–(3). Exists for the A1 ablation.
 	ThresholdDivisor float64
+
+	// Coalesce tunes the engine's slow-path coalescing for batched ingest
+	// (zero value: on, default budgets). See engine.CoalesceConfig.
+	Coalesce engine.CoalesceConfig
 }
 
 // Tracker tracks heavy hitters across K sites. The embedded engine provides
@@ -135,7 +139,7 @@ type site struct {
 // New validates cfg and returns a Tracker.
 func New(cfg Config) (*Tracker, error) {
 	p := &policy{cfg: cfg, cmx: make(map[uint64]int64)}
-	eng, err := engine.New(engine.Config{Name: "hh", K: cfg.K, Eps: cfg.Eps}, p)
+	eng, err := engine.New(engine.Config{Name: "hh", K: cfg.K, Eps: cfg.Eps, Coalesce: cfg.Coalesce}, p)
 	if err != nil {
 		return nil, err
 	}

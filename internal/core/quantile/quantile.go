@@ -96,6 +96,10 @@ type Config struct {
 	// more staleness); below 8 the worst-case error analysis no longer
 	// closes. Exists for the A4 ablation.
 	BatchDivisor float64
+
+	// Coalesce tunes the engine's slow-path coalescing for batched ingest
+	// (zero value: on, default budgets). See engine.CoalesceConfig.
+	Coalesce engine.CoalesceConfig
 }
 
 // quantState is the coordinator's per-tracked-quantile state.
@@ -165,7 +169,7 @@ func New(cfg Config) (*Tracker, error) {
 		phis = []float64{cfg.Phi}
 	}
 	p := &policy{cfg: cfg, phis: phis}
-	eng, err := engine.New(engine.Config{Name: "quantile", K: cfg.K, Eps: cfg.Eps}, p)
+	eng, err := engine.New(engine.Config{Name: "quantile", K: cfg.K, Eps: cfg.Eps, Coalesce: cfg.Coalesce}, p)
 	if err != nil {
 		return nil, err
 	}

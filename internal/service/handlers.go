@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -272,6 +273,42 @@ func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": name, "drained": drain})
 }
 
+// etagMatches reports whether an If-None-Match header value matches etag:
+// "*" matches anything, otherwise the comma-separated list is compared
+// entry by entry (weak validators compare by opaque tag — a W/ prefix is
+// ignored, which is safe here because the version ETag is strong).
+func etagMatches(header, etag string) bool {
+	for _, f := range strings.Split(header, ",") {
+		f = strings.TrimSpace(f)
+		if f == "*" || f == etag || strings.TrimPrefix(f, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// notModified implements the query endpoints' conditional-GET fast path: if
+// the client's If-None-Match still names the tenant's current coordinator
+// version, the representation it holds cannot have changed (coordinator
+// state changes only on escalations, which tick the version), so a 304 is
+// served from one atomic load — no quiescent read, no snapshot-cache
+// lookup, no body. Extends the version-keyed snapshot cache across the HTTP
+// boundary; see docs/service.md.
+func notModified(w http.ResponseWriter, r *http.Request, t *Tenant) bool {
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" {
+		return false
+	}
+	etag := t.etag()
+	if !etagMatches(inm, etag) {
+		return false
+	}
+	t.countETag()
+	w.Header().Set("ETag", etag)
+	w.WriteHeader(http.StatusNotModified)
+	return true
+}
+
 // phiParam parses the required ?phi= query parameter.
 func phiParam(w http.ResponseWriter, r *http.Request) (float64, bool) {
 	raw := r.URL.Query().Get("phi")
@@ -296,7 +333,10 @@ func (s *Server) handleHeavy(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	entries, err := t.HeavyHitters(phi)
+	if notModified(w, r, t) {
+		return
+	}
+	entries, ver, err := t.heavyHittersAt(phi)
 	if err != nil {
 		writeQueryErr(w, err)
 		return
@@ -304,6 +344,7 @@ func (s *Server) handleHeavy(w http.ResponseWriter, r *http.Request) {
 	if entries == nil {
 		entries = []Entry{}
 	}
+	w.Header().Set("ETag", t.etagFor(ver))
 	writeJSON(w, http.StatusOK, map[string]any{"phi": phi, "items": entries})
 }
 
@@ -316,11 +357,15 @@ func (s *Server) handleQuantile(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	v, err := t.Quantile(phi)
+	if notModified(w, r, t) {
+		return
+	}
+	v, ver, err := t.quantileAt(phi)
 	if err != nil {
 		writeQueryErr(w, err)
 		return
 	}
+	w.Header().Set("ETag", t.etagFor(ver))
 	writeJSON(w, http.StatusOK, map[string]any{"phi": phi, "value": v})
 }
 
@@ -339,11 +384,15 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, codeInvalid, "bad value: "+err.Error())
 		return
 	}
-	rank, total, err := t.Rank(v)
+	if notModified(w, r, t) {
+		return
+	}
+	rank, total, ver, err := t.rankAt(v)
 	if err != nil {
 		writeQueryErr(w, err)
 		return
 	}
+	w.Header().Set("ETag", t.etagFor(ver))
 	writeJSON(w, http.StatusOK, map[string]any{"value": v, "rank": rank, "total": total})
 }
 
@@ -362,11 +411,15 @@ func (s *Server) handleFreq(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, codeInvalid, "bad item: "+err.Error())
 		return
 	}
-	c, err := t.Frequency(item)
+	if notModified(w, r, t) {
+		return
+	}
+	c, ver, err := t.frequencyAt(item)
 	if err != nil {
 		writeQueryErr(w, err)
 		return
 	}
+	w.Header().Set("ETag", t.etagFor(ver))
 	writeJSON(w, http.StatusOK, map[string]any{"item": item, "count": c})
 }
 

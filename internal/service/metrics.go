@@ -35,13 +35,16 @@ type serverMetrics struct {
 	start time.Time
 
 	// Engine fast-path instrumentation, per tenant (see engine.Metrics).
-	engFeeds   *obs.CounterVec   // {tenant}
-	engRuns    *obs.CounterVec   // {tenant}
-	engSplits  *obs.CounterVec   // {tenant}
-	engEsc     *obs.CounterVec   // {tenant}
-	engBoot    *obs.CounterVec   // {tenant}
-	engSlow    *obs.HistogramVec // {tenant}
-	engQuiesce *obs.HistogramVec // {tenant}
+	engFeeds     *obs.CounterVec   // {tenant}
+	engRuns      *obs.CounterVec   // {tenant}
+	engSplits    *obs.CounterVec   // {tenant}
+	engEsc       *obs.CounterVec   // {tenant}
+	engAcquires  *obs.CounterVec   // {tenant}
+	engCoalesced *obs.CounterVec   // {tenant}
+	engSaved     *obs.CounterVec   // {tenant}
+	engBoot      *obs.CounterVec   // {tenant}
+	engSlow      *obs.HistogramVec // {tenant}
+	engQuiesce   *obs.HistogramVec // {tenant}
 
 	// Cluster and tenant bookkeeping mirrors, per tenant.
 	clProcessed *obs.CounterVec // {tenant}
@@ -61,6 +64,7 @@ type serverMetrics struct {
 	queries     *obs.CounterVec // {tenant, query}
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
+	etagHits    *obs.Counter
 
 	// bridge mirrors each tenant's wire.Meter (the paper's word-cost
 	// accounting) under that tenant's quiescent query lock.
@@ -144,6 +148,12 @@ func newServerMetrics(shards int) *serverMetrics {
 		"Batch runs ended early by a threshold crossing.", "tenant")
 	m.engEsc = reg.NewCounterVec("disttrack_engine_escalations_total",
 		"Coordinator slow-path entries.", "tenant")
+	m.engAcquires = reg.NewCounterVec("disttrack_engine_slow_path_acquires_total",
+		"Full lock-set acquisitions by the escalation path (== escalations without coalescing).", "tenant")
+	m.engCoalesced = reg.NewCounterVec("disttrack_engine_coalesced_runs_total",
+		"Batch runs applied inline under an already-held slow-path hold.", "tenant")
+	m.engSaved = reg.NewCounterVec("disttrack_engine_saved_acquires_total",
+		"Lock-set round trips avoided by slow-path coalescing.", "tenant")
 	m.engBoot = reg.NewCounterVec("disttrack_engine_boot_handoffs_total",
 		"Bootstrap-to-tracking transitions.", "tenant")
 	m.engSlow = reg.NewHistogramVec("disttrack_engine_slow_path_hold_seconds",
@@ -180,6 +190,8 @@ func newServerMetrics(shards int) *serverMetrics {
 		"Queries answered from the version-keyed snapshot cache.")
 	m.cacheMisses = reg.NewCounter("disttrack_query_cache_misses_total",
 		"Queries that required a quiescent read of coordinator state.")
+	m.etagHits = reg.NewCounter("disttrack_query_cache_etag_hits_total",
+		"Conditional queries answered 304 Not Modified from the version ETag.")
 
 	m.bridge = wireobs.New(reg, "disttrack_wire")
 
@@ -337,13 +349,16 @@ func (m *serverMetrics) tenant(name string) *tenantMetrics {
 	return &tenantMetrics{
 		sm: m,
 		eng: engine.Metrics{
-			Feeds:        m.engFeeds.With(name),
-			BatchRuns:    m.engRuns.With(name),
-			BatchSplits:  m.engSplits.With(name),
-			Escalations:  m.engEsc.With(name),
-			BootHandoffs: m.engBoot.With(name),
-			SlowPathHold: m.engSlow.With(name),
-			QuiesceHold:  m.engQuiesce.With(name),
+			Feeds:            m.engFeeds.With(name),
+			BatchRuns:        m.engRuns.With(name),
+			BatchSplits:      m.engSplits.With(name),
+			Escalations:      m.engEsc.With(name),
+			SlowPathAcquires: m.engAcquires.With(name),
+			CoalescedRuns:    m.engCoalesced.With(name),
+			SavedAcquires:    m.engSaved.With(name),
+			BootHandoffs:     m.engBoot.With(name),
+			SlowPathHold:     m.engSlow.With(name),
+			QuiesceHold:      m.engQuiesce.With(name),
 		},
 		cl: runtime.ClusterMetrics{
 			Processed:   m.clProcessed.With(name),
@@ -371,6 +386,7 @@ func (m *serverMetrics) tenant(name string) *tenantMetrics {
 func (m *serverMetrics) forgetTenant(name string) {
 	for _, v := range []*obs.CounterVec{
 		m.engFeeds, m.engRuns, m.engSplits, m.engEsc, m.engBoot,
+		m.engAcquires, m.engCoalesced, m.engSaved,
 		m.clProcessed, m.clBatches, m.clDropped, m.clEsc,
 		m.tenSent, m.tenDropped, m.tenTies, m.tenThrottled,
 	} {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -147,6 +148,11 @@ type queryAdapter struct {
 // unified core.Tracker handle; the per-kind query shapes live in qa.
 type Tenant struct {
 	cfg TenantConfig
+	// gen is a process-unique instance nonce baked into the tenant's query
+	// ETags: a deleted-and-recreated tenant restarts its tracker version at
+	// zero, so version alone would let a stale client 304 against a
+	// different stream. The nonce makes the two instances' ETags disjoint.
+	gen uint64
 	// cfgMu guards cfg against the one writer that exists: ReconfigureTenant
 	// updating cfg.K on a live site add/remove. Reads that must see a
 	// consistent config (Config, Stats headers) take the read side; the hot
@@ -217,8 +223,11 @@ type Tenant struct {
 	qcQuant   map[float64]uint64
 }
 
+// tenantGen issues the per-process instance nonces for query ETags.
+var tenantGen atomic.Uint64
+
 func newTenant(tc TenantConfig, siteBuffer int, sm *serverMetrics) (*Tenant, error) {
-	t := &Tenant{cfg: tc}
+	t := &Tenant{cfg: tc, gen: tenantGen.Add(1)}
 	if tc.RateLimit > 0 {
 		t.limiter = fault.NewLimiter(tc.RateLimit, tc.RateBurst)
 	}
@@ -358,18 +367,29 @@ func (t *Tenant) meter() *wire.Meter { return t.tr.Meter() }
 // changes only when an escalation may have changed coordinator state.
 func (t *Tenant) version() uint64 { return t.tr.Version() }
 
+// etagFor renders the strong ETag for an answer computed at tracker version
+// ver: the instance nonce plus the version, quoted per RFC 9110. Coordinator
+// state — and with it every query answer — changes only when the version
+// ticks, so an unchanged ETag certifies an unchanged representation.
+func (t *Tenant) etagFor(ver uint64) string {
+	return `"t` + strconv.FormatUint(t.gen, 10) + `-v` + strconv.FormatUint(ver, 10) + `"`
+}
+
+// etag returns the ETag for the current coordinator version, lock-free.
+func (t *Tenant) etag() string { return t.etagFor(t.version()) }
+
 // cachedHH returns a cached heavy-hitter answer still valid at the current
-// coordinator version. The returned slice is shared — callers must not
-// mutate it (the HTTP handlers only serialize it).
-func (t *Tenant) cachedHH(phi float64) ([]Entry, bool) {
+// coordinator version, and that version. The returned slice is shared —
+// callers must not mutate it (the HTTP handlers only serialize it).
+func (t *Tenant) cachedHH(phi float64) ([]Entry, uint64, bool) {
 	cur := t.version()
 	t.qcMu.Lock()
 	defer t.qcMu.Unlock()
 	if t.qcVersion != cur {
-		return nil, false
+		return nil, 0, false
 	}
 	e, ok := t.qcHH[phi]
-	return e, ok
+	return e, cur, ok
 }
 
 // qcMaxEntries bounds each snapshot map: phi is client-supplied, so
@@ -407,15 +427,15 @@ func (t *Tenant) storeHH(phi float64, ver uint64, out []Entry) {
 }
 
 // cachedQuant and storeQuant are the quantile-answer counterparts.
-func (t *Tenant) cachedQuant(phi float64) (uint64, bool) {
+func (t *Tenant) cachedQuant(phi float64) (uint64, uint64, bool) {
 	cur := t.version()
 	t.qcMu.Lock()
 	defer t.qcMu.Unlock()
 	if t.qcVersion != cur {
-		return 0, false
+		return 0, 0, false
 	}
 	v, ok := t.qcQuant[phi]
-	return v, ok
+	return v, cur, ok
 }
 
 func (t *Tenant) storeQuant(phi float64, ver uint64, v uint64) {
@@ -426,6 +446,13 @@ func (t *Tenant) storeQuant(phi float64, ver uint64, v uint64) {
 			t.qcQuant = make(map[float64]uint64)
 		}
 		t.qcQuant[phi] = v
+	}
+}
+
+// countETag records a conditional query answered 304 from the version ETag.
+func (t *Tenant) countETag() {
+	if tm := t.tm; tm != nil {
+		tm.sm.etagHits.Inc()
 	}
 }
 
@@ -558,23 +585,30 @@ type Entry struct {
 // escalations never stalls ingest. The returned slice is shared with the
 // cache — callers must not mutate it.
 func (t *Tenant) HeavyHitters(phi float64) ([]Entry, error) {
+	out, _, err := t.heavyHittersAt(phi)
+	return out, err
+}
+
+// heavyHittersAt additionally reports the tracker version the answer was
+// computed (or cache-validated) at — the HTTP edge's ETag.
+func (t *Tenant) heavyHittersAt(phi float64) ([]Entry, uint64, error) {
 	if tm := t.tm; tm != nil {
 		tm.qHeavy.Inc()
 	}
 	// Capability before argument validation: a kind that cannot answer at
 	// all reports ErrUnsupported whatever the arguments.
 	if t.qa.heavyHitters == nil {
-		return nil, fmt.Errorf("tenant kind %q does not answer heavy-hitter queries: %w",
+		return nil, 0, fmt.Errorf("tenant kind %q does not answer heavy-hitter queries: %w",
 			t.cfg.Kind, ErrUnsupported)
 	}
 	// The negated form also rejects NaN, which would otherwise slip past
 	// the range check and poison the snapshot cache with unmatchable keys.
 	if !(phi > t.cfg.Eps && phi <= 1) {
-		return nil, fmt.Errorf("phi must be in (eps, 1], got %g (eps %g)", phi, t.cfg.Eps)
+		return nil, 0, fmt.Errorf("phi must be in (eps, 1], got %g (eps %g)", phi, t.cfg.Eps)
 	}
-	if out, ok := t.cachedHH(phi); ok {
+	if out, ver, ok := t.cachedHH(phi); ok {
 		t.countCache(true)
-		return out, nil
+		return out, ver, nil
 	}
 	t.countCache(false)
 	var out []Entry
@@ -584,7 +618,7 @@ func (t *Tenant) HeavyHitters(phi float64) ([]Entry, error) {
 		out = t.qa.heavyHitters(phi)
 	})
 	t.storeHH(phi, ver, out)
-	return out, nil
+	return out, ver, nil
 }
 
 // Quantile answers a φ-quantile query with the raw (unperturbed) value.
@@ -593,26 +627,33 @@ func (t *Tenant) HeavyHitters(phi float64) ([]Entry, error) {
 // answers are served from the version-keyed snapshot cache between
 // escalations.
 func (t *Tenant) Quantile(phi float64) (uint64, error) {
+	v, _, err := t.quantileAt(phi)
+	return v, err
+}
+
+// quantileAt additionally reports the tracker version the answer was
+// computed (or cache-validated) at — the HTTP edge's ETag.
+func (t *Tenant) quantileAt(phi float64) (uint64, uint64, error) {
 	if tm := t.tm; tm != nil {
 		tm.qQuantile.Inc()
 	}
 	// Capability before argument validation (see HeavyHitters).
 	if t.qa.quantile == nil {
-		return 0, fmt.Errorf("tenant kind %q does not answer quantile queries: %w",
+		return 0, 0, fmt.Errorf("tenant kind %q does not answer quantile queries: %w",
 			t.cfg.Kind, ErrUnsupported)
 	}
 	// The negated form also rejects NaN (see HeavyHitters).
 	if !(phi >= 0 && phi <= 1) {
-		return 0, fmt.Errorf("phi must be in [0,1], got %g", phi)
+		return 0, 0, fmt.Errorf("phi must be in [0,1], got %g", phi)
 	}
 	if t.qa.checkQuantile != nil {
 		if err := t.qa.checkQuantile(phi); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
-	if v, ok := t.cachedQuant(phi); ok {
+	if v, ver, ok := t.cachedQuant(phi); ok {
 		t.countCache(true)
-		return v, nil
+		return v, ver, nil
 	}
 	t.countCache(false)
 	var key uint64
@@ -623,45 +664,65 @@ func (t *Tenant) Quantile(phi float64) (uint64, error) {
 		key, err = t.qa.quantile(phi)
 	})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	v := stream.Unperturb(key)
 	t.storeQuant(phi, ver, v)
-	return v, nil
+	return v, ver, nil
 }
 
 // Rank answers "how many ingested values are < v" (allq tenants only),
 // together with the coordinator's total estimate.
 func (t *Tenant) Rank(v uint64) (rank, total int64, err error) {
+	rank, total, _, err = t.rankAt(v)
+	return rank, total, err
+}
+
+// rankAt additionally reports the tracker version the answer was computed
+// at. Rank answers are exact per-request (no snapshot cache), so the version
+// is captured inside the quiescent read.
+func (t *Tenant) rankAt(v uint64) (rank, total int64, ver uint64, err error) {
 	if tm := t.tm; tm != nil {
 		tm.qRank.Inc()
 	}
 	if t.qa.rank == nil {
-		return 0, 0, fmt.Errorf("tenant kind %q does not answer rank queries: %w",
+		return 0, 0, 0, fmt.Errorf("tenant kind %q does not answer rank queries: %w",
 			t.cfg.Kind, ErrUnsupported)
 	}
 	if v >= MaxPerturbedValue {
-		return 0, 0, fmt.Errorf("value %d out of range [0, 2^%d)", v, 64-stream.PerturbBits)
+		return 0, 0, 0, fmt.Errorf("value %d out of range [0, 2^%d)", v, 64-stream.PerturbBits)
 	}
 	t.cluster().Query(func() {
+		ver = t.version()
 		rank, total = t.qa.rank(v)
 	})
-	return rank, total, nil
+	return rank, total, ver, nil
 }
 
 // Frequency answers a point frequency query (hh tenants only): the
 // coordinator's underestimate of the item's global count.
 func (t *Tenant) Frequency(item uint64) (int64, error) {
+	c, _, err := t.frequencyAt(item)
+	return c, err
+}
+
+// frequencyAt additionally reports the tracker version the answer was
+// computed at (see rankAt).
+func (t *Tenant) frequencyAt(item uint64) (int64, uint64, error) {
 	if tm := t.tm; tm != nil {
 		tm.qFreq.Inc()
 	}
 	if t.qa.frequency == nil {
-		return 0, fmt.Errorf("tenant kind %q does not answer frequency queries: %w",
+		return 0, 0, fmt.Errorf("tenant kind %q does not answer frequency queries: %w",
 			t.cfg.Kind, ErrUnsupported)
 	}
 	var c int64
-	t.cluster().Query(func() { c = t.qa.frequency(item) })
-	return c, nil
+	var ver uint64
+	t.cluster().Query(func() {
+		ver = t.version()
+		c = t.qa.frequency(item)
+	})
+	return c, ver, nil
 }
 
 // TenantStats is the observability snapshot served by the stats endpoint.
